@@ -1,0 +1,618 @@
+// Benchmarks regenerating the paper's evaluation, one per table and figure,
+// plus ablations of the design choices called out in DESIGN.md.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Custom metrics: "integrations/query" is the paper's Table II/III quantity
+// (candidates needing numerical probability computation); "answers/query" is
+// the result cardinality.
+package gaussrange
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"gaussrange/internal/core"
+	"gaussrange/internal/data"
+	"gaussrange/internal/experiments"
+	"gaussrange/internal/gauss"
+	"gaussrange/internal/mc"
+	"gaussrange/internal/quadform"
+	"gaussrange/internal/rtree"
+	"gaussrange/internal/stats"
+	"gaussrange/internal/ucatalog"
+	"gaussrange/internal/vecmat"
+)
+
+// Shared datasets and indexes, built once.
+var (
+	lbOnce  sync.Once
+	lbIndex *core.Index
+	lbPts   []vecmat.Vector
+
+	cmOnce  sync.Once
+	cmIndex *core.Index
+	cmPts   []vecmat.Vector
+)
+
+func longBeachIndex(b *testing.B) *core.Index {
+	b.Helper()
+	lbOnce.Do(func() {
+		lbPts = data.LongBeach(1)
+		ix, err := core.NewIndex(lbPts, 2)
+		if err != nil {
+			panic(err)
+		}
+		lbIndex = ix
+	})
+	return lbIndex
+}
+
+func colorMomentsIndex(b *testing.B) *core.Index {
+	b.Helper()
+	cmOnce.Do(func() {
+		cmPts = data.ColorMoments(1)
+		ix, err := core.NewIndex(cmPts, 9)
+		if err != nil {
+			panic(err)
+		}
+		cmIndex = ix
+	})
+	return cmIndex
+}
+
+func paperQuery2D(b *testing.B, ix *core.Index, gamma float64) core.Query {
+	b.Helper()
+	cov := experiments.PaperSigmaBase().Scale(gamma)
+	rng := mc.NewRNG(7)
+	center := lbPts[rng.Intn(len(lbPts))]
+	g, err := gauss.New(center, cov)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return core.Query{Dist: g, Delta: 25, Theta: 0.01}
+}
+
+// BenchmarkTable1 measures end-to-end query latency per strategy and γ with
+// the paper's Monte Carlo evaluator (10 000 samples/object — scaled down
+// from the paper's 100 000 to keep bench runs short; Phase 3 still
+// dominates, preserving the Table I shape).
+func BenchmarkTable1(b *testing.B) {
+	ix := longBeachIndex(b)
+	for _, gamma := range []float64{1, 10, 100} {
+		for _, strat := range core.PaperStrategies {
+			b.Run(strat.String()+"/gamma="+formatGamma(gamma), func(b *testing.B) {
+				integ, err := mc.NewIntegrator(10000, 42)
+				if err != nil {
+					b.Fatal(err)
+				}
+				engine, err := core.NewEngine(ix, integ, core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				q := paperQuery2D(b, ix, gamma)
+				b.ResetTimer()
+				var integrations, answers int
+				for i := 0; i < b.N; i++ {
+					res, err := engine.Search(q, strat)
+					if err != nil {
+						b.Fatal(err)
+					}
+					integrations = res.Stats.Integrations
+					answers = res.Stats.Answers
+				}
+				b.ReportMetric(float64(integrations), "integrations/query")
+				b.ReportMetric(float64(answers), "answers/query")
+			})
+		}
+	}
+}
+
+// BenchmarkTable2 reports the Table II candidate counts using the exact
+// evaluator (latency here reflects filtering power, the table's subject).
+func BenchmarkTable2(b *testing.B) {
+	ix := longBeachIndex(b)
+	for _, gamma := range []float64{1, 10, 100} {
+		for _, strat := range core.PaperStrategies {
+			b.Run(strat.String()+"/gamma="+formatGamma(gamma), func(b *testing.B) {
+				engine, err := core.NewEngine(ix, core.NewExactEvaluator(), core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				q := paperQuery2D(b, ix, gamma)
+				b.ResetTimer()
+				var integrations int
+				for i := 0; i < b.N; i++ {
+					res, err := engine.Search(q, strat)
+					if err != nil {
+						b.Fatal(err)
+					}
+					integrations = res.Stats.Integrations
+				}
+				b.ReportMetric(float64(integrations), "integrations/query")
+			})
+		}
+	}
+}
+
+// BenchmarkTable3 runs the 9-D pseudo-feedback query per strategy (exact
+// evaluator; the paper's Table III reports candidate counts).
+func BenchmarkTable3(b *testing.B) {
+	ix := colorMomentsIndex(b)
+	// Build the pseudo-feedback Gaussian once (paper §VI-A).
+	rng := mc.NewRNG(11)
+	q0 := cmPts[rng.Intn(len(cmPts))]
+	nn, err := ix.NearestNeighbors(q0, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sample := make([]vecmat.Vector, len(nn))
+	for i, nb := range nn {
+		sample[i], _ = ix.Point(nb.ID)
+	}
+	st, err := vecmat.SampleCovariance(sample)
+	if err != nil {
+		b.Fatal(err)
+	}
+	det, err := st.Det()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cov := st.AddScaledIdentity(math.Pow(math.Abs(det), 1.0/9))
+	g, err := gauss.New(q0, cov)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := core.Query{Dist: g, Delta: 0.7, Theta: 0.4}
+
+	for _, strat := range core.PaperStrategies {
+		b.Run(strat.String(), func(b *testing.B) {
+			engine, err := core.NewEngine(ix, core.NewExactEvaluator(), core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var integrations int
+			for i := 0; i < b.N; i++ {
+				res, err := engine.Search(q, strat)
+				if err != nil {
+					b.Fatal(err)
+				}
+				integrations = res.Stats.Integrations
+			}
+			b.ReportMetric(float64(integrations), "integrations/query")
+		})
+	}
+}
+
+// BenchmarkFig13to16 regenerates the integration-region geometry of
+// Figures 13–16 (one sub-benchmark per γ).
+func BenchmarkFig13to16(b *testing.B) {
+	for _, gamma := range []float64{1, 10, 100} {
+		b.Run("gamma="+formatGamma(gamma), func(b *testing.B) {
+			var area float64
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.RunRegions(gamma)
+				if err != nil {
+					b.Fatal(err)
+				}
+				area = res.AllArea
+			}
+			b.ReportMetric(area, "ALL-area")
+		})
+	}
+}
+
+// BenchmarkFig17 regenerates the probability-of-existence curves.
+func BenchmarkFig17(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig17(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// BenchmarkAblationEvaluator compares the paper's Monte Carlo evaluator
+// against the exact Ruben-series evaluator on a single qualification
+// computation.
+func BenchmarkAblationEvaluator(b *testing.B) {
+	cov := experiments.PaperSigmaBase().Scale(10)
+	g, err := gauss.New(vecmat.Vector{500, 500}, cov)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := vecmat.Vector{520, 510}
+
+	b.Run("mc-100k", func(b *testing.B) {
+		integ, err := mc.NewIntegrator(100000, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := integ.Qualification(g, o, 25); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("mc-10k", func(b *testing.B) {
+		integ, err := mc.NewIntegrator(10000, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := integ.Qualification(g, o, 25); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("exact-ruben", func(b *testing.B) {
+		ev := core.NewExactEvaluator()
+		for i := 0; i < b.N; i++ {
+			if _, err := ev.Qualification(g, o, 25); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationFringe compares the RR fringe filter modes (off / the
+// paper's d=2 rule / the all-dimensions extension) by integration counts.
+func BenchmarkAblationFringe(b *testing.B) {
+	ix := longBeachIndex(b)
+	modes := []struct {
+		name string
+		mode core.FringeMode
+	}{
+		{"off", core.FringeOff},
+		{"paper-2d", core.FringePaper},
+		{"all-dims", core.FringeAllDims},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			engine, err := core.NewEngine(ix, core.NewExactEvaluator(), core.Options{Fringe: m.mode})
+			if err != nil {
+				b.Fatal(err)
+			}
+			q := paperQuery2D(b, ix, 10)
+			b.ResetTimer()
+			var integrations int
+			for i := 0; i < b.N; i++ {
+				res, err := engine.Search(q, core.StrategyRR)
+				if err != nil {
+					b.Fatal(err)
+				}
+				integrations = res.Stats.Integrations
+			}
+			b.ReportMetric(float64(integrations), "integrations/query")
+		})
+	}
+}
+
+// BenchmarkAblationCatalog compares exact radius derivation against the
+// U-catalog lookup (the paper's table-based approach).
+func BenchmarkAblationCatalog(b *testing.B) {
+	ix := longBeachIndex(b)
+	rcat, err := newRCat()
+	if err != nil {
+		b.Fatal(err)
+	}
+	bfcat, err := newBFCat()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		opts core.Options
+	}{
+		{"exact-radii", core.Options{}},
+		{"ucatalog", core.Options{UseCatalogs: true, RCatalog: rcat, BFCatalog: bfcat}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			engine, err := core.NewEngine(ix, core.NewExactEvaluator(), c.opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			q := paperQuery2D(b, ix, 10)
+			b.ResetTimer()
+			var integrations int
+			for i := 0; i < b.N; i++ {
+				res, err := engine.Search(q, core.StrategyAll)
+				if err != nil {
+					b.Fatal(err)
+				}
+				integrations = res.Stats.Integrations
+			}
+			b.ReportMetric(float64(integrations), "integrations/query")
+		})
+	}
+}
+
+// BenchmarkAblationPageSize sweeps the R*-tree page size (node fan-out).
+func BenchmarkAblationPageSize(b *testing.B) {
+	pts := data.LongBeach(1)
+	for _, page := range []int{512, 1024, 4096} {
+		b.Run(formatGamma(float64(page))+"B", func(b *testing.B) {
+			db, err := Load(toRaw(pts), WithPageSize(page))
+			if err != nil {
+				b.Fatal(err)
+			}
+			spec := QuerySpec{
+				Center: []float64{500, 500},
+				Cov:    [][]float64{{70, 2 * math.Sqrt(3) * 10}, {2 * math.Sqrt(3) * 10, 30}},
+				Delta:  25, Theta: 0.01,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Query(spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMCSamples sweeps the Monte Carlo sample count, showing
+// the precision/latency trade of Phase 3.
+func BenchmarkAblationMCSamples(b *testing.B) {
+	cov := experiments.PaperSigmaBase().Scale(10)
+	g, err := gauss.New(vecmat.Vector{500, 500}, cov)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := vecmat.Vector{515, 505}
+	exactP := 0.0
+	{
+		ev := core.NewExactEvaluator()
+		exactP, err = ev.Qualification(g, o, 25)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, n := range []int{1000, 10000, 100000} {
+		b.Run(formatGamma(float64(n)), func(b *testing.B) {
+			integ, err := mc.NewIntegrator(n, 5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var p float64
+			for i := 0; i < b.N; i++ {
+				p, err = integ.Qualification(g, o, 25)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(math.Abs(p-exactP), "abs-error")
+		})
+	}
+}
+
+// BenchmarkRTreeBulkLoad measures STR loading of the road dataset.
+func BenchmarkRTreeBulkLoad(b *testing.B) {
+	pts := data.LongBeach(1)
+	raw := toRaw(pts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Load(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRTreeInsert measures incremental R* insertion.
+func BenchmarkRTreeInsert(b *testing.B) {
+	rng := mc.NewRNG(1)
+	db, err := Open(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Insert([]float64{rng.Float64() * 1000, rng.Float64() * 1000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKNN measures the best-first k-NN used by the 9-D pseudo-feedback
+// setup.
+func BenchmarkKNN(b *testing.B) {
+	ix := colorMomentsIndex(b)
+	rng := mc.NewRNG(13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := cmPts[rng.Intn(len(cmPts))]
+		if _, err := ix.NearestNeighbors(q, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- helpers -------------------------------------------------------------
+
+func toRaw(pts []vecmat.Vector) [][]float64 {
+	raw := make([][]float64, len(pts))
+	for i, p := range pts {
+		raw[i] = p
+	}
+	return raw
+}
+
+func formatGamma(g float64) string {
+	switch g {
+	case 1:
+		return "1"
+	case 10:
+		return "10"
+	case 100:
+		return "100"
+	default:
+		return trimFloat(g)
+	}
+}
+
+func trimFloat(f float64) string {
+	s := make([]byte, 0, 8)
+	v := int(f)
+	if v == 0 {
+		return "0"
+	}
+	for v > 0 {
+		s = append([]byte{byte('0' + v%10)}, s...)
+		v /= 10
+	}
+	return string(s)
+}
+
+func newRCat() (*ucatalog.RCatalog, error)   { return ucatalog.NewRCatalog(2, nil) }
+func newBFCat() (*ucatalog.BFCatalog, error) { return ucatalog.NewBFCatalog(2, nil, nil) }
+
+// silence unused-import guards for stats (used in doc examples).
+var _ = stats.ErrDomain
+
+// BenchmarkAblationAdaptiveMC compares a full end-to-end query under the
+// fixed-budget Monte Carlo, the adaptive sequential Monte Carlo, and the
+// exact evaluator.
+func BenchmarkAblationAdaptiveMC(b *testing.B) {
+	ix := longBeachIndex(b)
+	q := paperQuery2D(b, ix, 10)
+	run := func(b *testing.B, eval core.Evaluator) {
+		engine, err := core.NewEngine(ix, eval, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Search(q, core.StrategyAll); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("mc-fixed-100k", func(b *testing.B) {
+		integ, err := mc.NewIntegrator(100000, 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, integ)
+	})
+	b.Run("mc-adaptive-100k", func(b *testing.B) {
+		a, err := mc.NewAdaptive(500, 100000, 4, 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, a)
+	})
+	b.Run("exact", func(b *testing.B) {
+		run(b, core.NewExactEvaluator())
+	})
+}
+
+// BenchmarkAblationBufferPool measures simulated page-I/O hit rates across
+// pool sizes on the Table II workload.
+func BenchmarkAblationBufferPool(b *testing.B) {
+	ix := longBeachIndex(b)
+	for _, pages := range []int{16, 128, 1024} {
+		b.Run(trimFloat(float64(pages))+"pages", func(b *testing.B) {
+			bp, err := rtree.NewBufferPool(pages)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ix.Tree().AttachBufferPool(bp)
+			defer ix.Tree().AttachBufferPool(nil)
+			engine, err := core.NewEngine(ix, core.NewExactEvaluator(), core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			q := paperQuery2D(b, ix, 10)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.Search(q, core.StrategyAll); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(bp.HitRate(), "hit-rate")
+		})
+	}
+}
+
+// BenchmarkPNN measures the probabilistic-nearest-neighbor extension.
+func BenchmarkPNN(b *testing.B) {
+	ix := longBeachIndex(b)
+	engine, err := core.NewEngine(ix, core.NewExactEvaluator(), core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cov := experiments.PaperSigmaBase().Scale(10)
+	g, err := gauss.New(vecmat.Vector{500, 500}, cov)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.PNN(g, 0.01, 10000, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHeteroTargets measures the uncertain-target query against the
+// exact-target baseline on equal data.
+func BenchmarkHeteroTargets(b *testing.B) {
+	pts := data.LongBeach(1)[:10000]
+	covs := make([]*vecmat.Symmetric, len(pts))
+	for i := range covs {
+		if i%2 == 0 {
+			covs[i] = vecmat.Identity(2).Scale(4)
+		}
+	}
+	h, err := core.NewHeteroIndex(pts, covs, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cov := experiments.PaperSigmaBase().Scale(10)
+	g, err := gauss.New(pts[100].Clone(), cov)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := core.Query{Dist: g, Delta: 25, Theta: 0.01}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Search(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQuadformEvaluators compares the three qualification-probability
+// methods on one anisotropic noncentral form.
+func BenchmarkQuadformEvaluators(b *testing.B) {
+	lambda := []float64{90, 10}
+	offs := []float64{0.7, 1.9}
+	const t = 625.0
+	b.Run("ruben", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := quadform.RubenCDF(lambda, offs, t); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("imhof", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := quadform.ImhofCDF(lambda, offs, t); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ltz-approx", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := quadform.LTZApprox(lambda, offs, t); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

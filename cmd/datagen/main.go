@@ -1,0 +1,81 @@
+// Command datagen generates the experiment datasets as CSV files.
+//
+// Usage:
+//
+//	datagen [flags] longbeach|colormoments|uniform|clustered <output.csv>
+//
+// Flags:
+//
+//	-seed N      generator seed (default 1)
+//	-n N         point count (uniform/clustered; defaults to dataset size)
+//	-dim D       dimensionality (uniform/clustered, default 2)
+//	-extent X    space extent (uniform/clustered, default 1000)
+//	-clusters K  cluster count (clustered, default 20)
+//	-std S       cluster standard deviation (clustered, default 10)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gaussrange/internal/data"
+	"gaussrange/internal/vecmat"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "generator seed")
+	n := flag.Int("n", 0, "point count (uniform/clustered)")
+	dim := flag.Int("dim", 2, "dimensionality (uniform/clustered)")
+	extent := flag.Float64("extent", 1000, "space extent (uniform/clustered)")
+	clusters := flag.Int("clusters", 20, "cluster count (clustered)")
+	std := flag.Float64("std", 10, "cluster standard deviation (clustered)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: datagen [flags] longbeach|colormoments|uniform|clustered <output.csv>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var (
+		pts []vecmat.Vector
+		err error
+	)
+	switch flag.Arg(0) {
+	case "longbeach":
+		pts = data.LongBeach(*seed)
+	case "colormoments":
+		if *n > 0 {
+			pts = data.ColorMomentsN(*seed, *n)
+		} else {
+			pts = data.ColorMoments(*seed)
+		}
+	case "uniform":
+		count := *n
+		if count == 0 {
+			count = 100000
+		}
+		pts, err = data.Uniform(*seed, count, *dim, *extent)
+	case "clustered":
+		count := *n
+		if count == 0 {
+			count = 100000
+		}
+		pts, err = data.Clustered(*seed, count, *dim, *clusters, *extent, *std)
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown dataset %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+		os.Exit(1)
+	}
+	if err := data.SaveCSV(flag.Arg(1), pts); err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d points (%d-D) to %s\n", len(pts), pts[0].Dim(), flag.Arg(1))
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDatagenEndToEnd builds and runs the binary for each generator,
+// checking the CSV output shape.
+func TestDatagenEndToEnd(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool unavailable")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "datagen")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	cases := []struct {
+		args []string
+		rows int
+		cols int
+	}{
+		{[]string{"-n", "100", "uniform"}, 100, 2},
+		{[]string{"-n", "50", "-dim", "3", "uniform"}, 50, 3},
+		{[]string{"-n", "200", "-clusters", "5", "clustered"}, 200, 2},
+		{[]string{"-n", "300", "colormoments"}, 300, 9},
+	}
+	for _, c := range cases {
+		out := filepath.Join(dir, "out.csv")
+		cmd := exec.Command(bin, append(c.args, out)...)
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("%v: %v\n%s", c.args, err, b)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+		if len(lines) != c.rows {
+			t.Errorf("%v: %d rows, want %d", c.args, len(lines), c.rows)
+		}
+		if got := len(strings.Split(lines[0], ",")); got != c.cols {
+			t.Errorf("%v: %d columns, want %d", c.args, got, c.cols)
+		}
+	}
+
+	// Error paths.
+	if err := exec.Command(bin, "bogus", filepath.Join(dir, "x.csv")).Run(); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if err := exec.Command(bin, "uniform").Run(); err == nil {
+		t.Error("missing output path accepted")
+	}
+}

@@ -1,0 +1,175 @@
+// Command prqbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	prqbench [flags] <experiment>
+//
+// Experiments:
+//
+//	table1   — Table I:  query time per strategy × γ (2-D road data)
+//	table2   — Table II: integration counts per strategy × γ (same runs)
+//	table3   — Table III: integration counts, 9-D pseudo-feedback
+//	fig13    — integration-region geometry at γ=10 (also fig14's ALL region)
+//	fig14    — alias of fig13
+//	fig15    — region geometry at γ=1
+//	fig16    — region geometry at γ=100
+//	fig17    — Pr(‖x‖≤r) curves for d ∈ {2,3,5,9,15}
+//	sweep    — §V-B.3 parameter sensitivity (δ, θ, Σ shape)
+//	all      — everything above
+//
+// Flags:
+//
+//	-seed N        dataset / query seed (default 1)
+//	-trials N      query centers per cell (default: paper settings)
+//	-eval NAME     "mc" (paper) or "exact" (Ruben series; default)
+//	-samples N     MC samples per object (default 100000)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gaussrange/internal/experiments"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "dataset and query-center seed")
+	trials := flag.Int("trials", 0, "query centers per cell (0 = paper defaults)")
+	evalName := flag.String("eval", "exact", `evaluator: "mc" (paper) or "exact"`)
+	samples := flag.Int("samples", 100000, "Monte Carlo samples per object")
+	svg := flag.String("svg", "", "write the region figure (fig13/15/16) as SVG to this path")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: prqbench [flags] table1|table2|table3|fig13|fig14|fig15|fig16|fig17|sweep|iostats|catalog|all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var kind experiments.EvaluatorKind
+	switch strings.ToLower(*evalName) {
+	case "mc":
+		kind = experiments.EvalMC
+	case "exact":
+		kind = experiments.EvalExact
+	default:
+		fmt.Fprintf(os.Stderr, "prqbench: unknown evaluator %q\n", *evalName)
+		os.Exit(2)
+	}
+	cfg := experiments.Config{Seed: *seed, Trials: *trials, Samples: *samples, Evaluator: kind}
+
+	if *svg != "" {
+		if err := writeSVG(flag.Arg(0), *svg); err != nil {
+			fmt.Fprintf(os.Stderr, "prqbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(flag.Arg(0), cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "prqbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// writeSVG renders a region figure to an SVG file.
+func writeSVG(name, path string) error {
+	var gamma float64
+	switch strings.ToLower(name) {
+	case "fig13", "fig14":
+		gamma = 10
+	case "fig15":
+		gamma = 1
+	case "fig16":
+		gamma = 100
+	default:
+		return fmt.Errorf("-svg applies to fig13/fig14/fig15/fig16, not %q", name)
+	}
+	res, err := experiments.RunRegions(gamma)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := res.RenderSVG(f); err != nil {
+		f.Close()
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return f.Close()
+}
+
+func run(name string, cfg experiments.Config) error {
+	out := os.Stdout
+	switch strings.ToLower(name) {
+	case "table1", "table2", "tables12":
+		res, err := experiments.RunTables12(cfg, nil)
+		if err != nil {
+			return err
+		}
+		res.Render(out)
+	case "table3":
+		res, err := experiments.RunTable3(cfg, nil)
+		if err != nil {
+			return err
+		}
+		res.Render(out)
+	case "fig13", "fig14":
+		res, err := experiments.RunRegions(10)
+		if err != nil {
+			return err
+		}
+		res.Render(out)
+	case "fig15":
+		res, err := experiments.RunRegions(1)
+		if err != nil {
+			return err
+		}
+		res.Render(out)
+	case "fig16":
+		res, err := experiments.RunRegions(100)
+		if err != nil {
+			return err
+		}
+		res.Render(out)
+	case "fig17":
+		res, err := experiments.RunFig17()
+		if err != nil {
+			return err
+		}
+		res.Render(out)
+	case "sweep":
+		res, err := experiments.RunSweep(cfg, nil)
+		if err != nil {
+			return err
+		}
+		res.Render(out)
+	case "iostats":
+		res, err := experiments.RunIOStats(cfg, nil)
+		if err != nil {
+			return err
+		}
+		res.Render(out)
+	case "catalog":
+		res, err := experiments.RunCatalogAblation(cfg, nil)
+		if err != nil {
+			return err
+		}
+		res.Render(out)
+	case "all":
+		for _, sub := range []string{"table1", "table3", "fig13", "fig15", "fig16", "fig17", "sweep", "iostats", "catalog"} {
+			if err := run(sub, cfg); err != nil {
+				return err
+			}
+			fmt.Fprintln(out, strings.Repeat("-", 72))
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gaussrange/internal/experiments"
+)
+
+func TestRunFigures(t *testing.T) {
+	cfg := experiments.Config{Seed: 1, Trials: 1, Evaluator: experiments.EvalExact}
+	for _, name := range []string{"fig13", "fig14", "fig15", "fig16", "fig17"} {
+		if err := run(name, cfg); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if err := run("bogus", experiments.Config{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestWriteSVG(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fig.svg")
+	if err := writeSVG("fig15", path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("empty SVG")
+	}
+	if err := writeSVG("table1", filepath.Join(dir, "x.svg")); err == nil {
+		t.Error("non-figure experiment accepted for SVG")
+	}
+}

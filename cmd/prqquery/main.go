@@ -1,0 +1,171 @@
+// Command prqquery runs one probabilistic range query against a CSV point
+// dataset and prints the qualifying points with their probabilities.
+//
+// Usage:
+//
+//	prqquery [flags] <points.csv>
+//
+// Flags:
+//
+//	-center "x,y,…"   query mean q (required)
+//	-cov "a,b;c,d"    covariance rows separated by ';' (required)
+//	-delta D          distance threshold δ (required, > 0)
+//	-theta T          probability threshold θ in (0, 1) (required)
+//	-strategy S       RR | BF | RR+BF | RR+OR | BF+OR | ALL (default ALL)
+//	-mc N             use Monte Carlo with N samples (default: exact)
+//	-v                print per-object probabilities
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gaussrange"
+	"gaussrange/internal/data"
+)
+
+func parseVector(s string) ([]float64, error) {
+	fields := strings.Split(s, ",")
+	out := make([]float64, len(fields))
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("component %d: %w", i+1, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func parseMatrix(s string) ([][]float64, error) {
+	rows := strings.Split(s, ";")
+	out := make([][]float64, len(rows))
+	for i, r := range rows {
+		v, err := parseVector(r)
+		if err != nil {
+			return nil, fmt.Errorf("row %d: %w", i+1, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func main() {
+	center := flag.String("center", "", "query mean, comma-separated")
+	cov := flag.String("cov", "", "covariance rows, ';'-separated")
+	delta := flag.Float64("delta", 0, "distance threshold δ")
+	theta := flag.Float64("theta", 0, "probability threshold θ")
+	strategy := flag.String("strategy", "ALL", "filter strategy")
+	mcSamples := flag.Int("mc", 0, "Monte Carlo samples (0 = exact evaluator)")
+	verbose := flag.Bool("v", false, "print per-object probabilities")
+	topK := flag.Int("topk", 0, "report only the k most probable answers")
+	pnn := flag.Bool("pnn", false, "run a probabilistic nearest-neighbor query instead of a range query")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: prqquery [flags] <points.csv>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 || *center == "" || *cov == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if err := run(flag.Arg(0), *center, *cov, *delta, *theta, *strategy, *mcSamples, *verbose, *topK, *pnn); err != nil {
+		fmt.Fprintf(os.Stderr, "prqquery: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, centerS, covS string, delta, theta float64, strategy string, mcSamples int, verbose bool, topK int, pnn bool) error {
+	pts, err := data.LoadCSV(path)
+	if err != nil {
+		return err
+	}
+	raw := make([][]float64, len(pts))
+	for i, p := range pts {
+		raw[i] = p
+	}
+	var opts []gaussrange.Option
+	if mcSamples > 0 {
+		opts = append(opts, gaussrange.WithMonteCarlo(mcSamples))
+	}
+	db, err := gaussrange.Load(raw, opts...)
+	if err != nil {
+		return err
+	}
+
+	c, err := parseVector(centerS)
+	if err != nil {
+		return fmt.Errorf("parsing -center: %w", err)
+	}
+	m, err := parseMatrix(covS)
+	if err != nil {
+		return fmt.Errorf("parsing -cov: %w", err)
+	}
+	spec := gaussrange.QuerySpec{Center: c, Cov: m, Delta: delta, Theta: theta, Strategy: strategy}
+
+	if pnn {
+		samples := mcSamples
+		if samples == 0 {
+			samples = 20000
+		}
+		results, err := db.PNN(c, m, theta, samples)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("dataset: %d points (%d-D)\n", db.Len(), db.Dim())
+		fmt.Printf("probabilistic nearest neighbors with p ≥ %g:\n", theta)
+		for _, r := range results {
+			coords, err := db.Point(r.ID)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  id %-8d p=%.4f  %v\n", r.ID, r.Probability, coords)
+		}
+		return nil
+	}
+
+	if topK > 0 {
+		matches, err := db.QueryTopK(spec, topK)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("dataset: %d points (%d-D)\n", db.Len(), db.Dim())
+		fmt.Printf("top-%d answers:\n", topK)
+		for _, mt := range matches {
+			coords, err := db.Point(mt.ID)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  id %-8d p=%.4f  %v\n", mt.ID, mt.Probability, coords)
+		}
+		return nil
+	}
+
+	res, err := db.Query(spec)
+	if err != nil {
+		return err
+	}
+
+	st := res.Stats
+	fmt.Printf("dataset: %d points (%d-D)\n", db.Len(), db.Dim())
+	fmt.Printf("answers: %d\n", len(res.IDs))
+	fmt.Printf("phase 1: retrieved %d candidates (%d node reads, %v)\n", st.Retrieved, st.NodesRead, st.IndexTime)
+	fmt.Printf("phase 2: pruned fringe=%d or=%d bf=%d; accepted bf=%d (%v)\n",
+		st.PrunedFringe, st.PrunedOR, st.PrunedBF, st.AcceptedBF, st.FilterTime)
+	fmt.Printf("phase 3: %d integrations (%v)\n", st.Integrations, st.ProbTime)
+	if verbose {
+		for _, id := range res.IDs {
+			p, err := db.QueryProb(spec, id)
+			if err != nil {
+				return err
+			}
+			coords, _ := db.Point(id)
+			fmt.Printf("  id %-8d p=%.4f  %v\n", id, p, coords)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseVector(t *testing.T) {
+	v, err := parseVector("1, 2.5 ,-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 3 || v[0] != 1 || v[1] != 2.5 || v[2] != -3 {
+		t.Errorf("parseVector = %v", v)
+	}
+	if _, err := parseVector("1,abc"); err == nil {
+		t.Error("bad component accepted")
+	}
+}
+
+func TestParseMatrix(t *testing.T) {
+	m, err := parseMatrix("1,2;3,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 || m[1][0] != 3 {
+		t.Errorf("parseMatrix = %v", m)
+	}
+	if _, err := parseMatrix("1,2;x,4"); err == nil {
+		t.Error("bad row accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pts.csv")
+	csv := "500,500\n510,505\n900,900\n495,498\n"
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "500,500", "70,34.6;34.6,30", 25, 0.01, "ALL", 0, true, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	// Monte Carlo path.
+	if err := run(path, "500,500", "70,34.6;34.6,30", 25, 0.01, "ALL", 5000, false, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	// Error paths.
+	if err := run(filepath.Join(dir, "missing.csv"), "0,0", "1,0;0,1", 1, 0.1, "ALL", 0, false, 0, false); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run(path, "bad", "1,0;0,1", 1, 0.1, "ALL", 0, false, 0, false); err == nil {
+		t.Error("bad center accepted")
+	}
+	if err := run(path, "0,0", "bad", 1, 0.1, "ALL", 0, false, 0, false); err == nil {
+		t.Error("bad covariance accepted")
+	}
+	if err := run(path, "0,0", "1,0;0,1", 1, 0.1, "NOPE", 0, false, 0, false); err == nil {
+		t.Error("bad strategy accepted")
+	}
+	// Top-k and PNN modes.
+	if err := run(path, "500,500", "70,34.6;34.6,30", 25, 0.01, "ALL", 0, false, 2, false); err != nil {
+		t.Fatalf("topk: %v", err)
+	}
+	if err := run(path, "500,500", "25,0;0,25", 25, 0.05, "ALL", 1000, false, 0, true); err != nil {
+		t.Fatalf("pnn: %v", err)
+	}
+}

@@ -1,0 +1,73 @@
+package gaussrange_test
+
+import (
+	"fmt"
+
+	"gaussrange"
+)
+
+// ExampleDB_Query demonstrates the probabilistic range query on a small
+// collection: the query object is believed to be at (5, 5) with an
+// isotropic standard deviation of 1, and we ask for points within distance
+// 3 with probability at least 50 %.
+func ExampleDB_Query() {
+	db, err := gaussrange.Load([][]float64{
+		{5, 5},   // id 0 — at the believed location
+		{6, 6},   // id 1 — nearby
+		{20, 20}, // id 2 — far away
+	})
+	if err != nil {
+		panic(err)
+	}
+	res, err := db.Query(gaussrange.QuerySpec{
+		Center: []float64{5, 5},
+		Cov:    [][]float64{{1, 0}, {0, 1}},
+		Delta:  3,
+		Theta:  0.5,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.IDs)
+	// Output: [0 1]
+}
+
+// ExampleDB_QueryProb inspects the exact qualification probability of a
+// stored point.
+func ExampleDB_QueryProb() {
+	db, err := gaussrange.Load([][]float64{{0, 0}, {10, 0}})
+	if err != nil {
+		panic(err)
+	}
+	spec := gaussrange.QuerySpec{
+		Center: []float64{0, 0},
+		Cov:    [][]float64{{1, 0}, {0, 1}},
+		Delta:  5,
+		Theta:  0.5,
+	}
+	p0, err := db.QueryProb(spec, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("point at the query center: %.3f\n", p0)
+	// Output: point at the query center: 1.000
+}
+
+// ExampleDB_PNN finds probable nearest neighbors of an uncertain location.
+func ExampleDB_PNN() {
+	db, err := gaussrange.Load([][]float64{
+		{0, 0},
+		{100, 100},
+	})
+	if err != nil {
+		panic(err)
+	}
+	// The query object is very near point 0; with tight uncertainty,
+	// point 0 is almost surely the nearest neighbor.
+	res, err := db.PNN([]float64{1, 1}, [][]float64{{0.01, 0}, {0, 0.01}}, 0.5, 2000)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("id %d with probability %.2f\n", res[0].ID, res[0].Probability)
+	// Output: id 0 with probability 1.00
+}

@@ -1,0 +1,136 @@
+// Example-based image retrieval: the paper's §VI scenario.
+//
+// A user marks an image as interesting. The system takes the image's k
+// nearest neighbors in a 9-D color-moment feature space as pseudo-feedback
+// samples, fits a Gaussian over the user's inferred interest region
+// (Σ = Σ̃ + κI, Eq. 35 of the paper), and retrieves images whose feature
+// vectors are within distance δ of the interest distribution with
+// probability at least θ.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"gaussrange"
+	"gaussrange/internal/data"
+)
+
+func main() {
+	// A reduced synthetic stand-in for the Corel Color Moments set
+	// (filament-structured 9-D features; see internal/data).
+	features := data.ColorMomentsN(1, 20000)
+	raw := make([][]float64, len(features))
+	for i, f := range features {
+		raw[i] = f
+	}
+	db, err := gaussrange.Load(raw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("image collection: %d feature vectors (9-D color moments)\n", db.Len())
+
+	// The user picks image 4242 as the example.
+	const exampleID = 4242
+	example, err := db.Point(exampleID)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pseudo-feedback: the 20 nearest images form the interest sample.
+	const k = 20
+	nn, err := db.NearestNeighbors(example, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pseudo-feedback: %d neighbors within distance %.3f\n", k, nn[k-1].Distance)
+
+	// Sample covariance Σ̃ of the feedback set, regularized by κI with
+	// κ = |Σ̃|^{1/9} so sample-based and Euclidean similarity blend equally.
+	const d = 9
+	mean := make([]float64, d)
+	sample := make([][]float64, k)
+	for i, nb := range nn {
+		p, err := db.Point(nb.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sample[i] = p
+		for j := 0; j < d; j++ {
+			mean[j] += p[j] / float64(k)
+		}
+	}
+	cov := make([][]float64, d)
+	for i := range cov {
+		cov[i] = make([]float64, d)
+	}
+	for _, p := range sample {
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				cov[i][j] += (p[i] - mean[i]) * (p[j] - mean[j]) / float64(k)
+			}
+		}
+	}
+	kappa := detRoot(cov)
+	for i := 0; i < d; i++ {
+		cov[i][i] += kappa
+	}
+	fmt.Printf("interest Gaussian: κ = %.4f\n", kappa)
+
+	// Retrieve images near the interest distribution with ≥ 40 % probability.
+	spec := gaussrange.QuerySpec{
+		Center: example,
+		Cov:    cov,
+		Delta:  0.7,
+		Theta:  0.4,
+	}
+	res, err := db.Query(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nretrieved %d images (of %d candidates retrieved, %d integrated)\n",
+		len(res.IDs), res.Stats.Retrieved, res.Stats.Integrations)
+	for i, id := range res.IDs {
+		if i == 8 {
+			fmt.Printf("  … and %d more\n", len(res.IDs)-8)
+			break
+		}
+		p, err := db.QueryProb(spec, id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  image %-6d p=%.3f\n", id, p)
+	}
+}
+
+// detRoot returns det(m)^(1/d) via Gaussian elimination (m is small).
+func detRoot(m [][]float64) float64 {
+	d := len(m)
+	a := make([][]float64, d)
+	for i := range a {
+		a[i] = append([]float64(nil), m[i]...)
+	}
+	logDet := 0.0
+	for c := 0; c < d; c++ {
+		// Partial pivot.
+		p := c
+		for r := c + 1; r < d; r++ {
+			if math.Abs(a[r][c]) > math.Abs(a[p][c]) {
+				p = r
+			}
+		}
+		a[c], a[p] = a[p], a[c]
+		if a[c][c] == 0 {
+			return 0
+		}
+		logDet += math.Log(math.Abs(a[c][c]))
+		for r := c + 1; r < d; r++ {
+			f := a[r][c] / a[c][c]
+			for j := c; j < d; j++ {
+				a[r][j] -= f * a[c][j]
+			}
+		}
+	}
+	return math.Exp(logDet / float64(d))
+}

@@ -1,0 +1,3 @@
+module gaussrange
+
+go 1.22

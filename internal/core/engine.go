@@ -1,0 +1,489 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"gaussrange/internal/gauss"
+	"gaussrange/internal/geom"
+	"gaussrange/internal/stats"
+	"gaussrange/internal/ucatalog"
+	"gaussrange/internal/vecmat"
+)
+
+// Evaluator computes qualification probabilities Pr(‖x − o‖ ≤ delta) for
+// x ~ dist. internal/mc.Integrator (the paper's importance sampling) and the
+// adapter over internal/quadform.Exact both satisfy it.
+type Evaluator interface {
+	Qualification(dist *gauss.Dist, o vecmat.Vector, delta float64) (float64, error)
+}
+
+// FringeMode selects how the RR strategy's Phase-2 fringe filter behaves.
+type FringeMode int
+
+const (
+	// FringePaper applies the fringe filter only for d = 2, as the paper's
+	// Algorithm 1 does ("computation of fringe part is not easy for d ≥ 3").
+	FringePaper FringeMode = iota
+	// FringeAllDims applies the exact Minkowski-region membership test in
+	// every dimension (clamped point-to-box distance) — a strict improvement
+	// this implementation offers over the paper.
+	FringeAllDims
+	// FringeOff disables the fringe filter (ablation).
+	FringeOff
+)
+
+// Options configures an Engine beyond its strategy.
+type Options struct {
+	// Fringe selects the RR fringe filter behaviour; default FringePaper.
+	Fringe FringeMode
+	// UseCatalogs switches the derivation of rθ and the BF radii from exact
+	// computation (the default; the paper's own experiments use exact BF
+	// radii, §V-A) to U-catalog lookup with the paper's conservative
+	// fallback rules.
+	UseCatalogs bool
+	// RCatalog and BFCatalog supply the tables when UseCatalogs is set; when
+	// nil they are built on demand with default grids.
+	RCatalog  *ucatalog.RCatalog
+	BFCatalog *ucatalog.BFCatalog
+}
+
+// Engine executes probabilistic range queries against an Index.
+type Engine struct {
+	idx  *Index
+	eval Evaluator
+	opts Options
+}
+
+// NewEngine returns an engine over idx using eval for Phase 3.
+func NewEngine(idx *Index, eval Evaluator, opts Options) (*Engine, error) {
+	if idx == nil {
+		return nil, errors.New("core: nil index")
+	}
+	if eval == nil {
+		return nil, errors.New("core: nil evaluator")
+	}
+	return &Engine{idx: idx, eval: eval, opts: opts}, nil
+}
+
+// Query is a probabilistic range query PRQ(q, Σ, δ, θ) (Definition 2).
+type Query struct {
+	// Dist is the Gaussian location distribution N(q, Σ) of the query object.
+	Dist *gauss.Dist
+	// Delta is the distance threshold δ > 0.
+	Delta float64
+	// Theta is the probability threshold, 0 < θ < 1.
+	Theta float64
+}
+
+// Validate checks the query against the index dimensionality.
+func (q Query) Validate(dim int) error {
+	if q.Dist == nil {
+		return errors.New("core: query without distribution")
+	}
+	if q.Dist.Dim() != dim {
+		return fmt.Errorf("core: query dim %d vs index dim %d", q.Dist.Dim(), dim)
+	}
+	if q.Delta <= 0 || math.IsNaN(q.Delta) || math.IsInf(q.Delta, 0) {
+		return fmt.Errorf("core: delta must be a positive finite number, got %g", q.Delta)
+	}
+	if !(q.Theta > 0 && q.Theta < 1) {
+		return fmt.Errorf("core: theta must satisfy 0 < θ < 1, got %g", q.Theta)
+	}
+	return nil
+}
+
+// PhaseStats reports where candidates were spent during one query — the
+// quantities the paper's Tables I–III are built from.
+type PhaseStats struct {
+	Retrieved      int // Phase 1: candidates returned by the index search
+	PrunedFringe   int // Phase 2: removed by the RR Minkowski fringe test
+	PrunedOR       int // Phase 2: removed by the oblique-region filter
+	PrunedBF       int // Phase 2: removed by the α∥ distance bound
+	AcceptedBF     int // Phase 2: accepted outright by the α⊥ bound
+	Integrations   int // Phase 3: candidates requiring probability computation
+	Answers        int // final result size
+	NodesRead      int // R-tree nodes visited during Phase 1
+	PhaseDurations [3]time.Duration
+	// AlphaUpper and AlphaLower are the BF radii used (0 when BF unused or
+	// the radius is undefined); RTheta is the θ-region radius (0 when RR and
+	// OR unused).
+	AlphaUpper, AlphaLower, RTheta float64
+}
+
+// Result is a completed query: answer identifiers (ascending) and statistics.
+type Result struct {
+	IDs   []int64
+	Stats PhaseStats
+}
+
+// queryGeometry bundles the derived per-query constants.
+type queryGeometry struct {
+	rTheta     float64 // θ-region Mahalanobis radius (RR/OR)
+	alphaUpper float64 // BF pruning radius (+Inf disables)
+	alphaLower float64 // BF acceptance radius (0 disables)
+	empty      bool    // proven-empty result (BF bound below θ everywhere)
+}
+
+// DecisionEvaluator is an optional Evaluator refinement that answers the
+// threshold question "is the probability at least theta?" directly —
+// sequential Monte Carlo (mc.Adaptive) decides most candidates with a small
+// fraction of the fixed budget. Search uses it when available.
+type DecisionEvaluator interface {
+	DecideQualifies(dist *gauss.Dist, o vecmat.Vector, delta, theta float64) (qualifies bool, samples int, err error)
+}
+
+// Search executes the query with the given strategy combination.
+func (e *Engine) Search(q Query, strat Strategy) (*Result, error) {
+	st, accepted, needEval, err := e.runFilterPhases(q, strat)
+	if err != nil {
+		return nil, err
+	}
+
+	// ---- Phase 3: probability computation --------------------------------
+	t2 := time.Now()
+	st.Integrations = len(needEval)
+	result := accepted
+	if de, ok := e.eval.(DecisionEvaluator); ok {
+		for _, id := range needEval {
+			qual, _, err := de.DecideQualifies(q.Dist, e.idx.points[id], q.Delta, q.Theta)
+			if err != nil {
+				return nil, fmt.Errorf("core: qualification of object %d: %w", id, err)
+			}
+			if qual {
+				result = append(result, id)
+			}
+		}
+	} else {
+		for _, id := range needEval {
+			p, err := e.eval.Qualification(q.Dist, e.idx.points[id], q.Delta)
+			if err != nil {
+				return nil, fmt.Errorf("core: qualification of object %d: %w", id, err)
+			}
+			if p >= q.Theta {
+				result = append(result, id)
+			}
+		}
+	}
+	st.PhaseDurations[2] = time.Since(t2)
+	st.Answers = len(result)
+
+	sortIDs(result)
+	return &Result{IDs: result, Stats: st}, nil
+}
+
+// runFilterPhases executes Phases 1 and 2, returning the statistics so far,
+// the directly-accepted ids (BF α⊥), and the candidates requiring
+// probability computation.
+func (e *Engine) runFilterPhases(q Query, strat Strategy) (PhaseStats, []int64, []int64, error) {
+	var st PhaseStats
+	if err := q.Validate(e.idx.Dim()); err != nil {
+		return st, nil, nil, err
+	}
+	if !strat.Valid() {
+		return st, nil, nil, fmt.Errorf("core: strategy %v cannot run alone (OR is filter-only)", strat)
+	}
+
+	geo, err := e.deriveGeometry(q, strat)
+	if err != nil {
+		return st, nil, nil, err
+	}
+	st.RTheta = geo.rTheta
+	if !math.IsInf(geo.alphaUpper, 1) {
+		st.AlphaUpper = geo.alphaUpper
+	}
+	st.AlphaLower = geo.alphaLower
+	if geo.empty {
+		return st, nil, nil, nil
+	}
+
+	// ---- Phase 1: index-based search -------------------------------------
+	t0 := time.Now()
+	nodesBefore := e.idx.tree.NodesRead()
+	searchBox, err := e.searchRegion(q, strat, geo)
+	if err != nil {
+		return st, nil, nil, err
+	}
+	candidates, err := e.idx.SearchRect(searchBox)
+	if err != nil {
+		return st, nil, nil, err
+	}
+	st.Retrieved = len(candidates)
+	st.NodesRead = e.idx.tree.NodesRead() - nodesBefore
+	st.PhaseDurations[0] = time.Since(t0)
+
+	// ---- Phase 2: filtering ----------------------------------------------
+	t1 := time.Now()
+	dim := e.idx.Dim()
+	qCenter := q.Dist.Mean()
+
+	var fringe *geom.MinkowskiRegion
+	if strat.Has(StrategyRR) && e.opts.Fringe != FringeOff {
+		if e.opts.Fringe == FringeAllDims || dim == 2 {
+			box, err := e.thetaBox(q, geo.rTheta)
+			if err != nil {
+				return st, nil, nil, err
+			}
+			m, err := geom.NewMinkowskiRegion(box, q.Delta)
+			if err != nil {
+				return st, nil, nil, err
+			}
+			fringe = &m
+		}
+	}
+
+	var orBound vecmat.Vector
+	scratch := make(vecmat.Vector, dim)
+	yBuf := make(vecmat.Vector, dim)
+	if strat.Has(StrategyOR) {
+		orBound = make(vecmat.Vector, dim)
+		for i, ev := range q.Dist.EigenValuesCov() {
+			orBound[i] = geo.rTheta*math.Sqrt(ev) + q.Delta
+		}
+	}
+
+	accepted := make([]int64, 0)
+	needEval := make([]int64, 0, len(candidates))
+	auSq := geo.alphaUpper * geo.alphaUpper
+	alSq := geo.alphaLower * geo.alphaLower
+
+	for _, id := range candidates {
+		o := e.idx.points[id]
+
+		if fringe != nil && !fringe.Contains(o) {
+			st.PrunedFringe++
+			continue
+		}
+		if strat.Has(StrategyOR) {
+			q.Dist.TransformToEigen(o, scratch, yBuf)
+			pruned := false
+			for i := range yBuf {
+				if math.Abs(yBuf[i]) > orBound[i] {
+					pruned = true
+					break
+				}
+			}
+			if pruned {
+				st.PrunedOR++
+				continue
+			}
+		}
+		if strat.Has(StrategyBF) {
+			d2 := o.Dist2(qCenter)
+			if d2 > auSq {
+				st.PrunedBF++
+				continue
+			}
+			if geo.alphaLower > 0 && d2 <= alSq {
+				st.AcceptedBF++
+				accepted = append(accepted, id)
+				continue
+			}
+		}
+		needEval = append(needEval, id)
+	}
+	st.PhaseDurations[1] = time.Since(t1)
+	return st, accepted, needEval, nil
+}
+
+// deriveGeometry computes rθ and the BF radii as required by the strategy.
+func (e *Engine) deriveGeometry(q Query, strat Strategy) (queryGeometry, error) {
+	geo := queryGeometry{alphaUpper: math.Inf(1)}
+	dim := e.idx.Dim()
+
+	if strat.Has(StrategyRR) || strat.Has(StrategyOR) {
+		// The θ-region needs θ < 1/2; for θ ≥ 1/2 any smaller θ' yields a
+		// strictly larger (hence still conservative) region.
+		thetaEff := math.Min(q.Theta, 0.4999)
+		r, err := e.rTheta(dim, thetaEff)
+		if err != nil {
+			return geo, err
+		}
+		geo.rTheta = r
+	}
+
+	if strat.Has(StrategyBF) {
+		up, lo, empty, err := e.bfRadii(q)
+		if err != nil {
+			return geo, err
+		}
+		geo.alphaUpper, geo.alphaLower, geo.empty = up, lo, empty
+	}
+	return geo, nil
+}
+
+// rTheta returns the θ-region radius, via the exact inverse or the catalog.
+func (e *Engine) rTheta(dim int, theta float64) (float64, error) {
+	if !e.opts.UseCatalogs {
+		return stats.SphereRadiusForMass(dim, 1-2*theta)
+	}
+	if e.opts.RCatalog == nil {
+		rc, err := ucatalog.NewRCatalog(dim, nil)
+		if err != nil {
+			return 0, err
+		}
+		e.opts.RCatalog = rc
+	}
+	r, err := e.opts.RCatalog.Lookup(theta)
+	if errors.Is(err, ucatalog.ErrNoEntry) {
+		// θ below the smallest table entry: fall back to the exact value,
+		// as a real system would extend the table offline.
+		return stats.SphereRadiusForMass(dim, 1-2*theta)
+	}
+	return r, err
+}
+
+// bfRadii derives α∥ (pruning) and α⊥ (acceptance) per Property 5 /
+// Eqs. (28)–(31). The returned empty flag is set when even the upper
+// bounding function cannot reach mass θ anywhere, proving the result empty.
+func (e *Engine) bfRadii(q Query) (alphaUpper, alphaLower float64, empty bool, err error) {
+	d := float64(e.idx.Dim())
+	lamPar := q.Dist.LambdaPar()
+	lamPerp := q.Dist.LambdaPerp()
+	logHalfDet := 0.5 * q.Dist.LogDet()
+
+	alphaUpper = math.Inf(1)
+	alphaLower = 0
+
+	// Scaled probability targets of Eqs. (29)–(30), computed in log space:
+	// tp = λ^{d/2}·|Σ|^{1/2}·θ.
+	logTpPar := d/2*math.Log(lamPar) + logHalfDet + math.Log(q.Theta)
+	logTpPerp := d/2*math.Log(lamPerp) + logHalfDet + math.Log(q.Theta)
+
+	// Upper radius α∥: scaled sphere radius √λ∥·δ, target mass tp∥.
+	if logTpPar > math.Log(1e-280) {
+		tp := math.Exp(logTpPar)
+		if tp < 1 {
+			scaledDelta := math.Sqrt(lamPar) * q.Delta
+			beta, aerr := e.bfAlpha(scaledDelta, tp, true)
+			switch {
+			case errors.Is(aerr, stats.ErrNoSolution):
+				// Even a sphere centered at q captures less than θ of the
+				// upper bound: nothing can qualify.
+				return 0, 0, true, nil
+			case aerr == nil:
+				alphaUpper = beta / math.Sqrt(lamPar)
+			case errors.Is(aerr, ucatalog.ErrNoEntry):
+				// Catalog gap: keep +Inf (no pruning) — conservative.
+			default:
+				return 0, 0, false, aerr
+			}
+		}
+		// tp ≥ 1 can only occur transiently from rounding; treat as no
+		// pruning information.
+	}
+
+	// Lower radius α⊥: scaled sphere radius √λ⊥·δ, target mass tp⊥. The
+	// target often exceeds 1 for anisotropic Σ — then no acceptance "hole"
+	// exists (paper's discussion around Eq. 37).
+	if logTpPerp < 0 {
+		tp := math.Exp(logTpPerp)
+		scaledDelta := math.Sqrt(lamPerp) * q.Delta
+		beta, aerr := e.bfAlpha(scaledDelta, tp, false)
+		switch {
+		case aerr == nil:
+			alphaLower = beta / math.Sqrt(lamPerp)
+		case errors.Is(aerr, stats.ErrNoSolution), errors.Is(aerr, ucatalog.ErrNoEntry):
+			// No hole / no table entry: no direct acceptance.
+		default:
+			return 0, 0, false, aerr
+		}
+	}
+	return alphaUpper, alphaLower, false, nil
+}
+
+// bfAlpha returns the offset β at which a sphere of the given radius captures
+// mass tp of the normalized Gaussian, exactly or via the catalog with the
+// paper's conservative fallback (Eq. 32 for the upper radius, Eq. 33 for the
+// lower).
+func (e *Engine) bfAlpha(delta, tp float64, upper bool) (float64, error) {
+	if !e.opts.UseCatalogs {
+		nc, err := stats.NoncentralityForCDF(float64(e.idx.Dim()), delta*delta, tp)
+		if err != nil {
+			return 0, err
+		}
+		return math.Sqrt(nc), nil
+	}
+	if e.opts.BFCatalog == nil {
+		bc, err := ucatalog.NewBFCatalog(e.idx.Dim(), nil, nil)
+		if err != nil {
+			return 0, err
+		}
+		e.opts.BFCatalog = bc
+	}
+	if upper {
+		return e.opts.BFCatalog.LookupUpper(delta, tp)
+	}
+	return e.opts.BFCatalog.LookupLower(delta, tp)
+}
+
+// searchRegion derives the Phase-1 rectangle. With RR present it is the
+// bounding box of the Minkowski region (Fig. 4); with BF alone it is the
+// α∥ box of Algorithm 2.
+func (e *Engine) searchRegion(q Query, strat Strategy, geo queryGeometry) (geom.Rect, error) {
+	if strat.Has(StrategyRR) {
+		box, err := e.thetaBox(q, geo.rTheta)
+		if err != nil {
+			return geom.Rect{}, err
+		}
+		rrBox := box.Expand(q.Delta)
+		// When BF also bounds the query, intersect with its box — both are
+		// conservative so the intersection is too (and never empty unless
+		// the result is provably empty).
+		if strat.Has(StrategyBF) && !math.IsInf(geo.alphaUpper, 1) {
+			hw := make(vecmat.Vector, e.idx.Dim())
+			for i := range hw {
+				hw[i] = geo.alphaUpper
+			}
+			bfBox, err := geom.RectAround(q.Dist.Mean(), hw)
+			if err != nil {
+				return geom.Rect{}, err
+			}
+			if inter, ok := rrBox.Intersection(bfBox); ok {
+				return inter, nil
+			}
+			// Disjoint conservative boxes mean no candidate can qualify.
+			return geom.PointRect(q.Dist.Mean()), nil
+		}
+		return rrBox, nil
+	}
+	// BF-driven Phase 1.
+	hw := make(vecmat.Vector, e.idx.Dim())
+	alpha := geo.alphaUpper
+	if math.IsInf(alpha, 1) {
+		// No finite pruning radius: fall back to the RR box to stay correct.
+		thetaEff := math.Min(q.Theta, 0.4999)
+		r, err := e.rTheta(e.idx.Dim(), thetaEff)
+		if err != nil {
+			return geom.Rect{}, err
+		}
+		box, err := e.thetaBox(q, r)
+		if err != nil {
+			return geom.Rect{}, err
+		}
+		return box.Expand(q.Delta), nil
+	}
+	for i := range hw {
+		hw[i] = alpha
+	}
+	return geom.RectAround(q.Dist.Mean(), hw)
+}
+
+// thetaBox returns the axis-aligned bounding box of the θ-region: half-width
+// σᵢ·rθ along axis i (Property 2).
+func (e *Engine) thetaBox(q Query, rTheta float64) (geom.Rect, error) {
+	dim := e.idx.Dim()
+	hw := make(vecmat.Vector, dim)
+	for i := 0; i < dim; i++ {
+		hw[i] = q.Dist.SigmaAxis(i) * rTheta
+	}
+	return geom.RectAround(q.Dist.Mean(), hw)
+}
+
+// sortIDs sorts ascending in place.
+func sortIDs(ids []int64) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

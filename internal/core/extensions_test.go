@@ -1,0 +1,242 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gaussrange/internal/gauss"
+	"gaussrange/internal/mc"
+	"gaussrange/internal/vecmat"
+)
+
+func TestPNNValidation(t *testing.T) {
+	ix := uniformIndex(t, rand.New(rand.NewSource(8)), 100, 2, 100)
+	e := newExactEngine(t, ix, Options{})
+	g, err := gauss.New(vecmat.Vector{50, 50}, vecmat.Identity(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.PNN(nil, 0.1, 100, 1); err == nil {
+		t.Error("nil distribution accepted")
+	}
+	if _, err := e.PNN(g, 0, 100, 1); err == nil {
+		t.Error("theta=0 accepted")
+	}
+	if _, err := e.PNN(g, 1.5, 100, 1); err == nil {
+		t.Error("theta>1 accepted")
+	}
+	if _, err := e.PNN(g, 0.1, 0, 1); err == nil {
+		t.Error("samples=0 accepted")
+	}
+	g3, err := gauss.New(vecmat.NewVector(3), vecmat.Identity(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.PNN(g3, 0.1, 100, 1); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+}
+
+func TestPNNEmptyIndex(t *testing.T) {
+	ix, err := NewDynamicIndex(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newExactEngine(t, ix, Options{})
+	g, _ := gauss.New(vecmat.Vector{0, 0}, vecmat.Identity(2))
+	res, err := e.PNN(g, 0.1, 100, 1)
+	if err != nil || res != nil {
+		t.Errorf("empty index PNN = %v, %v", res, err)
+	}
+}
+
+// With a tiny, tight Gaussian the nearest data point wins with probability
+// ≈ 1.
+func TestPNNCertainCase(t *testing.T) {
+	pts := []vecmat.Vector{{10, 10}, {90, 90}, {50, 10}}
+	ix, err := NewIndex(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newExactEngine(t, ix, Options{})
+	g, err := gauss.New(vecmat.Vector{12, 12}, vecmat.Identity(2).Scale(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.PNN(g, 0.5, 2000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].ID != 0 || res[0].Probability < 0.999 {
+		t.Errorf("PNN certain case = %+v", res)
+	}
+}
+
+// Probabilities across all returned objects plus the implicit remainder sum
+// to 1; frequencies match an analytically simple two-point configuration.
+func TestPNNTwoPointSymmetry(t *testing.T) {
+	pts := []vecmat.Vector{{-10, 0}, {10, 0}}
+	ix, err := NewIndex(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newExactEngine(t, ix, Options{})
+	// Query centered exactly between the two points: each wins with p ≈ ½.
+	g, err := gauss.New(vecmat.Vector{0, 0}, vecmat.Identity(2).Scale(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.PNN(g, 0.05, 50000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("PNN returned %d objects, want 2", len(res))
+	}
+	total := res[0].Probability + res[1].Probability
+	if math.Abs(total-1) > 1e-12 {
+		t.Errorf("probabilities sum to %g", total)
+	}
+	if math.Abs(res[0].Probability-0.5) > 0.01 {
+		t.Errorf("symmetric PNN probability = %g, want ≈0.5", res[0].Probability)
+	}
+}
+
+func TestPNNSortedDescending(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	ix := uniformIndex(t, rng, 500, 2, 100)
+	e := newExactEngine(t, ix, Options{})
+	g, err := gauss.New(vecmat.Vector{50, 50}, vecmat.Identity(2).Scale(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.PNN(g, 0.01, 20000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("PNN returned nothing")
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Probability > res[i-1].Probability {
+			t.Fatal("PNN results not sorted by probability")
+		}
+	}
+}
+
+func TestSearchParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	ix := uniformIndex(t, rng, 8000, 2, 1000)
+	e := newExactEngine(t, ix, Options{})
+	q := paperQuery(t, vecmat.Vector{500, 500}, 10, 25, 0.01)
+
+	serial, err := e.Search(q, StrategyAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		par, err := e.SearchParallel(q, StrategyAll, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !idsEqual(serial.IDs, par.IDs) {
+			t.Fatalf("workers=%d: parallel answers differ (%d vs %d)", workers, len(par.IDs), len(serial.IDs))
+		}
+		if par.Stats.Integrations != serial.Stats.Integrations {
+			t.Errorf("workers=%d: integrations %d vs %d", workers, par.Stats.Integrations, serial.Stats.Integrations)
+		}
+	}
+	// workers=1 falls back to serial.
+	one, err := e.SearchParallel(q, StrategyAll, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idsEqual(one.IDs, serial.IDs) {
+		t.Error("workers=1 differs from Search")
+	}
+}
+
+func TestSearchParallelWithMC(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	ix := uniformIndex(t, rng, 4000, 2, 1000)
+	integ, err := mc.NewIntegrator(20000, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(ix, MCEvaluator{integ}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactE := newExactEngine(t, ix, Options{})
+	q := paperQuery(t, vecmat.Vector{500, 500}, 10, 25, 0.01)
+
+	par, err := e.SearchParallel(q, StrategyAll, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := exactE.Search(q, StrategyAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := removeBoundary(t, exactE, q, want.IDs, 0.0035)
+	b := removeBoundary(t, exactE, q, par.IDs, 0.0035)
+	if !idsEqual(a, b) {
+		t.Errorf("parallel MC differs beyond boundary band: %d vs %d", len(b), len(a))
+	}
+}
+
+func TestSearchParallelRequiresForkable(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	ix := uniformIndex(t, rng, 100, 2, 100)
+	// A bare mc.Integrator (not wrapped) is an Evaluator but not forkable.
+	integ, err := mc.NewIntegrator(1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(ix, integ, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := paperQuery(t, vecmat.Vector{50, 50}, 1, 10, 0.1)
+	if _, err := e.SearchParallel(q, StrategyAll, 4); err == nil {
+		t.Error("non-forkable evaluator accepted for parallel search")
+	}
+}
+
+// Search with the adaptive sequential evaluator must match exact answers
+// away from the θ boundary while spending far fewer samples per candidate
+// than the fixed budget.
+func TestSearchWithAdaptiveEvaluator(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	ix := uniformIndex(t, rng, 5000, 2, 1000)
+	adaptive, err := mc.NewAdaptive(500, 100000, 4, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(ix, adaptive, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactE := newExactEngine(t, ix, Options{})
+	q := paperQuery(t, vecmat.Vector{500, 500}, 10, 25, 0.01)
+
+	got, err := e.Search(q, StrategyAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := exactE.Search(q, StrategyAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := removeBoundary(t, exactE, q, want.IDs, 0.003)
+	b := removeBoundary(t, exactE, q, got.IDs, 0.003)
+	if !idsEqual(a, b) {
+		t.Errorf("adaptive answers differ beyond boundary band: %d vs %d", len(b), len(a))
+	}
+	avg := float64(adaptive.SamplesUsed()) / float64(adaptive.Evaluations())
+	if avg > 50000 {
+		t.Errorf("average adaptive budget %g not below fixed 100k", avg)
+	}
+	t.Logf("adaptive evaluator: %.0f samples/candidate on average (fixed budget: 100000)", avg)
+}

@@ -1,0 +1,102 @@
+// Package core implements probabilistic range queries for Gaussian-based
+// imprecise query objects — the primary contribution of the reproduced
+// paper. A query PRQ(q, Σ, δ, θ) returns every indexed point o whose
+// qualification probability Pr(‖x − o‖ ≤ δ) is at least θ, where the query
+// object's position x follows N(q, Σ) (Definition 2).
+//
+// Query processing follows the paper's three phases (§III-B):
+//
+//  1. Index-based search over an R*-tree with a rectilinear search region;
+//  2. Filtering by any combination of the three strategies — RR
+//     (rectilinear θ-region box + Minkowski fringe), OR (oblique box in the
+//     eigenbasis of Σ⁻¹), BF (spherical bounding functions providing a
+//     pruning radius α∥ and an acceptance radius α⊥);
+//  3. Probability computation for the survivors by a pluggable evaluator
+//     (Monte Carlo importance sampling, as in the paper, or the exact
+//     Ruben-series evaluator).
+package core
+
+import (
+	"fmt"
+
+	"gaussrange/internal/geom"
+	"gaussrange/internal/rtree"
+	"gaussrange/internal/vecmat"
+)
+
+// Index is an immutable-after-load point collection indexed by an R*-tree.
+// Point identifiers are their position in the backing slice.
+type Index struct {
+	tree   *rtree.Tree
+	points []vecmat.Vector
+	dim    int
+}
+
+// NewIndex bulk-loads the given points (STR packing). All points must have
+// dimension dim.
+func NewIndex(points []vecmat.Vector, dim int, opts ...rtree.Option) (*Index, error) {
+	ids := make([]int64, len(points))
+	for i := range ids {
+		ids[i] = int64(i)
+	}
+	tree, err := rtree.BulkLoadPoints(points, ids, dim, opts...)
+	if err != nil {
+		return nil, err
+	}
+	stored := make([]vecmat.Vector, len(points))
+	for i, p := range points {
+		stored[i] = p.Clone()
+	}
+	return &Index{tree: tree, points: stored, dim: dim}, nil
+}
+
+// NewDynamicIndex returns an empty index that accepts incremental Add calls.
+func NewDynamicIndex(dim int, opts ...rtree.Option) (*Index, error) {
+	tree, err := rtree.New(dim, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{tree: tree, dim: dim}, nil
+}
+
+// Add appends a point and returns its identifier.
+func (ix *Index) Add(p vecmat.Vector) (int64, error) {
+	if p.Dim() != ix.dim {
+		return 0, fmt.Errorf("core: point dim %d vs index dim %d", p.Dim(), ix.dim)
+	}
+	id := int64(len(ix.points))
+	if err := ix.tree.InsertPoint(p, id); err != nil {
+		return 0, err
+	}
+	ix.points = append(ix.points, p.Clone())
+	return id, nil
+}
+
+// Len returns the number of indexed points.
+func (ix *Index) Len() int { return len(ix.points) }
+
+// Dim returns the point dimensionality.
+func (ix *Index) Dim() int { return ix.dim }
+
+// Point returns the coordinates of the identified point. The caller must not
+// mutate the result.
+func (ix *Index) Point(id int64) (vecmat.Vector, error) {
+	if id < 0 || id >= int64(len(ix.points)) {
+		return nil, fmt.Errorf("core: point id %d out of range [0, %d)", id, len(ix.points))
+	}
+	return ix.points[id], nil
+}
+
+// Tree exposes the underlying R*-tree for diagnostics (read-only use).
+func (ix *Index) Tree() *rtree.Tree { return ix.tree }
+
+// SearchRect returns the identifiers of points inside the rectangle.
+func (ix *Index) SearchRect(r geom.Rect) ([]int64, error) {
+	return ix.tree.CollectRect(r)
+}
+
+// NearestNeighbors returns the k nearest point identifiers to p, closest
+// first, with squared distances.
+func (ix *Index) NearestNeighbors(p vecmat.Vector, k int) ([]rtree.Neighbor, error) {
+	return ix.tree.NearestNeighbors(p, k)
+}

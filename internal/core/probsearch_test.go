@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"gaussrange/internal/vecmat"
+)
+
+func TestSearchProbsMatchesSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(307))
+	ix := uniformIndex(t, rng, 6000, 2, 1000)
+	e := newExactEngine(t, ix, Options{})
+	q := paperQuery(t, vecmat.Vector{500, 500}, 10, 25, 0.01)
+
+	for _, strat := range PaperStrategies {
+		plain, err := e.Search(q, strat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		matches, st, err := e.SearchProbs(q, strat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(matches) != len(plain.IDs) {
+			t.Fatalf("%v: SearchProbs %d answers vs Search %d", strat, len(matches), len(plain.IDs))
+		}
+		ids := make([]int64, len(matches))
+		for i, m := range matches {
+			ids[i] = m.ID
+			if m.Probability < q.Theta {
+				t.Fatalf("%v: returned probability %g below θ", strat, m.Probability)
+			}
+			if i > 0 && m.Probability > matches[i-1].Probability {
+				t.Fatalf("%v: not sorted by probability", strat)
+			}
+		}
+		sortIDs(ids)
+		if !idsEqual(ids, plain.IDs) {
+			t.Fatalf("%v: id sets differ", strat)
+		}
+		// Integrations include BF-accepted re-evaluations.
+		if st.Integrations < plain.Stats.Integrations {
+			t.Fatalf("%v: probs integrations %d < plain %d", strat, st.Integrations, plain.Stats.Integrations)
+		}
+	}
+}
+
+func TestSearchProbsExactValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(311))
+	ix := uniformIndex(t, rng, 2000, 2, 1000)
+	e := newExactEngine(t, ix, Options{})
+	q := paperQuery(t, vecmat.Vector{500, 500}, 10, 25, 0.05)
+	matches, _, err := e.SearchProbs(q, StrategyAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := NewExactEvaluator()
+	for _, m := range matches {
+		p, err := ev.Qualification(q.Dist, ix.points[m.ID], q.Delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != m.Probability {
+			t.Fatalf("probability mismatch for %d: %g vs %g", m.ID, m.Probability, p)
+		}
+	}
+}
+
+func TestTopK(t *testing.T) {
+	rng := rand.New(rand.NewSource(313))
+	ix := uniformIndex(t, rng, 4000, 2, 1000)
+	e := newExactEngine(t, ix, Options{})
+	q := paperQuery(t, vecmat.Vector{500, 500}, 10, 25, 0.001)
+
+	all, _, err := e.SearchProbs(q, StrategyAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < 6 {
+		t.Skip("too few answers on this dataset draw")
+	}
+	top, err := e.TopK(q, StrategyAll, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 5 {
+		t.Fatalf("TopK returned %d", len(top))
+	}
+	for i := range top {
+		if top[i] != all[i] {
+			t.Fatal("TopK disagrees with SearchProbs prefix")
+		}
+	}
+	if _, err := e.TopK(q, StrategyAll, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	// Oversized k clamps.
+	big, err := e.TopK(q, StrategyAll, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(big) != len(all) {
+		t.Errorf("oversized k returned %d of %d", len(big), len(all))
+	}
+}
+
+func TestSearchProbsValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(317))
+	ix := uniformIndex(t, rng, 100, 2, 100)
+	e := newExactEngine(t, ix, Options{})
+	q := paperQuery(t, vecmat.Vector{50, 50}, 1, 10, 0.1)
+	if _, _, err := e.SearchProbs(q, StrategyOR); err == nil {
+		t.Error("OR-only strategy accepted")
+	}
+	bad := q
+	bad.Theta = 0
+	if _, _, err := e.SearchProbs(bad, StrategyAll); err == nil {
+		t.Error("θ=0 accepted")
+	}
+}
+
+func TestSearchFuncStreamsAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(331))
+	ix := uniformIndex(t, rng, 5000, 2, 1000)
+	e := newExactEngine(t, ix, Options{})
+	q := paperQuery(t, vecmat.Vector{500, 500}, 10, 25, 0.01)
+
+	want, err := e.Search(q, StrategyAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	st, err := e.SearchFunc(q, StrategyAll, func(id int64) bool {
+		got = append(got, id)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortIDs(got)
+	if !idsEqual(got, want.IDs) {
+		t.Fatalf("streamed %d ids, Search returned %d", len(got), len(want.IDs))
+	}
+	if st.Answers != len(want.IDs) {
+		t.Errorf("Answers = %d, want %d", st.Answers, len(want.IDs))
+	}
+}
+
+func TestSearchFuncEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(337))
+	ix := uniformIndex(t, rng, 5000, 2, 1000)
+	e := newExactEngine(t, ix, Options{})
+	q := paperQuery(t, vecmat.Vector{500, 500}, 10, 25, 0.01)
+
+	count := 0
+	st, err := e.SearchFunc(q, StrategyAll, func(int64) bool {
+		count++
+		return count < 3
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Errorf("early stop streamed %d, want 3", count)
+	}
+	if st.Answers != 3 {
+		t.Errorf("Answers = %d", st.Answers)
+	}
+}
+
+func TestSearchFuncValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(341))
+	ix := uniformIndex(t, rng, 100, 2, 100)
+	e := newExactEngine(t, ix, Options{})
+	q := paperQuery(t, vecmat.Vector{50, 50}, 1, 10, 0.1)
+	if _, err := e.SearchFunc(q, StrategyOR, func(int64) bool { return true }); err == nil {
+		t.Error("OR-only accepted")
+	}
+}

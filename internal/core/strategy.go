@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"gaussrange/internal/gauss"
+)
+
+// Strategy is a bit set of the paper's three filtering strategies. OR is a
+// pure filter (it has no index search region of its own, §IV-B), so a valid
+// strategy must include RR or BF; the six combinations evaluated in §V are
+// exposed as named constants.
+type Strategy uint8
+
+const (
+	// StrategyRR is the rectilinear-region-based approach (§IV-A): Phase 1
+	// searches the bounding box of the θ-region Minkowski-summed with the
+	// δ-ball; Phase 2 removes candidates in the box's rounded-corner fringe.
+	StrategyRR Strategy = 1 << iota
+	// StrategyOR is the oblique-region-based filter (§IV-B): candidates are
+	// transformed into the eigenbasis of Σ⁻¹ and pruned against the oblique
+	// box of Eq. (20).
+	StrategyOR
+	// StrategyBF is the bounding-function-based approach (§IV-C): a pruning
+	// radius α∥ (beyond which even the upper bounding function integrates to
+	// less than θ) and an acceptance radius α⊥ (within which even the lower
+	// bounding function reaches θ, so no integration is needed).
+	StrategyBF
+
+	// StrategyRRBF combines RR and BF (the paper's "RR+BF").
+	StrategyRRBF = StrategyRR | StrategyBF
+	// StrategyRROR combines RR and OR ("RR+OR").
+	StrategyRROR = StrategyRR | StrategyOR
+	// StrategyBFOR combines BF and OR ("BF+OR").
+	StrategyBFOR = StrategyBF | StrategyOR
+	// StrategyAll combines all three ("ALL").
+	StrategyAll = StrategyRR | StrategyOR | StrategyBF
+)
+
+// PaperStrategies lists the six combinations evaluated by the paper's
+// experiments, in the order of Tables I–III.
+var PaperStrategies = []Strategy{
+	StrategyRR, StrategyBF, StrategyRRBF, StrategyRROR, StrategyBFOR, StrategyAll,
+}
+
+// Has reports whether s includes the given strategy bit.
+func (s Strategy) Has(bit Strategy) bool { return s&bit != 0 }
+
+// Valid reports whether the combination can drive a query: at least one of
+// RR and BF must be present to define the Phase-1 search region.
+func (s Strategy) Valid() bool {
+	return s.Has(StrategyRR) || s.Has(StrategyBF)
+}
+
+// String renders the paper's name for the combination ("RR+OR", "ALL", …).
+func (s Strategy) String() string {
+	if s == StrategyAll {
+		return "ALL"
+	}
+	var parts []string
+	if s.Has(StrategyRR) {
+		parts = append(parts, "RR")
+	}
+	if s.Has(StrategyBF) {
+		parts = append(parts, "BF")
+	}
+	if s.Has(StrategyOR) {
+		parts = append(parts, "OR")
+	}
+	if len(parts) == 0 {
+		return "NONE"
+	}
+	return strings.Join(parts, "+")
+}
+
+// ParseStrategy converts a name like "rr+or" or "ALL" to a Strategy.
+func ParseStrategy(name string) (Strategy, error) {
+	var s Strategy
+	up := strings.ToUpper(strings.TrimSpace(name))
+	if up == "ALL" {
+		return StrategyAll, nil
+	}
+	if up == "" {
+		return 0, fmt.Errorf("core: empty strategy name")
+	}
+	for _, part := range strings.Split(up, "+") {
+		switch strings.TrimSpace(part) {
+		case "RR":
+			s |= StrategyRR
+		case "OR":
+			s |= StrategyOR
+		case "BF":
+			s |= StrategyBF
+		default:
+			return 0, fmt.Errorf("core: unknown strategy component %q", part)
+		}
+	}
+	return s, nil
+}
+
+// ChooseStrategy picks a filter combination from the shape of the query
+// covariance, following the experimental findings (§V–§VI of the paper and
+// EXPERIMENTS.md):
+//
+//   - near-spherical Σ (eigenvalue ratio < 1.5): BF alone — its bounding
+//     functions are tight, deciding nearly every candidate without
+//     integration, and skipping RR/OR avoids their per-candidate overhead;
+//   - anything else: ALL — the combination dominates every subset in both
+//     2-D and 9-D experiments.
+func ChooseStrategy(dist *gauss.Dist) Strategy {
+	ratio := dist.EigenValuesCov()[dist.Dim()-1] / dist.EigenValuesCov()[0]
+	if ratio < 1.5 {
+		return StrategyBF
+	}
+	return StrategyAll
+}

@@ -1,0 +1,92 @@
+package data
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"gaussrange/internal/vecmat"
+)
+
+// WriteCSV writes points as comma-separated rows of coordinates.
+func WriteCSV(w io.Writer, pts []vecmat.Vector) error {
+	bw := bufio.NewWriter(w)
+	for i, p := range pts {
+		for j, x := range p {
+			if j > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatFloat(x, 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("data: writing row %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV reads points (one comma-separated row per point). All rows must
+// share one dimensionality.
+func ReadCSV(r io.Reader) ([]vecmat.Vector, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var pts []vecmat.Vector
+	dim := -1
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if dim == -1 {
+			dim = len(fields)
+		} else if len(fields) != dim {
+			return nil, fmt.Errorf("data: line %d has %d fields, want %d", line, len(fields), dim)
+		}
+		p := make(vecmat.Vector, len(fields))
+		for j, f := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("data: line %d field %d: %w", line, j+1, err)
+			}
+			p[j] = v
+		}
+		pts = append(pts, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return pts, nil
+}
+
+// SaveCSV writes points to a file path.
+func SaveCSV(path string, pts []vecmat.Vector) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteCSV(f, pts); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCSV reads points from a file path.
+func LoadCSV(path string) ([]vecmat.Vector, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f)
+}

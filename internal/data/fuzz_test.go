@@ -1,0 +1,43 @@
+package data
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadCSV hardens the CSV reader: arbitrary input must never panic, and
+// whatever parses must survive a write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("1,2\n3,4\n")
+	f.Add("")
+	f.Add("1.5e300,-2.25\n")
+	f.Add("NaN,1\n")
+	f.Add("1,2,3\n4,5\n")
+	f.Add("  7 , 8 \n")
+	f.Fuzz(func(t *testing.T, input string) {
+		pts, err := ReadCSV(bytes.NewBufferString(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, pts); err != nil {
+			t.Fatalf("re-serializing parsed input failed: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip of valid CSV failed: %v", err)
+		}
+		if len(back) != len(pts) {
+			t.Fatalf("round trip size %d, want %d", len(back), len(pts))
+		}
+		for i := range pts {
+			for j := range pts[i] {
+				a, b := pts[i][j], back[i][j]
+				// NaN compares unequal to itself; accept both-NaN.
+				if a != b && !(a != a && b != b) {
+					t.Fatalf("round trip changed value at (%d,%d): %v → %v", i, j, a, b)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,320 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"gaussrange/internal/core"
+	"gaussrange/internal/data"
+)
+
+func TestRunTables12Small(t *testing.T) {
+	pts, err := data.Clustered(3, 4000, 2, 40, 1000, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Seed: 2, Trials: 2, Evaluator: EvalExact}
+	res, err := RunTables12(cfg, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Gammas) != 3 || len(res.Strategies) != 6 {
+		t.Fatalf("unexpected table shape: %d γ, %d strategies", len(res.Gammas), len(res.Strategies))
+	}
+	for _, gamma := range res.Gammas {
+		cells := res.Cells[gamma]
+		// ALL must need the fewest integrations; RR the most among the
+		// single-filter strategies is not guaranteed on arbitrary data, but
+		// ALL ≤ each is.
+		all := cells[core.StrategyAll].Integrations
+		for _, s := range res.Strategies {
+			if all > cells[s].Integrations+1e-9 {
+				t.Errorf("γ=%g: ALL integrations %g above %v's %g", gamma, all, s, cells[s].Integrations)
+			}
+			if cells[s].Integrations < 0 || cells[s].TimeSeconds < 0 {
+				t.Errorf("γ=%g %v: negative cell", gamma, s)
+			}
+		}
+		if res.Answers[gamma] > cells[core.StrategyAll].Integrations+cells[core.StrategyAll].AcceptedBF {
+			t.Errorf("γ=%g: answers %g exceed integrations+accepted", gamma, res.Answers[gamma])
+		}
+	}
+	// Larger γ must enlarge the candidate sets (more uncertainty).
+	if res.Cells[100][core.StrategyRR].Integrations <= res.Cells[1][core.StrategyRR].Integrations {
+		t.Error("γ=100 did not increase RR integrations over γ=1")
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"Table I", "Table II", "ANS", "RR+BF", "ALL", "(paper)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestRunTable3Small(t *testing.T) {
+	pts := data.ColorMomentsN(5, 6000)
+	cfg := Config{Seed: 4, Trials: 2, Evaluator: EvalExact}
+	res, err := RunTable3(cfg, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := res.Integrations[core.StrategyAll]
+	for _, s := range res.Strategies {
+		if all > res.Integrations[s]+1e-9 {
+			t.Errorf("ALL %g above %v %g", all, s, res.Integrations[s])
+		}
+	}
+	if res.Answers < 0 || res.Answers > all+1 {
+		t.Errorf("answers %g inconsistent with ALL integrations %g", res.Answers, all)
+	}
+	if res.CenterProb <= 0 || res.CenterProb > 1 {
+		t.Errorf("center probability %g out of range", res.CenterProb)
+	}
+	// rθ(θ=0.4, d=9) = 2.32 per the paper.
+	if math.Abs(res.RTheta-2.32) > 0.01 {
+		t.Errorf("rθ = %g, paper reports 2.32", res.RTheta)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "Table III") || !strings.Contains(buf.String(), "2620") {
+		t.Error("render missing expected content")
+	}
+}
+
+func TestRunRegionsPaperAnchors(t *testing.T) {
+	for _, gamma := range []float64{1, 10, 100} {
+		res, err := RunRegions(gamma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ann := paperRegionAnnotations[gamma]
+		if math.Abs(res.W[0]-ann[0]) > 0.15 || math.Abs(res.W[1]-ann[1]) > 0.15 {
+			t.Errorf("γ=%g: w = (%.2f, %.2f), paper (%g, %g)", gamma, res.W[0], res.W[1], ann[0], ann[1])
+		}
+		if res.AlphaUpper <= res.AlphaLower {
+			t.Errorf("γ=%g: α∥ %g ≤ α⊥ %g", gamma, res.AlphaUpper, res.AlphaLower)
+		}
+		// The ALL region is contained in each single region.
+		if res.AllArea > res.RRArea || res.AllArea > res.ORArea || res.AllArea > res.BFArea*1.02 {
+			t.Errorf("γ=%g: ALL area %g exceeds a component region (RR %g, OR %g, BF %g)",
+				gamma, res.AllArea, res.RRArea, res.ORArea, res.BFArea)
+		}
+		var buf bytes.Buffer
+		res.Render(&buf)
+		if !strings.Contains(buf.String(), "integration regions") {
+			t.Error("render missing title")
+		}
+	}
+}
+
+// The paper's observation: at γ=1 combining strategies buys little region
+// reduction; at γ=100 it buys a lot. Verify via area ratios.
+func TestRegionsCombinationTrend(t *testing.T) {
+	r1, err := RunRegions(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r100, err := RunRegions(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minArea := func(r *RegionResult) float64 {
+		return math.Min(r.RRArea, math.Min(r.ORArea, r.BFArea))
+	}
+	gain1 := minArea(r1) / r1.AllArea
+	gain100 := minArea(r100) / r100.AllArea
+	if gain100 <= gain1 {
+		t.Errorf("combination gain should grow with γ: γ=1 %.2f vs γ=100 %.2f", gain1, gain100)
+	}
+}
+
+func TestRunFig17(t *testing.T) {
+	res, err := RunFig17()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dims) != 5 || len(res.Radii) != 25 {
+		t.Fatalf("shape: %d dims, %d radii", len(res.Dims), len(res.Radii))
+	}
+	// Monotone in r; decreasing in d at fixed r>0.
+	for i := range res.Dims {
+		for j := 1; j < len(res.Radii); j++ {
+			if res.Mass[i][j] < res.Mass[i][j-1] {
+				t.Fatalf("d=%d: mass not monotone in r", res.Dims[i])
+			}
+		}
+	}
+	for j := 1; j < len(res.Radii); j++ {
+		for i := 1; i < len(res.Dims); i++ {
+			if res.Mass[i][j] > res.Mass[i-1][j]+1e-12 {
+				t.Fatalf("r=%g: mass not decreasing in d", res.Radii[j])
+			}
+		}
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "Figure 17") || !strings.Contains(buf.String(), "39%") {
+		t.Error("render missing anchors")
+	}
+}
+
+func TestRunSweepSmall(t *testing.T) {
+	pts, err := data.Clustered(5, 3000, 2, 30, 1000, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Seed: 6, Trials: 1, Evaluator: EvalExact}
+	res, err := RunSweep(cfg, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 9 {
+		t.Fatalf("sweep rows = %d, want 9", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		all := row.Integrations[core.StrategyAll]
+		for _, s := range core.PaperStrategies {
+			if all > row.Integrations[s]+1e-9 {
+				t.Errorf("%s: ALL above %v", row.Label, s)
+			}
+		}
+	}
+	// Paper §VI-B: for a perfectly spherical Σ (λ∥ = λ⊥), BF decides every
+	// candidate directly — integration count ≈ 0.
+	var sphere SweepRow
+	for _, row := range res.Rows {
+		if strings.HasPrefix(row.Label, "sphere") {
+			sphere = row
+		}
+	}
+	if bf := sphere.Integrations[core.StrategyBF]; bf > 2 {
+		t.Errorf("spherical Σ: BF still integrates %g objects, want ≈0", bf)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "parameter sweep") {
+		t.Error("render missing title")
+	}
+}
+
+func TestEvaluatorKindString(t *testing.T) {
+	if EvalMC.String() != "mc" || EvalExact.String() != "exact" {
+		t.Error("EvaluatorKind names wrong")
+	}
+}
+
+func TestPaperSigmaBase(t *testing.T) {
+	m := PaperSigmaBase()
+	if m.At(0, 0) != 7 || m.At(1, 1) != 3 || math.Abs(m.At(0, 1)-2*math.Sqrt(3)) > 1e-15 {
+		t.Errorf("PaperSigmaBase wrong: %v", m)
+	}
+}
+
+func TestRenderSVG(t *testing.T) {
+	for _, gamma := range []float64{1, 10, 100} {
+		res, err := RunRegions(gamma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.RenderSVG(&buf); err != nil {
+			t.Fatal(err)
+		}
+		out := buf.String()
+		for _, want := range []string{"<svg", "</svg>", "<ellipse", "<circle", "rx=", "θ-region"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("γ=%g: SVG missing %q", gamma, want)
+			}
+		}
+		// Both BF circles present when α⊥ > 0.
+		if res.AlphaLower > 0 && strings.Count(out, "<circle") < 3 {
+			t.Errorf("γ=%g: expected α∥, α⊥ and center circles", gamma)
+		}
+	}
+}
+
+func TestRunIOStatsSmall(t *testing.T) {
+	pts, err := data.Clustered(9, 3000, 2, 30, 1000, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Seed: 8, Trials: 2, Evaluator: EvalExact}
+	res, err := RunIOStats(cfg, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.HitRates) != len(res.PoolSizes) || len(res.Misses) != len(res.PoolSizes) {
+		t.Fatalf("shape mismatch: %d/%d/%d", len(res.HitRates), len(res.Misses), len(res.PoolSizes))
+	}
+	// Bigger pools hit at least as often and miss at most as often.
+	for i := 1; i < len(res.PoolSizes); i++ {
+		if res.HitRates[i] < res.HitRates[i-1]-1e-9 {
+			t.Errorf("hit rate dropped with larger pool: %v", res.HitRates)
+		}
+		if res.Misses[i] > res.Misses[i-1]+1e-9 {
+			t.Errorf("misses grew with larger pool: %v", res.Misses)
+		}
+	}
+	if res.NodeReads <= 0 {
+		t.Error("node reads not measured")
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "buffer pool") {
+		t.Error("render missing title")
+	}
+}
+
+func TestRunCatalogAblationSmall(t *testing.T) {
+	pts, err := data.Clustered(11, 3000, 2, 30, 1000, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Seed: 10, Trials: 2, Evaluator: EvalExact}
+	res, err := RunCatalogAblation(cfg, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Integrations) != len(res.GridSizes) {
+		t.Fatalf("shape mismatch")
+	}
+	exact := res.Integrations[0]
+	for i := 1; i < len(res.GridSizes); i++ {
+		if res.Integrations[i] < exact-1e-9 {
+			t.Errorf("catalog grid %d integrated fewer (%g) than exact (%g): not conservative",
+				res.GridSizes[i], res.Integrations[i], exact)
+		}
+	}
+	// Finer grids should not be worse than the coarsest.
+	if res.Integrations[len(res.Integrations)-1] > res.Integrations[1]+1e-9 {
+		t.Errorf("finest grid (%g) worse than coarsest (%g)",
+			res.Integrations[len(res.Integrations)-1], res.Integrations[1])
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "resolution ablation") {
+		t.Error("render missing title")
+	}
+}
+
+// Exercise the Monte Carlo evaluator path of the harness at a reduced scale.
+func TestRunTables12MCEvaluator(t *testing.T) {
+	pts, err := data.Clustered(13, 1500, 2, 20, 1000, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Seed: 3, Trials: 1, Samples: 2000, Evaluator: EvalMC}
+	res, err := RunTables12(cfg, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gamma := range res.Gammas {
+		if res.Cells[gamma][core.StrategyAll].TimeSeconds <= 0 {
+			t.Errorf("γ=%g: no time measured", gamma)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"gaussrange/internal/gauss"
+	"gaussrange/internal/vecmat"
+)
+
+// RenderSVG draws the integration regions of Figures 13–16 as a standalone
+// SVG document: the θ-region ellipse, the RR Minkowski rounded box, the OR
+// oblique rectangle, and the BF circles α∥ / α⊥, centered on the query
+// point. The output reproduces the geometry of the paper's figures with the
+// measured extents in the legend.
+func (r *RegionResult) RenderSVG(w io.Writer) error {
+	cov := PaperSigmaBase().Scale(r.Gamma)
+	g, err := gauss.New(vecmat.NewVector(2), cov)
+	if err != nil {
+		return err
+	}
+	// Major eigenvector angle (degrees) for the rotated elements.
+	evs := g.EigenValuesCov()
+	major := g.EigenBasis().Col(1)
+	angle := math.Atan2(major[1], major[0]) * 180 / math.Pi
+
+	// Canvas: everything fits inside the largest extent plus margin.
+	extent := math.Max(r.AlphaUpper, math.Max(r.RRBoundingBox[0], r.ORHalf[1])) * 1.15
+	size := 640.0
+	scale := size / (2 * extent)
+
+	var b stringsBuilder
+	b.printf(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="%g %g %g %g">`+"\n",
+		int(size), int(size)+70, -extent, -extent, 2*extent, 2*extent+70/scale)
+	b.printf(`<rect x="%g" y="%g" width="%g" height="%g" fill="white"/>`+"\n",
+		-extent, -extent, 2*extent, 2*extent+70/scale)
+
+	sw := 1.6 / scale // stroke width in data units
+
+	// BF annulus: α∥ circle (prune boundary) and α⊥ circle (accept).
+	b.printf(`<circle cx="0" cy="0" r="%g" fill="#e8f0fe" stroke="#1a56db" stroke-width="%g"/>`+"\n",
+		r.AlphaUpper, sw)
+	if r.AlphaLower > 0 {
+		b.printf(`<circle cx="0" cy="0" r="%g" fill="white" stroke="#1a56db" stroke-width="%g" stroke-dasharray="%g"/>`+"\n",
+			r.AlphaLower, sw, 6/scale)
+	}
+
+	// RR Minkowski rounded box: axis-aligned rect with corner radius δ.
+	b.printf(`<rect x="%g" y="%g" width="%g" height="%g" rx="%g" fill="none" stroke="#c2410c" stroke-width="%g"/>`+"\n",
+		-r.RRBoundingBox[0], -r.RRBoundingBox[1],
+		2*r.RRBoundingBox[0], 2*r.RRBoundingBox[1], r.Delta, sw)
+
+	// OR oblique rectangle, rotated to the eigenbasis. ORHalf[i] pairs with
+	// ascending eigenvalues; index 1 is the major axis.
+	b.printf(`<g transform="rotate(%g)">`+"\n", angle)
+	b.printf(`<rect x="%g" y="%g" width="%g" height="%g" fill="none" stroke="#047857" stroke-width="%g"/>`+"\n",
+		-r.ORHalf[1], -r.ORHalf[0], 2*r.ORHalf[1], 2*r.ORHalf[0], sw)
+	// θ-region ellipse: semi-axes rθ·√eig along the same axes.
+	b.printf(`<ellipse cx="0" cy="0" rx="%g" ry="%g" fill="#d1d5db" fill-opacity="0.55" stroke="#374151" stroke-width="%g"/>`+"\n",
+		r.RTheta*math.Sqrt(evs[1]), r.RTheta*math.Sqrt(evs[0]), sw)
+	b.printf("</g>\n")
+
+	// Query center.
+	b.printf(`<circle cx="0" cy="0" r="%g" fill="#111827"/>`+"\n", 2.5/scale)
+
+	// Legend.
+	fs := 13 / scale
+	y := extent + 14/scale
+	line := func(color, text string) {
+		b.printf(`<rect x="%g" y="%g" width="%g" height="%g" fill="%s"/>`+"\n",
+			-extent+6/scale, y-9/scale, 10/scale, 10/scale, color)
+		b.printf(`<text x="%g" y="%g" font-size="%g" font-family="sans-serif">%s</text>`+"\n",
+			-extent+22/scale, y, fs, text)
+		y += 17 / scale
+	}
+	line("#374151", fmt.Sprintf("θ-region ellipse (rθ=%.2f), γ=%g, δ=%g, θ=%g", r.RTheta, r.Gamma, r.Delta, r.Theta))
+	line("#c2410c", fmt.Sprintf("RR Minkowski region, box w=(%.1f, %.1f)", r.W[0], r.W[1]))
+	line("#047857", fmt.Sprintf("OR oblique box, half-extents (%.1f, %.1f)", r.ORHalf[1], r.ORHalf[0]))
+	line("#1a56db", fmt.Sprintf("BF radii α∥=%.1f (solid), α⊥=%.1f (dashed)", r.AlphaUpper, r.AlphaLower))
+
+	b.printf("</svg>\n")
+	_, err = io.WriteString(w, b.String())
+	return err
+}
+
+// stringsBuilder is a tiny fmt-friendly wrapper over a byte slice.
+type stringsBuilder struct {
+	buf []byte
+}
+
+func (b *stringsBuilder) printf(format string, args ...interface{}) {
+	b.buf = append(b.buf, fmt.Sprintf(format, args...)...)
+}
+
+func (b *stringsBuilder) String() string { return string(b.buf) }

@@ -1,0 +1,269 @@
+package gauss
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gaussrange/internal/vecmat"
+)
+
+// paperSigma returns the paper's Eq. (34) covariance γ·[[7, 2√3],[2√3, 3]].
+func paperSigma(gamma float64) *vecmat.Symmetric {
+	s := math.Sqrt(3)
+	return vecmat.MustFromRows([][]float64{
+		{7 * gamma, 2 * s * gamma},
+		{2 * s * gamma, 3 * gamma},
+	})
+}
+
+func paperDist(t testing.TB, gamma float64) *Dist {
+	t.Helper()
+	g, err := New(vecmat.Vector{500, 500}, paperSigma(gamma))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(vecmat.Vector{0, 0}, vecmat.Identity(3)); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if _, err := New(vecmat.Vector{0, 0}, vecmat.Diagonal(1, -1)); err == nil {
+		t.Error("indefinite covariance accepted")
+	}
+	if _, err := New(vecmat.Vector{math.NaN(), 0}, vecmat.Identity(2)); err == nil {
+		t.Error("NaN mean accepted")
+	}
+}
+
+func TestNormalizedPDF(t *testing.T) {
+	g := Normalized(2)
+	// At the origin: (2π)^{−1}.
+	want := 1 / (2 * math.Pi)
+	if got := g.PDF(vecmat.Vector{0, 0}); math.Abs(got-want) > 1e-15 {
+		t.Errorf("pnorm(0) = %g, want %g", got, want)
+	}
+	// At radius 1: (2π)^{−1}·e^{−1/2}.
+	want *= math.Exp(-0.5)
+	if got := g.PDF(vecmat.Vector{1, 0}); math.Abs(got-want) > 1e-15 {
+		t.Errorf("pnorm(e₁) = %g, want %g", got, want)
+	}
+}
+
+func TestPDFIntegratesToOne2D(t *testing.T) {
+	// Grid quadrature over a wide box for the paper's Σ (γ=1).
+	g, err := New(vecmat.Vector{0, 0}, paperSigma(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const h = 0.05
+	var sum float64
+	for x := -30.0; x <= 30; x += h {
+		for y := -30.0; y <= 30; y += h {
+			sum += g.PDF(vecmat.Vector{x, y}) * h * h
+		}
+	}
+	if math.Abs(sum-1) > 1e-3 {
+		t.Errorf("∫ pdf = %g, want 1", sum)
+	}
+}
+
+func TestLambdaParPerp(t *testing.T) {
+	g := paperDist(t, 10)
+	// Eigenvalues of Σ are 10 and 90 → λ∥ = 1/90, λ⊥ = 1/10.
+	if math.Abs(g.LambdaPar()-1.0/90) > 1e-12 {
+		t.Errorf("λ∥ = %g, want 1/90", g.LambdaPar())
+	}
+	if math.Abs(g.LambdaPerp()-1.0/10) > 1e-12 {
+		t.Errorf("λ⊥ = %g, want 1/10", g.LambdaPerp())
+	}
+	if math.Abs(g.Det()-900) > 1e-8 {
+		t.Errorf("|Σ| = %g, want 900", g.Det())
+	}
+}
+
+func TestSigmaAxis(t *testing.T) {
+	g := paperDist(t, 10)
+	if math.Abs(g.SigmaAxis(0)-math.Sqrt(70)) > 1e-12 {
+		t.Errorf("σ₀ = %g, want √70", g.SigmaAxis(0))
+	}
+	if math.Abs(g.SigmaAxis(1)-math.Sqrt(30)) > 1e-12 {
+		t.Errorf("σ₁ = %g, want √30", g.SigmaAxis(1))
+	}
+}
+
+// Property 4: p⊥(x) ≤ p_q(x) ≤ p∥(x) everywhere.
+func TestBoundingFunctionsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	dists := []*Dist{
+		paperDist(t, 1), paperDist(t, 10), paperDist(t, 100), Normalized(2),
+	}
+	// Random higher-dimensional instance.
+	cov := vecmat.Diagonal(0.5, 2, 9, 1, 4)
+	g5, err := New(vecmat.NewVector(5), cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dists = append(dists, g5)
+
+	for di, g := range dists {
+		d := g.Dim()
+		for i := 0; i < 2000; i++ {
+			x := make(vecmat.Vector, d)
+			for j := range x {
+				x[j] = g.Mean()[j] + (rng.Float64()-0.5)*60
+			}
+			pdf := g.PDF(x)
+			up := g.UpperBoundPDF(x)
+			lo := g.LowerBoundPDF(x)
+			if pdf > up*(1+1e-12) {
+				t.Fatalf("dist %d: p(x)=%g exceeds upper bound %g at %v", di, pdf, up, x)
+			}
+			if pdf < lo*(1-1e-12) {
+				t.Fatalf("dist %d: p(x)=%g below lower bound %g at %v", di, pdf, lo, x)
+			}
+		}
+	}
+}
+
+// For the normalized Gaussian the bounds collapse onto the density.
+func TestBoundingFunctionsTightForSphere(t *testing.T) {
+	g := Normalized(3)
+	x := vecmat.Vector{0.3, -1.2, 0.7}
+	pdf := g.PDF(x)
+	if math.Abs(g.UpperBoundPDF(x)-pdf) > 1e-15 || math.Abs(g.LowerBoundPDF(x)-pdf) > 1e-15 {
+		t.Error("bounding functions differ from pdf for isotropic Gaussian")
+	}
+}
+
+func TestMahalanobis(t *testing.T) {
+	g := paperDist(t, 1)
+	q := g.Mean()
+	if got := g.Mahalanobis2(q); got != 0 {
+		t.Errorf("Mahalanobis²(q) = %g, want 0", got)
+	}
+	// Along the major eigenvector at Euclidean distance t, M² = t²/λmax(Σ).
+	e := g.EigenBasis().Col(1) // largest eigenvalue of Σ is index 1 ascending
+	lam := g.EigenValuesCov()[1]
+	x := q.Add(e.Scale(3))
+	want := 9 / lam
+	if got := g.Mahalanobis2(x); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Mahalanobis² along major axis = %g, want %g", got, want)
+	}
+}
+
+func TestSampleMoments(t *testing.T) {
+	g := paperDist(t, 10)
+	rng := rand.New(rand.NewSource(59))
+	const n = 300000
+	d := g.Dim()
+	mean := make(vecmat.Vector, d)
+	var c00, c01, c11 float64
+	scratch := make(vecmat.Vector, d)
+	x := make(vecmat.Vector, d)
+	for i := 0; i < n; i++ {
+		g.Sample(rng, scratch, x)
+		mean[0] += x[0]
+		mean[1] += x[1]
+		dx, dy := x[0]-500, x[1]-500
+		c00 += dx * dx
+		c01 += dx * dy
+		c11 += dy * dy
+	}
+	mean[0] /= n
+	mean[1] /= n
+	if math.Abs(mean[0]-500) > 0.1 || math.Abs(mean[1]-500) > 0.1 {
+		t.Errorf("sample mean = %v, want (500, 500)", mean)
+	}
+	c00 /= n
+	c01 /= n
+	c11 /= n
+	if math.Abs(c00-70) > 1.5 || math.Abs(c01-20*math.Sqrt(3)) > 1.5 || math.Abs(c11-30) > 1.5 {
+		t.Errorf("sample covariance [[%g %g][%g %g]] far from Σ", c00, c01, c01, c11)
+	}
+}
+
+func TestThetaRegionRadius(t *testing.T) {
+	g := paperDist(t, 10)
+	r, err := g.ThetaRegionRadius(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-2.797) > 0.001 {
+		t.Errorf("rθ = %g, want ≈2.797 (paper: 2.79)", r)
+	}
+	for _, bad := range []float64{0, 0.5, -1, 0.7} {
+		if _, err := g.ThetaRegionRadius(bad); err == nil {
+			t.Errorf("θ = %g accepted", bad)
+		}
+	}
+}
+
+// Property: the θ-region contains mass ≈ 1−2θ (Monte Carlo check).
+func TestThetaRegionMassProperty(t *testing.T) {
+	g := paperDist(t, 10)
+	rng := rand.New(rand.NewSource(61))
+	for _, theta := range []float64{0.01, 0.05, 0.2} {
+		r, err := g.ThetaRegionRadius(theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 200000
+		scratch := make(vecmat.Vector, 2)
+		x := make(vecmat.Vector, 2)
+		var in int
+		for i := 0; i < n; i++ {
+			g.Sample(rng, scratch, x)
+			if g.InThetaRegion(x, r) {
+				in++
+			}
+		}
+		got := float64(in) / n
+		want := 1 - 2*theta
+		if math.Abs(got-want) > 0.005 {
+			t.Errorf("θ=%g: mass in θ-region = %g, want %g", theta, got, want)
+		}
+	}
+}
+
+// Property 3: the eigen transform maps the ellipsoid to Σλᵢyᵢ² form, i.e.
+// Mahalanobis distance is preserved as Σ yᵢ²/eigᵢ(Σ).
+func TestTransformToEigenProperty(t *testing.T) {
+	g := paperDist(t, 10)
+	rng := rand.New(rand.NewSource(67))
+	scratch := make(vecmat.Vector, 2)
+	y := make(vecmat.Vector, 2)
+	for i := 0; i < 1000; i++ {
+		x := vecmat.Vector{500 + (rng.Float64()-0.5)*100, 500 + (rng.Float64()-0.5)*100}
+		g.TransformToEigen(x, scratch, y)
+		var m2 float64
+		for j, ev := range g.EigenValuesCov() {
+			m2 += y[j] * y[j] / ev
+		}
+		if math.Abs(m2-g.Mahalanobis2(x)) > 1e-9*(1+m2) {
+			t.Fatalf("transform does not preserve Mahalanobis: %g vs %g", m2, g.Mahalanobis2(x))
+		}
+		// Euclidean norm also preserved (E is orthonormal).
+		if math.Abs(y.Norm2()-x.Dist2(g.Mean())) > 1e-9*(1+y.Norm2()) {
+			t.Fatal("transform does not preserve Euclidean norm")
+		}
+	}
+}
+
+func TestStringAndAccessors(t *testing.T) {
+	g := paperDist(t, 1)
+	if g.String() == "" {
+		t.Error("empty String()")
+	}
+	if g.Dim() != 2 {
+		t.Errorf("Dim = %d", g.Dim())
+	}
+	if g.LogDet() == 0 {
+		t.Error("LogDet = 0 for non-unit determinant")
+	}
+	if g.Cov().At(0, 0) != 7 {
+		t.Error("Cov accessor wrong")
+	}
+}

@@ -1,0 +1,88 @@
+package gauss
+
+import (
+	"fmt"
+	"math"
+
+	"gaussrange/internal/vecmat"
+)
+
+// Fuse returns the Bayesian fusion (normalized product) of two Gaussian
+// beliefs over the same quantity:
+//
+//	Σ = (Σ₁⁻¹ + Σ₂⁻¹)⁻¹,   μ = Σ(Σ₁⁻¹μ₁ + Σ₂⁻¹μ₂).
+//
+// This is the measurement-update primitive of Gaussian localization: fusing
+// a prior with an independent position estimate yields the posterior that
+// becomes the next PRQ query object.
+func Fuse(a, b *Dist) (*Dist, error) {
+	if a.Dim() != b.Dim() {
+		return nil, fmt.Errorf("gauss: fusing dims %d and %d", a.Dim(), b.Dim())
+	}
+	precision, err := a.inv.Add(b.inv)
+	if err != nil {
+		return nil, err
+	}
+	cov, _, err := precision.Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("gauss: fused precision not invertible: %w", err)
+	}
+	rhs := a.inv.MulVec(a.mean).Add(b.inv.MulVec(b.mean))
+	mean := cov.MulVec(rhs)
+	return New(mean, cov)
+}
+
+// KLDivergence returns D_KL(a ‖ b) in nats:
+//
+//	½ [ tr(Σ_b⁻¹Σ_a) + (μ_b−μ_a)ᵗΣ_b⁻¹(μ_b−μ_a) − d + ln(|Σ_b|/|Σ_a|) ].
+//
+// Useful for deciding whether a cached query plan (derived regions, catalog
+// entries) can be reused for a nearby query distribution.
+func KLDivergence(a, b *Dist) (float64, error) {
+	if a.Dim() != b.Dim() {
+		return 0, fmt.Errorf("gauss: KL between dims %d and %d", a.Dim(), b.Dim())
+	}
+	d := a.Dim()
+	// tr(Σ_b⁻¹ Σ_a).
+	var trace float64
+	for i := 0; i < d; i++ {
+		for k := 0; k < d; k++ {
+			trace += b.inv.At(i, k) * a.cov.At(k, i)
+		}
+	}
+	diff := b.mean.Sub(a.mean)
+	mahal := b.inv.QuadForm(diff)
+	return 0.5 * (trace + mahal - float64(d) + b.logDet - a.logDet), nil
+}
+
+// Entropy returns the differential entropy in nats:
+// ½·ln((2πe)^d·|Σ|).
+func (g *Dist) Entropy() float64 {
+	d := float64(g.Dim())
+	return 0.5 * (d*math.Log(2*math.Pi*math.E) + g.logDet)
+}
+
+// Translate returns the same distribution shifted to a new mean — the
+// motion-prediction primitive for a noiseless displacement. The covariance
+// factorizations are shared (they do not depend on the mean).
+func (g *Dist) Translate(delta vecmat.Vector) (*Dist, error) {
+	if delta.Dim() != g.Dim() {
+		return nil, fmt.Errorf("gauss: translating dim %d by dim %d", g.Dim(), delta.Dim())
+	}
+	out := *g
+	out.mean = g.mean.Add(delta)
+	return &out, nil
+}
+
+// Inflate returns the distribution with covariance Σ + Q — the
+// motion-prediction primitive for additive process noise.
+func (g *Dist) Inflate(q *vecmat.Symmetric) (*Dist, error) {
+	if q.Dim() != g.Dim() {
+		return nil, fmt.Errorf("gauss: inflating dim %d with dim %d", g.Dim(), q.Dim())
+	}
+	cov, err := g.cov.Add(q)
+	if err != nil {
+		return nil, err
+	}
+	return New(g.mean, cov)
+}

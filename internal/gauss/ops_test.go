@@ -1,0 +1,139 @@
+package gauss
+
+import (
+	"math"
+	"testing"
+
+	"gaussrange/internal/vecmat"
+)
+
+func TestFuseScalarClosedForm(t *testing.T) {
+	a, err := New(vecmat.Vector{0}, vecmat.Diagonal(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(vecmat.Vector{6}, vecmat.Diagonal(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Fuse(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Precision 1/4 + 1/2 = 3/4 → var 4/3; mean = (0·1/4 + 6·1/2)/(3/4) = 4.
+	if math.Abs(f.Cov().At(0, 0)-4.0/3) > 1e-12 {
+		t.Errorf("fused variance = %g, want 4/3", f.Cov().At(0, 0))
+	}
+	if math.Abs(f.Mean()[0]-4) > 1e-12 {
+		t.Errorf("fused mean = %g, want 4", f.Mean()[0])
+	}
+}
+
+func TestFuseSymmetric(t *testing.T) {
+	a := paperDist(t, 10)
+	b, err := New(vecmat.Vector{510, 490}, vecmat.Identity(2).Scale(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := Fuse(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := Fuse(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ab.Mean().Equal(ba.Mean(), 1e-9) || !ab.Cov().Equal(ba.Cov(), 1e-9) {
+		t.Error("fusion not symmetric")
+	}
+	// Fusion always shrinks uncertainty: fused covariance ⪯ each input.
+	if ab.Cov().At(0, 0) > a.Cov().At(0, 0) || ab.Cov().At(0, 0) > b.Cov().At(0, 0) {
+		t.Error("fused variance exceeds an input variance")
+	}
+	if _, err := Fuse(a, Normalized(3)); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+}
+
+func TestKLDivergence(t *testing.T) {
+	a := paperDist(t, 10)
+	// KL(a‖a) = 0.
+	kl, err := KLDivergence(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(kl) > 1e-10 {
+		t.Errorf("KL(a‖a) = %g", kl)
+	}
+	// 1-D closed form: KL(N(μ1,σ1²)‖N(μ2,σ2²)).
+	p, _ := New(vecmat.Vector{1}, vecmat.Diagonal(4))
+	q, _ := New(vecmat.Vector{3}, vecmat.Diagonal(9))
+	kl, err = KLDivergence(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.5 * (4.0/9 + 4.0/9 - 1 + math.Log(9.0/4))
+	if math.Abs(kl-want) > 1e-12 {
+		t.Errorf("KL = %g, want %g", kl, want)
+	}
+	// Non-negativity on random pairs.
+	b, _ := New(vecmat.Vector{505, 495}, vecmat.MustFromRows([][]float64{{30, 5}, {5, 50}}))
+	kl, err = KLDivergence(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kl < 0 {
+		t.Errorf("KL negative: %g", kl)
+	}
+	if _, err := KLDivergence(a, Normalized(3)); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	// 1-D: ½ ln(2πe σ²).
+	g, _ := New(vecmat.Vector{0}, vecmat.Diagonal(4))
+	want := 0.5 * math.Log(2*math.Pi*math.E*4)
+	if got := g.Entropy(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("entropy = %g, want %g", got, want)
+	}
+	// Larger covariance → larger entropy.
+	g2, _ := New(vecmat.Vector{0}, vecmat.Diagonal(9))
+	if g2.Entropy() <= g.Entropy() {
+		t.Error("entropy not increasing with variance")
+	}
+}
+
+func TestTranslateInflate(t *testing.T) {
+	g := paperDist(t, 1)
+	moved, err := g.Translate(vecmat.Vector{10, -5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !moved.Mean().Equal(vecmat.Vector{510, 495}, 0) {
+		t.Errorf("translated mean = %v", moved.Mean())
+	}
+	if !moved.Cov().Equal(g.Cov(), 0) {
+		t.Error("translation changed covariance")
+	}
+	// Density shifts correspondingly.
+	x := vecmat.Vector{512, 496}
+	xOrig := vecmat.Vector{502, 501}
+	if math.Abs(moved.PDF(x)-g.PDF(xOrig)) > 1e-15 {
+		t.Error("translated density mismatch")
+	}
+
+	inflated, err := g.Inflate(vecmat.Identity(2).Scale(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(inflated.Cov().At(0, 0)-(g.Cov().At(0, 0)+3)) > 1e-12 {
+		t.Error("inflation wrong")
+	}
+	if _, err := g.Translate(vecmat.Vector{1}); err == nil {
+		t.Error("dim mismatch accepted in Translate")
+	}
+	if _, err := g.Inflate(vecmat.Identity(3)); err == nil {
+		t.Error("dim mismatch accepted in Inflate")
+	}
+}

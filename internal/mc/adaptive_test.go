@@ -1,0 +1,134 @@
+package mc
+
+import (
+	"math"
+	"testing"
+
+	"gaussrange/internal/quadform"
+	"gaussrange/internal/vecmat"
+)
+
+func TestNewAdaptiveValidation(t *testing.T) {
+	if _, err := NewAdaptive(0, 1000, 4, 1); err == nil {
+		t.Error("blockSize=0 accepted")
+	}
+	if _, err := NewAdaptive(1000, 500, 4, 1); err == nil {
+		t.Error("maxSamples < blockSize accepted")
+	}
+	if _, err := NewAdaptive(100, 1000, 0, 1); err == nil {
+		t.Error("z=0 accepted")
+	}
+}
+
+func TestAdaptiveValidation(t *testing.T) {
+	g := paperDist(t, 10)
+	a, err := NewAdaptive(500, 100000, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Qualification(g, vecmat.Vector{1}, 5); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+	if _, err := a.Qualification(g, vecmat.Vector{1, 2}, 0); err == nil {
+		t.Error("delta=0 accepted")
+	}
+	if _, _, err := a.DecideQualifies(g, vecmat.Vector{1, 2}, 5, 0); err == nil {
+		t.Error("theta=0 accepted")
+	}
+	if _, _, err := a.DecideQualifies(g, vecmat.Vector{1}, 5, 0.1); err == nil {
+		t.Error("dim mismatch accepted in Decide")
+	}
+}
+
+// Decisions must match exact probabilities away from the threshold, and use
+// far fewer samples than the budget for clear-cut cases.
+func TestAdaptiveDecisionsCorrectAndCheap(t *testing.T) {
+	g := paperDist(t, 10)
+	a, err := NewAdaptive(500, 100000, 4, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := quadform.NewExact()
+	const theta = 0.01
+
+	cases := []vecmat.Vector{
+		{500, 500}, // p ≈ large → qualifies quickly
+		{520, 510}, // moderate
+		{600, 600}, // p ≈ 0 → rejected quickly
+		{545, 515}, // smallish
+		{470, 480}, // moderate
+	}
+	var totalSamples int
+	for _, o := range cases {
+		want, err := exact.Qualification(g, o, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, n, err := a.DecideQualifies(g, o, 25, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalSamples += n
+		if math.Abs(want-theta) > 0.005 && got != (want >= theta) {
+			t.Errorf("o=%v: decision %v but exact p=%g", o, got, want)
+		}
+		if math.Abs(want-theta) > 0.05 && n > 10000 {
+			t.Errorf("o=%v: clear-cut case used %d samples", o, n)
+		}
+	}
+	if a.Evaluations() != len(cases) {
+		t.Errorf("Evaluations = %d", a.Evaluations())
+	}
+	if a.SamplesUsed() != int64(totalSamples) {
+		t.Errorf("SamplesUsed = %d, want %d", a.SamplesUsed(), totalSamples)
+	}
+	a.ResetEvaluations()
+	if a.Evaluations() != 0 || a.SamplesUsed() != 0 {
+		t.Error("ResetEvaluations failed")
+	}
+}
+
+// Full-budget Qualification agrees with the exact probability.
+func TestAdaptiveQualificationAccuracy(t *testing.T) {
+	g := paperDist(t, 10)
+	a, err := NewAdaptive(10000, 50000, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := quadform.NewExact()
+	o := vecmat.Vector{515, 505}
+	want, err := exact.Qualification(g, o, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Qualification(g, o, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := StandardError(want, 50000) + 1e-9
+	if math.Abs(got-want) > 6*se {
+		t.Errorf("adaptive full estimate %g vs exact %g", got, want)
+	}
+}
+
+// The average budget per decision over a realistic candidate set must be
+// well below the fixed 100k budget (the point of the extension).
+func TestAdaptiveAverageBudget(t *testing.T) {
+	g := paperDist(t, 10)
+	a, err := NewAdaptive(500, 100000, 4, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := NewRNG(23)
+	const trials = 60
+	for i := 0; i < trials; i++ {
+		o := vecmat.Vector{440 + rng.Float64()*120, 440 + rng.Float64()*120}
+		if _, _, err := a.DecideQualifies(g, o, 25, 0.01); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := float64(a.SamplesUsed()) / float64(a.Evaluations())
+	if avg > 30000 {
+		t.Errorf("average budget %g ≥ 30%% of the fixed budget", avg)
+	}
+}

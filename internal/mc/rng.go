@@ -1,0 +1,101 @@
+// Package mc implements the Monte Carlo machinery of the paper's Phase 3
+// (probability computation): a fast deterministic random number generator and
+// the importance-sampling integrator of §V-A, which estimates the
+// qualification probability Pr(‖x − o‖ ≤ δ) for x ~ N(q, Σ) as the fraction
+// of Gaussian samples falling inside the δ-sphere around o.
+package mc
+
+import "math"
+
+// RNG is a xoshiro256++ pseudo-random generator with Gaussian variate
+// support. It is deterministic for a given seed, satisfies
+// gauss.NormalSource, and is NOT safe for concurrent use — create one per
+// goroutine.
+//
+// The paper used RANDLIB; xoshiro256++ is a modern equivalent with excellent
+// equidistribution and a tiny state, implementable on the stdlib alone.
+type RNG struct {
+	s     [4]uint64
+	spare float64 // cached second normal variate from the polar method
+	has   bool
+}
+
+// NewRNG returns a generator seeded from seed via SplitMix64 (the recommended
+// seeding procedure for xoshiro, avoiding the all-zero state).
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := range r.s {
+		r.s[i] = next()
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[0]+r.s[3], 23) + r.s[0]
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform variate in [0, 1) with 53 random bits.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard normal variate using the Marsaglia polar
+// method with a cached spare.
+func (r *RNG) NormFloat64() float64 {
+	if r.has {
+		r.has = false
+		return r.spare
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(s) / s)
+		r.spare = v * f
+		r.has = true
+		return u * f
+	}
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("mc: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation is overkill here;
+	// modulo bias is below 2⁻⁴⁰ for all n used in this repository.
+	return int(r.Uint64() % uint64(n))
+}
+
+// Perm fills dst with a uniform random permutation of 0..len(dst)-1.
+func (r *RNG) Perm(dst []int) {
+	for i := range dst {
+		dst[i] = i
+	}
+	for i := len(dst) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		dst[i], dst[j] = dst[j], dst[i]
+	}
+}

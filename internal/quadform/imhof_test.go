@@ -1,0 +1,149 @@
+package quadform
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gaussrange/internal/stats"
+)
+
+func TestImhofValidation(t *testing.T) {
+	if _, err := ImhofCDF(nil, nil, 1); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ImhofCDF([]float64{1}, []float64{0, 0}, 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := ImhofCDF([]float64{0}, []float64{0}, 1); err == nil {
+		t.Error("zero lambda accepted")
+	}
+	if _, err := ImhofCDF([]float64{1}, []float64{math.NaN()}, 1); err == nil {
+		t.Error("NaN offset accepted")
+	}
+	v, err := ImhofCDF([]float64{1}, []float64{0}, -1)
+	if err != nil || v != 0 {
+		t.Errorf("negative t gave %g, %v", v, err)
+	}
+}
+
+// Imhof must agree with the central chi-square for unit lambdas.
+func TestImhofCentralChiSquare(t *testing.T) {
+	for _, d := range []int{1, 2, 5, 9} {
+		lambda := make([]float64, d)
+		b := make([]float64, d)
+		for i := range lambda {
+			lambda[i] = 1
+		}
+		for _, x := range []float64{0.5, 2, 8, 20} {
+			got, err := ImhofCDF(lambda, b, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := stats.ChiSquareCDF(float64(d), x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > 1e-7 {
+				t.Errorf("d=%d x=%g: Imhof %.10g vs central %.10g", d, x, got, want)
+			}
+		}
+	}
+}
+
+// The decisive property: Imhof and Ruben are algorithmically independent
+// exact methods — they must agree on random anisotropic noncentral forms.
+func TestImhofMatchesRubenProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(281))
+	for trial := 0; trial < 80; trial++ {
+		d := 1 + rng.Intn(9)
+		lambda := make([]float64, d)
+		b := make([]float64, d)
+		var scale float64
+		for i := range lambda {
+			lambda[i] = math.Exp(rng.Float64()*4 - 2)
+			b[i] = rng.NormFloat64() * 1.5
+			scale += lambda[i] * (1 + b[i]*b[i])
+		}
+		tt := scale * (0.2 + rng.Float64()*1.5)
+		ruben, err := RubenCDF(lambda, b, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		imhof, err := ImhofCDF(lambda, b, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ruben-imhof) > 2e-6 {
+			t.Errorf("trial %d d=%d: Ruben %.10g vs Imhof %.10g (λ=%v b=%v t=%g)",
+				trial, d, ruben, imhof, lambda, b, tt)
+		}
+	}
+}
+
+// Strong eigenvalue ratios near the edge of Ruben's convergence range.
+func TestImhofExtremeAnisotropy(t *testing.T) {
+	lambda := []float64{100, 0.5}
+	b := []float64{0.5, 2}
+	for _, tt := range []float64{1, 50, 200, 500} {
+		ruben, err := RubenCDF(lambda, b, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		imhof, err := ImhofCDF(lambda, b, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ruben-imhof) > 1e-5 {
+			t.Errorf("t=%g: Ruben %.10g vs Imhof %.10g", tt, ruben, imhof)
+		}
+	}
+}
+
+// Beyond Ruben's convergence range (ratio 10⁴) Imhof still works; validate
+// against Monte Carlo.
+func TestImhofBeyondRubenRange(t *testing.T) {
+	lambda := []float64{100, 0.01}
+	b := []float64{0.5, 2}
+	if _, err := RubenCDF(lambda, b, 200); err == nil {
+		t.Log("note: Ruben now converges on ratio 1e4; fallback no longer exercised")
+	}
+	imhof, err := ImhofCDF(lambda, b, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(283))
+	const n = 400000
+	hit := 0
+	for i := 0; i < n; i++ {
+		z1 := rng.NormFloat64() + 0.5
+		z2 := rng.NormFloat64() + 2
+		if 100*z1*z1+0.01*z2*z2 <= 200 {
+			hit++
+		}
+	}
+	mcEst := float64(hit) / n
+	se := math.Sqrt(imhof*(1-imhof)/n) + 1e-9
+	if math.Abs(imhof-mcEst) > 6*se {
+		t.Errorf("Imhof %g vs MC %g (6σ=%g)", imhof, mcEst, 6*se)
+	}
+}
+
+func TestImhofBounds(t *testing.T) {
+	lambda := []float64{2, 3}
+	b := []float64{1, -1}
+	prev := -1.0
+	for tt := 0.5; tt < 60; tt *= 1.7 {
+		p, err := ImhofCDF(lambda, b, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("p = %g out of [0,1]", p)
+		}
+		if p < prev-1e-9 {
+			t.Fatalf("CDF not monotone at t=%g", tt)
+		}
+		prev = p
+	}
+}

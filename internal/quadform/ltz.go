@@ -1,0 +1,84 @@
+package quadform
+
+import (
+	"fmt"
+	"math"
+
+	"gaussrange/internal/stats"
+)
+
+// LTZApprox approximates Pr(Σⱼ lambda[j]·(z_j + b[j])² ≤ t) by the
+// Liu–Tang–Zhang method (Liu, Tang & Zhang 2009): match the first four
+// cumulants of the quadratic form with a single (shifted, scaled)
+// noncentral chi-square. One noncentral chi-square CDF evaluation replaces
+// the Ruben series — roughly an order of magnitude faster — at absolute
+// errors typically below 1e-3 and observed up to ≈3e-2 for strongly skewed
+// forms, which suffices for coarse pre-screening or progress estimates (not
+// for threshold decisions near θ).
+func LTZApprox(lambda, b []float64, t float64) (float64, error) {
+	d := len(lambda)
+	if d == 0 || len(b) != d {
+		return 0, fmt.Errorf("quadform: need len(lambda) == len(b) > 0, got %d and %d", d, len(b))
+	}
+	for j, l := range lambda {
+		if l <= 0 || math.IsNaN(l) {
+			return 0, fmt.Errorf("quadform: lambda[%d] = %g must be positive", j, l)
+		}
+		if math.IsNaN(b[j]) {
+			return 0, fmt.Errorf("quadform: b[%d] is NaN", j)
+		}
+	}
+	if math.IsNaN(t) {
+		return 0, fmt.Errorf("quadform: t is NaN")
+	}
+	if t <= 0 {
+		return 0, nil
+	}
+
+	// c_k = Σ λ^k (1 + k·b²), k = 1..4.
+	var c1, c2, c3, c4 float64
+	for j := 0; j < d; j++ {
+		l := lambda[j]
+		d2 := b[j] * b[j]
+		l2 := l * l
+		c1 += l * (1 + d2)
+		c2 += l2 * (1 + 2*d2)
+		c3 += l2 * l * (1 + 3*d2)
+		c4 += l2 * l2 * (1 + 4*d2)
+	}
+
+	s1 := c3 / math.Pow(c2, 1.5)
+	s2 := c4 / (c2 * c2)
+
+	var df, nc, a float64
+	if s1*s1 > s2 {
+		a = 1 / (s1 - math.Sqrt(s1*s1-s2))
+		nc = s1*a*a*a - a*a
+		df = a*a - 2*nc
+	} else {
+		a = 1 / s1
+		nc = 0
+		df = c2 * c2 * c2 / (c3 * c3)
+	}
+	if df <= 0 {
+		// Degenerate matching (can occur for extreme shapes); fall back to
+		// a central match on mean and variance: χ²(df) has mean df and
+		// variance 2df, so a = √df under the standardized mapping below.
+		df = c1 * c1 / c2
+		nc = 0
+		a = math.Sqrt(df)
+	}
+
+	// Standardize q and map onto the surrogate distribution:
+	// t* = (t − c1)/√(2c2);  x = t*·√(2)·a + df + nc.
+	tStar := (t - c1) / math.Sqrt(2*c2)
+	x := tStar*math.Sqrt2*a + df + nc
+	if x <= 0 {
+		return 0, nil
+	}
+	p, err := stats.NoncentralChiSquareCDF(df, nc, x)
+	if err != nil {
+		return 0, err
+	}
+	return clamp01(p), nil
+}

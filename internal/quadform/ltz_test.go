@@ -1,0 +1,103 @@
+package quadform
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLTZValidation(t *testing.T) {
+	if _, err := LTZApprox(nil, nil, 1); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := LTZApprox([]float64{1}, []float64{0, 0}, 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := LTZApprox([]float64{-1}, []float64{0}, 1); err == nil {
+		t.Error("negative lambda accepted")
+	}
+	v, err := LTZApprox([]float64{1}, []float64{0}, -2)
+	if err != nil || v != 0 {
+		t.Errorf("t<0 gave %g, %v", v, err)
+	}
+}
+
+// The approximation must be exact for a central chi-square (all lambdas
+// equal, zero offsets): the surrogate IS the distribution.
+func TestLTZExactForCentralChiSquare(t *testing.T) {
+	for _, d := range []int{2, 5, 9} {
+		lambda := make([]float64, d)
+		b := make([]float64, d)
+		for i := range lambda {
+			lambda[i] = 2.5
+		}
+		for _, x := range []float64{2, 10, 30} {
+			got, err := LTZApprox(lambda, b, 2.5*x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := RubenCDF(lambda, b, 2.5*x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("d=%d x=%g: LTZ %.12g vs exact %.12g", d, x, got, want)
+			}
+		}
+	}
+}
+
+// Property: accuracy against the exact Ruben CDF across random anisotropic
+// noncentral forms stays within the method's documented band.
+func TestLTZAccuracyProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(433))
+	var worst float64
+	for trial := 0; trial < 150; trial++ {
+		d := 2 + rng.Intn(8)
+		lambda := make([]float64, d)
+		b := make([]float64, d)
+		var scale float64
+		for i := range lambda {
+			lambda[i] = math.Exp(rng.Float64()*3 - 1)
+			b[i] = rng.NormFloat64()
+			scale += lambda[i] * (1 + b[i]*b[i])
+		}
+		tt := scale * (0.3 + rng.Float64()*1.4)
+		exact, err := RubenCDF(lambda, b, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx, err := LTZApprox(lambda, b, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diff := math.Abs(exact - approx)
+		if diff > worst {
+			worst = diff
+		}
+		if diff > 0.05 {
+			t.Errorf("trial %d d=%d: |LTZ − exact| = %g (exact %g)", trial, d, diff, exact)
+		}
+	}
+	t.Logf("worst absolute error over 150 random forms: %.2e", worst)
+}
+
+// Monotonicity in t must be preserved by the surrogate.
+func TestLTZMonotone(t *testing.T) {
+	lambda := []float64{5, 1, 0.5}
+	b := []float64{1, -0.5, 2}
+	prev := -1.0
+	for tt := 0.5; tt < 100; tt *= 1.4 {
+		p, err := LTZApprox(lambda, b, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < prev-1e-12 {
+			t.Fatalf("not monotone at t=%g", tt)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("p=%g out of range", p)
+		}
+		prev = p
+	}
+}

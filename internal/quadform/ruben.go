@@ -1,0 +1,216 @@
+// Package quadform computes exact distribution functions of positive
+// definite quadratic forms in Gaussian variables using Ruben's series
+// (H. Ruben 1962; Farebrother's Algorithm AS 204).
+//
+// The qualification probability of the paper — Pr(‖x − o‖² ≤ δ²) with
+// x ~ N(q, Σ) — is exactly such a form: in the eigenbasis of Σ,
+//
+//	‖x − o‖² = Σⱼ λⱼ·(zⱼ + bⱼ)²,   zⱼ ~ N(0,1) i.i.d.,
+//
+// with λⱼ the eigenvalues of Σ and bⱼ the scaled offset of o from q. The
+// paper evaluates this integral by Monte Carlo (100 000 samples ≈ 3-digit
+// accuracy, ~0.05 s/object on 2009 hardware); Ruben's series delivers
+// 12-digit accuracy in microseconds and is used here both as an optional
+// fast evaluator and as the ground truth that the test suite validates the
+// Monte Carlo integrator and all filter strategies against.
+package quadform
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"gaussrange/internal/stats"
+	"gaussrange/internal/vecmat"
+)
+
+// ErrNotConverged indicates the series needed more than MaxTerms terms.
+var ErrNotConverged = errors.New("quadform: Ruben series did not converge")
+
+// MaxTerms bounds the Ruben series length. Convergence rate is
+// max_j (1 − β/λ_j) per term; 20 000 terms covers eigenvalue ratios beyond
+// anything produced by the experiments (ratio 9 in 2-D, ~10² in 9-D).
+const MaxTerms = 20000
+
+// epsAbs is the absolute truncation error target of the series.
+const epsAbs = 1e-12
+
+// RubenCDF returns Pr(Σⱼ lambda[j]·(z_j + b[j])² ≤ t) for independent
+// standard normal z_j. All lambda[j] must be positive; len(b) must equal
+// len(lambda). For t ≤ 0 the result is 0.
+func RubenCDF(lambda, b []float64, t float64) (float64, error) {
+	d := len(lambda)
+	if d == 0 || len(b) != d {
+		return 0, fmt.Errorf("quadform: need len(lambda) == len(b) > 0, got %d and %d", d, len(b))
+	}
+	for j, l := range lambda {
+		if l <= 0 || math.IsNaN(l) {
+			return 0, fmt.Errorf("quadform: lambda[%d] = %g must be positive", j, l)
+		}
+		if math.IsNaN(b[j]) {
+			return 0, fmt.Errorf("quadform: b[%d] is NaN", j)
+		}
+	}
+	if math.IsNaN(t) {
+		return 0, fmt.Errorf("quadform: t is NaN")
+	}
+	if t <= 0 {
+		return 0, nil
+	}
+
+	// Scale parameter: β = min λ_j keeps all mixture coefficients a_k ≥ 0
+	// and Σ a_k = 1, giving a rigorous truncation bound.
+	beta := lambda[0]
+	for _, l := range lambda[1:] {
+		if l < beta {
+			beta = l
+		}
+	}
+
+	// γ_j = 1 − β/λ_j ∈ [0, 1);  η_j = b_j²·β/λ_j.
+	gamma := make([]float64, d)
+	eta := make([]float64, d)
+	var logA0 float64
+	for j := range lambda {
+		gamma[j] = 1 - beta/lambda[j]
+		eta[j] = b[j] * b[j] * beta / lambda[j]
+		logA0 += -0.5*b[j]*b[j] + 0.5*math.Log(beta/lambda[j])
+	}
+
+	// Series state. gammaPow[j] = γ_j^k, etaPow[j] = η_j·γ_j^{k−1} track the
+	// two geometric families in g_k = Σ γ_j^k + k·Σ η_j·γ_j^{k−1}.
+	a := make([]float64, 1, 64)
+	g := make([]float64, 1, 64) // g[0] unused
+	a[0] = math.Exp(logA0)
+
+	gammaPow := make([]float64, d)
+	etaPow := make([]float64, d)
+	for j := range gammaPow {
+		gammaPow[j] = 1 // γ_j^0; advanced before first use
+		etaPow[j] = eta[j]
+	}
+
+	x := t / beta
+	dof := float64(d)
+
+	// First mixture term.
+	f, err := stats.ChiSquareCDF(dof, x)
+	if err != nil {
+		return 0, err
+	}
+	sum := a[0] * f
+	aSum := a[0]
+
+	for k := 1; k <= MaxTerms; k++ {
+		// g_k = Σ_j γ_j^k + k·Σ_j η_j γ_j^{k−1}.
+		var gk float64
+		for j := 0; j < d; j++ {
+			gk += gammaPow[j]*gamma[j] + float64(k)*etaPow[j]
+			// Advance powers for next round.
+			gammaPow[j] *= gamma[j]
+			etaPow[j] *= gamma[j]
+		}
+		g = append(g, gk)
+
+		// a_k = (1/2k)·Σ_{r=0}^{k−1} g_{k−r}·a_r.
+		var ak float64
+		for r := 0; r < k; r++ {
+			ak += g[k-r] * a[r]
+		}
+		ak /= 2 * float64(k)
+		a = append(a, ak)
+		aSum += ak
+
+		fk, err := stats.ChiSquareCDF(dof+2*float64(k), x)
+		if err != nil {
+			return 0, err
+		}
+		sum += ak * fk
+
+		// Rigorous truncation bound: remaining coefficients sum to 1 − aSum
+		// and every remaining CDF factor is ≤ fk (CDF decreases in dof).
+		if tail := (1 - aSum) * fk; tail < epsAbs {
+			return clamp01(sum + tail/2), nil
+		}
+	}
+	return 0, ErrNotConverged
+}
+
+func clamp01(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// Exact is a qualification-probability evaluator backed by RubenCDF. It
+// satisfies the same contract as the Monte Carlo integrator: Qualification
+// returns Pr(‖x − o‖ ≤ delta) for x ~ N(q, Σ).
+//
+// Per-distribution spectral data is cached so repeated candidates against the
+// same query pay only the O(d²) offset transform plus the series.
+type Exact struct {
+	evalCount int
+
+	// Cache keyed by distribution identity.
+	dist    interface{ Dim() int }
+	lambda  []float64
+	basis   *vecmat.Dense
+	mean    vecmat.Vector
+	scratch vecmat.Vector
+	u       vecmat.Vector
+	bBuf    []float64
+}
+
+// GaussDist is the subset of *gauss.Dist the evaluator needs; declared as an
+// interface to keep the package importable without a gauss dependency cycle.
+type GaussDist interface {
+	Dim() int
+	Mean() vecmat.Vector
+	EigenBasis() *vecmat.Dense
+	EigenValuesCov() []float64
+}
+
+// NewExact returns an exact evaluator.
+func NewExact() *Exact { return &Exact{} }
+
+// Evaluations returns the number of qualification computations performed.
+func (e *Exact) Evaluations() int { return e.evalCount }
+
+// ResetEvaluations zeroes the counter.
+func (e *Exact) ResetEvaluations() { e.evalCount = 0 }
+
+// Qualification returns the exact probability Pr(‖x − o‖ ≤ delta) for
+// x ~ dist.
+func (e *Exact) Qualification(dist GaussDist, o vecmat.Vector, delta float64) (float64, error) {
+	d := dist.Dim()
+	if o.Dim() != d {
+		return 0, fmt.Errorf("quadform: object dim %d vs distribution dim %d", o.Dim(), d)
+	}
+	if delta <= 0 {
+		return 0, fmt.Errorf("quadform: delta must be positive, got %g", delta)
+	}
+	e.evalCount++
+
+	if e.dist != dist || len(e.lambda) != d {
+		e.dist = dist
+		e.lambda = dist.EigenValuesCov()
+		e.basis = dist.EigenBasis()
+		e.mean = dist.Mean()
+		e.scratch = make(vecmat.Vector, d)
+		e.u = make(vecmat.Vector, d)
+		e.bBuf = make([]float64, d)
+	}
+
+	// In the eigenbasis of Σ: u = Eᵗ(q − o) is the sphere-center offset; the
+	// quadratic form is Σ λ_j (z_j + u_j/√λ_j)².
+	e.mean.SubTo(o, e.scratch)
+	e.basis.MulVecTransTo(e.scratch, e.u)
+	for j := 0; j < d; j++ {
+		e.bBuf[j] = e.u[j] / math.Sqrt(e.lambda[j])
+	}
+	return RubenCDF(e.lambda, e.bBuf, delta*delta)
+}

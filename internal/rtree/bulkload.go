@@ -1,0 +1,127 @@
+package rtree
+
+import (
+	"fmt"
+	"math"
+
+	"gaussrange/internal/geom"
+	"gaussrange/internal/vecmat"
+)
+
+// BulkLoadPoints builds a tree from points using Sort-Tile-Recursive (STR)
+// packing: near-100 % leaf fill and strongly square leaf regions, which is
+// the standard way to materialize a static dataset like the experiments'
+// TIGER point set before issuing queries.
+func BulkLoadPoints(points []vecmat.Vector, ids []int64, dim int, opts ...Option) (*Tree, error) {
+	if len(points) != len(ids) {
+		return nil, fmt.Errorf("rtree: %d points but %d ids", len(points), len(ids))
+	}
+	entries := make([]Entry, len(points))
+	for i, p := range points {
+		if p.Dim() != dim {
+			return nil, fmt.Errorf("%w: point %d has dim %d, want %d", ErrDimension, i, p.Dim(), dim)
+		}
+		if !p.IsFinite() {
+			return nil, fmt.Errorf("rtree: non-finite point %d: %v", i, p)
+		}
+		entries[i] = Entry{Rect: geom.PointRect(p), ID: ids[i]}
+	}
+	return BulkLoad(entries, dim, opts...)
+}
+
+// BulkLoad builds a tree from arbitrary entries with STR packing.
+func BulkLoad(entries []Entry, dim int, opts ...Option) (*Tree, error) {
+	t, err := New(dim, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if len(entries) == 0 {
+		return t, nil
+	}
+	for i := range entries {
+		if err := t.checkRect(entries[i].Rect); err != nil {
+			return nil, err
+		}
+	}
+	es := append([]Entry(nil), entries...)
+	level := 0
+	for len(es) > t.maxFill {
+		nodes := t.strPack(es, level)
+		es = es[:0]
+		for _, n := range nodes {
+			es = append(es, Entry{Rect: n.mbr(), child: n})
+		}
+		level++
+	}
+	t.root = &node{level: level, entries: es}
+	for i := range es {
+		if es[i].child != nil {
+			es[i].child.parent = t.root
+		}
+	}
+	t.height = level + 1
+	t.size = len(entries)
+	return t, nil
+}
+
+// strPack groups entries into nodes of the given level using recursive
+// sort-tile slicing across the dimensions. Chunks are distributed evenly so
+// that every produced node holds at least ⌊(M+1)/2⌋ ≥ m entries — STR's
+// naive "last chunk gets the remainder" rule would violate the minimum-fill
+// invariant.
+func (t *Tree) strPack(es []Entry, level int) []*node {
+	groups := [][]Entry{es}
+	// Slice dimension by dimension; along axis a the number of slabs follows
+	// the ⌈(node count)^(1/(d−a))⌉ STR rule.
+	for axis := 0; axis < t.dim-1; axis++ {
+		remainingDims := t.dim - axis
+		var next [][]Entry
+		for _, g := range groups {
+			gNodes := (len(g) + t.maxFill - 1) / t.maxFill
+			slabs := int(math.Ceil(math.Pow(float64(gNodes), 1/float64(remainingDims))))
+			if slabs < 1 {
+				slabs = 1
+			}
+			if slabs > len(g) {
+				slabs = len(g)
+			}
+			sortEntriesByAxis(g, axis)
+			next = append(next, evenChunks(g, slabs)...)
+		}
+		groups = next
+	}
+	var nodes []*node
+	for _, g := range groups {
+		sortEntriesByAxis(g, t.dim-1)
+		chunkCount := (len(g) + t.maxFill - 1) / t.maxFill
+		for _, chunk := range evenChunks(g, chunkCount) {
+			n := &node{level: level, entries: append([]Entry(nil), chunk...)}
+			for i := range n.entries {
+				if n.entries[i].child != nil {
+					n.entries[i].child.parent = n
+				}
+			}
+			nodes = append(nodes, n)
+		}
+	}
+	return nodes
+}
+
+// evenChunks splits s into k contiguous chunks whose sizes differ by at most
+// one.
+func evenChunks(s []Entry, k int) [][]Entry {
+	if k <= 1 {
+		return [][]Entry{s}
+	}
+	out := make([][]Entry, 0, k)
+	n := len(s)
+	start := 0
+	for i := 0; i < k; i++ {
+		end := start + (n-start)/(k-i)
+		if end > start {
+			out = append(out, s[start:end])
+		}
+		start = end
+	}
+	return out
+}

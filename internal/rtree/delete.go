@@ -1,0 +1,97 @@
+package rtree
+
+import (
+	"fmt"
+
+	"gaussrange/internal/geom"
+	"gaussrange/internal/vecmat"
+)
+
+// DeletePoint removes one data entry with exactly the given point rectangle
+// and identifier. It reports whether an entry was removed.
+func (t *Tree) DeletePoint(p vecmat.Vector, id int64) (bool, error) {
+	if p.Dim() != t.dim {
+		return false, fmt.Errorf("%w: point dim %d vs tree dim %d", ErrDimension, p.Dim(), t.dim)
+	}
+	return t.Delete(geom.PointRect(p), id)
+}
+
+// Delete removes one data entry matching rect and id (exact rectangle
+// match). It reports whether an entry was removed. Underfull nodes are
+// dissolved and their entries reinserted (the classic R-tree condense-tree
+// step), so the minimum-fill invariant holds after every deletion.
+func (t *Tree) Delete(r geom.Rect, id int64) (bool, error) {
+	if err := t.checkRect(r); err != nil {
+		return false, err
+	}
+	leaf, idx := t.findLeaf(t.root, r, id)
+	if leaf == nil {
+		return false, nil
+	}
+	// Remove the entry.
+	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
+	t.size--
+	t.condense(leaf)
+	// Shrink the root while it is an internal node with a single child.
+	for !t.root.isLeaf() && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+		t.root.parent = nil
+		t.height--
+	}
+	if !t.root.isLeaf() && len(t.root.entries) == 0 {
+		// All data deleted through condensation of the last children.
+		t.root = &node{level: 0}
+		t.height = 1
+	}
+	return true, nil
+}
+
+// findLeaf locates the leaf and entry index holding (rect, id), or nil.
+func (t *Tree) findLeaf(n *node, r geom.Rect, id int64) (*node, int) {
+	t.visit(n)
+	for i := range n.entries {
+		e := &n.entries[i]
+		if n.isLeaf() {
+			if e.ID == id && e.Rect.Equal(r, 0) {
+				return n, i
+			}
+			continue
+		}
+		if e.Rect.ContainsRect(r) {
+			if leaf, idx := t.findLeaf(e.child, r, id); leaf != nil {
+				return leaf, idx
+			}
+		}
+	}
+	return nil, -1
+}
+
+// condense walks from a shrunken node to the root, dissolving underfull
+// nodes and collecting their entries for reinsertion at the proper level.
+func (t *Tree) condense(n *node) {
+	type orphan struct {
+		e     Entry
+		level int
+	}
+	var orphans []orphan
+
+	for n.parent != nil {
+		parent := n.parent
+		if len(n.entries) < t.minFill {
+			// Remove n from its parent; queue its entries for reinsertion.
+			i := parent.entryIndexOf(n)
+			parent.entries = append(parent.entries[:i], parent.entries[i+1:]...)
+			for _, e := range n.entries {
+				orphans = append(orphans, orphan{e: e, level: n.level})
+			}
+		} else if i := parent.entryIndexOf(n); i >= 0 {
+			parent.entries[i].Rect = n.mbr()
+		}
+		n = parent
+	}
+
+	for _, o := range orphans {
+		overflowed := make(map[int]bool)
+		t.insertEntry(o.e, o.level, overflowed)
+	}
+}

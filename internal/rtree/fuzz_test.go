@@ -1,0 +1,74 @@
+package rtree
+
+import (
+	"testing"
+
+	"gaussrange/internal/geom"
+	"gaussrange/internal/vecmat"
+)
+
+// FuzzTreeOps drives the tree with an arbitrary byte-encoded sequence of
+// inserts and deletes, checking the structural invariants and content parity
+// with a reference map after every few operations.
+func FuzzTreeOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{255, 254, 0, 0, 0, 128, 7, 7, 7})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 512 {
+			ops = ops[:512]
+		}
+		tr, err := New(2, WithPageSize(256)) // small pages → frequent splits
+		if err != nil {
+			t.Fatal(err)
+		}
+		type stored struct {
+			p  vecmat.Vector
+			id int64
+		}
+		var live []stored
+		nextID := int64(0)
+
+		for i := 0; i+2 < len(ops); i += 3 {
+			op, a, b := ops[i], float64(ops[i+1]), float64(ops[i+2])
+			if op%3 != 0 && len(live) > 0 {
+				// Delete a pseudo-random live entry.
+				idx := int(op) % len(live)
+				ok, err := tr.DeletePoint(live[idx].p, live[idx].id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					t.Fatalf("live entry %d not found for deletion", live[idx].id)
+				}
+				live[idx] = live[len(live)-1]
+				live = live[:len(live)-1]
+			} else {
+				p := vecmat.Vector{a, b}
+				if err := tr.InsertPoint(p, nextID); err != nil {
+					t.Fatal(err)
+				}
+				live = append(live, stored{p: p, id: nextID})
+				nextID++
+			}
+		}
+
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("invariants violated: %v", err)
+		}
+		if tr.Len() != len(live) {
+			t.Fatalf("Len = %d, reference %d", tr.Len(), len(live))
+		}
+		whole, err := geom.NewRect(vecmat.Vector{-1, -1}, vecmat.Vector{256, 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := tr.CollectRect(whole)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(live) {
+			t.Fatalf("search found %d entries, reference %d", len(got), len(live))
+		}
+	})
+}

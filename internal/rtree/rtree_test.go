@@ -1,0 +1,586 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"gaussrange/internal/geom"
+	"gaussrange/internal/vecmat"
+)
+
+func randPoints(rng *rand.Rand, n, d int, scale float64) []vecmat.Vector {
+	pts := make([]vecmat.Vector, n)
+	for i := range pts {
+		p := make(vecmat.Vector, d)
+		for j := range p {
+			p[j] = rng.Float64() * scale
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func insertAll(t *testing.T, tr *Tree, pts []vecmat.Vector) {
+	t.Helper()
+	for i, p := range pts {
+		if err := tr.InsertPoint(p, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// bruteRange returns ids of points inside rect.
+func bruteRange(pts []vecmat.Vector, r geom.Rect) []int64 {
+	var out []int64
+	for i, p := range pts {
+		if r.Contains(p) {
+			out = append(out, int64(i))
+		}
+	}
+	return out
+}
+
+func sortedEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("d=0 accepted")
+	}
+	if _, err := New(2, WithPageSize(10)); err == nil {
+		t.Error("tiny page accepted")
+	}
+}
+
+func TestCapacityFromPageSize(t *testing.T) {
+	// Paper regime: d=2, 1 KB page, 40-byte entries → M=25.
+	tr, err := New(2, WithPageSize(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.MaxFill() != 25 {
+		t.Errorf("d=2 M = %d, want 25", tr.MaxFill())
+	}
+	if tr.MinFill() != 10 {
+		t.Errorf("d=2 m = %d, want 10", tr.MinFill())
+	}
+	// d=9: entry = 152 B → M=6.
+	tr9, err := New(9, WithPageSize(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr9.MaxFill() != 6 {
+		t.Errorf("d=9 M = %d, want 6", tr9.MaxFill())
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	tr, _ := New(2)
+	if err := tr.InsertPoint(vecmat.Vector{1}, 0); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+	if err := tr.InsertPoint(vecmat.Vector{math.NaN(), 0}, 0); err == nil {
+		t.Error("NaN point accepted")
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr, _ := New(2)
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Errorf("empty tree Len/Height = %d/%d", tr.Len(), tr.Height())
+	}
+	r, _ := geom.NewRect(vecmat.Vector{0, 0}, vecmat.Vector{1, 1})
+	ids, err := tr.CollectRect(r)
+	if err != nil || len(ids) != 0 {
+		t.Errorf("empty search = %v, %v", ids, err)
+	}
+	nn, err := tr.NearestNeighbors(vecmat.Vector{0, 0}, 3)
+	if err != nil || nn != nil {
+		t.Errorf("empty kNN = %v, %v", nn, err)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRangeSearchAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(109))
+	for _, d := range []int{1, 2, 3, 9} {
+		pts := randPoints(rng, 3000, d, 1000)
+		tr, err := New(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		insertAll(t, tr, pts)
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		if tr.Len() != 3000 {
+			t.Fatalf("d=%d Len = %d", d, tr.Len())
+		}
+		for trial := 0; trial < 30; trial++ {
+			lo := make(vecmat.Vector, d)
+			hi := make(vecmat.Vector, d)
+			for j := range lo {
+				a, b := rng.Float64()*1000, rng.Float64()*1000
+				lo[j], hi[j] = math.Min(a, b), math.Max(a, b)
+			}
+			r := geom.Rect{Lo: lo, Hi: hi}
+			got, err := tr.CollectRect(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bruteRange(pts, r)
+			if !sortedEqual(got, want) {
+				t.Fatalf("d=%d trial %d: got %d ids, want %d", d, trial, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestSearchEarlyTermination(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	pts := randPoints(rng, 500, 2, 100)
+	tr, _ := New(2)
+	insertAll(t, tr, pts)
+	r, _ := geom.NewRect(vecmat.Vector{0, 0}, vecmat.Vector{100, 100})
+	count := 0
+	err := tr.SearchRect(r, func(_ geom.Rect, _ int64) bool {
+		count++
+		return count < 10
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Errorf("early termination visited %d, want 10", count)
+	}
+}
+
+func TestSearchSphereAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(127))
+	pts := randPoints(rng, 2000, 2, 1000)
+	tr, _ := New(2)
+	insertAll(t, tr, pts)
+	for trial := 0; trial < 20; trial++ {
+		c := vecmat.Vector{rng.Float64() * 1000, rng.Float64() * 1000}
+		radius := rng.Float64() * 200
+		var got []int64
+		if err := tr.SearchSphere(c, radius, func(r geom.Rect, id int64) bool {
+			got = append(got, id)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		var want []int64
+		for i, p := range pts {
+			if p.Dist(c) <= radius {
+				want = append(want, int64(i))
+			}
+		}
+		if !sortedEqual(got, want) {
+			t.Fatalf("trial %d: sphere search %d ids, want %d", trial, len(got), len(want))
+		}
+	}
+	if err := tr.SearchSphere(vecmat.Vector{0, 0}, -1, nil); err == nil {
+		t.Error("negative radius accepted")
+	}
+	if err := tr.SearchSphere(vecmat.Vector{0}, 1, nil); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+}
+
+func TestNearestNeighborsAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	for _, d := range []int{2, 9} {
+		pts := randPoints(rng, 2000, d, 1000)
+		tr, _ := New(d)
+		insertAll(t, tr, pts)
+		for trial := 0; trial < 15; trial++ {
+			q := make(vecmat.Vector, d)
+			for j := range q {
+				q[j] = rng.Float64() * 1000
+			}
+			const k = 20
+			got, err := tr.NearestNeighbors(q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != k {
+				t.Fatalf("kNN returned %d results", len(got))
+			}
+			// Brute force distances.
+			dists := make([]float64, len(pts))
+			for i, p := range pts {
+				dists[i] = p.Dist2(q)
+			}
+			sort.Float64s(dists)
+			for i, nb := range got {
+				if math.Abs(nb.Dist2-dists[i]) > 1e-9 {
+					t.Fatalf("d=%d trial %d: kNN[%d].Dist2 = %g, want %g", d, trial, i, nb.Dist2, dists[i])
+				}
+				if i > 0 && got[i].Dist2 < got[i-1].Dist2 {
+					t.Fatal("kNN results not sorted")
+				}
+			}
+		}
+	}
+	tr, _ := New(2)
+	if _, err := tr.NearestNeighbors(vecmat.Vector{0, 0}, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := tr.NearestNeighbors(vecmat.Vector{0}, 2); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+}
+
+func TestKNNSmallerThanK(t *testing.T) {
+	tr, _ := New(2)
+	insertAll(t, tr, randPoints(rand.New(rand.NewSource(1)), 5, 2, 10))
+	nn, err := tr.NearestNeighbors(vecmat.Vector{0, 0}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nn) != 5 {
+		t.Errorf("kNN on small tree returned %d, want 5", len(nn))
+	}
+}
+
+func TestDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(137))
+	pts := randPoints(rng, 2000, 2, 1000)
+	tr, _ := New(2)
+	insertAll(t, tr, pts)
+
+	// Delete half the points in random order.
+	perm := rng.Perm(len(pts))
+	removed := make(map[int64]bool)
+	for _, idx := range perm[:1000] {
+		ok, err := tr.DeletePoint(pts[idx], int64(idx))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("DeletePoint(%d) found nothing", idx)
+		}
+		removed[int64(idx)] = true
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("Len after deletions = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Deleted points are gone; survivors remain.
+	whole, _ := geom.NewRect(vecmat.Vector{0, 0}, vecmat.Vector{1000, 1000})
+	ids, _ := tr.CollectRect(whole)
+	if len(ids) != 1000 {
+		t.Fatalf("survivors = %d", len(ids))
+	}
+	for _, id := range ids {
+		if removed[id] {
+			t.Fatalf("deleted id %d still present", id)
+		}
+	}
+	// Deleting a non-existent entry returns false.
+	ok, err := tr.DeletePoint(vecmat.Vector{-5, -5}, 99999)
+	if err != nil || ok {
+		t.Errorf("phantom delete = %v, %v", ok, err)
+	}
+	if _, err := tr.DeletePoint(vecmat.Vector{0}, 1); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(139))
+	pts := randPoints(rng, 300, 2, 100)
+	tr, _ := New(2)
+	insertAll(t, tr, pts)
+	for i, p := range pts {
+		ok, err := tr.DeletePoint(p, int64(i))
+		if err != nil || !ok {
+			t.Fatalf("delete %d failed: %v %v", i, ok, err)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("after deleting %d: %v", i, err)
+		}
+	}
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Errorf("emptied tree Len/Height = %d/%d", tr.Len(), tr.Height())
+	}
+}
+
+func TestInsertDeleteInterleaved(t *testing.T) {
+	rng := rand.New(rand.NewSource(149))
+	tr, _ := New(3)
+	type stored struct {
+		p  vecmat.Vector
+		id int64
+	}
+	var live []stored
+	nextID := int64(0)
+	for step := 0; step < 5000; step++ {
+		if len(live) == 0 || rng.Float64() < 0.6 {
+			p := randPoints(rng, 1, 3, 500)[0]
+			if err := tr.InsertPoint(p, nextID); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, stored{p, nextID})
+			nextID++
+		} else {
+			i := rng.Intn(len(live))
+			ok, err := tr.DeletePoint(live[i].p, live[i].id)
+			if err != nil || !ok {
+				t.Fatalf("step %d: delete failed %v %v", step, ok, err)
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+	if tr.Len() != len(live) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(live))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Full contents check.
+	whole, _ := geom.NewRect(vecmat.Vector{0, 0, 0}, vecmat.Vector{500, 500, 500})
+	got, _ := tr.CollectRect(whole)
+	want := make([]int64, len(live))
+	for i, s := range live {
+		want[i] = s.id
+	}
+	if !sortedEqual(got, want) {
+		t.Fatal("tree contents diverged from reference set")
+	}
+}
+
+func TestBulkLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	for _, n := range []int{0, 1, 10, 25, 26, 1000, 20000} {
+		pts := randPoints(rng, n, 2, 1000)
+		ids := make([]int64, n)
+		for i := range ids {
+			ids[i] = int64(i)
+		}
+		tr, err := BulkLoadPoints(pts, ids, 2)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if tr.Len() != n {
+			t.Fatalf("n=%d: Len = %d", n, tr.Len())
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Spot check a few range queries.
+		for trial := 0; trial < 5 && n > 0; trial++ {
+			lo := vecmat.Vector{rng.Float64() * 800, rng.Float64() * 800}
+			hi := vecmat.Vector{lo[0] + 150, lo[1] + 150}
+			r := geom.Rect{Lo: lo, Hi: hi}
+			got, _ := tr.CollectRect(r)
+			if !sortedEqual(got, bruteRange(pts, r)) {
+				t.Fatalf("n=%d: bulk-loaded search mismatch", n)
+			}
+		}
+	}
+	if _, err := BulkLoadPoints(randPoints(rng, 3, 2, 1), []int64{1}, 2); err == nil {
+		t.Error("mismatched ids accepted")
+	}
+	if _, err := BulkLoadPoints(randPoints(rng, 3, 3, 1), []int64{1, 2, 3}, 2); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+}
+
+func TestBulkLoad9D(t *testing.T) {
+	rng := rand.New(rand.NewSource(157))
+	pts := randPoints(rng, 5000, 9, 10)
+	ids := make([]int64, len(pts))
+	for i := range ids {
+		ids[i] = int64(i)
+	}
+	tr, err := BulkLoadPoints(pts, ids, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Fill factor should be high for STR.
+	st := tr.ComputeStats()
+	if st.AvgFill < 0.6 {
+		t.Errorf("STR fill factor %g too low", st.AvgFill)
+	}
+	// kNN on the bulk-loaded tree.
+	q := pts[42]
+	nn, err := tr.NearestNeighbors(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nn[0].ID != 42 || nn[0].Dist2 != 0 {
+		t.Errorf("nearest to a stored point = id %d dist2 %g", nn[0].ID, nn[0].Dist2)
+	}
+}
+
+func TestAllVisitsEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(163))
+	pts := randPoints(rng, 777, 2, 100)
+	tr, _ := New(2)
+	insertAll(t, tr, pts)
+	seen := make(map[int64]bool)
+	tr.All(func(_ geom.Rect, id int64) bool {
+		seen[id] = true
+		return true
+	})
+	if len(seen) != 777 {
+		t.Errorf("All visited %d, want 777", len(seen))
+	}
+	// Early termination.
+	count := 0
+	tr.All(func(_ geom.Rect, _ int64) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Errorf("All early termination visited %d", count)
+	}
+}
+
+func TestStatsAndNodesRead(t *testing.T) {
+	rng := rand.New(rand.NewSource(167))
+	pts := randPoints(rng, 5000, 2, 1000)
+	tr, _ := New(2)
+	insertAll(t, tr, pts)
+	st := tr.ComputeStats()
+	if st.Size != 5000 || st.Nodes < st.Leaves || st.Height != tr.Height() {
+		t.Errorf("stats inconsistent: %+v", st)
+	}
+	tr.ResetStats()
+	if tr.NodesRead() != 0 {
+		t.Error("ResetStats failed")
+	}
+	r, _ := geom.NewRect(vecmat.Vector{0, 0}, vecmat.Vector{50, 50})
+	_, _ = tr.CollectRect(r)
+	if tr.NodesRead() == 0 {
+		t.Error("NodesRead not counting")
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	tr, _ := New(2)
+	p := vecmat.Vector{5, 5}
+	for i := 0; i < 100; i++ {
+		if err := tr.InsertPoint(p, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	ids, _ := tr.CollectRect(geom.PointRect(p))
+	if len(ids) != 100 {
+		t.Errorf("duplicate point search found %d", len(ids))
+	}
+	// Delete them one by one.
+	for i := 0; i < 100; i++ {
+		ok, err := tr.DeletePoint(p, int64(i))
+		if err != nil || !ok {
+			t.Fatalf("delete duplicate %d: %v %v", i, ok, err)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d after deleting all duplicates", tr.Len())
+	}
+}
+
+func TestRectDataEntries(t *testing.T) {
+	// Non-degenerate rectangles as data.
+	tr, _ := New(2)
+	rects := []geom.Rect{}
+	rng := rand.New(rand.NewSource(173))
+	for i := 0; i < 500; i++ {
+		lo := vecmat.Vector{rng.Float64() * 100, rng.Float64() * 100}
+		hi := vecmat.Vector{lo[0] + rng.Float64()*10, lo[1] + rng.Float64()*10}
+		r := geom.Rect{Lo: lo, Hi: hi}
+		rects = append(rects, r)
+		if err := tr.Insert(r, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	query, _ := geom.NewRect(vecmat.Vector{20, 20}, vecmat.Vector{60, 60})
+	got, _ := tr.CollectRect(query)
+	var want []int64
+	for i, r := range rects {
+		if r.Intersects(query) {
+			want = append(want, int64(i))
+		}
+	}
+	if !sortedEqual(got, want) {
+		t.Errorf("rect-data search: %d vs %d", len(got), len(want))
+	}
+}
+
+// Property: invariants hold continuously during random growth across page
+// sizes (exercises splits, reinserts, root growth).
+func TestInvariantsDuringGrowth(t *testing.T) {
+	rng := rand.New(rand.NewSource(179))
+	for _, page := range []int{256, 1024, 4096} {
+		tr, err := New(2, WithPageSize(page))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts := randPoints(rng, 3000, 2, 1000)
+		for i, p := range pts {
+			if err := tr.InsertPoint(p, int64(i)); err != nil {
+				t.Fatal(err)
+			}
+			if i%397 == 0 {
+				if err := tr.CheckInvariants(); err != nil {
+					t.Fatalf("page %d after %d inserts: %v", page, i+1, err)
+				}
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("page %d final: %v", page, err)
+		}
+	}
+}
+
+func TestCountRect(t *testing.T) {
+	rng := rand.New(rand.NewSource(191))
+	pts := randPoints(rng, 4000, 2, 1000)
+	tr, _ := New(2)
+	insertAll(t, tr, pts)
+	for trial := 0; trial < 20; trial++ {
+		lo := vecmat.Vector{rng.Float64() * 900, rng.Float64() * 900}
+		hi := vecmat.Vector{lo[0] + rng.Float64()*200, lo[1] + rng.Float64()*200}
+		r := geom.Rect{Lo: lo, Hi: hi}
+		got, err := tr.CountRect(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := len(bruteRange(pts, r)); got != want {
+			t.Fatalf("CountRect = %d, want %d", got, want)
+		}
+	}
+	if _, err := tr.CountRect(geom.Rect{Lo: vecmat.Vector{0}, Hi: vecmat.Vector{1}}); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+}

@@ -1,0 +1,98 @@
+package rtree
+
+import (
+	"math"
+	"sort"
+
+	"gaussrange/internal/geom"
+)
+
+// split performs the R*-tree topological split of an overflowing node:
+// choose the split axis by minimum total margin over all candidate
+// distributions, then the distribution with minimum overlap (ties: minimum
+// combined area). The node n keeps the first group in place; the returned
+// sibling holds the second group and carries n's level. Parent wiring is the
+// caller's responsibility.
+func (t *Tree) split(n *node) *node {
+	entries := n.entries
+	m := t.minFill
+	total := len(entries)
+
+	bestAxis := 0
+	bestMargin := math.Inf(1)
+	type sortedPair struct{ byLo, byHi []Entry }
+	axes := make([]sortedPair, t.dim)
+
+	for axis := 0; axis < t.dim; axis++ {
+		byLo := append([]Entry(nil), entries...)
+		byHi := append([]Entry(nil), entries...)
+		a := axis
+		sort.SliceStable(byLo, func(i, j int) bool {
+			if byLo[i].Rect.Lo[a] != byLo[j].Rect.Lo[a] {
+				return byLo[i].Rect.Lo[a] < byLo[j].Rect.Lo[a]
+			}
+			return byLo[i].Rect.Hi[a] < byLo[j].Rect.Hi[a]
+		})
+		sort.SliceStable(byHi, func(i, j int) bool {
+			if byHi[i].Rect.Hi[a] != byHi[j].Rect.Hi[a] {
+				return byHi[i].Rect.Hi[a] < byHi[j].Rect.Hi[a]
+			}
+			return byHi[i].Rect.Lo[a] < byHi[j].Rect.Lo[a]
+		})
+		axes[axis] = sortedPair{byLo: byLo, byHi: byHi}
+
+		var marginSum float64
+		for _, sorted := range [][]Entry{byLo, byHi} {
+			for k := m; k <= total-m; k++ {
+				marginSum += groupRect(sorted[:k]).Margin() + groupRect(sorted[k:]).Margin()
+			}
+		}
+		if marginSum < bestMargin {
+			bestMargin = marginSum
+			bestAxis = axis
+		}
+	}
+
+	// Choose the distribution along bestAxis minimizing overlap, ties area.
+	var bestSorted []Entry
+	bestK := -1
+	bestOverlap := math.Inf(1)
+	bestArea := math.Inf(1)
+	for _, sorted := range [][]Entry{axes[bestAxis].byLo, axes[bestAxis].byHi} {
+		for k := m; k <= total-m; k++ {
+			r1 := groupRect(sorted[:k])
+			r2 := groupRect(sorted[k:])
+			overlap := r1.OverlapVolume(r2)
+			area := r1.Volume() + r2.Volume()
+			if overlap < bestOverlap || (overlap == bestOverlap && area < bestArea) {
+				bestOverlap, bestArea = overlap, area
+				bestSorted, bestK = sorted, k
+			}
+		}
+	}
+
+	first := append([]Entry(nil), bestSorted[:bestK]...)
+	second := append([]Entry(nil), bestSorted[bestK:]...)
+
+	n.entries = first
+	sibling := &node{level: n.level, entries: second}
+	// Reparent children moved into the sibling.
+	if !n.isLeaf() {
+		for _, e := range n.entries {
+			e.child.parent = n
+		}
+		for _, e := range sibling.entries {
+			e.child.parent = sibling
+		}
+	}
+	return sibling
+}
+
+// groupRect returns the bounding rectangle of a non-empty entry slice.
+func groupRect(es []Entry) geom.Rect {
+	r := es[0].Rect.Clone()
+	for i := 1; i < len(es); i++ {
+		r.UnionInPlace(es[i].Rect)
+	}
+	return r
+}

@@ -1,0 +1,158 @@
+// Package trajectory continuously monitors a probabilistic range query
+// along a moving, imprecisely-localized object — the moving-object-database
+// setting the paper's introduction motivates ("when we monitor the movement
+// status of a number of moving objects, frequent updates of locations
+// generate a high processing load").
+//
+// A Monitor owns a Kalman position belief and a PRQ engine. Feeding it
+// motion and measurement events advances the belief; each Step re-issues
+// PRQ(belief, δ, θ) and reports the answer *delta* — which objects entered
+// and left the probabilistic range — which is what a subscription system
+// actually transmits.
+package trajectory
+
+import (
+	"errors"
+	"fmt"
+
+	"gaussrange/internal/core"
+	"gaussrange/internal/gauss"
+	"gaussrange/internal/kalman"
+	"gaussrange/internal/vecmat"
+)
+
+// Monitor tracks one moving query object against a static object index.
+// Not safe for concurrent use.
+type Monitor struct {
+	engine  *core.Engine
+	filter  *kalman.Filter
+	delta   float64
+	theta   float64
+	strat   core.Strategy
+	current map[int64]bool
+	epoch   int
+}
+
+// Config parameterizes a Monitor.
+type Config struct {
+	// Delta and Theta are the standing query's PRQ parameters.
+	Delta, Theta float64
+	// Strategy is the filter combination; zero value selects ALL.
+	Strategy core.Strategy
+}
+
+// New returns a monitor over idx with Phase-3 evaluator eval, starting from
+// the Kalman belief f.
+func New(idx *core.Index, eval core.Evaluator, f *kalman.Filter, cfg Config) (*Monitor, error) {
+	if f == nil {
+		return nil, errors.New("trajectory: nil filter")
+	}
+	if f.Dim() != idx.Dim() {
+		return nil, fmt.Errorf("trajectory: filter dim %d vs index dim %d", f.Dim(), idx.Dim())
+	}
+	if cfg.Delta <= 0 {
+		return nil, fmt.Errorf("trajectory: delta must be positive, got %g", cfg.Delta)
+	}
+	if !(cfg.Theta > 0 && cfg.Theta < 1) {
+		return nil, fmt.Errorf("trajectory: theta must satisfy 0 < θ < 1, got %g", cfg.Theta)
+	}
+	strat := cfg.Strategy
+	if strat == 0 {
+		strat = core.StrategyAll
+	}
+	if !strat.Valid() {
+		return nil, fmt.Errorf("trajectory: invalid strategy %v", strat)
+	}
+	engine, err := core.NewEngine(idx, eval, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &Monitor{
+		engine:  engine,
+		filter:  f,
+		delta:   cfg.Delta,
+		theta:   cfg.Theta,
+		strat:   strat,
+		current: make(map[int64]bool),
+	}, nil
+}
+
+// Belief returns the current position belief as a Gaussian distribution.
+func (m *Monitor) Belief() (*gauss.Dist, error) {
+	return gauss.New(m.filter.Mean(), m.filter.Cov())
+}
+
+// Move advances the belief by a motion command with process noise
+// (Kalman predict).
+func (m *Monitor) Move(u vecmat.Vector, processNoise *vecmat.Symmetric) error {
+	return m.filter.Predict(u, processNoise)
+}
+
+// Fix corrects the belief with a position measurement (Kalman update).
+func (m *Monitor) Fix(z vecmat.Vector, measurementNoise *vecmat.Symmetric) error {
+	return m.filter.Update(z, measurementNoise)
+}
+
+// StepResult reports one monitoring epoch.
+type StepResult struct {
+	Epoch   int
+	Entered []int64 // newly qualifying objects, ascending
+	Left    []int64 // objects that no longer qualify, ascending
+	Current int     // standing answer-set size after the step
+	Stats   core.PhaseStats
+}
+
+// Step re-evaluates the standing query at the current belief and returns the
+// answer delta relative to the previous epoch.
+func (m *Monitor) Step() (*StepResult, error) {
+	belief, err := m.Belief()
+	if err != nil {
+		return nil, err
+	}
+	res, err := m.engine.Search(core.Query{Dist: belief, Delta: m.delta, Theta: m.theta}, m.strat)
+	if err != nil {
+		return nil, err
+	}
+	m.epoch++
+	out := &StepResult{Epoch: m.epoch, Stats: res.Stats}
+
+	next := make(map[int64]bool, len(res.IDs))
+	for _, id := range res.IDs {
+		next[id] = true
+		if !m.current[id] {
+			out.Entered = append(out.Entered, id)
+		}
+	}
+	for id := range m.current {
+		if !next[id] {
+			out.Left = append(out.Left, id)
+		}
+	}
+	sortInt64s(out.Entered)
+	sortInt64s(out.Left)
+	m.current = next
+	out.Current = len(next)
+	return out, nil
+}
+
+// Current returns the standing answer set, ascending.
+func (m *Monitor) Current() []int64 {
+	ids := make([]int64, 0, len(m.current))
+	for id := range m.current {
+		ids = append(ids, id)
+	}
+	sortInt64s(ids)
+	return ids
+}
+
+func sortInt64s(s []int64) {
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+}

@@ -1,0 +1,182 @@
+package trajectory
+
+import (
+	"math/rand"
+	"testing"
+
+	"gaussrange/internal/core"
+	"gaussrange/internal/kalman"
+	"gaussrange/internal/vecmat"
+)
+
+func gridIndex(t *testing.T, spacing float64, side int) *core.Index {
+	t.Helper()
+	var pts []vecmat.Vector
+	for i := 0; i < side; i++ {
+		for j := 0; j < side; j++ {
+			pts = append(pts, vecmat.Vector{float64(i) * spacing, float64(j) * spacing})
+		}
+	}
+	ix, err := core.NewIndex(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func newMonitor(t *testing.T, ix *core.Index, start vecmat.Vector, cfg Config) *Monitor {
+	t.Helper()
+	f, err := kalman.New(start, vecmat.Identity(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(ix, core.NewExactEvaluator(), f, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	ix := gridIndex(t, 10, 10)
+	f, err := kalman.New(vecmat.Vector{0, 0}, vecmat.Identity(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := core.NewExactEvaluator()
+	if _, err := New(ix, eval, nil, Config{Delta: 5, Theta: 0.1}); err == nil {
+		t.Error("nil filter accepted")
+	}
+	if _, err := New(ix, eval, f, Config{Delta: 0, Theta: 0.1}); err == nil {
+		t.Error("delta=0 accepted")
+	}
+	if _, err := New(ix, eval, f, Config{Delta: 5, Theta: 1}); err == nil {
+		t.Error("theta=1 accepted")
+	}
+	if _, err := New(ix, eval, f, Config{Delta: 5, Theta: 0.1, Strategy: core.StrategyOR}); err == nil {
+		t.Error("OR-only strategy accepted")
+	}
+	f3, err := kalman.New(vecmat.Vector{0, 0, 0}, vecmat.Identity(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(ix, eval, f3, Config{Delta: 5, Theta: 0.1}); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+}
+
+// Moving across the grid: the answer set tracks the position, and deltas
+// are consistent with the standing set.
+func TestMonitorTracksMotion(t *testing.T) {
+	ix := gridIndex(t, 10, 30) // grid over [0, 290]²
+	m := newMonitor(t, ix, vecmat.Vector{50, 150}, Config{Delta: 15, Theta: 0.2})
+	q := vecmat.Identity(2).Scale(0.5)
+
+	prev := make(map[int64]bool)
+	var totalEntered, totalLeft int
+	for step := 0; step < 12; step++ {
+		if step > 0 {
+			if err := m.Move(vecmat.Vector{15, 0}, q); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := m.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Epoch != step+1 {
+			t.Fatalf("epoch = %d, want %d", res.Epoch, step+1)
+		}
+		// Delta consistency: prev + entered − left = current.
+		next := make(map[int64]bool)
+		for id := range prev {
+			next[id] = true
+		}
+		for _, id := range res.Entered {
+			if prev[id] {
+				t.Fatalf("step %d: id %d re-entered while present", step, id)
+			}
+			next[id] = true
+		}
+		for _, id := range res.Left {
+			if !prev[id] {
+				t.Fatalf("step %d: id %d left while absent", step, id)
+			}
+			delete(next, id)
+		}
+		if len(next) != res.Current {
+			t.Fatalf("step %d: delta arithmetic gives %d, monitor says %d", step, len(next), res.Current)
+		}
+		cur := m.Current()
+		if len(cur) != res.Current {
+			t.Fatalf("Current() size %d vs %d", len(cur), res.Current)
+		}
+		prev = next
+		totalEntered += len(res.Entered)
+		totalLeft += len(res.Left)
+		if res.Current == 0 {
+			t.Fatalf("step %d: standing set empty on a dense grid", step)
+		}
+	}
+	// The robot moved 165 units: churn must have occurred.
+	if totalEntered < 10 || totalLeft < 10 {
+		t.Errorf("too little churn: entered %d, left %d", totalEntered, totalLeft)
+	}
+}
+
+// A position fix shrinks the belief and with it the answer set (generally).
+func TestMonitorFixShrinksUncertainty(t *testing.T) {
+	ix := gridIndex(t, 5, 60)
+	m := newMonitor(t, ix, vecmat.Vector{150, 150}, Config{Delta: 10, Theta: 0.05})
+	q := vecmat.Identity(2).Scale(20)
+	for i := 0; i < 4; i++ {
+		if err := m.Move(vecmat.Vector{0, 0}, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vague, err := m.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fix(vecmat.Vector{150, 150}, vecmat.Identity(2).Scale(0.25)); err != nil {
+		t.Fatal(err)
+	}
+	sharp, err := m.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharp.Current >= vague.Current {
+		t.Errorf("fix did not shrink answer set: %d → %d", vague.Current, sharp.Current)
+	}
+	if len(sharp.Left) == 0 {
+		t.Error("no objects left the range after the fix")
+	}
+}
+
+// Deterministic: two monitors fed the same event stream agree exactly.
+func TestMonitorDeterministic(t *testing.T) {
+	ix := gridIndex(t, 10, 20)
+	mkRun := func() []int {
+		m := newMonitor(t, ix, vecmat.Vector{50, 50}, Config{Delta: 12, Theta: 0.1})
+		rng := rand.New(rand.NewSource(99))
+		var sizes []int
+		for i := 0; i < 8; i++ {
+			u := vecmat.Vector{rng.Float64() * 10, rng.Float64() * 10}
+			if err := m.Move(u, vecmat.Identity(2)); err != nil {
+				t.Fatal(err)
+			}
+			res, err := m.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sizes = append(sizes, res.Current)
+		}
+		return sizes
+	}
+	a, b := mkRun(), mkRun()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at step %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

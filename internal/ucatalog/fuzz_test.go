@@ -1,0 +1,48 @@
+package ucatalog
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadRCatalog: arbitrary input must never panic, and accepted catalogs
+// must be internally consistent (usable for lookups without error beyond
+// ErrNoEntry).
+func FuzzReadRCatalog(f *testing.F) {
+	f.Add("rcatalog 2 2\n0.01 2.8\n0.1 1.6\n")
+	f.Add("rcatalog 2 1\n0.2 1.2\n")
+	f.Add("")
+	f.Add("rcatalog 9 1\n0.4 0.5\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		c, err := ReadRCatalog(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if c.Len() == 0 || c.Dim() <= 0 {
+			t.Fatal("accepted catalog with no entries or bad dim")
+		}
+		for _, th := range []float64{0.01, 0.1, 0.4} {
+			if _, err := c.Lookup(th); err != nil && err.Error() == "" {
+				t.Fatal("lookup produced empty error")
+			}
+		}
+	})
+}
+
+// FuzzReadBFCatalog mirrors the RCatalog fuzz for the BF table.
+func FuzzReadBFCatalog(f *testing.F) {
+	f.Add("bfcatalog 2 1\n1 0.1 2\n")
+	f.Add("bfcatalog 2 2\n0.5 0.01 3\n2 0.2 1.5\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		c, err := ReadBFCatalog(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if c.Len() == 0 || c.Dim() <= 0 {
+			t.Fatal("accepted catalog with no entries or bad dim")
+		}
+		_, _ = c.LookupUpper(1, 0.05)
+		_, _ = c.LookupLower(1, 0.05)
+	})
+}

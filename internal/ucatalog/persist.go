@@ -1,0 +1,145 @@
+package ucatalog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteTo serializes the catalog as a line-oriented text table:
+//
+//	rcatalog <dim> <entries>
+//	<theta> <r>
+//	…
+//
+// The format is the Go analogue of the paper's offline-computed U-catalog
+// files; entries round-trip exactly via strconv's shortest representation.
+func (c *RCatalog) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	k, err := fmt.Fprintf(bw, "rcatalog %d %d\n", c.dim, len(c.thetas))
+	n += int64(k)
+	if err != nil {
+		return n, err
+	}
+	for i := range c.thetas {
+		k, err := fmt.Fprintf(bw, "%s %s\n",
+			strconv.FormatFloat(c.thetas[i], 'g', -1, 64),
+			strconv.FormatFloat(c.radii[i], 'g', -1, 64))
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadRCatalog parses a catalog written by WriteTo.
+func ReadRCatalog(r io.Reader) (*RCatalog, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("ucatalog: empty rcatalog stream: %w", sc.Err())
+	}
+	var dim, count int
+	if _, err := fmt.Sscanf(sc.Text(), "rcatalog %d %d", &dim, &count); err != nil {
+		return nil, fmt.Errorf("ucatalog: bad rcatalog header %q: %w", sc.Text(), err)
+	}
+	if dim <= 0 || count <= 0 {
+		return nil, fmt.Errorf("ucatalog: invalid rcatalog header (dim=%d, entries=%d)", dim, count)
+	}
+	c := &RCatalog{dim: dim}
+	prev := 0.0
+	for i := 0; i < count; i++ {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("ucatalog: rcatalog truncated at entry %d", i)
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("ucatalog: rcatalog entry %d malformed: %q", i, sc.Text())
+		}
+		theta, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("ucatalog: rcatalog entry %d theta: %w", i, err)
+		}
+		radius, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("ucatalog: rcatalog entry %d radius: %w", i, err)
+		}
+		if theta <= 0 || theta >= 0.5 || radius <= 0 {
+			return nil, fmt.Errorf("ucatalog: rcatalog entry %d out of range (θ=%g, r=%g)", i, theta, radius)
+		}
+		if theta <= prev {
+			return nil, fmt.Errorf("ucatalog: rcatalog entries not strictly ascending at %d", i)
+		}
+		prev = theta
+		c.thetas = append(c.thetas, theta)
+		c.radii = append(c.radii, radius)
+	}
+	return c, nil
+}
+
+// WriteTo serializes the BF catalog:
+//
+//	bfcatalog <dim> <entries>
+//	<delta> <theta> <alpha>
+//	…
+func (c *BFCatalog) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	k, err := fmt.Fprintf(bw, "bfcatalog %d %d\n", c.dim, len(c.entries))
+	n += int64(k)
+	if err != nil {
+		return n, err
+	}
+	for _, e := range c.entries {
+		k, err := fmt.Fprintf(bw, "%s %s %s\n",
+			strconv.FormatFloat(e.Delta, 'g', -1, 64),
+			strconv.FormatFloat(e.Theta, 'g', -1, 64),
+			strconv.FormatFloat(e.Alpha, 'g', -1, 64))
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadBFCatalog parses a catalog written by (*BFCatalog).WriteTo.
+func ReadBFCatalog(r io.Reader) (*BFCatalog, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("ucatalog: empty bfcatalog stream: %w", sc.Err())
+	}
+	var dim, count int
+	if _, err := fmt.Sscanf(sc.Text(), "bfcatalog %d %d", &dim, &count); err != nil {
+		return nil, fmt.Errorf("ucatalog: bad bfcatalog header %q: %w", sc.Text(), err)
+	}
+	if dim <= 0 || count <= 0 {
+		return nil, fmt.Errorf("ucatalog: invalid bfcatalog header (dim=%d, entries=%d)", dim, count)
+	}
+	c := &BFCatalog{dim: dim}
+	for i := 0; i < count; i++ {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("ucatalog: bfcatalog truncated at entry %d", i)
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("ucatalog: bfcatalog entry %d malformed: %q", i, sc.Text())
+		}
+		var vals [3]float64
+		for j, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("ucatalog: bfcatalog entry %d field %d: %w", i, j+1, err)
+			}
+			vals[j] = v
+		}
+		if vals[0] <= 0 || vals[1] <= 0 || vals[1] >= 1 || vals[2] < 0 {
+			return nil, fmt.Errorf("ucatalog: bfcatalog entry %d out of range: %q", i, sc.Text())
+		}
+		c.entries = append(c.entries, BFEntry{Delta: vals[0], Theta: vals[1], Alpha: vals[2]})
+	}
+	return c, nil
+}

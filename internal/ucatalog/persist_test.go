@@ -1,0 +1,106 @@
+package ucatalog
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRCatalogRoundTrip(t *testing.T) {
+	c, err := NewRCatalog(2, []float64{0.01, 0.05, 0.1, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRCatalog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Dim() != 2 || back.Len() != 4 {
+		t.Fatalf("round trip Dim/Len = %d/%d", back.Dim(), back.Len())
+	}
+	for _, th := range []float64{0.01, 0.06, 0.3} {
+		want, err1 := c.Lookup(th)
+		got, err2 := back.Lookup(th)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("θ=%g: error mismatch %v vs %v", th, err1, err2)
+		}
+		if err1 == nil && got != want {
+			t.Errorf("θ=%g: %g vs %g after round trip", th, got, want)
+		}
+	}
+}
+
+func TestBFCatalogRoundTrip(t *testing.T) {
+	c, err := NewBFCatalog(2, []float64{0.5, 1, 2, 5}, []float64{0.001, 0.01, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBFCatalog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Dim() != 2 || back.Len() != c.Len() {
+		t.Fatalf("round trip Dim/Len = %d/%d (want %d)", back.Dim(), back.Len(), c.Len())
+	}
+	for _, delta := range []float64{0.8, 2, 4} {
+		for _, th := range []float64{0.005, 0.05} {
+			u1, e1 := c.LookupUpper(delta, th)
+			u2, e2 := back.LookupUpper(delta, th)
+			if (e1 == nil) != (e2 == nil) || (e1 == nil && math.Abs(u1-u2) > 0) {
+				t.Fatalf("upper(%g, %g) mismatch: %g/%v vs %g/%v", delta, th, u1, e1, u2, e2)
+			}
+			l1, e1 := c.LookupLower(delta, th)
+			l2, e2 := back.LookupLower(delta, th)
+			if (e1 == nil) != (e2 == nil) || (e1 == nil && l1 != l2) {
+				t.Fatalf("lower(%g, %g) mismatch", delta, th)
+			}
+		}
+	}
+}
+
+func TestReadRCatalogErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"bogus 2 1\n0.1 2.0\n",
+		"rcatalog 0 1\n0.1 2.0\n",
+		"rcatalog 2 2\n0.1 2.0\n", // truncated
+		"rcatalog 2 1\n0.1\n",     // malformed entry
+		"rcatalog 2 1\nx 2.0\n",
+		"rcatalog 2 1\n0.1 y\n",
+		"rcatalog 2 1\n0.7 2.0\n",          // θ out of range
+		"rcatalog 2 2\n0.2 1.0\n0.1 2.0\n", // not ascending
+		"rcatalog 2 1\n0.1 -1\n",           // bad radius
+	}
+	for i, c := range cases {
+		if _, err := ReadRCatalog(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted: %q", i, c)
+		}
+	}
+}
+
+func TestReadBFCatalogErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"rcatalog 2 1\n1 0.1 2\n",
+		"bfcatalog -1 1\n1 0.1 2\n",
+		"bfcatalog 2 2\n1 0.1 2\n",  // truncated
+		"bfcatalog 2 1\n1 0.1\n",    // malformed
+		"bfcatalog 2 1\n1 x 2\n",    // non-numeric
+		"bfcatalog 2 1\n1 1.5 2\n",  // θ ≥ 1
+		"bfcatalog 2 1\n-1 0.1 2\n", // δ ≤ 0
+	}
+	for i, c := range cases {
+		if _, err := ReadBFCatalog(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted: %q", i, c)
+		}
+	}
+}

@@ -1,0 +1,262 @@
+package ucatalog
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"gaussrange/internal/stats"
+)
+
+func TestNewRCatalogValidation(t *testing.T) {
+	if _, err := NewRCatalog(0, nil); err == nil {
+		t.Error("d=0 accepted")
+	}
+	if _, err := NewRCatalog(2, []float64{0.6}); err == nil {
+		t.Error("θ ≥ 1/2 accepted")
+	}
+	if _, err := NewRCatalog(2, []float64{0}); err == nil {
+		t.Error("θ = 0 accepted")
+	}
+	if _, err := NewRCatalog(2, []float64{}); err == nil {
+		t.Error("empty grid accepted")
+	}
+}
+
+func TestRCatalogExactOnGrid(t *testing.T) {
+	grid := []float64{0.01, 0.05, 0.1, 0.25}
+	c, err := NewRCatalog(2, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Dim() != 2 || c.Len() != 4 {
+		t.Fatalf("Dim/Len = %d/%d", c.Dim(), c.Len())
+	}
+	for _, th := range grid {
+		got, err := c.Lookup(th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := stats.SphereRadiusForMass(2, 1-2*th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("on-grid lookup θ=%g: %g, want %g", th, got, want)
+		}
+	}
+}
+
+// The paper's example: entry for θ = 0.06 may not exist; the catalog must
+// fall back to the largest θ* ≤ θ, giving a conservative (larger) radius.
+func TestRCatalogConservativeFallback(t *testing.T) {
+	c, err := NewRCatalog(2, []float64{0.01, 0.05, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Lookup(0.06)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := stats.SphereRadiusForMass(2, 1-2*0.05) // θ* = 0.05
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("fallback radius %g, want θ*=0.05 radius %g", got, want)
+	}
+	exact, _ := c.ExactRadius(0.06)
+	if got < exact {
+		t.Errorf("catalog radius %g below exact %g: not conservative", got, exact)
+	}
+}
+
+func TestRCatalogBelowSmallestEntry(t *testing.T) {
+	c, err := NewRCatalog(2, []float64{0.05, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Lookup(0.01); !errors.Is(err, ErrNoEntry) {
+		t.Errorf("expected ErrNoEntry, got %v", err)
+	}
+}
+
+func TestRCatalogLookupValidation(t *testing.T) {
+	c, _ := NewRCatalog(2, nil)
+	for _, th := range []float64{0, 0.5, -1, 0.9} {
+		if _, err := c.Lookup(th); err == nil {
+			t.Errorf("Lookup(%g) accepted", th)
+		}
+		if _, err := c.ExactRadius(th); err == nil {
+			t.Errorf("ExactRadius(%g) accepted", th)
+		}
+	}
+}
+
+// Property: for random θ, the default catalog is conservative but within the
+// granularity of the grid.
+func TestRCatalogConservativeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for _, d := range []int{2, 3, 9} {
+		c, err := NewRCatalog(d, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 300; i++ {
+			th := math.Exp(rng.Float64()*math.Log(0.4/2e-6)) * 2e-6
+			if th >= 0.5 {
+				continue
+			}
+			got, err := c.Lookup(th)
+			if errors.Is(err, ErrNoEntry) {
+				continue
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			exact, err := c.ExactRadius(th)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got < exact-1e-12 {
+				t.Fatalf("d=%d θ=%g: catalog %g < exact %g (unsafe)", d, th, got, exact)
+			}
+			if got > exact*1.5 {
+				t.Errorf("d=%d θ=%g: catalog %g ≫ exact %g (too coarse)", d, th, got, exact)
+			}
+		}
+	}
+}
+
+func TestNewBFCatalogValidation(t *testing.T) {
+	if _, err := NewBFCatalog(0, nil, nil); err == nil {
+		t.Error("d=0 accepted")
+	}
+	if _, err := NewBFCatalog(2, []float64{-1}, nil); err == nil {
+		t.Error("negative δ accepted")
+	}
+	if _, err := NewBFCatalog(2, nil, []float64{2}); err == nil {
+		t.Error("θ ≥ 1 accepted")
+	}
+}
+
+func TestBFCatalogBuildSkipsInfeasible(t *testing.T) {
+	// Tiny δ and huge θ is infeasible; catalog should skip, not fail.
+	c, err := NewBFCatalog(2, []float64{0.01, 5}, []float64{0.9, 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() == 0 || c.Len() >= 4 {
+		// (0.01, 0.9) must be infeasible: mass within r=0.01 of center ≪ 0.9.
+		t.Errorf("Len = %d, want 1..3", c.Len())
+	}
+	if c.Dim() != 2 {
+		t.Errorf("Dim = %d", c.Dim())
+	}
+}
+
+func TestBFCatalogExactAlpha(t *testing.T) {
+	c, err := NewBFCatalog(2, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For d=2, mass of δ-sphere at offset α equals noncentral χ²; verify the
+	// round trip through the CDF.
+	alpha, err := c.ExactAlpha(2.0, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := stats.NoncentralChiSquareCDF(2, alpha*alpha, 4.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.1) > 1e-9 {
+		t.Errorf("mass at ExactAlpha = %g, want 0.1", p)
+	}
+	if _, err := c.ExactAlpha(0, 0.1); err == nil {
+		t.Error("δ=0 accepted")
+	}
+	if _, err := c.ExactAlpha(1, 0); err == nil {
+		t.Error("θ=0 accepted")
+	}
+	// Infeasible: θ greater than the centered mass.
+	if _, err := c.ExactAlpha(0.1, 0.99); !errors.Is(err, stats.ErrNoSolution) {
+		t.Errorf("want ErrNoSolution, got %v", err)
+	}
+}
+
+// Properties of the conservative lookups: LookupUpper ≥ exact α ≥ LookupLower.
+func TestBFCatalogConservativeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	for _, d := range []int{2, 9} {
+		c, err := NewBFCatalog(d, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			delta := math.Exp(rng.Float64()*4 - 2) // δ in [0.135, 7.4]
+			theta := math.Exp(rng.Float64()*10 - 12)
+			if theta >= 1 {
+				continue
+			}
+			exact, errE := c.ExactAlpha(delta, theta)
+			up, errU := c.LookupUpper(delta, theta)
+			lo, errL := c.LookupLower(delta, theta)
+			if errE == nil && errU == nil && up < exact-1e-9 {
+				t.Fatalf("d=%d δ=%g θ=%g: upper %g < exact %g (unsafe prune)", d, delta, theta, up, exact)
+			}
+			if errE == nil && errL == nil && lo > exact+1e-9 {
+				t.Fatalf("d=%d δ=%g θ=%g: lower %g > exact %g (unsafe accept)", d, delta, theta, lo, exact)
+			}
+			// When exact is infeasible, LookupLower must not return an entry
+			// that would accept anything unsafely; any entry it returns has
+			// θ' ≥ θ at δ' ≤ δ which cannot exist if exact is infeasible at
+			// larger δ... it can exist only if feasible; then exact at that
+			// entry is defined. Just require no panic and valid output.
+			_ = errE
+			_ = lo
+		}
+	}
+}
+
+func TestBFCatalogLookupValidation(t *testing.T) {
+	c, err := NewBFCatalog(2, []float64{1, 2}, []float64{0.01, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []struct{ d, th float64 }{{0, 0.1}, {1, 0}, {1, 1}} {
+		if _, err := c.LookupUpper(bad.d, bad.th); err == nil {
+			t.Errorf("LookupUpper(%g, %g) accepted", bad.d, bad.th)
+		}
+		if _, err := c.LookupLower(bad.d, bad.th); err == nil {
+			t.Errorf("LookupLower(%g, %g) accepted", bad.d, bad.th)
+		}
+	}
+	// Out-of-range lookups yield ErrNoEntry.
+	if _, err := c.LookupUpper(100, 0.1); !errors.Is(err, ErrNoEntry) {
+		t.Errorf("LookupUpper beyond grid: %v", err)
+	}
+	if _, err := c.LookupLower(0.0001, 0.99); !errors.Is(err, ErrNoEntry) {
+		t.Errorf("LookupLower beyond grid: %v", err)
+	}
+}
+
+func TestDefaultGrids(t *testing.T) {
+	tg := DefaultThetaGrid()
+	if len(tg) == 0 || tg[0] >= tg[len(tg)-1] {
+		t.Error("DefaultThetaGrid not ascending")
+	}
+	for _, th := range tg {
+		if th <= 0 || th >= 0.5 {
+			t.Errorf("grid value %g out of range", th)
+		}
+	}
+	dg := DefaultDeltaGrid()
+	if len(dg) == 0 || dg[0] <= 0 {
+		t.Error("DefaultDeltaGrid invalid")
+	}
+	bg := DefaultBFThetaGrid()
+	for _, th := range bg {
+		if th <= 0 || th >= 1 {
+			t.Errorf("BF grid value %g out of range", th)
+		}
+	}
+}

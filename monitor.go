@@ -1,0 +1,106 @@
+package gaussrange
+
+import (
+	"fmt"
+
+	"gaussrange/internal/core"
+	"gaussrange/internal/kalman"
+	"gaussrange/internal/trajectory"
+	"gaussrange/internal/vecmat"
+)
+
+// Monitor is a standing probabilistic range query attached to a moving,
+// imprecisely-localized query object: the moving-object scenario of the
+// paper's introduction. The monitor maintains a Kalman position belief;
+// motion commands and position fixes advance it, and each Step re-evaluates
+// the query and reports which points entered and left the probabilistic
+// range.
+type Monitor struct {
+	inner *trajectory.Monitor
+}
+
+// MonitorSpec configures NewMonitor.
+type MonitorSpec struct {
+	// Start and StartCov initialize the position belief N(Start, StartCov).
+	Start    []float64
+	StartCov [][]float64
+	// Delta and Theta are the standing query's PRQ parameters.
+	Delta, Theta float64
+}
+
+// NewMonitor attaches a standing query to the database. The database must
+// not be mutated while monitors are attached.
+func (db *DB) NewMonitor(spec MonitorSpec) (*Monitor, error) {
+	cov, err := vecmat.FromRows(spec.StartCov)
+	if err != nil {
+		return nil, err
+	}
+	f, err := kalman.New(vecmat.Vector(spec.Start), cov)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := trajectory.New(db.idx, core.NewExactEvaluator(), f,
+		trajectory.Config{Delta: spec.Delta, Theta: spec.Theta})
+	if err != nil {
+		return nil, err
+	}
+	return &Monitor{inner: inner}, nil
+}
+
+// Move advances the belief by a displacement with diagonal process noise
+// variances.
+func (m *Monitor) Move(displacement []float64, noiseVariances []float64) error {
+	if len(displacement) != len(noiseVariances) {
+		return fmt.Errorf("gaussrange: displacement dim %d vs noise dim %d",
+			len(displacement), len(noiseVariances))
+	}
+	return m.inner.Move(vecmat.Vector(displacement), vecmat.Diagonal(noiseVariances...))
+}
+
+// Fix corrects the belief with a position measurement with diagonal noise
+// variances.
+func (m *Monitor) Fix(position []float64, noiseVariances []float64) error {
+	if len(position) != len(noiseVariances) {
+		return fmt.Errorf("gaussrange: position dim %d vs noise dim %d",
+			len(position), len(noiseVariances))
+	}
+	return m.inner.Fix(vecmat.Vector(position), vecmat.Diagonal(noiseVariances...))
+}
+
+// StepDelta reports one monitoring epoch: objects entering and leaving the
+// probabilistic range, plus the standing set size.
+type StepDelta struct {
+	Entered []int64
+	Left    []int64
+	Current int
+}
+
+// Step re-evaluates the standing query at the current belief.
+func (m *Monitor) Step() (*StepDelta, error) {
+	res, err := m.inner.Step()
+	if err != nil {
+		return nil, err
+	}
+	return &StepDelta{Entered: res.Entered, Left: res.Left, Current: res.Current}, nil
+}
+
+// Current returns the standing answer set, ascending.
+func (m *Monitor) Current() []int64 { return m.inner.Current() }
+
+// Belief returns the current position belief mean and covariance.
+func (m *Monitor) Belief() (mean []float64, cov [][]float64, err error) {
+	b, err := m.inner.Belief()
+	if err != nil {
+		return nil, nil, err
+	}
+	mean = append([]float64(nil), b.Mean()...)
+	d := b.Dim()
+	cov = make([][]float64, d)
+	for i := 0; i < d; i++ {
+		cov[i] = make([]float64, d)
+		for j := 0; j < d; j++ {
+			cov[i][j] = b.Cov().At(i, j)
+		}
+	}
+	return mean, cov, nil
+}

@@ -1,0 +1,83 @@
+package gaussrange
+
+import (
+	"testing"
+)
+
+func TestMonitorEndToEnd(t *testing.T) {
+	db, err := Load(gridPoints(10000, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := db.NewMonitor(MonitorSpec{
+		Start:    []float64{100, 500},
+		StartCov: [][]float64{{1, 0}, {0, 1}},
+		Delta:    15,
+		Theta:    0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := m.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Current == 0 || len(first.Entered) != first.Current || len(first.Left) != 0 {
+		t.Fatalf("first step: %+v", first)
+	}
+
+	// Drive east; the answer set must churn.
+	var churn int
+	for i := 0; i < 6; i++ {
+		if err := m.Move([]float64{20, 0}, []float64{2, 0.5}); err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		churn += len(res.Entered) + len(res.Left)
+		if len(m.Current()) != res.Current {
+			t.Fatal("Current() inconsistent with step result")
+		}
+	}
+	if churn == 0 {
+		t.Error("no churn while moving across a dense grid")
+	}
+
+	// A sharp fix collapses uncertainty.
+	mean, cov, err := m.Belief()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mean) != 2 || len(cov) != 2 {
+		t.Fatalf("belief shape: %v %v", mean, cov)
+	}
+	before := cov[0][0]
+	if err := m.Fix(mean, []float64{0.01, 0.01}); err != nil {
+		t.Fatal(err)
+	}
+	_, cov, err = m.Belief()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov[0][0] >= before {
+		t.Errorf("fix did not shrink variance: %g → %g", before, cov[0][0])
+	}
+
+	// Validation.
+	if err := m.Move([]float64{1}, []float64{1, 1}); err == nil {
+		t.Error("mismatched move accepted")
+	}
+	if err := m.Fix([]float64{1, 1}, []float64{1}); err == nil {
+		t.Error("mismatched fix accepted")
+	}
+	if _, err := db.NewMonitor(MonitorSpec{Start: []float64{0, 0},
+		StartCov: [][]float64{{1, 0}, {0, 1}}, Delta: 0, Theta: 0.1}); err == nil {
+		t.Error("delta=0 accepted")
+	}
+	if _, err := db.NewMonitor(MonitorSpec{Start: []float64{0, 0},
+		StartCov: [][]float64{{1, 2}, {3, 4}}, Delta: 5, Theta: 0.1}); err == nil {
+		t.Error("asymmetric start covariance accepted")
+	}
+}

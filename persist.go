@@ -1,0 +1,198 @@
+package gaussrange
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+)
+
+// persistMagic identifies the on-disk snapshot format, version 1.
+var persistMagic = [6]byte{'G', 'R', 'D', 'B', 'v', '1'}
+
+// Save writes a snapshot of the database's points to w. The snapshot stores
+// the raw point data plus a CRC; Restore rebuilds the R*-tree
+// deterministically with STR bulk loading, which is faster than serializing
+// tree pages and immune to structural format drift.
+func (db *DB) Save(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	crc := crc32.NewIEEE()
+	out := io.MultiWriter(bw, crc)
+
+	if _, err := out.Write(persistMagic[:]); err != nil {
+		return fmt.Errorf("gaussrange: writing snapshot header: %w", err)
+	}
+	if err := binary.Write(out, binary.LittleEndian, uint32(db.dim)); err != nil {
+		return err
+	}
+	if err := binary.Write(out, binary.LittleEndian, uint64(db.Len())); err != nil {
+		return err
+	}
+	buf := make([]byte, 8)
+	for id := int64(0); id < int64(db.Len()); id++ {
+		p, err := db.idx.Point(id)
+		if err != nil {
+			return err
+		}
+		for _, x := range p {
+			binary.LittleEndian.PutUint64(buf, math.Float64bits(x))
+			if _, err := out.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, crc.Sum32()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// SaveFile writes a snapshot to the given path.
+func (db *DB) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := db.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Restore reads a snapshot produced by Save and rebuilds the database.
+// Options apply as in Load.
+func Restore(r io.Reader, opts ...Option) (*DB, error) {
+	br := bufio.NewReader(r)
+	crc := crc32.NewIEEE()
+	in := io.TeeReader(br, crc)
+
+	var magic [6]byte
+	if _, err := io.ReadFull(in, magic[:]); err != nil {
+		return nil, fmt.Errorf("gaussrange: reading snapshot header: %w", err)
+	}
+	if magic != persistMagic {
+		return nil, errors.New("gaussrange: not a gaussrange snapshot (bad magic)")
+	}
+	var dim uint32
+	if err := binary.Read(in, binary.LittleEndian, &dim); err != nil {
+		return nil, err
+	}
+	var count uint64
+	if err := binary.Read(in, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	if dim == 0 || dim > 1<<16 {
+		return nil, fmt.Errorf("gaussrange: snapshot dimension %d out of range", dim)
+	}
+	const maxPoints = 1 << 33
+	if count > maxPoints {
+		return nil, fmt.Errorf("gaussrange: snapshot claims %d points (limit %d)", count, int64(maxPoints))
+	}
+
+	points := make([][]float64, count)
+	buf := make([]byte, 8)
+	for i := range points {
+		p := make([]float64, dim)
+		for j := range p {
+			if _, err := io.ReadFull(in, buf); err != nil {
+				return nil, fmt.Errorf("gaussrange: truncated snapshot at point %d: %w", i, err)
+			}
+			p[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+		}
+		points[i] = p
+	}
+	sum := crc.Sum32()
+	var stored uint32
+	if err := binary.Read(br, binary.LittleEndian, &stored); err != nil {
+		return nil, fmt.Errorf("gaussrange: reading snapshot checksum: %w", err)
+	}
+	if stored != sum {
+		return nil, fmt.Errorf("gaussrange: snapshot checksum mismatch (stored %08x, computed %08x)", stored, sum)
+	}
+	if count == 0 {
+		return Open(int(dim), opts...)
+	}
+	return Load(points, opts...)
+}
+
+// RestoreFile reads a snapshot from the given path.
+func RestoreFile(path string, opts ...Option) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Restore(f, opts...)
+}
+
+// Match is one probability-annotated query answer.
+type Match struct {
+	ID          int64
+	Probability float64
+}
+
+// QueryMatches runs the query and returns probability-annotated answers,
+// best first. Unlike Query, every answer's probability is computed (even
+// those the BF bound could accept outright).
+func (db *DB) QueryMatches(spec QuerySpec) ([]Match, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	q, strat, err := db.compile(spec)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := db.engine()
+	if err != nil {
+		return nil, err
+	}
+	res, _, err := engine.SearchProbs(q, strat)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Match, len(res))
+	for i, m := range res {
+		out[i] = Match{ID: m.ID, Probability: m.Probability}
+	}
+	return out, nil
+}
+
+// QueryTopK returns at most k answers with the highest qualification
+// probabilities among those clearing Theta, best first.
+func (db *DB) QueryTopK(spec QuerySpec, k int) ([]Match, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("gaussrange: k must be positive, got %d", k)
+	}
+	matches, err := db.QueryMatches(spec)
+	if err != nil {
+		return nil, err
+	}
+	if len(matches) > k {
+		matches = matches[:k]
+	}
+	return matches, nil
+}
+
+// QueryFunc streams qualifying point ids to fn as they are found, without
+// materializing the result slice — useful for very large answer sets.
+// Returning false from fn stops the query early. IDs arrive unsorted.
+func (db *DB) QueryFunc(spec QuerySpec, fn func(id int64) bool) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	q, strat, err := db.compile(spec)
+	if err != nil {
+		return err
+	}
+	engine, err := db.engine()
+	if err != nil {
+		return err
+	}
+	_, err = engine.SearchFunc(q, strat, fn)
+	return err
+}

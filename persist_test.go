@@ -1,0 +1,230 @@
+package gaussrange
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSaveRestoreRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	points := make([][]float64, 5000)
+	for i := range points {
+		points[i] = []float64{rng.Float64() * 1000, rng.Float64() * 1000}
+	}
+	db, err := Load(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Restore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != db.Len() || back.Dim() != db.Dim() {
+		t.Fatalf("restored Len/Dim = %d/%d", back.Len(), back.Dim())
+	}
+	// Identical query results.
+	spec := QuerySpec{Center: []float64{500, 500}, Cov: paperCov(10), Delta: 25, Theta: 0.01}
+	a, err := db.Query(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.Query(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.IDs) != len(b.IDs) {
+		t.Fatalf("restored query %d answers vs %d", len(b.IDs), len(a.IDs))
+	}
+	for i := range a.IDs {
+		if a.IDs[i] != b.IDs[i] {
+			t.Fatal("restored answers differ")
+		}
+	}
+	// Point payloads preserved bit-exactly.
+	for _, id := range []int64{0, 2500, 4999} {
+		p1, _ := db.Point(id)
+		p2, _ := back.Point(id)
+		if p1[0] != p2[0] || p1[1] != p2[1] {
+			t.Fatalf("point %d differs after restore", id)
+		}
+	}
+}
+
+func TestSaveRestoreFile(t *testing.T) {
+	db, err := Load([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "db.snap")
+	if err := db.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := RestoreFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Errorf("restored Len = %d", back.Len())
+	}
+	if _, err := RestoreFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestRestoreEmptyDatabase(t *testing.T) {
+	db, err := Open(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Restore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 0 || back.Dim() != 3 {
+		t.Errorf("restored empty db Len/Dim = %d/%d", back.Len(), back.Dim())
+	}
+}
+
+func TestRestoreCorruption(t *testing.T) {
+	db, err := Load([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte(nil), good...)
+	bad[0] = 'X'
+	if _, err := Restore(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Flipped payload byte → checksum mismatch.
+	bad = append([]byte(nil), good...)
+	bad[len(bad)-10] ^= 0xFF
+	if _, err := Restore(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("corrupted payload: %v", err)
+	}
+	// Truncated stream.
+	if _, err := Restore(bytes.NewReader(good[:len(good)-12])); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+	// Empty stream.
+	if _, err := Restore(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream accepted")
+	}
+}
+
+func TestQueryMatchesAndTopK(t *testing.T) {
+	db, err := Load(gridPoints(10000, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := QuerySpec{Center: []float64{500, 500}, Cov: paperCov(10), Delta: 25, Theta: 0.01}
+	matches, err := db.QueryMatches(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != len(res.IDs) {
+		t.Fatalf("QueryMatches %d vs Query %d", len(matches), len(res.IDs))
+	}
+	for i, m := range matches {
+		if m.Probability < spec.Theta {
+			t.Fatalf("match %d has probability %g below θ", i, m.Probability)
+		}
+		if i > 0 && m.Probability > matches[i-1].Probability {
+			t.Fatal("matches not sorted by descending probability")
+		}
+		// Cross-check against the exact point probability.
+		p, err := db.QueryProb(spec, m.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != m.Probability {
+			t.Fatalf("match probability %g differs from QueryProb %g", m.Probability, p)
+		}
+	}
+
+	top, err := db.QueryTopK(spec, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 5 {
+		t.Fatalf("TopK returned %d", len(top))
+	}
+	for i := range top {
+		if top[i] != matches[i] {
+			t.Fatal("TopK disagrees with QueryMatches prefix")
+		}
+	}
+	if _, err := db.QueryTopK(spec, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	// k larger than the answer set returns everything.
+	all, err := db.QueryTopK(spec, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(matches) {
+		t.Errorf("oversized k returned %d of %d", len(all), len(matches))
+	}
+}
+
+func TestQueryFunc(t *testing.T) {
+	db, err := Load(gridPoints(10000, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := QuerySpec{Center: []float64{500, 500}, Cov: paperCov(10), Delta: 25, Theta: 0.01}
+	want, err := db.Query(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int64]bool)
+	if err := db.QueryFunc(spec, func(id int64) bool {
+		seen[id] = true
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(want.IDs) {
+		t.Fatalf("streamed %d, want %d", len(seen), len(want.IDs))
+	}
+	for _, id := range want.IDs {
+		if !seen[id] {
+			t.Fatalf("id %d missing from stream", id)
+		}
+	}
+	// Early stop.
+	n := 0
+	if err := db.QueryFunc(spec, func(int64) bool { n++; return false }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("early stop streamed %d", n)
+	}
+	// Validation error propagates.
+	bad := spec
+	bad.Theta = 0
+	if err := db.QueryFunc(bad, func(int64) bool { return true }); err == nil {
+		t.Error("bad spec accepted")
+	}
+}

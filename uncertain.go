@@ -1,0 +1,102 @@
+package gaussrange
+
+import (
+	"fmt"
+
+	"gaussrange/internal/core"
+	"gaussrange/internal/gauss"
+	"gaussrange/internal/vecmat"
+)
+
+// UncertainDB stores objects whose own locations are Gaussian — the paper's
+// future-work setting where both the query and the targets are imprecise.
+// Each object i has mean means[i] and covariance covs[i] (nil = exact).
+// Queries are answered exactly: the difference of independent Gaussians is
+// Gaussian, so each object's qualification probability is a quadratic-form
+// CDF with the summed covariance, evaluated by Ruben's series.
+type UncertainDB struct {
+	h   *core.HeteroIndex
+	dim int
+}
+
+// LoadUncertain builds an uncertain-object database. covs may be nil
+// (all objects exact) or must have one entry per object, where a nil entry
+// marks an exact object.
+func LoadUncertain(means [][]float64, covs [][][]float64) (*UncertainDB, error) {
+	if len(means) == 0 {
+		return nil, fmt.Errorf("gaussrange: LoadUncertain requires at least one object")
+	}
+	dim := len(means[0])
+	if dim == 0 {
+		return nil, fmt.Errorf("gaussrange: zero-dimensional objects")
+	}
+	if covs != nil && len(covs) != len(means) {
+		return nil, fmt.Errorf("gaussrange: %d means but %d covariances", len(means), len(covs))
+	}
+	objs := make([]core.UncertainObject, len(means))
+	for i, m := range means {
+		if len(m) != dim {
+			return nil, fmt.Errorf("gaussrange: object %d has dim %d, want %d", i, len(m), dim)
+		}
+		obj := core.UncertainObject{Mean: vecmat.Vector(m).Clone()}
+		if covs != nil && covs[i] != nil {
+			c, err := vecmat.FromRows(covs[i])
+			if err != nil {
+				return nil, fmt.Errorf("gaussrange: object %d covariance: %w", i, err)
+			}
+			obj.Cov = c
+		}
+		objs[i] = obj
+	}
+	h, err := core.NewHeteroIndexFromObjects(objs, dim)
+	if err != nil {
+		return nil, err
+	}
+	return &UncertainDB{h: h, dim: dim}, nil
+}
+
+// Len returns the number of stored objects.
+func (u *UncertainDB) Len() int { return u.h.Len() }
+
+// Dim returns the dimensionality.
+func (u *UncertainDB) Dim() int { return u.dim }
+
+// Query returns the ids of objects within distance Delta of the query
+// object with probability at least Theta, accounting for both location
+// uncertainties. The spec's Strategy and TargetCov fields are ignored (the
+// per-object covariances fully specify target uncertainty here).
+func (u *UncertainDB) Query(spec QuerySpec) ([]int64, error) {
+	q, err := u.compile(spec)
+	if err != nil {
+		return nil, err
+	}
+	res, err := u.h.Search(q)
+	if err != nil {
+		return nil, err
+	}
+	return res.IDs, nil
+}
+
+// QueryProb returns the exact qualification probability of one object.
+func (u *UncertainDB) QueryProb(spec QuerySpec, id int64) (float64, error) {
+	q, err := u.compile(spec)
+	if err != nil {
+		return 0, err
+	}
+	return u.h.Qualification(q, id)
+}
+
+func (u *UncertainDB) compile(spec QuerySpec) (core.Query, error) {
+	if len(spec.Center) != u.dim {
+		return core.Query{}, fmt.Errorf("gaussrange: center dim %d vs db dim %d", len(spec.Center), u.dim)
+	}
+	cov, err := vecmat.FromRows(spec.Cov)
+	if err != nil {
+		return core.Query{}, err
+	}
+	g, err := gauss.New(vecmat.Vector(spec.Center), cov)
+	if err != nil {
+		return core.Query{}, err
+	}
+	return core.Query{Dist: g, Delta: spec.Delta, Theta: spec.Theta}, nil
+}

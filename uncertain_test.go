@@ -1,0 +1,113 @@
+package gaussrange
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLoadUncertainValidation(t *testing.T) {
+	if _, err := LoadUncertain(nil, nil); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := LoadUncertain([][]float64{{}}, nil); err == nil {
+		t.Error("zero-dim accepted")
+	}
+	if _, err := LoadUncertain([][]float64{{1, 2}}, [][][]float64{}); err == nil {
+		t.Error("mismatched covs accepted")
+	}
+	if _, err := LoadUncertain([][]float64{{1, 2}, {3}}, nil); err == nil {
+		t.Error("ragged means accepted")
+	}
+	if _, err := LoadUncertain([][]float64{{1, 2}}, [][][]float64{{{1, 2}, {3, 4}}}); err == nil {
+		t.Error("asymmetric covariance accepted")
+	}
+}
+
+func TestUncertainDBQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	n := 2000
+	means := make([][]float64, n)
+	covs := make([][][]float64, n)
+	for i := range means {
+		means[i] = []float64{rng.Float64() * 500, rng.Float64() * 500}
+		if i%2 == 0 {
+			s := 1 + rng.Float64()*9
+			covs[i] = [][]float64{{s, 0}, {0, s}}
+		}
+	}
+	u, err := LoadUncertain(means, covs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Len() != n || u.Dim() != 2 {
+		t.Fatalf("Len/Dim = %d/%d", u.Len(), u.Dim())
+	}
+	spec := QuerySpec{Center: []float64{250, 250}, Cov: paperCov(3), Delta: 20, Theta: 0.05}
+	ids, err := u.Query(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every returned id clears θ; every omitted nearby id does not.
+	seen := make(map[int64]bool)
+	for _, id := range ids {
+		seen[id] = true
+		p, err := u.QueryProb(spec, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < spec.Theta {
+			t.Fatalf("answer %d has p = %g < θ", id, p)
+		}
+	}
+	for id := int64(0); id < int64(n); id++ {
+		if seen[id] {
+			continue
+		}
+		d := math.Hypot(means[id][0]-250, means[id][1]-250)
+		if d > 100 {
+			continue // skip clearly-out objects for speed
+		}
+		p, err := u.QueryProb(spec, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p >= spec.Theta+1e-9 {
+			t.Fatalf("object %d with p = %g was omitted", id, p)
+		}
+	}
+	// Dimension mismatch.
+	if _, err := u.Query(QuerySpec{Center: []float64{1}, Cov: paperCov(1), Delta: 1, Theta: 0.1}); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+}
+
+// An all-exact UncertainDB must agree with the plain DB.
+func TestUncertainDBReducesToExact(t *testing.T) {
+	pts := gridPoints(2500, 20)
+	u, err := LoadUncertain(pts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Load(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := QuerySpec{Center: []float64{500, 500}, Cov: paperCov(10), Delta: 25, Theta: 0.01}
+	a, err := u.Query(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := db.Query(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b.IDs) {
+		t.Fatalf("uncertain %d vs exact %d answers", len(a), len(b.IDs))
+	}
+	for i := range a {
+		if a[i] != b.IDs[i] {
+			t.Fatal("answer sets differ")
+		}
+	}
+}
