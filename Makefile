@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test bench verify race vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# verify is the pre-merge gate: static analysis plus the race-enabled test
+# suite (the plan cache, worker pools and QueryBatch are concurrency-heavy).
+verify: vet race
+	@echo "verify: OK"

@@ -11,6 +11,7 @@
 package gaussrange
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -615,4 +616,89 @@ func BenchmarkQuadformEvaluators(b *testing.B) {
 			}
 		}
 	})
+}
+
+// benchSpecs returns n query specs sharing one covariance shape with centers
+// drawn from the Long Beach dataset — the repeated-query workload the plan
+// cache targets.
+func benchSpecs(b *testing.B, n int) []QuerySpec {
+	b.Helper()
+	longBeachIndex(b) // populate lbPts
+	sigma := experiments.PaperSigmaBase().Scale(10)
+	cov := [][]float64{
+		{sigma.At(0, 0), sigma.At(0, 1)},
+		{sigma.At(1, 0), sigma.At(1, 1)},
+	}
+	rng := mc.NewRNG(11)
+	specs := make([]QuerySpec, n)
+	for i := range specs {
+		c := lbPts[rng.Intn(len(lbPts))]
+		specs[i] = QuerySpec{
+			Center: []float64{c[0], c[1]},
+			Cov:    cov,
+			Delta:  25,
+			Theta:  0.01,
+		}
+	}
+	return specs
+}
+
+// BenchmarkQueryRepeated contrasts the cached-plan path (same query shape,
+// moving center — every query after the first is a cache hit rebound in
+// O(d)) against cold compilation (plan cache disabled, so each query pays
+// the eigendecomposition and noncentral-χ² root finds again).
+func BenchmarkQueryRepeated(b *testing.B) {
+	specs := benchSpecs(b, 64)
+	raw := toRaw(lbPts)
+	for _, mode := range []struct {
+		name string
+		opts []Option
+	}{
+		{"cached", nil},
+		{"cold", []Option{WithPlanCacheSize(0)}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			db, err := Load(raw, mode.opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Query(specs[i%len(specs)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkQueryBatch measures DB.QueryBatch throughput at several pool
+// sizes against the serial per-spec loop ("workers=1" is the pooled path
+// with one worker; "serial" is repeated QueryCtx).
+func BenchmarkQueryBatch(b *testing.B) {
+	specs := benchSpecs(b, 32)
+	db, err := Load(toRaw(lbPts))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, spec := range specs {
+				if _, err := db.QueryCtx(ctx, spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run("workers="+trimFloat(float64(workers)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := db.QueryBatch(ctx, specs, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

@@ -13,15 +13,18 @@
 //	-theta T          probability threshold θ in (0, 1) (required)
 //	-strategy S       RR | BF | RR+BF | RR+OR | BF+OR | ALL (default ALL)
 //	-mc N             use Monte Carlo with N samples (default: exact)
+//	-timeout D        abort the query after duration D (e.g. 500ms; 0 = none)
 //	-v                print per-object probabilities
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"gaussrange"
 	"gaussrange/internal/data"
@@ -60,6 +63,7 @@ func main() {
 	theta := flag.Float64("theta", 0, "probability threshold θ")
 	strategy := flag.String("strategy", "ALL", "filter strategy")
 	mcSamples := flag.Int("mc", 0, "Monte Carlo samples (0 = exact evaluator)")
+	timeout := flag.Duration("timeout", 0, "abort the query after this duration (0 = no limit)")
 	verbose := flag.Bool("v", false, "print per-object probabilities")
 	topK := flag.Int("topk", 0, "report only the k most probable answers")
 	pnn := flag.Bool("pnn", false, "run a probabilistic nearest-neighbor query instead of a range query")
@@ -73,13 +77,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := run(flag.Arg(0), *center, *cov, *delta, *theta, *strategy, *mcSamples, *verbose, *topK, *pnn); err != nil {
+	if err := run(flag.Arg(0), *center, *cov, *delta, *theta, *strategy, *mcSamples, *timeout, *verbose, *topK, *pnn); err != nil {
 		fmt.Fprintf(os.Stderr, "prqquery: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, centerS, covS string, delta, theta float64, strategy string, mcSamples int, verbose bool, topK int, pnn bool) error {
+func run(path, centerS, covS string, delta, theta float64, strategy string, mcSamples int, timeout time.Duration, verbose bool, topK int, pnn bool) error {
 	pts, err := data.LoadCSV(path)
 	if err != nil {
 		return err
@@ -145,8 +149,17 @@ func run(path, centerS, covS string, delta, theta float64, strategy string, mcSa
 		return nil
 	}
 
-	res, err := db.Query(spec)
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	res, err := db.QueryCtx(ctx, spec)
 	if err != nil {
+		if ctx.Err() != nil {
+			return fmt.Errorf("query exceeded -timeout %v: %w", timeout, err)
+		}
 		return err
 	}
 

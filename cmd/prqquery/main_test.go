@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 func TestParseVector(t *testing.T) {
@@ -39,31 +40,35 @@ func TestRunEndToEnd(t *testing.T) {
 	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "500,500", "70,34.6;34.6,30", 25, 0.01, "ALL", 0, true, 0, false); err != nil {
+	if err := run(path, "500,500", "70,34.6;34.6,30", 25, 0.01, "ALL", 0, 0, true, 0, false); err != nil {
 		t.Fatal(err)
 	}
 	// Monte Carlo path.
-	if err := run(path, "500,500", "70,34.6;34.6,30", 25, 0.01, "ALL", 5000, false, 0, false); err != nil {
+	if err := run(path, "500,500", "70,34.6;34.6,30", 25, 0.01, "ALL", 5000, 0, false, 0, false); err != nil {
 		t.Fatal(err)
 	}
 	// Error paths.
-	if err := run(filepath.Join(dir, "missing.csv"), "0,0", "1,0;0,1", 1, 0.1, "ALL", 0, false, 0, false); err == nil {
+	if err := run(filepath.Join(dir, "missing.csv"), "0,0", "1,0;0,1", 1, 0.1, "ALL", 0, 0, false, 0, false); err == nil {
 		t.Error("missing file accepted")
 	}
-	if err := run(path, "bad", "1,0;0,1", 1, 0.1, "ALL", 0, false, 0, false); err == nil {
+	if err := run(path, "bad", "1,0;0,1", 1, 0.1, "ALL", 0, 0, false, 0, false); err == nil {
 		t.Error("bad center accepted")
 	}
-	if err := run(path, "0,0", "bad", 1, 0.1, "ALL", 0, false, 0, false); err == nil {
+	if err := run(path, "0,0", "bad", 1, 0.1, "ALL", 0, 0, false, 0, false); err == nil {
 		t.Error("bad covariance accepted")
 	}
-	if err := run(path, "0,0", "1,0;0,1", 1, 0.1, "NOPE", 0, false, 0, false); err == nil {
+	if err := run(path, "0,0", "1,0;0,1", 1, 0.1, "NOPE", 0, 0, false, 0, false); err == nil {
 		t.Error("bad strategy accepted")
 	}
+	// Already-expired -timeout must abort the query with an error.
+	if err := run(path, "500,500", "70,34.6;34.6,30", 25, 0.01, "ALL", 0, time.Nanosecond, false, 0, false); err == nil {
+		t.Error("expired timeout accepted")
+	}
 	// Top-k and PNN modes.
-	if err := run(path, "500,500", "70,34.6;34.6,30", 25, 0.01, "ALL", 0, false, 2, false); err != nil {
+	if err := run(path, "500,500", "70,34.6;34.6,30", 25, 0.01, "ALL", 0, 0, false, 2, false); err != nil {
 		t.Fatalf("topk: %v", err)
 	}
-	if err := run(path, "500,500", "25,0;0,25", 25, 0.05, "ALL", 1000, false, 0, true); err != nil {
+	if err := run(path, "500,500", "25,0;0,25", 25, 0.05, "ALL", 1000, 0, false, 0, true); err != nil {
 		t.Fatalf("pnn: %v", err)
 	}
 }

@@ -24,12 +24,14 @@
 package gaussrange
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gaussrange/internal/core"
@@ -47,14 +49,22 @@ type DB struct {
 	idx     *core.Index
 	dim     int
 	options options
+
+	// plans caches compiled query plans by query shape; compileEng is the
+	// long-lived engine that compiles them (lazily built, guarded by
+	// compileMu — execution always supplies its own evaluator).
+	plans      *planCache
+	compileMu  sync.Mutex
+	compileEng *core.Engine
 }
 
 type options struct {
-	pageSize    int
-	mcSamples   int // 0 selects the exact evaluator (unless adaptive is set)
-	adaptiveMC  bool
-	seed        uint64
-	useCatalogs bool
+	pageSize      int
+	mcSamples     int // 0 selects the exact evaluator (unless adaptive is set)
+	adaptiveMC    bool
+	seed          uint64
+	useCatalogs   bool
+	planCacheSize int
 }
 
 // Option configures Open and Load.
@@ -112,8 +122,21 @@ func WithCatalogs() Option {
 	return func(o *options) error { o.useCatalogs = true; return nil }
 }
 
+// WithPlanCacheSize sets how many compiled query plans the database retains
+// (default DefaultPlanCacheSize). Zero disables the cache, forcing every
+// query to recompile its geometry.
+func WithPlanCacheSize(n int) Option {
+	return func(o *options) error {
+		if n < 0 {
+			return fmt.Errorf("gaussrange: negative plan cache size %d", n)
+		}
+		o.planCacheSize = n
+		return nil
+	}
+}
+
 func buildOptions(opts []Option) (options, error) {
-	o := options{pageSize: rtree.DefaultPageSize, seed: 1}
+	o := options{pageSize: rtree.DefaultPageSize, seed: 1, planCacheSize: DefaultPlanCacheSize}
 	for _, fn := range opts {
 		if err := fn(&o); err != nil {
 			return o, err
@@ -135,7 +158,7 @@ func Open(dim int, opts ...Option) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{idx: idx, dim: dim, options: o}, nil
+	return &DB{idx: idx, dim: dim, options: o, plans: newPlanCache(o.planCacheSize)}, nil
 }
 
 // Load bulk-loads points (all rows must share one dimensionality) using STR
@@ -163,7 +186,7 @@ func Load(points [][]float64, opts ...Option) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{idx: idx, dim: dim, options: o}, nil
+	return &DB{idx: idx, dim: dim, options: o, plans: newPlanCache(o.planCacheSize)}, nil
 }
 
 // Insert adds one point and returns its identifier.
@@ -244,21 +267,135 @@ type Result struct {
 // Query runs PRQ(Center, Cov, Delta, Theta) and returns the qualifying
 // point identifiers.
 func (db *DB) Query(spec QuerySpec) (*Result, error) {
+	return db.QueryCtx(context.Background(), spec)
+}
+
+// QueryCtx runs the query with cancellation and deadline support: a
+// cancelled or expired ctx aborts Phase 3 between candidates and returns
+// ctx.Err(). The query shape (Σ, δ, θ, strategy) is compiled into a plan at
+// most once — repeated queries with the same shape, at any center, reuse the
+// cached plan and skip the eigendecomposition and bounding-radius
+// derivation entirely.
+func (db *DB) QueryCtx(ctx context.Context, spec QuerySpec) (*Result, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	q, strat, err := db.compile(spec)
+	eval, err := db.newEvaluator()
 	if err != nil {
 		return nil, err
 	}
-	engine, err := db.engine()
+	return db.execSpec(ctx, spec, eval)
+}
+
+// QueryBatch runs many queries, spreading them over a pool of worker
+// goroutines. Each worker builds one Phase-3 evaluator and reuses it across
+// every query it claims (work stealing over the spec list), and all workers
+// share the plan cache, so batches of same-shape queries — the standing-query
+// and load-test patterns — compile once and amortize evaluator startup.
+// Results align with specs. The first error (or ctx cancellation) stops the
+// batch promptly.
+func (db *DB) QueryBatch(ctx context.Context, specs []QuerySpec, workers int) ([]*Result, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	results := make([]*Result, len(specs))
+
+	if workers == 1 {
+		eval, err := db.newEvaluator()
+		if err != nil {
+			return nil, err
+		}
+		for i := range specs {
+			res, err := db.execSpec(ctx, specs[i], eval)
+			if err != nil {
+				return nil, batchErr(i, err)
+			}
+			results[i] = res
+		}
+		return results, nil
+	}
+
+	execCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		cancel()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			eval, err := db.newEvaluator()
+			if err != nil {
+				fail(err)
+				return
+			}
+			for {
+				if execCtx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(specs) {
+					return
+				}
+				res, err := db.execSpec(execCtx, specs[i], eval)
+				if err != nil {
+					fail(batchErr(i, err))
+					return
+				}
+				results[i] = res
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+func batchErr(i int, err error) error {
+	return fmt.Errorf("gaussrange: batch query %d: %w", i, err)
+}
+
+// execSpec resolves the plan for spec (cache-assisted) and executes it
+// serially with eval. Callers hold the read lock.
+func (db *DB) execSpec(ctx context.Context, spec QuerySpec, eval core.Evaluator) (*Result, error) {
+	plan, err := db.planFor(spec)
 	if err != nil {
 		return nil, err
 	}
-	res, err := engine.Search(q, strat)
+	res, err := plan.ExecuteEval(ctx, eval)
 	if err != nil {
 		return nil, err
 	}
 	return convertResult(res), nil
+}
+
+// PlanCacheStats returns the cumulative plan-cache hit and miss counts —
+// the hit rate shows how often queries skipped compilation.
+func (db *DB) PlanCacheStats() (hits, misses uint64) {
+	return db.plans.stats()
 }
 
 // QueryProb returns the exact qualification probability of one stored point
@@ -296,24 +433,85 @@ func (db *DB) RangeSearch(center []float64, radius float64) ([]int64, error) {
 	return ids, nil
 }
 
-// compile converts the public spec to engine types.
-func (db *DB) compile(spec QuerySpec) (core.Query, core.Strategy, error) {
-	if len(spec.Center) != db.dim {
-		return core.Query{}, 0, fmt.Errorf("gaussrange: center dim %d vs db dim %d", len(spec.Center), db.dim)
-	}
+// specCov parses the query covariance, folding in TargetCov (homoscedastic
+// uncertain targets) when present.
+func (db *DB) specCov(spec QuerySpec) (*vecmat.Symmetric, error) {
 	cov, err := vecmat.FromRows(spec.Cov)
 	if err != nil {
-		return core.Query{}, 0, err
+		return nil, err
 	}
 	if spec.TargetCov != nil {
 		tc, err := vecmat.FromRows(spec.TargetCov)
 		if err != nil {
-			return core.Query{}, 0, fmt.Errorf("gaussrange: target covariance: %w", err)
+			return nil, fmt.Errorf("gaussrange: target covariance: %w", err)
 		}
 		cov, err = cov.Add(tc)
 		if err != nil {
-			return core.Query{}, 0, fmt.Errorf("gaussrange: target covariance: %w", err)
+			return nil, fmt.Errorf("gaussrange: target covariance: %w", err)
 		}
+	}
+	return cov, nil
+}
+
+// planFor returns the compiled plan for spec, consulting the plan cache.
+// On a hit the cached plan is rebound to the spec's center in O(d); on a
+// miss the full compilation (eigendecomposition, rθ, BF radii, regions)
+// runs once and the result is cached for every later same-shape query.
+func (db *DB) planFor(spec QuerySpec) (*core.Plan, error) {
+	if len(spec.Center) != db.dim {
+		return nil, fmt.Errorf("gaussrange: center dim %d vs db dim %d", len(spec.Center), db.dim)
+	}
+	cov, err := db.specCov(spec)
+	if err != nil {
+		return nil, err
+	}
+	stratName := spec.Strategy
+	if stratName == "" {
+		stratName = "ALL"
+	}
+	key := planKey(cov, spec.Delta, spec.Theta, stratName)
+	if cached, ok := db.plans.get(key); ok {
+		dist, err := cached.Dist().WithMean(vecmat.Vector(spec.Center))
+		if err != nil {
+			return nil, err
+		}
+		return cached.Rebind(dist)
+	}
+
+	g, err := gauss.New(vecmat.Vector(spec.Center), cov)
+	if err != nil {
+		return nil, err
+	}
+	var strat core.Strategy
+	if strings.EqualFold(stratName, "AUTO") {
+		strat = core.ChooseStrategy(g)
+	} else {
+		strat, err = core.ParseStrategy(stratName)
+		if err != nil {
+			return nil, err
+		}
+	}
+	eng, err := db.compileEngine()
+	if err != nil {
+		return nil, err
+	}
+	plan, err := eng.Compile(core.Query{Dist: g, Delta: spec.Delta, Theta: spec.Theta}, strat)
+	if err != nil {
+		return nil, err
+	}
+	db.plans.put(key, plan)
+	return plan, nil
+}
+
+// compile converts the public spec to engine types (no plan caching — used
+// by introspection paths that need the raw query).
+func (db *DB) compile(spec QuerySpec) (core.Query, core.Strategy, error) {
+	if len(spec.Center) != db.dim {
+		return core.Query{}, 0, fmt.Errorf("gaussrange: center dim %d vs db dim %d", len(spec.Center), db.dim)
+	}
+	cov, err := db.specCov(spec)
+	if err != nil {
+		return core.Query{}, 0, err
 	}
 	g, err := gauss.New(vecmat.Vector(spec.Center), cov)
 	if err != nil {
@@ -335,24 +533,54 @@ func (db *DB) compile(spec QuerySpec) (core.Query, core.Strategy, error) {
 	return core.Query{Dist: g, Delta: spec.Delta, Theta: spec.Theta}, strat, nil
 }
 
-// engine builds a fresh engine bound to the configured evaluator.
-func (db *DB) engine() (*core.Engine, error) {
-	var eval core.Evaluator
-	switch {
-	case db.options.adaptiveMC:
-		a, err := mc.NewAdaptive(500, db.options.mcSamples, 4, db.options.seed)
+// compileEngine returns the DB's long-lived plan-compilation engine. Its
+// evaluator is never used for execution — DB paths supply a fresh evaluator
+// per call (ExecuteEval/ExecuteWith), keeping cached plans shareable.
+func (db *DB) compileEngine() (*core.Engine, error) {
+	db.compileMu.Lock()
+	defer db.compileMu.Unlock()
+	if db.compileEng == nil {
+		eng, err := core.NewEngine(db.idx, core.NewExactEvaluator(),
+			core.Options{UseCatalogs: db.options.useCatalogs})
 		if err != nil {
 			return nil, err
 		}
-		eval = a
+		db.compileEng = eng
+	}
+	return db.compileEng, nil
+}
+
+// newEvaluator builds a fresh Phase-3 evaluator per the DB options.
+func (db *DB) newEvaluator() (core.Evaluator, error) {
+	switch {
+	case db.options.adaptiveMC:
+		return mc.NewAdaptive(500, db.options.mcSamples, 4, db.options.seed)
 	case db.options.mcSamples > 0:
+		return mc.NewIntegrator(db.options.mcSamples, db.options.seed)
+	default:
+		return core.NewExactEvaluator(), nil
+	}
+}
+
+// newParallelEvaluator builds a forkable evaluator for intra-query worker
+// pools. The adaptive evaluator cannot fork, so parallel paths fall back to
+// the fixed Monte Carlo budget, as before.
+func (db *DB) newParallelEvaluator() (core.Evaluator, error) {
+	if db.options.mcSamples > 0 {
 		integ, err := mc.NewIntegrator(db.options.mcSamples, db.options.seed)
 		if err != nil {
 			return nil, err
 		}
-		eval = integ
-	default:
-		eval = core.NewExactEvaluator()
+		return core.MCEvaluator{Integrator: integ}, nil
+	}
+	return core.NewExactEvaluator(), nil
+}
+
+// engine builds a fresh engine bound to the configured evaluator.
+func (db *DB) engine() (*core.Engine, error) {
+	eval, err := db.newEvaluator()
+	if err != nil {
+		return nil, err
 	}
 	return core.NewEngine(db.idx, eval, core.Options{UseCatalogs: db.options.useCatalogs})
 }
@@ -439,25 +667,15 @@ func (db *DB) PNN(center []float64, cov [][]float64, theta float64, samples int)
 func (db *DB) QueryParallel(spec QuerySpec, workers int) (*Result, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	q, strat, err := db.compile(spec)
+	plan, err := db.planFor(spec)
 	if err != nil {
 		return nil, err
 	}
-	var eval core.Evaluator
-	if db.options.mcSamples > 0 {
-		integ, err := mc.NewIntegrator(db.options.mcSamples, db.options.seed)
-		if err != nil {
-			return nil, err
-		}
-		eval = core.MCEvaluator{Integrator: integ}
-	} else {
-		eval = core.NewExactEvaluator()
-	}
-	engine, err := core.NewEngine(db.idx, eval, core.Options{UseCatalogs: db.options.useCatalogs})
+	eval, err := db.newParallelEvaluator()
 	if err != nil {
 		return nil, err
 	}
-	res, err := engine.SearchParallel(q, strat, workers)
+	res, err := plan.ExecuteWith(context.Background(), eval, workers)
 	if err != nil {
 		return nil, err
 	}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -18,62 +20,101 @@ type ForkableEvaluator interface {
 // only caches per-distribution spectra, so forks are cheap).
 func (e *ExactEvaluator) ForkEvaluator(uint64) Evaluator { return NewExactEvaluator() }
 
-// SearchParallel runs the query like Search but evaluates Phase 3 with the
-// given number of worker goroutines. The evaluator must implement
-// ForkableEvaluator. The answer set is identical to Search for deterministic
-// evaluators; for Monte Carlo, per-object estimates come from decorrelated
-// streams.
+// ExecuteParallel runs the compiled plan with Phase 3 spread over a pool of
+// worker goroutines using the engine's evaluator. See ExecuteWith.
+func (p *Plan) ExecuteParallel(ctx context.Context, workers int) (*Result, error) {
+	return p.ExecuteWith(ctx, p.engine.eval, workers)
+}
+
+// ExecuteWith runs the compiled plan with the given evaluator, spreading
+// Phase 3 over a pool of worker goroutines that claim candidates from a
+// shared atomic counter (work stealing — no static chunk split, so skewed
+// per-candidate costs cannot idle a worker).
+//
+// The evaluator must implement ForkableEvaluator when it is used by the
+// pool; one fork is derived per candidate, with the stream id taken from the
+// candidate index, so the answer set is identical for every worker count —
+// including for Monte Carlo evaluators. Cancelling ctx (or the first
+// evaluator error) stops all workers promptly: no new candidates are claimed
+// once cancellation is observed.
 //
 // Phase 3 dominates query cost (≥97 % in the paper's measurements), so the
 // speedup is near-linear in workers until the candidate count is small.
-func (e *Engine) SearchParallel(q Query, strat Strategy, workers int) (*Result, error) {
-	if workers <= 1 {
-		return e.Search(q, strat)
+func (p *Plan) ExecuteWith(ctx context.Context, eval Evaluator, workers int) (*Result, error) {
+	if workers < 1 {
+		workers = 1
 	}
-	fe, ok := e.eval.(ForkableEvaluator)
+	fe, ok := eval.(ForkableEvaluator)
 	if !ok {
-		return nil, fmt.Errorf("core: evaluator %T cannot fork for parallel search", e.eval)
+		if workers == 1 {
+			return p.executeSerial(ctx, eval)
+		}
+		return nil, fmt.Errorf("core: evaluator %T cannot fork for parallel execution", eval)
 	}
 
-	st, accepted, needEval, err := e.runFilterPhases(q, strat)
+	st, accepted, needEval, err := p.filterPhases(ctx)
 	if err != nil {
 		return nil, err
 	}
 
 	t2 := time.Now()
-	st.Integrations = len(needEval)
-	qualifies := make([]bool, len(needEval))
+	n := len(needEval)
+	st.Integrations = n
+	qualifies := make([]bool, n)
 
-	var wg sync.WaitGroup
-	chunk := (len(needEval) + workers - 1) / workers
-	var firstErr error
-	var errMu sync.Mutex
-	for w := 0; w < workers && w*chunk < len(needEval); w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > len(needEval) {
-			hi = len(needEval)
-		}
-		ev := fe.ForkEvaluator(uint64(w))
+	// Fork one evaluator per candidate, serially and in candidate order, so
+	// every stream depends only on the candidate index — never on which
+	// worker happens to claim the candidate or on the worker count.
+	evs := make([]Evaluator, n)
+	for i := range evs {
+		evs[i] = fe.ForkEvaluator(uint64(i))
+	}
+
+	if workers > n {
+		workers = n
+	}
+
+	execCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(lo, hi int, ev Evaluator) {
+		go func() {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				p, err := ev.Qualification(q.Dist, e.idx.points[needEval[i]], q.Delta)
+			for {
+				if execCtx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				pr, err := evs[i].Qualification(p.dist, p.engine.idx.points[needEval[i]], p.delta)
 				if err != nil {
 					errMu.Lock()
 					if firstErr == nil {
 						firstErr = fmt.Errorf("core: qualification of object %d: %w", needEval[i], err)
 					}
 					errMu.Unlock()
+					cancel()
 					return
 				}
-				qualifies[i] = p >= q.Theta
+				qualifies[i] = pr >= p.theta
 			}
-		}(lo, hi, ev)
+		}()
 	}
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	ids := accepted
@@ -86,4 +127,21 @@ func (e *Engine) SearchParallel(q Query, strat Strategy, workers int) (*Result, 
 	st.Answers = len(ids)
 	sortIDs(ids)
 	return &Result{IDs: ids, Stats: st}, nil
+}
+
+// SearchParallel runs the query like Search but evaluates Phase 3 with the
+// given number of worker goroutines — a compatibility wrapper over
+// Compile + ExecuteWith. The evaluator must implement ForkableEvaluator
+// unless workers ≤ 1. The answer set is identical to Search for
+// deterministic evaluators and identical across worker counts for Monte
+// Carlo ones (per-candidate streams).
+func (e *Engine) SearchParallel(q Query, strat Strategy, workers int) (*Result, error) {
+	if workers <= 1 {
+		return e.Search(q, strat)
+	}
+	plan, err := e.Compile(q, strat)
+	if err != nil {
+		return nil, err
+	}
+	return plan.ExecuteWith(context.Background(), e.eval, workers)
 }

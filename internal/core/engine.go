@@ -1,14 +1,15 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"gaussrange/internal/gauss"
-	"gaussrange/internal/geom"
 	"gaussrange/internal/stats"
 	"gaussrange/internal/ucatalog"
 	"gaussrange/internal/vecmat"
@@ -51,20 +52,42 @@ type Options struct {
 	BFCatalog *ucatalog.BFCatalog
 }
 
-// Engine executes probabilistic range queries against an Index.
+// Engine compiles and executes probabilistic range queries against an Index.
 type Engine struct {
 	idx  *Index
 	eval Evaluator
 	opts Options
+
+	// catMu guards lazy catalog construction so Compile is safe to call from
+	// concurrent goroutines sharing one engine.
+	catMu sync.Mutex
 }
 
-// NewEngine returns an engine over idx using eval for Phase 3.
+// NewEngine returns an engine over idx using eval for Phase 3. When
+// Options.UseCatalogs is set without supplying tables, the default catalogs
+// are built here, up front, so later compilations never mutate shared state.
 func NewEngine(idx *Index, eval Evaluator, opts Options) (*Engine, error) {
 	if idx == nil {
 		return nil, errors.New("core: nil index")
 	}
 	if eval == nil {
 		return nil, errors.New("core: nil evaluator")
+	}
+	if opts.UseCatalogs {
+		if opts.RCatalog == nil {
+			rc, err := ucatalog.NewRCatalog(idx.Dim(), nil)
+			if err != nil {
+				return nil, err
+			}
+			opts.RCatalog = rc
+		}
+		if opts.BFCatalog == nil {
+			bc, err := ucatalog.NewBFCatalog(idx.Dim(), nil, nil)
+			if err != nil {
+				return nil, err
+			}
+			opts.BFCatalog = bc
+		}
 	}
 	return &Engine{idx: idx, eval: eval, opts: opts}, nil
 }
@@ -136,157 +159,15 @@ type DecisionEvaluator interface {
 	DecideQualifies(dist *gauss.Dist, o vecmat.Vector, delta, theta float64) (qualifies bool, samples int, err error)
 }
 
-// Search executes the query with the given strategy combination.
+// Search executes the query with the given strategy combination. It is a
+// compatibility wrapper over the compile/plan/execute path: Compile derives
+// the per-query geometry once and Execute runs the three phases.
 func (e *Engine) Search(q Query, strat Strategy) (*Result, error) {
-	st, accepted, needEval, err := e.runFilterPhases(q, strat)
+	plan, err := e.Compile(q, strat)
 	if err != nil {
 		return nil, err
 	}
-
-	// ---- Phase 3: probability computation --------------------------------
-	t2 := time.Now()
-	st.Integrations = len(needEval)
-	result := accepted
-	if de, ok := e.eval.(DecisionEvaluator); ok {
-		for _, id := range needEval {
-			qual, _, err := de.DecideQualifies(q.Dist, e.idx.points[id], q.Delta, q.Theta)
-			if err != nil {
-				return nil, fmt.Errorf("core: qualification of object %d: %w", id, err)
-			}
-			if qual {
-				result = append(result, id)
-			}
-		}
-	} else {
-		for _, id := range needEval {
-			p, err := e.eval.Qualification(q.Dist, e.idx.points[id], q.Delta)
-			if err != nil {
-				return nil, fmt.Errorf("core: qualification of object %d: %w", id, err)
-			}
-			if p >= q.Theta {
-				result = append(result, id)
-			}
-		}
-	}
-	st.PhaseDurations[2] = time.Since(t2)
-	st.Answers = len(result)
-
-	sortIDs(result)
-	return &Result{IDs: result, Stats: st}, nil
-}
-
-// runFilterPhases executes Phases 1 and 2, returning the statistics so far,
-// the directly-accepted ids (BF α⊥), and the candidates requiring
-// probability computation.
-func (e *Engine) runFilterPhases(q Query, strat Strategy) (PhaseStats, []int64, []int64, error) {
-	var st PhaseStats
-	if err := q.Validate(e.idx.Dim()); err != nil {
-		return st, nil, nil, err
-	}
-	if !strat.Valid() {
-		return st, nil, nil, fmt.Errorf("core: strategy %v cannot run alone (OR is filter-only)", strat)
-	}
-
-	geo, err := e.deriveGeometry(q, strat)
-	if err != nil {
-		return st, nil, nil, err
-	}
-	st.RTheta = geo.rTheta
-	if !math.IsInf(geo.alphaUpper, 1) {
-		st.AlphaUpper = geo.alphaUpper
-	}
-	st.AlphaLower = geo.alphaLower
-	if geo.empty {
-		return st, nil, nil, nil
-	}
-
-	// ---- Phase 1: index-based search -------------------------------------
-	t0 := time.Now()
-	nodesBefore := e.idx.tree.NodesRead()
-	searchBox, err := e.searchRegion(q, strat, geo)
-	if err != nil {
-		return st, nil, nil, err
-	}
-	candidates, err := e.idx.SearchRect(searchBox)
-	if err != nil {
-		return st, nil, nil, err
-	}
-	st.Retrieved = len(candidates)
-	st.NodesRead = e.idx.tree.NodesRead() - nodesBefore
-	st.PhaseDurations[0] = time.Since(t0)
-
-	// ---- Phase 2: filtering ----------------------------------------------
-	t1 := time.Now()
-	dim := e.idx.Dim()
-	qCenter := q.Dist.Mean()
-
-	var fringe *geom.MinkowskiRegion
-	if strat.Has(StrategyRR) && e.opts.Fringe != FringeOff {
-		if e.opts.Fringe == FringeAllDims || dim == 2 {
-			box, err := e.thetaBox(q, geo.rTheta)
-			if err != nil {
-				return st, nil, nil, err
-			}
-			m, err := geom.NewMinkowskiRegion(box, q.Delta)
-			if err != nil {
-				return st, nil, nil, err
-			}
-			fringe = &m
-		}
-	}
-
-	var orBound vecmat.Vector
-	scratch := make(vecmat.Vector, dim)
-	yBuf := make(vecmat.Vector, dim)
-	if strat.Has(StrategyOR) {
-		orBound = make(vecmat.Vector, dim)
-		for i, ev := range q.Dist.EigenValuesCov() {
-			orBound[i] = geo.rTheta*math.Sqrt(ev) + q.Delta
-		}
-	}
-
-	accepted := make([]int64, 0)
-	needEval := make([]int64, 0, len(candidates))
-	auSq := geo.alphaUpper * geo.alphaUpper
-	alSq := geo.alphaLower * geo.alphaLower
-
-	for _, id := range candidates {
-		o := e.idx.points[id]
-
-		if fringe != nil && !fringe.Contains(o) {
-			st.PrunedFringe++
-			continue
-		}
-		if strat.Has(StrategyOR) {
-			q.Dist.TransformToEigen(o, scratch, yBuf)
-			pruned := false
-			for i := range yBuf {
-				if math.Abs(yBuf[i]) > orBound[i] {
-					pruned = true
-					break
-				}
-			}
-			if pruned {
-				st.PrunedOR++
-				continue
-			}
-		}
-		if strat.Has(StrategyBF) {
-			d2 := o.Dist2(qCenter)
-			if d2 > auSq {
-				st.PrunedBF++
-				continue
-			}
-			if geo.alphaLower > 0 && d2 <= alSq {
-				st.AcceptedBF++
-				accepted = append(accepted, id)
-				continue
-			}
-		}
-		needEval = append(needEval, id)
-	}
-	st.PhaseDurations[1] = time.Since(t1)
-	return st, accepted, needEval, nil
+	return plan.Execute(context.Background())
 }
 
 // deriveGeometry computes rθ and the BF radii as required by the strategy.
@@ -320,13 +201,16 @@ func (e *Engine) rTheta(dim int, theta float64) (float64, error) {
 	if !e.opts.UseCatalogs {
 		return stats.SphereRadiusForMass(dim, 1-2*theta)
 	}
+	e.catMu.Lock()
 	if e.opts.RCatalog == nil {
 		rc, err := ucatalog.NewRCatalog(dim, nil)
 		if err != nil {
+			e.catMu.Unlock()
 			return 0, err
 		}
 		e.opts.RCatalog = rc
 	}
+	e.catMu.Unlock()
 	r, err := e.opts.RCatalog.Lookup(theta)
 	if errors.Is(err, ucatalog.ErrNoEntry) {
 		// θ below the smallest table entry: fall back to the exact value,
@@ -407,80 +291,20 @@ func (e *Engine) bfAlpha(delta, tp float64, upper bool) (float64, error) {
 		}
 		return math.Sqrt(nc), nil
 	}
+	e.catMu.Lock()
 	if e.opts.BFCatalog == nil {
 		bc, err := ucatalog.NewBFCatalog(e.idx.Dim(), nil, nil)
 		if err != nil {
+			e.catMu.Unlock()
 			return 0, err
 		}
 		e.opts.BFCatalog = bc
 	}
+	e.catMu.Unlock()
 	if upper {
 		return e.opts.BFCatalog.LookupUpper(delta, tp)
 	}
 	return e.opts.BFCatalog.LookupLower(delta, tp)
-}
-
-// searchRegion derives the Phase-1 rectangle. With RR present it is the
-// bounding box of the Minkowski region (Fig. 4); with BF alone it is the
-// α∥ box of Algorithm 2.
-func (e *Engine) searchRegion(q Query, strat Strategy, geo queryGeometry) (geom.Rect, error) {
-	if strat.Has(StrategyRR) {
-		box, err := e.thetaBox(q, geo.rTheta)
-		if err != nil {
-			return geom.Rect{}, err
-		}
-		rrBox := box.Expand(q.Delta)
-		// When BF also bounds the query, intersect with its box — both are
-		// conservative so the intersection is too (and never empty unless
-		// the result is provably empty).
-		if strat.Has(StrategyBF) && !math.IsInf(geo.alphaUpper, 1) {
-			hw := make(vecmat.Vector, e.idx.Dim())
-			for i := range hw {
-				hw[i] = geo.alphaUpper
-			}
-			bfBox, err := geom.RectAround(q.Dist.Mean(), hw)
-			if err != nil {
-				return geom.Rect{}, err
-			}
-			if inter, ok := rrBox.Intersection(bfBox); ok {
-				return inter, nil
-			}
-			// Disjoint conservative boxes mean no candidate can qualify.
-			return geom.PointRect(q.Dist.Mean()), nil
-		}
-		return rrBox, nil
-	}
-	// BF-driven Phase 1.
-	hw := make(vecmat.Vector, e.idx.Dim())
-	alpha := geo.alphaUpper
-	if math.IsInf(alpha, 1) {
-		// No finite pruning radius: fall back to the RR box to stay correct.
-		thetaEff := math.Min(q.Theta, 0.4999)
-		r, err := e.rTheta(e.idx.Dim(), thetaEff)
-		if err != nil {
-			return geom.Rect{}, err
-		}
-		box, err := e.thetaBox(q, r)
-		if err != nil {
-			return geom.Rect{}, err
-		}
-		return box.Expand(q.Delta), nil
-	}
-	for i := range hw {
-		hw[i] = alpha
-	}
-	return geom.RectAround(q.Dist.Mean(), hw)
-}
-
-// thetaBox returns the axis-aligned bounding box of the θ-region: half-width
-// σᵢ·rθ along axis i (Property 2).
-func (e *Engine) thetaBox(q Query, rTheta float64) (geom.Rect, error) {
-	dim := e.idx.Dim()
-	hw := make(vecmat.Vector, dim)
-	for i := 0; i < dim; i++ {
-		hw[i] = q.Dist.SigmaAxis(i) * rTheta
-	}
-	return geom.RectAround(q.Dist.Mean(), hw)
 }
 
 // sortIDs sorts ascending in place.

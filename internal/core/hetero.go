@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -92,6 +93,12 @@ type HeteroResult struct {
 // object-wise). Phase 3 evaluates each survivor exactly with its own summed
 // covariance.
 func (h *HeteroIndex) Search(q Query) (*HeteroResult, error) {
+	return h.SearchCtx(context.Background(), q)
+}
+
+// SearchCtx is Search with cancellation: a cancelled ctx aborts Phase 3
+// between candidates and returns ctx.Err().
+func (h *HeteroIndex) SearchCtx(ctx context.Context, q Query) (*HeteroResult, error) {
 	if err := q.Validate(h.Dim()); err != nil {
 		return nil, err
 	}
@@ -119,6 +126,9 @@ func (h *HeteroIndex) Search(q Query) (*HeteroResult, error) {
 
 	res := &HeteroResult{Retrieved: len(candidates)}
 	for _, id := range candidates {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		p, err := h.Qualification(q, id)
 		if err != nil {
 			return nil, err

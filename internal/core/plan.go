@@ -1,0 +1,346 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"gaussrange/internal/gauss"
+	"gaussrange/internal/geom"
+	"gaussrange/internal/vecmat"
+)
+
+// Plan is a compiled query: everything derivable from (Σ, δ, θ, strategy)
+// alone — the eigensystem-dependent radii rθ, α∥, α⊥, the Phase-1 search
+// rectangle, the fringe geometry and the OR bounds — computed once by
+// Engine.Compile and reused across executions. Compilation is the expensive
+// part of a query after Phase 3 (eigendecomposition, noncentral-χ² root
+// finding), so standing queries (Monitor), repeated queries (plan caches)
+// and batches pay it once.
+//
+// A Plan is immutable after compilation and safe for concurrent use as long
+// as each execution supplies its own evaluator (ExecuteWith) or the engine's
+// evaluator is not shared across goroutines.
+type Plan struct {
+	engine *Engine
+	dist   *gauss.Dist
+	delta  float64
+	theta  float64
+	strat  Strategy
+
+	geo queryGeometry
+
+	// Mean-independent half-widths, derived from Σ, δ, θ only.
+	thetaHW  vecmat.Vector // θ-box half-widths σᵢ·rθ (nil when RR and fallback unused)
+	searchHW vecmat.Vector // Phase-1 rectangle half-widths around the query mean
+	orBound  vecmat.Vector // OR per-axis bounds in the eigenbasis (nil when OR unused)
+
+	useFringe bool
+
+	// Mean-dependent geometry, rebuilt cheaply by Rebind.
+	searchBox geom.Rect
+	fringe    *geom.MinkowskiRegion
+}
+
+// Compile derives the query plan for (q, strat): it validates the query,
+// computes rθ and the BF radii as the strategy requires, and freezes the
+// Phase-1 search region and Phase-2 filter geometry. The returned plan can be
+// executed any number of times; Rebind retargets it to a new query mean with
+// the same covariance in O(d).
+func (e *Engine) Compile(q Query, strat Strategy) (*Plan, error) {
+	if err := q.Validate(e.idx.Dim()); err != nil {
+		return nil, err
+	}
+	if !strat.Valid() {
+		return nil, fmt.Errorf("core: strategy %v cannot run alone (OR is filter-only)", strat)
+	}
+
+	geo, err := e.deriveGeometry(q, strat)
+	if err != nil {
+		return nil, err
+	}
+
+	p := &Plan{
+		engine: e,
+		dist:   q.Dist,
+		delta:  q.Delta,
+		theta:  q.Theta,
+		strat:  strat,
+		geo:    geo,
+	}
+	dim := e.idx.Dim()
+
+	// θ-box half-widths: needed by RR, and as the conservative Phase-1
+	// fallback when BF alone yields no finite pruning radius.
+	rFallback := geo.rTheta
+	if !strat.Has(StrategyRR) && math.IsInf(geo.alphaUpper, 1) && !geo.empty {
+		thetaEff := math.Min(q.Theta, 0.4999)
+		rFallback, err = e.rTheta(dim, thetaEff)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if strat.Has(StrategyRR) || math.IsInf(geo.alphaUpper, 1) {
+		p.thetaHW = make(vecmat.Vector, dim)
+		for i := 0; i < dim; i++ {
+			p.thetaHW[i] = q.Dist.SigmaAxis(i) * rFallback
+		}
+	}
+
+	// Phase-1 half-widths. With RR the region is the θ-box expanded by δ,
+	// intersected with the BF α∥ box when available (both are centered on the
+	// query mean, so the intersection is the per-axis minimum). With BF alone
+	// it is the α∥ box, falling back to the RR box when α∥ is unbounded.
+	p.searchHW = make(vecmat.Vector, dim)
+	switch {
+	case strat.Has(StrategyRR):
+		for i := range p.searchHW {
+			hw := p.thetaHW[i] + q.Delta
+			if strat.Has(StrategyBF) && !math.IsInf(geo.alphaUpper, 1) && geo.alphaUpper < hw {
+				hw = geo.alphaUpper
+			}
+			p.searchHW[i] = hw
+		}
+	case math.IsInf(geo.alphaUpper, 1):
+		for i := range p.searchHW {
+			p.searchHW[i] = p.thetaHW[i] + q.Delta
+		}
+	default:
+		for i := range p.searchHW {
+			p.searchHW[i] = geo.alphaUpper
+		}
+	}
+
+	if strat.Has(StrategyOR) {
+		p.orBound = make(vecmat.Vector, dim)
+		for i, ev := range q.Dist.EigenValuesCov() {
+			p.orBound[i] = geo.rTheta*math.Sqrt(ev) + q.Delta
+		}
+	}
+
+	p.useFringe = strat.Has(StrategyRR) && e.opts.Fringe != FringeOff &&
+		(e.opts.Fringe == FringeAllDims || dim == 2)
+
+	if err := p.bind(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// bind (re)builds the mean-dependent geometry around the current query mean.
+func (p *Plan) bind() error {
+	box, err := geom.RectAround(p.dist.Mean(), p.searchHW)
+	if err != nil {
+		return err
+	}
+	p.searchBox = box
+	p.fringe = nil
+	if p.useFringe {
+		tb, err := geom.RectAround(p.dist.Mean(), p.thetaHW)
+		if err != nil {
+			return err
+		}
+		m, err := geom.NewMinkowskiRegion(tb, p.delta)
+		if err != nil {
+			return err
+		}
+		p.fringe = &m
+	}
+	return nil
+}
+
+// Rebind returns a plan for the same (Σ, δ, θ, strategy) retargeted to a new
+// distribution, which must share the plan's covariance — only the mean may
+// differ. All compiled radii and half-widths are reused; only the O(d)
+// mean-dependent rectangles are rebuilt. Use gauss.Dist.WithMean to derive
+// the distribution without re-decomposing Σ.
+func (p *Plan) Rebind(dist *gauss.Dist) (*Plan, error) {
+	if dist == nil {
+		return nil, fmt.Errorf("core: Rebind with nil distribution")
+	}
+	if dist.Dim() != p.dist.Dim() {
+		return nil, fmt.Errorf("core: Rebind dim %d vs plan dim %d", dist.Dim(), p.dist.Dim())
+	}
+	if !dist.Cov().Equal(p.dist.Cov(), 0) {
+		return nil, fmt.Errorf("core: Rebind requires the plan's covariance (recompile for a new Σ)")
+	}
+	out := *p
+	out.dist = dist
+	if err := out.bind(); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Strategy returns the compiled filter combination.
+func (p *Plan) Strategy() Strategy { return p.strat }
+
+// Dist returns the query distribution the plan is bound to.
+func (p *Plan) Dist() *gauss.Dist { return p.dist }
+
+// Delta returns the compiled distance threshold δ.
+func (p *Plan) Delta() float64 { return p.delta }
+
+// Theta returns the compiled probability threshold θ.
+func (p *Plan) Theta() float64 { return p.theta }
+
+// RTheta returns the compiled θ-region radius (0 when RR and OR are unused).
+func (p *Plan) RTheta() float64 { return p.geo.rTheta }
+
+// AlphaUpper returns the BF pruning radius α∥ (+Inf when unbounded).
+func (p *Plan) AlphaUpper() float64 { return p.geo.alphaUpper }
+
+// AlphaLower returns the BF acceptance radius α⊥ (0 when no acceptance hole).
+func (p *Plan) AlphaLower() float64 { return p.geo.alphaLower }
+
+// Empty reports whether compilation proved the result empty (the BF upper
+// bound stays below θ everywhere), so execution skips all three phases.
+func (p *Plan) Empty() bool { return p.geo.empty }
+
+// baseStats seeds the per-execution statistics with the compiled radii.
+func (p *Plan) baseStats() PhaseStats {
+	var st PhaseStats
+	st.RTheta = p.geo.rTheta
+	if !math.IsInf(p.geo.alphaUpper, 1) {
+		st.AlphaUpper = p.geo.alphaUpper
+	}
+	st.AlphaLower = p.geo.alphaLower
+	return st
+}
+
+// filterPhases executes Phases 1 and 2 using the compiled geometry, returning
+// the statistics so far, the directly-accepted ids (BF α⊥), and the
+// candidates requiring probability computation.
+func (p *Plan) filterPhases(ctx context.Context) (PhaseStats, []int64, []int64, error) {
+	st := p.baseStats()
+	if p.geo.empty {
+		return st, nil, nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return st, nil, nil, err
+	}
+	e := p.engine
+
+	// ---- Phase 1: index-based search -------------------------------------
+	t0 := time.Now()
+	nodesBefore := e.idx.tree.NodesRead()
+	candidates, err := e.idx.SearchRect(p.searchBox)
+	if err != nil {
+		return st, nil, nil, err
+	}
+	st.Retrieved = len(candidates)
+	st.NodesRead = e.idx.tree.NodesRead() - nodesBefore
+	st.PhaseDurations[0] = time.Since(t0)
+
+	// ---- Phase 2: filtering ----------------------------------------------
+	t1 := time.Now()
+	dim := e.idx.Dim()
+	qCenter := p.dist.Mean()
+	scratch := make(vecmat.Vector, dim)
+	yBuf := make(vecmat.Vector, dim)
+
+	accepted := make([]int64, 0)
+	needEval := make([]int64, 0, len(candidates))
+	auSq := p.geo.alphaUpper * p.geo.alphaUpper
+	alSq := p.geo.alphaLower * p.geo.alphaLower
+
+	for _, id := range candidates {
+		o := e.idx.points[id]
+
+		if p.fringe != nil && !p.fringe.Contains(o) {
+			st.PrunedFringe++
+			continue
+		}
+		if p.orBound != nil {
+			p.dist.TransformToEigen(o, scratch, yBuf)
+			pruned := false
+			for i := range yBuf {
+				if math.Abs(yBuf[i]) > p.orBound[i] {
+					pruned = true
+					break
+				}
+			}
+			if pruned {
+				st.PrunedOR++
+				continue
+			}
+		}
+		if p.strat.Has(StrategyBF) {
+			d2 := o.Dist2(qCenter)
+			if d2 > auSq {
+				st.PrunedBF++
+				continue
+			}
+			if p.geo.alphaLower > 0 && d2 <= alSq {
+				st.AcceptedBF++
+				accepted = append(accepted, id)
+				continue
+			}
+		}
+		needEval = append(needEval, id)
+	}
+	st.PhaseDurations[1] = time.Since(t1)
+	return st, accepted, needEval, nil
+}
+
+// Execute runs the compiled plan serially with the engine's evaluator.
+// Cancelling ctx aborts Phase 3 between candidates and returns ctx.Err().
+func (p *Plan) Execute(ctx context.Context) (*Result, error) {
+	return p.executeSerial(ctx, p.engine.eval)
+}
+
+// ExecuteEval runs the compiled plan serially with an explicit evaluator —
+// the entry point for callers that share one immutable plan across
+// goroutines, each with its own evaluator.
+func (p *Plan) ExecuteEval(ctx context.Context, eval Evaluator) (*Result, error) {
+	if eval == nil {
+		return nil, fmt.Errorf("core: ExecuteEval with nil evaluator")
+	}
+	return p.executeSerial(ctx, eval)
+}
+
+// executeSerial is the single-goroutine Phase-3 executor.
+func (p *Plan) executeSerial(ctx context.Context, eval Evaluator) (*Result, error) {
+	st, accepted, needEval, err := p.filterPhases(ctx)
+	if err != nil {
+		return nil, err
+	}
+
+	// ---- Phase 3: probability computation --------------------------------
+	t2 := time.Now()
+	st.Integrations = len(needEval)
+	result := accepted
+	if de, ok := eval.(DecisionEvaluator); ok {
+		for _, id := range needEval {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			qual, _, err := de.DecideQualifies(p.dist, p.engine.idx.points[id], p.delta, p.theta)
+			if err != nil {
+				return nil, fmt.Errorf("core: qualification of object %d: %w", id, err)
+			}
+			if qual {
+				result = append(result, id)
+			}
+		}
+	} else {
+		for _, id := range needEval {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			pr, err := eval.Qualification(p.dist, p.engine.idx.points[id], p.delta)
+			if err != nil {
+				return nil, fmt.Errorf("core: qualification of object %d: %w", id, err)
+			}
+			if pr >= p.theta {
+				result = append(result, id)
+			}
+		}
+	}
+	st.PhaseDurations[2] = time.Since(t2)
+	st.Answers = len(result)
+
+	sortIDs(result)
+	return &Result{IDs: result, Stats: st}, nil
+}

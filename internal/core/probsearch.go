@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -20,7 +21,11 @@ type Match struct {
 // are evaluated too, so the Integrations statistic may exceed the plain
 // Search count by AcceptedBF.
 func (e *Engine) SearchProbs(q Query, strat Strategy) ([]Match, *PhaseStats, error) {
-	st, accepted, needEval, err := e.runFilterPhases(q, strat)
+	plan, err := e.Compile(q, strat)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, accepted, needEval, err := plan.filterPhases(context.Background())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -78,7 +83,11 @@ func (e *Engine) TopK(q Query, strat Strategy, k int) ([]Match, error) {
 // BF-accepted candidates are streamed first, then integrator survivors in
 // candidate order; ids therefore arrive unsorted.
 func (e *Engine) SearchFunc(q Query, strat Strategy, fn func(id int64) bool) (*PhaseStats, error) {
-	st, accepted, needEval, err := e.runFilterPhases(q, strat)
+	plan, err := e.Compile(q, strat)
+	if err != nil {
+		return nil, err
+	}
+	st, accepted, needEval, err := plan.filterPhases(context.Background())
 	if err != nil {
 		return nil, err
 	}

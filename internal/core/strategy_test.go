@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gaussrange/internal/gauss"
+	"gaussrange/internal/vecmat"
+)
+
+// TestStrategyRoundTrip checks ParseStrategy(s.String()) == s for the six
+// paper combinations, plus name normalization.
+func TestStrategyRoundTrip(t *testing.T) {
+	for _, s := range PaperStrategies {
+		got, err := ParseStrategy(s.String())
+		if err != nil {
+			t.Errorf("ParseStrategy(%q): %v", s.String(), err)
+			continue
+		}
+		if got != s {
+			t.Errorf("ParseStrategy(%q) = %v, want %v", s.String(), got, s)
+		}
+	}
+
+	names := map[string]Strategy{
+		"RR":       StrategyRR,
+		"BF":       StrategyBF,
+		"RR+BF":    StrategyRRBF,
+		"RR+OR":    StrategyRROR,
+		"BF+OR":    StrategyBFOR,
+		"ALL":      StrategyAll,
+		"all":      StrategyAll,
+		"rr+or":    StrategyRROR,
+		" BF ":     StrategyBF,
+		"or+rr":    StrategyRROR, // order-insensitive
+		"bf+OR":    StrategyBFOR,
+		"RR+OR+BF": StrategyAll,
+	}
+	for name, want := range names {
+		got, err := ParseStrategy(name)
+		if err != nil {
+			t.Errorf("ParseStrategy(%q): %v", name, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseStrategy(%q) = %v, want %v", name, got, want)
+		}
+	}
+
+	for _, name := range []string{"", "XX", "RR+XX", "RR++BF", "ALL+RR"} {
+		if _, err := ParseStrategy(name); err == nil {
+			t.Errorf("ParseStrategy(%q) accepted", name)
+		}
+	}
+
+	// String renders canonical component order and the two sentinels.
+	if s := StrategyAll.String(); s != "ALL" {
+		t.Errorf("StrategyAll.String() = %q", s)
+	}
+	if s := Strategy(0).String(); s != "NONE" {
+		t.Errorf("Strategy(0).String() = %q", s)
+	}
+	// OR alone parses (it is a filter component) but cannot drive a query.
+	or, err := ParseStrategy("OR")
+	if err != nil {
+		t.Fatalf("ParseStrategy(OR): %v", err)
+	}
+	if or.Valid() {
+		t.Error("OR-only strategy reported Valid")
+	}
+}
+
+// TestQueryValidateEdgeCases exercises the non-finite and boundary inputs of
+// Query.Validate directly.
+func TestQueryValidateEdgeCases(t *testing.T) {
+	g, err := gauss.New(vecmat.Vector{0, 0}, vecmat.Identity(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name  string
+		delta float64
+		theta float64
+	}{
+		{"nan delta", math.NaN(), 0.5},
+		{"+inf delta", math.Inf(1), 0.5},
+		{"-inf delta", math.Inf(-1), 0.5},
+		{"zero delta", 0, 0.5},
+		{"negative delta", -3, 0.5},
+		{"nan theta", 1, math.NaN()},
+		{"zero theta", 1, 0},
+		{"one theta", 1, 1},
+		{"negative theta", 1, -0.1},
+		{"theta above one", 1, 1.5},
+	}
+	for _, c := range cases {
+		q := Query{Dist: g, Delta: c.delta, Theta: c.theta}
+		if err := q.Validate(2); err == nil {
+			t.Errorf("%s: Validate accepted δ=%g θ=%g", c.name, c.delta, c.theta)
+		}
+	}
+
+	if err := (Query{Dist: g, Delta: 1, Theta: 0.5}).Validate(2); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+	if err := (Query{Dist: g, Delta: 1, Theta: 0.5}).Validate(3); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if err := (Query{Dist: nil, Delta: 1, Theta: 0.5}).Validate(2); err == nil {
+		t.Error("nil distribution accepted")
+	}
+
+	// Compile rejects the same invalid inputs as Search did.
+	ix := uniformIndex(t, rand.New(rand.NewSource(48)), 10, 2, 100)
+	e := newExactEngine(t, ix, Options{})
+	if _, err := e.Compile(Query{Dist: g, Delta: math.NaN(), Theta: 0.5}, StrategyAll); err == nil {
+		t.Error("Compile accepted NaN delta")
+	}
+	if _, err := e.Compile(Query{Dist: g, Delta: 1, Theta: 0.5}, StrategyOR); err == nil {
+		t.Error("Compile accepted OR-only strategy")
+	}
+}

@@ -80,6 +80,22 @@ func New(mean vecmat.Vector, cov *vecmat.Symmetric) (*Dist, error) {
 	return g, nil
 }
 
+// WithMean returns a distribution with the same covariance Σ but a new mean.
+// All Σ-derived factorizations (Cholesky, inverse, eigensystem) are shared
+// with the receiver, so rebinding a mean costs O(d) — this is what lets a
+// compiled query plan follow a moving query object without re-decomposing Σ.
+func (g *Dist) WithMean(mean vecmat.Vector) (*Dist, error) {
+	if mean.Dim() != g.Dim() {
+		return nil, fmt.Errorf("gauss: mean dim %d vs cov dim %d: %w", mean.Dim(), g.Dim(), vecmat.ErrDimensionMismatch)
+	}
+	if !mean.IsFinite() {
+		return nil, fmt.Errorf("gauss: non-finite mean %v", mean)
+	}
+	out := *g
+	out.mean = mean.Clone()
+	return &out, nil
+}
+
 // Normalized returns the d-dimensional standard Gaussian N(0, I) of
 // Definition 4.
 func Normalized(d int) *Dist {

@@ -267,3 +267,45 @@ func TestStringAndAccessors(t *testing.T) {
 		t.Error("Cov accessor wrong")
 	}
 }
+
+func TestWithMean(t *testing.T) {
+	g := paperDist(t, 10)
+	moved, err := g.WithMean(vecmat.Vector{100, -50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := moved.Mean(); m[0] != 100 || m[1] != -50 {
+		t.Errorf("WithMean mean = %v", m)
+	}
+	// The original is untouched and the covariance machinery is shared: the
+	// rebound distribution evaluates its PDF with the original Σ factors.
+	if m := g.Mean(); m[0] != 500 || m[1] != 500 {
+		t.Errorf("WithMean mutated the receiver: mean = %v", m)
+	}
+	at := func(d *Dist, x vecmat.Vector) float64 { return d.PDF(x) }
+	want := at(g, vecmat.Vector{510, 505})
+	got := at(moved, vecmat.Vector{110, -45}) // same offset from the new mean
+	if math.Abs(got-want) > 1e-18 {
+		t.Errorf("PDF at shifted point = %g, want %g", got, want)
+	}
+	// The provided mean is copied, not aliased.
+	src := vecmat.Vector{1, 2}
+	aliased, err := g.WithMean(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src[0] = 99
+	if aliased.Mean()[0] != 1 {
+		t.Error("WithMean aliased the caller's slice")
+	}
+
+	if _, err := g.WithMean(vecmat.Vector{1, 2, 3}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if _, err := g.WithMean(vecmat.Vector{math.NaN(), 0}); err == nil {
+		t.Error("NaN mean accepted")
+	}
+	if _, err := g.WithMean(vecmat.Vector{math.Inf(1), 0}); err == nil {
+		t.Error("infinite mean accepted")
+	}
+}

@@ -12,6 +12,7 @@
 package trajectory
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -31,6 +32,14 @@ type Monitor struct {
 	strat   core.Strategy
 	current map[int64]bool
 	epoch   int
+
+	// Compiled-plan reuse: a standing query recompiles only when the belief
+	// covariance actually changes (Kalman updates at steady state, or steps
+	// without motion events, keep Σ fixed — then the plan is just rebound to
+	// the new mean in O(d)).
+	plan     *core.Plan
+	planCov  *vecmat.Symmetric
+	compiles int
 }
 
 // Config parameterizes a Monitor.
@@ -105,11 +114,17 @@ type StepResult struct {
 // Step re-evaluates the standing query at the current belief and returns the
 // answer delta relative to the previous epoch.
 func (m *Monitor) Step() (*StepResult, error) {
-	belief, err := m.Belief()
+	return m.StepCtx(context.Background())
+}
+
+// StepCtx is Step with cancellation: a cancelled ctx aborts the underlying
+// query and returns ctx.Err().
+func (m *Monitor) StepCtx(ctx context.Context) (*StepResult, error) {
+	plan, err := m.currentPlan()
 	if err != nil {
 		return nil, err
 	}
-	res, err := m.engine.Search(core.Query{Dist: belief, Delta: m.delta, Theta: m.theta}, m.strat)
+	res, err := plan.Execute(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -134,6 +149,42 @@ func (m *Monitor) Step() (*StepResult, error) {
 	out.Current = len(next)
 	return out, nil
 }
+
+// currentPlan returns a query plan bound to the current belief, reusing the
+// compiled geometry whenever the belief covariance is unchanged since the
+// last compilation.
+func (m *Monitor) currentPlan() (*core.Plan, error) {
+	cov := m.filter.Cov()
+	if m.plan != nil && cov.Equal(m.planCov, 0) {
+		dist, err := m.plan.Dist().WithMean(m.filter.Mean())
+		if err != nil {
+			return nil, err
+		}
+		plan, err := m.plan.Rebind(dist)
+		if err != nil {
+			return nil, err
+		}
+		m.plan = plan
+		return plan, nil
+	}
+	belief, err := m.Belief()
+	if err != nil {
+		return nil, err
+	}
+	plan, err := m.engine.Compile(core.Query{Dist: belief, Delta: m.delta, Theta: m.theta}, m.strat)
+	if err != nil {
+		return nil, err
+	}
+	m.plan = plan
+	m.planCov = cov.Clone()
+	m.compiles++
+	return plan, nil
+}
+
+// PlanCompiles returns how many times the standing query has been compiled —
+// steps with an unchanged belief covariance reuse the previous plan, so this
+// stays below the epoch count for stationary or fix-only workloads.
+func (m *Monitor) PlanCompiles() int { return m.compiles }
 
 // Current returns the standing answer set, ascending.
 func (m *Monitor) Current() []int64 {

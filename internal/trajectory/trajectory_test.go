@@ -180,3 +180,60 @@ func TestMonitorDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestMonitorPlanReuse checks the standing-query optimization: steps that do
+// not change the belief covariance reuse the compiled plan (rebinding it to
+// the current mean), while covariance changes force a recompile — and either
+// way the answers match a monitor that compiles every step.
+func TestMonitorPlanReuse(t *testing.T) {
+	ix := gridIndex(t, 10, 30)
+	m := newMonitor(t, ix, vecmat.Vector{150, 150}, Config{Delta: 12, Theta: 0.2})
+
+	for i := 0; i < 4; i++ {
+		if _, err := m.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.PlanCompiles(); got != 1 {
+		t.Errorf("stationary monitor compiled %d times, want 1", got)
+	}
+
+	// A Kalman update changes Σ, so the next step must recompile …
+	if err := m.Fix(vecmat.Vector{152, 149}, vecmat.Identity(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.PlanCompiles(); got != 2 {
+		t.Errorf("after Fix: %d compiles, want 2", got)
+	}
+	// … and further steps with the settled covariance reuse it again.
+	if _, err := m.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.PlanCompiles(); got != 2 {
+		t.Errorf("after settled step: %d compiles, want 2", got)
+	}
+
+	// Reused plans answer identically to a monitor compiled from scratch at
+	// the same belief.
+	fresh := newMonitor(t, ix, vecmat.Vector{150, 150}, Config{Delta: 12, Theta: 0.2})
+	if err := fresh.Fix(vecmat.Vector{152, 149}, vecmat.Identity(2)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := fresh.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, b := m.Current(), fresh.Current()
+	if len(a) != len(b) {
+		t.Fatalf("reused-plan answers %v != fresh answers %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("reused-plan answers %v != fresh answers %v", a, b)
+		}
+	}
+}

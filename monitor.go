@@ -1,6 +1,7 @@
 package gaussrange
 
 import (
+	"context"
 	"fmt"
 
 	"gaussrange/internal/core"
@@ -75,14 +76,26 @@ type StepDelta struct {
 	Current int
 }
 
-// Step re-evaluates the standing query at the current belief.
+// Step re-evaluates the standing query at the current belief. Steps that do
+// not change the belief covariance reuse the compiled query plan, paying
+// only an O(d) rebind to the new mean.
 func (m *Monitor) Step() (*StepDelta, error) {
-	res, err := m.inner.Step()
+	return m.StepCtx(context.Background())
+}
+
+// StepCtx is Step with cancellation: a cancelled or expired ctx aborts the
+// underlying query and returns ctx.Err().
+func (m *Monitor) StepCtx(ctx context.Context) (*StepDelta, error) {
+	res, err := m.inner.StepCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
 	return &StepDelta{Entered: res.Entered, Left: res.Left, Current: res.Current}, nil
 }
+
+// PlanCompiles returns how many times the standing query's plan has been
+// compiled; steps with an unchanged belief covariance reuse the last plan.
+func (m *Monitor) PlanCompiles() int { return m.inner.PlanCompiles() }
 
 // Current returns the standing answer set, ascending.
 func (m *Monitor) Current() []int64 { return m.inner.Current() }

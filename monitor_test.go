@@ -1,6 +1,8 @@
 package gaussrange
 
 import (
+	"context"
+	"errors"
 	"testing"
 )
 
@@ -63,6 +65,29 @@ func TestMonitorEndToEnd(t *testing.T) {
 	}
 	if cov[0][0] >= before {
 		t.Errorf("fix did not shrink variance: %g → %g", before, cov[0][0])
+	}
+
+	// Fix-only updates change Σ (recompile); repeated steps at a settled
+	// covariance reuse the compiled plan.
+	compiles := m.PlanCompiles()
+	if compiles == 0 {
+		t.Error("monitor reported zero plan compilations after stepping")
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := m.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.PlanCompiles(); got != compiles+1 {
+		// One recompile for the post-Fix covariance, then reuse.
+		t.Errorf("plan compiles after settled steps = %d, want %d", got, compiles+1)
+	}
+
+	// StepCtx honors cancellation.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.StepCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled StepCtx error = %v, want context.Canceled", err)
 	}
 
 	// Validation.

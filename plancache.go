@@ -1,0 +1,114 @@
+package gaussrange
+
+import (
+	"container/list"
+	"encoding/binary"
+	"math"
+	"strings"
+	"sync"
+
+	"gaussrange/internal/core"
+	"gaussrange/internal/vecmat"
+)
+
+// DefaultPlanCacheSize is the number of compiled query plans a DB retains.
+const DefaultPlanCacheSize = 128
+
+// planCache is a small LRU of compiled query plans keyed by the query-shape
+// fingerprint (Σ, δ, θ, strategy). Compilation — the Σ eigendecomposition
+// and the noncentral-χ² inversions behind rθ and the BF radii — depends only
+// on that shape, never on the query mean, so repeated and standing queries
+// (monitors, benchmark loops, per-user standing filters) hit the cache and
+// pay only an O(d) mean rebind.
+type planCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+
+	hits, misses uint64
+}
+
+type planCacheEntry struct {
+	key  string
+	plan *core.Plan
+}
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{
+		cap:     capacity,
+		entries: make(map[string]*list.Element, capacity),
+		order:   list.New(),
+	}
+}
+
+// get returns the cached plan for key, promoting it to most-recently-used.
+func (c *planCache) get(key string) (*core.Plan, bool) {
+	if c == nil || c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*planCacheEntry).plan, true
+}
+
+// put inserts (or refreshes) a compiled plan, evicting the least recently
+// used entry beyond capacity.
+func (c *planCache) put(key string, p *core.Plan) {
+	if c == nil || c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*planCacheEntry).plan = p
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&planCacheEntry{key: key, plan: p})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*planCacheEntry).key)
+	}
+}
+
+// stats returns the cumulative hit/miss counters.
+func (c *planCache) stats() (hits, misses uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// planKey fingerprints the compile-relevant query shape: dimensionality, the
+// exact covariance bytes (TargetCov already folded in), δ, θ, and the
+// normalized strategy name. The mean is deliberately excluded — plans are
+// mean-independent up to an O(d) rebind.
+func planKey(cov *vecmat.Symmetric, delta, theta float64, strategy string) string {
+	d := cov.Dim()
+	buf := make([]byte, 0, 8*(d*d+3))
+	var scratch [8]byte
+	put := func(v float64) {
+		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(v))
+		buf = append(buf, scratch[:]...)
+	}
+	put(float64(d))
+	for i := 0; i < d; i++ {
+		for j := i; j < d; j++ {
+			put(cov.At(i, j))
+		}
+	}
+	put(delta)
+	put(theta)
+	return string(buf) + "|" + strings.ToUpper(strings.TrimSpace(strategy))
+}
