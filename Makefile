@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench verify race vet
+.PHONY: build test bench verify race vet serve-smoke
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,13 @@ race:
 	$(GO) test -race ./...
 
 # verify is the pre-merge gate: static analysis plus the race-enabled test
-# suite (the plan cache, worker pools and QueryBatch are concurrency-heavy).
+# suite (the plan cache, worker pools, QueryBatch and the query server are
+# concurrency-heavy).
 verify: vet race
 	@echo "verify: OK"
+
+# serve-smoke boots the full network stack once: generate a dataset, start
+# prqserved, answer one query through the Go client (prqquery -server), and
+# shut the server down gracefully with SIGTERM.
+serve-smoke:
+	GO="$(GO)" ./scripts/serve_smoke.sh

@@ -1,0 +1,294 @@
+// Package client is a typed Go client for the prqserved HTTP API (see
+// gaussrange/server). It speaks the same wire types as the server, retries
+// requests that failed on connection errors (every endpoint is a read, so
+// retries are safe), and propagates context deadlines end-to-end: a ctx
+// deadline becomes the request's timeout_ms, so the server's query context
+// expires when the caller's does.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"gaussrange"
+	"gaussrange/server"
+)
+
+// Client talks to one prqserved instance. Safe for concurrent use.
+type Client struct {
+	base    string
+	hc      *http.Client
+	retries int
+	backoff time.Duration
+}
+
+// Option configures New.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying HTTP client (default: a client
+// with a 30 s overall timeout).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// WithTimeout sets the per-attempt HTTP timeout (default 30 s; 0 disables).
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) { c.hc.Timeout = d }
+}
+
+// WithRetries sets how many times a request is retried after a connection
+// error (default 2). HTTP-level errors (4xx/5xx) are never retried.
+func WithRetries(n int) Option {
+	return func(c *Client) {
+		if n >= 0 {
+			c.retries = n
+		}
+	}
+}
+
+// WithRetryBackoff sets the base delay between retries, doubled per attempt
+// (default 50 ms).
+func WithRetryBackoff(d time.Duration) Option {
+	return func(c *Client) { c.backoff = d }
+}
+
+// New returns a client for the server at baseURL (e.g. "http://127.0.0.1:8080").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base:    strings.TrimRight(baseURL, "/"),
+		hc:      &http.Client{Timeout: 30 * time.Second},
+		retries: 2,
+		backoff: 50 * time.Millisecond,
+	}
+	for _, fn := range opts {
+		fn(c)
+	}
+	return c
+}
+
+// APIError is a non-2xx reply from the server.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server returned %d: %s", e.Status, e.Message)
+}
+
+// IsOverloaded reports whether err is the server's 429 admission rejection —
+// the signal to back off and retry later.
+func IsOverloaded(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Status == http.StatusTooManyRequests
+}
+
+// IsDeadline reports whether err is the server's 504 for an expired query
+// deadline (the client's own context error is reported directly, not as an
+// APIError).
+func IsDeadline(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Status == http.StatusGatewayTimeout
+}
+
+// retryable reports whether err is a connection-level failure worth
+// retrying: dial/read/write errors and torn connections. HTTP timeouts and
+// context errors are not retried — the caller's deadline governs those.
+func retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return false
+	}
+	var opErr *net.OpError
+	if errors.As(err, &opErr) {
+		return true
+	}
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// do runs one JSON round-trip with the retry loop. body may be nil (GET).
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var payload []byte
+	if in != nil {
+		var err error
+		payload, err = json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			delay := c.backoff << (attempt - 1)
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(delay):
+			}
+		}
+		var body io.Reader
+		if payload != nil {
+			body = bytes.NewReader(payload)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+		if err != nil {
+			return fmt.Errorf("client: building request: %w", err)
+		}
+		if payload != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			if urlErr := new(url.Error); errors.As(err, &urlErr) && retryable(urlErr.Err) {
+				lastErr = err
+				continue
+			}
+			return fmt.Errorf("client: %w", err)
+		}
+		return decodeResponse(resp, out)
+	}
+	return fmt.Errorf("client: giving up after %d attempts: %w", c.retries+1, lastErr)
+}
+
+func decodeResponse(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return fmt.Errorf("client: reading response: %w", err)
+	}
+	if resp.StatusCode/100 != 2 {
+		var er server.ErrorResponse
+		msg := strings.TrimSpace(string(data))
+		if json.Unmarshal(data, &er) == nil && er.Error != "" {
+			msg = er.Error
+		}
+		return &APIError{Status: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("client: decoding response: %w", err)
+	}
+	return nil
+}
+
+// timeoutMS derives the wire deadline from ctx: the remaining time to the
+// ctx deadline in milliseconds (at least 1), or 0 when ctx has none.
+func timeoutMS(ctx context.Context) int64 {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return 0
+	}
+	ms := time.Until(dl).Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	return ms
+}
+
+// Query runs one probabilistic range query on the server. A ctx deadline is
+// propagated into the server-side query context.
+func (c *Client) Query(ctx context.Context, spec gaussrange.QuerySpec) (*gaussrange.Result, error) {
+	req := server.RequestFromSpec(spec)
+	req.TimeoutMS = timeoutMS(ctx)
+	var resp server.QueryResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/query", req, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Result(), nil
+}
+
+// QueryBatch runs many queries through the server's pooled batch executor.
+// workers ≤ 0 lets the server pick its configured pool size. Results align
+// with specs.
+func (c *Client) QueryBatch(ctx context.Context, specs []gaussrange.QuerySpec, workers int) ([]*gaussrange.Result, error) {
+	req := server.BatchRequest{
+		Queries:   make([]server.QueryRequest, len(specs)),
+		Workers:   workers,
+		TimeoutMS: timeoutMS(ctx),
+	}
+	for i, spec := range specs {
+		req.Queries[i] = server.RequestFromSpec(spec)
+	}
+	var resp server.BatchResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/query/batch", req, &resp); err != nil {
+		return nil, err
+	}
+	out := make([]*gaussrange.Result, len(resp.Results))
+	for i, r := range resp.Results {
+		out[i] = r.Result()
+	}
+	return out, nil
+}
+
+// QueryProb returns the qualification probability of one stored point under
+// the given query parameters.
+func (c *Client) QueryProb(ctx context.Context, spec gaussrange.QuerySpec, id int64) (float64, error) {
+	req := server.ProbRequest{QueryRequest: server.RequestFromSpec(spec), ID: id}
+	var resp server.ProbResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/prob", req, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Probability, nil
+}
+
+// Points fetches the coordinates of the identified points.
+func (c *Client) Points(ctx context.Context, ids []int64) ([]server.Point, error) {
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	var sb strings.Builder
+	for i, id := range ids {
+		if i > 0 {
+			sb.WriteByte('&')
+		}
+		fmt.Fprintf(&sb, "id=%d", id)
+	}
+	var resp server.PointsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/points?"+sb.String(), nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Points, nil
+}
+
+// Point fetches one stored point's coordinates.
+func (c *Client) Point(ctx context.Context, id int64) ([]float64, error) {
+	pts, err := c.Points(ctx, []int64{id})
+	if err != nil {
+		return nil, err
+	}
+	if len(pts) != 1 {
+		return nil, fmt.Errorf("client: expected 1 point, got %d", len(pts))
+	}
+	return pts[0].Coords, nil
+}
+
+// Health checks liveness and returns the dataset summary.
+func (c *Client) Health(ctx context.Context) (server.Health, error) {
+	var h server.Health
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &h)
+	return h, err
+}
+
+// Stats fetches the server's /statsz snapshot.
+func (c *Client) Stats(ctx context.Context) (server.StatsSnapshot, error) {
+	var s server.StatsSnapshot
+	err := c.do(ctx, http.MethodGet, "/statsz", nil, &s)
+	return s, err
+}

@@ -18,6 +18,10 @@
 //	all      — everything above
 //	batch    — batched query throughput: serial vs pooled QueryBatch, with
 //	           plan-cache statistics (uses -workers and -queries; not in "all")
+//	serve    — network query service: starts an in-process prqserved on
+//	           loopback, drives it with -workers concurrent clients issuing
+//	           -queries queries, and reports throughput, latency quantiles,
+//	           plan-cache and admission statistics (not in "all")
 //
 // Flags:
 //
@@ -52,7 +56,7 @@ func main() {
 	queries := flag.Int("queries", 64, "queries per batch for the batch experiment")
 	svg := flag.String("svg", "", "write the region figure (fig13/15/16) as SVG to this path")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: prqbench [flags] table1|table2|table3|fig13|fig14|fig15|fig16|fig17|sweep|iostats|catalog|batch|all\n")
+		fmt.Fprintf(os.Stderr, "usage: prqbench [flags] table1|table2|table3|fig13|fig14|fig15|fig16|fig17|sweep|iostats|catalog|batch|serve|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -82,6 +86,13 @@ func main() {
 	}
 	if strings.EqualFold(flag.Arg(0), "batch") {
 		if err := runBatch(cfg, *workers, *queries); err != nil {
+			fmt.Fprintf(os.Stderr, "prqbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if strings.EqualFold(flag.Arg(0), "serve") {
+		if err := runServe(cfg, *workers, *queries); err != nil {
 			fmt.Fprintf(os.Stderr, "prqbench: %v\n", err)
 			os.Exit(1)
 		}

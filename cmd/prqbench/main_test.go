@@ -17,6 +17,22 @@ func TestRunFigures(t *testing.T) {
 	}
 }
 
+func TestRunServe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network load experiment")
+	}
+	cfg := experiments.Config{Seed: 1, Evaluator: experiments.EvalExact}
+	if err := runServe(cfg, 2, 8); err != nil {
+		t.Fatalf("serve experiment: %v", err)
+	}
+	if err := runServe(cfg, 0, 8); err == nil {
+		t.Error("zero workers accepted")
+	}
+	if err := runServe(cfg, 2, 0); err == nil {
+		t.Error("zero queries accepted")
+	}
+}
+
 func TestRunUnknown(t *testing.T) {
 	if err := run("bogus", experiments.Config{}); err == nil {
 		t.Error("unknown experiment accepted")

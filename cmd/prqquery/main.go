@@ -1,9 +1,11 @@
 // Command prqquery runs one probabilistic range query against a CSV point
-// dataset and prints the qualifying points with their probabilities.
+// dataset — or against a running prqserved instance — and prints the
+// qualifying points.
 //
 // Usage:
 //
 //	prqquery [flags] <points.csv>
+//	prqquery -server http://host:port [flags]
 //
 // Flags:
 //
@@ -14,20 +16,28 @@
 //	-strategy S       RR | BF | RR+BF | RR+OR | BF+OR | ALL (default ALL)
 //	-mc N             use Monte Carlo with N samples (default: exact)
 //	-timeout D        abort the query after duration D (e.g. 500ms; 0 = none)
+//	-server URL       query a prqserved instance instead of loading a CSV
+//	-json             print the result as JSON (scriptable; identical shape
+//	                  in local and server mode, so answers diff directly)
 //	-v                print per-object probabilities
 package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"gaussrange"
+	"gaussrange/client"
 	"gaussrange/internal/data"
+	"gaussrange/server"
 )
 
 func parseVector(s string) ([]float64, error) {
@@ -56,35 +66,141 @@ func parseMatrix(s string) ([][]float64, error) {
 	return out, nil
 }
 
+// runOpts collects everything main parses from the command line.
+type runOpts struct {
+	path      string // CSV dataset; empty in server mode
+	serverURL string // prqserved base URL; empty in local mode
+	center    string
+	cov       string
+	delta     float64
+	theta     float64
+	strategy  string
+	mcSamples int
+	timeout   time.Duration
+	verbose   bool
+	topK      int
+	pnn       bool
+	jsonOut   bool
+}
+
 func main() {
-	center := flag.String("center", "", "query mean, comma-separated")
-	cov := flag.String("cov", "", "covariance rows, ';'-separated")
-	delta := flag.Float64("delta", 0, "distance threshold δ")
-	theta := flag.Float64("theta", 0, "probability threshold θ")
-	strategy := flag.String("strategy", "ALL", "filter strategy")
-	mcSamples := flag.Int("mc", 0, "Monte Carlo samples (0 = exact evaluator)")
-	timeout := flag.Duration("timeout", 0, "abort the query after this duration (0 = no limit)")
-	verbose := flag.Bool("v", false, "print per-object probabilities")
-	topK := flag.Int("topk", 0, "report only the k most probable answers")
-	pnn := flag.Bool("pnn", false, "run a probabilistic nearest-neighbor query instead of a range query")
+	var o runOpts
+	flag.StringVar(&o.center, "center", "", "query mean, comma-separated")
+	flag.StringVar(&o.cov, "cov", "", "covariance rows, ';'-separated")
+	flag.Float64Var(&o.delta, "delta", 0, "distance threshold δ")
+	flag.Float64Var(&o.theta, "theta", 0, "probability threshold θ")
+	flag.StringVar(&o.strategy, "strategy", "ALL", "filter strategy")
+	flag.IntVar(&o.mcSamples, "mc", 0, "Monte Carlo samples (0 = exact evaluator)")
+	flag.DurationVar(&o.timeout, "timeout", 0, "abort the query after this duration (0 = no limit)")
+	flag.StringVar(&o.serverURL, "server", "", "query a running prqserved at this base URL instead of loading a CSV")
+	flag.BoolVar(&o.jsonOut, "json", false, "print the result as JSON")
+	flag.BoolVar(&o.verbose, "v", false, "print per-object probabilities")
+	flag.IntVar(&o.topK, "topk", 0, "report only the k most probable answers")
+	flag.BoolVar(&o.pnn, "pnn", false, "run a probabilistic nearest-neighbor query instead of a range query")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: prqquery [flags] <points.csv>\n")
+		fmt.Fprintf(os.Stderr, "usage: prqquery [flags] <points.csv>\n       prqquery -server URL [flags]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 1 || *center == "" || *cov == "" {
+	switch {
+	case o.serverURL == "" && flag.NArg() == 1:
+		o.path = flag.Arg(0)
+	case o.serverURL != "" && flag.NArg() == 0:
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if o.center == "" || o.cov == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	if err := run(flag.Arg(0), *center, *cov, *delta, *theta, *strategy, *mcSamples, *timeout, *verbose, *topK, *pnn); err != nil {
+	if err := run(o, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "prqquery: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, centerS, covS string, delta, theta float64, strategy string, mcSamples int, timeout time.Duration, verbose bool, topK int, pnn bool) error {
-	pts, err := data.LoadCSV(path)
+// jsonAnswer is one probability-annotated answer in -json output.
+type jsonAnswer struct {
+	ID          int64     `json:"id"`
+	Probability float64   `json:"probability"`
+	Coords      []float64 `json:"coords"`
+}
+
+// jsonOutput is the -json result shape, identical for local and server
+// queries so the two modes diff byte-for-byte (modulo stats timings).
+type jsonOutput struct {
+	Points  int                `json:"points"`
+	Dim     int                `json:"dim"`
+	IDs     []int64            `json:"ids"`
+	Stats   *server.QueryStats `json:"stats,omitempty"`
+	Answers []jsonAnswer       `json:"answers,omitempty"`
+}
+
+func run(o runOpts, out io.Writer) error {
+	c, err := parseVector(o.center)
+	if err != nil {
+		return fmt.Errorf("parsing -center: %w", err)
+	}
+	m, err := parseMatrix(o.cov)
+	if err != nil {
+		return fmt.Errorf("parsing -cov: %w", err)
+	}
+	spec := gaussrange.QuerySpec{Center: c, Cov: m, Delta: o.delta, Theta: o.theta, Strategy: o.strategy}
+
+	if o.serverURL != "" {
+		if o.topK > 0 || o.pnn {
+			return errors.New("-topk and -pnn are not supported with -server")
+		}
+		if o.mcSamples > 0 {
+			return errors.New("-mc is not supported with -server (configure the evaluator on prqserved)")
+		}
+		return runServer(o, spec, out)
+	}
+	return runLocal(o, spec, c, m, out)
+}
+
+// runServer answers the query through a prqserved instance.
+func runServer(o runOpts, spec gaussrange.QuerySpec, out io.Writer) error {
+	cl := client.New(o.serverURL)
+	ctx := context.Background()
+	if o.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.timeout)
+		defer cancel()
+	}
+	h, err := cl.Health(ctx)
+	if err != nil {
+		return err
+	}
+	res, err := cl.Query(ctx, spec)
+	if err != nil {
+		if ctx.Err() != nil || client.IsDeadline(err) {
+			return fmt.Errorf("query exceeded -timeout %v: %w", o.timeout, err)
+		}
+		return err
+	}
+	var answers []jsonAnswer
+	if o.verbose {
+		for _, id := range res.IDs {
+			p, err := cl.QueryProb(ctx, spec, id)
+			if err != nil {
+				return err
+			}
+			coords, err := cl.Point(ctx, id)
+			if err != nil {
+				return err
+			}
+			answers = append(answers, jsonAnswer{ID: id, Probability: p, Coords: coords})
+		}
+	}
+	return render(o, out, h.Points, h.Dim, res, answers)
+}
+
+// runLocal loads the CSV and answers the query in-process.
+func runLocal(o runOpts, spec gaussrange.QuerySpec, c []float64, m [][]float64, out io.Writer) error {
+	pts, err := data.LoadCSV(o.path)
 	if err != nil {
 		return err
 	}
@@ -93,92 +209,111 @@ func run(path, centerS, covS string, delta, theta float64, strategy string, mcSa
 		raw[i] = p
 	}
 	var opts []gaussrange.Option
-	if mcSamples > 0 {
-		opts = append(opts, gaussrange.WithMonteCarlo(mcSamples))
+	if o.mcSamples > 0 {
+		opts = append(opts, gaussrange.WithMonteCarlo(o.mcSamples))
 	}
 	db, err := gaussrange.Load(raw, opts...)
 	if err != nil {
 		return err
 	}
 
-	c, err := parseVector(centerS)
-	if err != nil {
-		return fmt.Errorf("parsing -center: %w", err)
-	}
-	m, err := parseMatrix(covS)
-	if err != nil {
-		return fmt.Errorf("parsing -cov: %w", err)
-	}
-	spec := gaussrange.QuerySpec{Center: c, Cov: m, Delta: delta, Theta: theta, Strategy: strategy}
-
-	if pnn {
-		samples := mcSamples
+	if o.pnn {
+		if o.jsonOut {
+			return errors.New("-json applies to range queries, not -pnn")
+		}
+		samples := o.mcSamples
 		if samples == 0 {
 			samples = 20000
 		}
-		results, err := db.PNN(c, m, theta, samples)
+		results, err := db.PNN(c, m, o.theta, samples)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("dataset: %d points (%d-D)\n", db.Len(), db.Dim())
-		fmt.Printf("probabilistic nearest neighbors with p ≥ %g:\n", theta)
+		fmt.Fprintf(out, "dataset: %d points (%d-D)\n", db.Len(), db.Dim())
+		fmt.Fprintf(out, "probabilistic nearest neighbors with p ≥ %g:\n", o.theta)
 		for _, r := range results {
 			coords, err := db.Point(r.ID)
 			if err != nil {
 				return err
 			}
-			fmt.Printf("  id %-8d p=%.4f  %v\n", r.ID, r.Probability, coords)
+			fmt.Fprintf(out, "  id %-8d p=%.4f  %v\n", r.ID, r.Probability, coords)
 		}
 		return nil
 	}
 
-	if topK > 0 {
-		matches, err := db.QueryTopK(spec, topK)
+	if o.topK > 0 {
+		if o.jsonOut {
+			return errors.New("-json applies to range queries, not -topk")
+		}
+		matches, err := db.QueryTopK(spec, o.topK)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("dataset: %d points (%d-D)\n", db.Len(), db.Dim())
-		fmt.Printf("top-%d answers:\n", topK)
+		fmt.Fprintf(out, "dataset: %d points (%d-D)\n", db.Len(), db.Dim())
+		fmt.Fprintf(out, "top-%d answers:\n", o.topK)
 		for _, mt := range matches {
 			coords, err := db.Point(mt.ID)
 			if err != nil {
 				return err
 			}
-			fmt.Printf("  id %-8d p=%.4f  %v\n", mt.ID, mt.Probability, coords)
+			fmt.Fprintf(out, "  id %-8d p=%.4f  %v\n", mt.ID, mt.Probability, coords)
 		}
 		return nil
 	}
 
 	ctx := context.Background()
-	if timeout > 0 {
+	if o.timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, timeout)
+		ctx, cancel = context.WithTimeout(ctx, o.timeout)
 		defer cancel()
 	}
 	res, err := db.QueryCtx(ctx, spec)
 	if err != nil {
 		if ctx.Err() != nil {
-			return fmt.Errorf("query exceeded -timeout %v: %w", timeout, err)
+			return fmt.Errorf("query exceeded -timeout %v: %w", o.timeout, err)
 		}
 		return err
 	}
-
-	st := res.Stats
-	fmt.Printf("dataset: %d points (%d-D)\n", db.Len(), db.Dim())
-	fmt.Printf("answers: %d\n", len(res.IDs))
-	fmt.Printf("phase 1: retrieved %d candidates (%d node reads, %v)\n", st.Retrieved, st.NodesRead, st.IndexTime)
-	fmt.Printf("phase 2: pruned fringe=%d or=%d bf=%d; accepted bf=%d (%v)\n",
-		st.PrunedFringe, st.PrunedOR, st.PrunedBF, st.AcceptedBF, st.FilterTime)
-	fmt.Printf("phase 3: %d integrations (%v)\n", st.Integrations, st.ProbTime)
-	if verbose {
+	var answers []jsonAnswer
+	if o.verbose {
 		for _, id := range res.IDs {
 			p, err := db.QueryProb(spec, id)
 			if err != nil {
 				return err
 			}
 			coords, _ := db.Point(id)
-			fmt.Printf("  id %-8d p=%.4f  %v\n", id, p, coords)
+			answers = append(answers, jsonAnswer{ID: id, Probability: p, Coords: coords})
 		}
+	}
+	return render(o, out, db.Len(), db.Dim(), res, answers)
+}
+
+// render prints the completed query as text or JSON.
+func render(o runOpts, out io.Writer, points, dim int, res *gaussrange.Result, answers []jsonAnswer) error {
+	if o.jsonOut {
+		ids := res.IDs
+		if ids == nil {
+			ids = []int64{}
+		}
+		st := server.StatsFromResult(res.Stats)
+		enc := json.NewEncoder(out)
+		return enc.Encode(jsonOutput{
+			Points:  points,
+			Dim:     dim,
+			IDs:     ids,
+			Stats:   &st,
+			Answers: answers,
+		})
+	}
+	st := res.Stats
+	fmt.Fprintf(out, "dataset: %d points (%d-D)\n", points, dim)
+	fmt.Fprintf(out, "answers: %d\n", len(res.IDs))
+	fmt.Fprintf(out, "phase 1: retrieved %d candidates (%d node reads, %v)\n", st.Retrieved, st.NodesRead, st.IndexTime)
+	fmt.Fprintf(out, "phase 2: pruned fringe=%d or=%d bf=%d; accepted bf=%d (%v)\n",
+		st.PrunedFringe, st.PrunedOR, st.PrunedBF, st.AcceptedBF, st.FilterTime)
+	fmt.Fprintf(out, "phase 3: %d integrations (%v)\n", st.Integrations, st.ProbTime)
+	for _, a := range answers {
+		fmt.Fprintf(out, "  id %-8d p=%.4f  %v\n", a.ID, a.Probability, a.Coords)
 	}
 	return nil
 }

@@ -1,0 +1,173 @@
+// Command prqserved loads (or restores) a point dataset and serves
+// probabilistic range queries over HTTP — one warm DB, plan cache and
+// admission controller shared by every client. See gaussrange/server for
+// the endpoint reference and gaussrange/client for the Go client.
+//
+// Usage:
+//
+//	prqserved -csv points.csv [flags]
+//	prqserved -snapshot db.grdb [flags]
+//
+// Flags:
+//
+//	-addr A             listen address (default 127.0.0.1:8080; use :0 with
+//	                    -addr-file for an ephemeral port)
+//	-addr-file PATH     write the bound address to PATH once listening
+//	-csv PATH           load points from a CSV file
+//	-snapshot PATH      restore a gaussrange snapshot (Save/SaveFile)
+//	-mc N               Monte Carlo evaluator with N samples (default: exact)
+//	-adaptive N         adaptive Monte Carlo with budget N
+//	-seed N             evaluator seed (default 1)
+//	-plan-cache N       compiled-plan cache size (default 128)
+//	-max-inflight N     admission limit on concurrent queries (default 2×CPU)
+//	-default-timeout D  per-query deadline when the request has none (0 = none)
+//	-max-batch N        largest accepted batch (default 1024)
+//	-batch-workers N    worker-pool cap for batch requests (default CPU)
+//	-drain-timeout D    graceful-drain budget on SIGINT/SIGTERM (default 30s)
+//
+// On SIGINT/SIGTERM the server stops accepting connections, drains every
+// in-flight query, and exits 0; queries still running after -drain-timeout
+// are aborted.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"gaussrange"
+	"gaussrange/internal/data"
+	"gaussrange/server"
+)
+
+type config struct {
+	addr           string
+	addrFile       string
+	csvPath        string
+	snapshotPath   string
+	mcSamples      int
+	adaptive       int
+	seed           uint64
+	planCache      int
+	maxInflight    int
+	defaultTimeout time.Duration
+	maxBatch       int
+	batchWorkers   int
+	drainTimeout   time.Duration
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:8080", "listen address")
+	flag.StringVar(&cfg.addrFile, "addr-file", "", "write the bound address to this file once listening")
+	flag.StringVar(&cfg.csvPath, "csv", "", "load points from this CSV file")
+	flag.StringVar(&cfg.snapshotPath, "snapshot", "", "restore a gaussrange snapshot from this file")
+	flag.IntVar(&cfg.mcSamples, "mc", 0, "Monte Carlo samples per object (0 = exact evaluator)")
+	flag.IntVar(&cfg.adaptive, "adaptive", 0, "adaptive Monte Carlo budget (0 = off)")
+	flag.Uint64Var(&cfg.seed, "seed", 1, "evaluator seed")
+	flag.IntVar(&cfg.planCache, "plan-cache", gaussrange.DefaultPlanCacheSize, "compiled-plan cache size")
+	flag.IntVar(&cfg.maxInflight, "max-inflight", 2*runtime.GOMAXPROCS(0), "admission limit on concurrently executing queries")
+	flag.DurationVar(&cfg.defaultTimeout, "default-timeout", 0, "per-query deadline when the request carries none (0 = unbounded)")
+	flag.IntVar(&cfg.maxBatch, "max-batch", 1024, "largest accepted batch request")
+	flag.IntVar(&cfg.batchWorkers, "batch-workers", runtime.GOMAXPROCS(0), "worker-pool cap for batch requests")
+	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "graceful-drain budget on shutdown")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: prqserved -csv points.csv | -snapshot db.grdb [flags]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	if err := serve(cfg, sig, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "prqserved: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// loadDB builds the DB from exactly one of -csv / -snapshot.
+func loadDB(cfg config) (*gaussrange.DB, error) {
+	if (cfg.csvPath == "") == (cfg.snapshotPath == "") {
+		return nil, errors.New("exactly one of -csv and -snapshot is required")
+	}
+	var opts []gaussrange.Option
+	switch {
+	case cfg.adaptive > 0:
+		opts = append(opts, gaussrange.WithAdaptiveMonteCarlo(cfg.adaptive))
+	case cfg.mcSamples > 0:
+		opts = append(opts, gaussrange.WithMonteCarlo(cfg.mcSamples))
+	}
+	opts = append(opts, gaussrange.WithSeed(cfg.seed), gaussrange.WithPlanCacheSize(cfg.planCache))
+
+	if cfg.snapshotPath != "" {
+		return gaussrange.RestoreFile(cfg.snapshotPath, opts...)
+	}
+	pts, err := data.LoadCSV(cfg.csvPath)
+	if err != nil {
+		return nil, err
+	}
+	raw := make([][]float64, len(pts))
+	for i, p := range pts {
+		raw[i] = p
+	}
+	return gaussrange.Load(raw, opts...)
+}
+
+// serve runs the server until an error or a signal on sig; on a signal it
+// drains in-flight queries (bounded by cfg.drainTimeout) before returning.
+func serve(cfg config, sig <-chan os.Signal, logw io.Writer) error {
+	db, err := loadDB(cfg)
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Config{
+		DB:             db,
+		MaxInflight:    cfg.maxInflight,
+		DefaultTimeout: cfg.defaultTimeout,
+		MaxBatchSize:   cfg.maxBatch,
+		BatchWorkers:   cfg.batchWorkers,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	if cfg.addrFile != "" {
+		if err := os.WriteFile(cfg.addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			ln.Close()
+			return fmt.Errorf("writing -addr-file: %w", err)
+		}
+	}
+	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	fmt.Fprintf(logw, "prqserved: serving %d points (%d-D) on %s (max-inflight %d)\n",
+		db.Len(), db.Dim(), ln.Addr(), cfg.maxInflight)
+
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		fmt.Fprintf(logw, "prqserved: received %v, draining in-flight queries (budget %v)\n", s, cfg.drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			hs.Close()
+			return fmt.Errorf("drain exceeded %v: %w", cfg.drainTimeout, err)
+		}
+		<-errc // Serve has returned http.ErrServerClosed
+		fmt.Fprintf(logw, "prqserved: drained, exiting\n")
+		return nil
+	}
+}

@@ -1,0 +1,198 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"gaussrange"
+	"gaussrange/client"
+)
+
+// writeTestCSV writes a 400-point grid around (500, 500) so the standard
+// paper query (δ=25, θ=0.01) has a rich candidate set.
+func writeTestCSV(t *testing.T, dir string) string {
+	t.Helper()
+	var sb strings.Builder
+	for i := 0; i < 400; i++ {
+		fmt.Fprintf(&sb, "%d,%d\n", 440+(i%20)*6, 440+(i/20)*6)
+	}
+	path := filepath.Join(dir, "points.csv")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func testConfig(dir, csvPath string) config {
+	return config{
+		addr:         "127.0.0.1:0",
+		addrFile:     filepath.Join(dir, "addr"),
+		csvPath:      csvPath,
+		seed:         1,
+		planCache:    gaussrange.DefaultPlanCacheSize,
+		maxInflight:  8,
+		maxBatch:     64,
+		batchWorkers: 2,
+		drainTimeout: 30 * time.Second,
+	}
+}
+
+// startServe runs serve in a goroutine and returns the bound address, the
+// injected signal channel, and the exit channel.
+func startServe(t *testing.T, cfg config) (string, chan os.Signal, chan error) {
+	t.Helper()
+	sig := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() { done <- serve(cfg, sig, io.Discard) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if data, err := os.ReadFile(cfg.addrFile); err == nil && len(data) > 0 {
+			return string(data), sig, done
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never wrote its address file")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func paperSpec() gaussrange.QuerySpec {
+	return gaussrange.QuerySpec{
+		Center: []float64{500, 500},
+		Cov:    [][]float64{{70, 34.6}, {34.6, 30}},
+		Delta:  25,
+		Theta:  0.01,
+	}
+}
+
+// TestServeQueryAndDrainOnSIGTERM boots prqserved's serve loop, answers
+// queries through the client, then delivers SIGTERM while Monte Carlo
+// queries are in flight and asserts they complete before serve returns.
+func TestServeQueryAndDrainOnSIGTERM(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig(dir, writeTestCSV(t, dir))
+	// Slow Phase 3 so queries take long enough to overlap the SIGTERM, but
+	// not so slow that draining three of them busts the budget under -race.
+	cfg.mcSamples = 20000
+	addr, sig, done := startServe(t, cfg)
+
+	cl := client.New("http://" + addr)
+	ctx := context.Background()
+	h, err := cl.Health(ctx)
+	if err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+	if h.Points != 400 || h.Dim != 2 {
+		t.Fatalf("Health = %+v", h)
+	}
+
+	res, err := cl.Query(ctx, paperSpec())
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(res.IDs) == 0 {
+		t.Fatal("query over the grid dataset returned no answers")
+	}
+
+	// Fire slow queries, wait until at least one is admitted, then SIGTERM.
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	results := make([]*gaussrange.Result, 3)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			spec := paperSpec()
+			spec.Center = []float64{480 + float64(i)*20, 500}
+			results[i], errs[i] = cl.Query(ctx, spec)
+		}(i)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if snap, err := cl.Stats(ctx); err == nil && snap.Admission.Inflight > 0 {
+			break
+		}
+	}
+	sig <- syscall.SIGTERM
+
+	if err := <-done; err != nil {
+		t.Fatalf("serve returned %v after SIGTERM, want clean drain", err)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("in-flight query %d failed during drain: %v", i, err)
+		} else if len(results[i].IDs) == 0 {
+			t.Errorf("in-flight query %d drained with no answers", i)
+		}
+	}
+}
+
+// TestServeFromSnapshot restores the dataset from a Save snapshot instead of
+// CSV and asserts the served answers match a direct query on the source DB.
+func TestServeFromSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := writeTestCSV(t, dir)
+
+	cfg := testConfig(dir, "")
+	cfg.snapshotPath = filepath.Join(dir, "db.grdb")
+
+	// Build the snapshot from the same grid.
+	src, err := loadDB(testConfig(dir, csvPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.SaveFile(cfg.snapshotPath); err != nil {
+		t.Fatal(err)
+	}
+	direct, err := src.Query(paperSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	addr, sig, done := startServe(t, cfg)
+	served, err := client.New("http://"+addr).Query(context.Background(), paperSpec())
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(served.IDs) != len(direct.IDs) {
+		t.Errorf("served %d answers, direct %d", len(served.IDs), len(direct.IDs))
+	}
+	for i := range served.IDs {
+		if served.IDs[i] != direct.IDs[i] {
+			t.Errorf("answer %d: served id %d, direct id %d", i, served.IDs[i], direct.IDs[i])
+			break
+		}
+	}
+	sig <- syscall.SIGTERM
+	if err := <-done; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+}
+
+func TestLoadDBValidation(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := writeTestCSV(t, dir)
+
+	both := testConfig(dir, csvPath)
+	both.snapshotPath = filepath.Join(dir, "db.grdb")
+	if _, err := loadDB(both); err == nil {
+		t.Error("both -csv and -snapshot accepted")
+	}
+	neither := testConfig(dir, "")
+	if _, err := loadDB(neither); err == nil {
+		t.Error("neither -csv nor -snapshot accepted")
+	}
+	missing := testConfig(dir, filepath.Join(dir, "missing.csv"))
+	if _, err := loadDB(missing); err == nil {
+		t.Error("missing CSV accepted")
+	}
+}

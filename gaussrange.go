@@ -256,6 +256,22 @@ type Stats struct {
 	ProbTime     time.Duration // Phase 3
 }
 
+// Add accumulates other into s. Long-running services that track per-phase
+// totals across many queries (the server's /statsz endpoint, load
+// generators) sum per-query Stats with it.
+func (s *Stats) Add(other Stats) {
+	s.Retrieved += other.Retrieved
+	s.PrunedFringe += other.PrunedFringe
+	s.PrunedOR += other.PrunedOR
+	s.PrunedBF += other.PrunedBF
+	s.AcceptedBF += other.AcceptedBF
+	s.Integrations += other.Integrations
+	s.NodesRead += other.NodesRead
+	s.IndexTime += other.IndexTime
+	s.FilterTime += other.FilterTime
+	s.ProbTime += other.ProbTime
+}
+
 // Result is a completed query.
 type Result struct {
 	// IDs are the qualifying point identifiers, ascending.
@@ -665,6 +681,14 @@ func (db *DB) PNN(center []float64, cov [][]float64, theta float64, samples int)
 // over the given number of worker goroutines. Phase 3 dominates query cost,
 // so the speedup is near-linear while candidates remain plentiful.
 func (db *DB) QueryParallel(spec QuerySpec, workers int) (*Result, error) {
+	return db.QueryParallelCtx(context.Background(), spec, workers)
+}
+
+// QueryParallelCtx is QueryParallel with cancellation and deadline support:
+// a cancelled or expired ctx stops every Phase-3 worker promptly (no new
+// candidates are claimed once cancellation is observed) and returns
+// ctx.Err(), matching QueryCtx and QueryBatch semantics.
+func (db *DB) QueryParallelCtx(ctx context.Context, spec QuerySpec, workers int) (*Result, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	plan, err := db.planFor(spec)
@@ -675,7 +699,7 @@ func (db *DB) QueryParallel(spec QuerySpec, workers int) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := plan.ExecuteWith(context.Background(), eval, workers)
+	res, err := plan.ExecuteWith(ctx, eval, workers)
 	if err != nil {
 		return nil, err
 	}

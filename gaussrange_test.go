@@ -1,8 +1,11 @@
 package gaussrange
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 )
 
@@ -318,6 +321,30 @@ func TestPublicQueryParallel(t *testing.T) {
 	}
 	if _, err := mcDB.QueryParallel(spec, 4); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestQueryParallelCtxCancellation(t *testing.T) {
+	db, err := Load(gridPoints(10000, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := QuerySpec{Center: []float64{500, 500}, Cov: paperCov(10), Delta: 25, Theta: 0.01}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.QueryParallelCtx(ctx, spec, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled parallel query returned %v, want context.Canceled", err)
+	}
+	res, err := db.QueryParallelCtx(context.Background(), spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := db.Query(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.IDs, res.IDs) {
+		t.Fatal("parallel-with-context ids differ from serial")
 	}
 }
 

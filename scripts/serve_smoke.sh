@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke test of the network query service:
+# datagen → prqserved → one query through the client → graceful SIGTERM.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GO="${GO:-go}"
+tmp="$(mktemp -d)"
+pid=""
+cleanup() {
+    if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+        kill -9 "$pid" 2>/dev/null || true
+    fi
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "serve-smoke: building binaries"
+"$GO" build -o "$tmp/bin/" ./cmd/datagen ./cmd/prqserved ./cmd/prqquery
+
+echo "serve-smoke: generating dataset"
+"$tmp/bin/datagen" -seed 1 -n 5000 clustered "$tmp/points.csv"
+
+echo "serve-smoke: starting prqserved"
+"$tmp/bin/prqserved" -csv "$tmp/points.csv" -addr 127.0.0.1:0 -addr-file "$tmp/addr" &
+pid=$!
+
+for _ in $(seq 1 100); do
+    [ -s "$tmp/addr" ] && break
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "serve-smoke: prqserved exited before listening" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+[ -s "$tmp/addr" ] || { echo "serve-smoke: no address file" >&2; exit 1; }
+addr="$(cat "$tmp/addr")"
+echo "serve-smoke: server listening on $addr"
+
+echo "serve-smoke: querying through the client"
+"$tmp/bin/prqquery" -server "http://$addr" -json \
+    -center 500,500 -cov "70,34.6;34.6,30" -delta 25 -theta 0.01 \
+    | tee "$tmp/result.json"
+grep -q '"ids"' "$tmp/result.json"
+
+echo "serve-smoke: draining with SIGTERM"
+kill -TERM "$pid"
+wait "$pid"
+pid=""
+
+echo "serve-smoke: OK"

@@ -1,0 +1,44 @@
+package server
+
+import "sync/atomic"
+
+// admission is a semaphore bounding the number of requests concurrently
+// executing query work. Phase 3 (probability computation) dominates query
+// cost, so bounding admitted requests bounds CPU and keeps tail latency
+// stable; everything beyond the limit is rejected immediately — load sheds
+// with a cheap 429 instead of building an unbounded queue in front of the
+// expensive phase.
+type admission struct {
+	slots    chan struct{}
+	admitted atomic.Uint64
+	rejected atomic.Uint64
+}
+
+func newAdmission(maxInflight int) *admission {
+	return &admission{slots: make(chan struct{}, maxInflight)}
+}
+
+// tryAcquire claims an execution slot without blocking; false means the
+// server is saturated and the caller must reject the request.
+func (a *admission) tryAcquire() bool {
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Add(1)
+		return true
+	default:
+		a.rejected.Add(1)
+		return false
+	}
+}
+
+// release returns a slot claimed by tryAcquire.
+func (a *admission) release() { <-a.slots }
+
+func (a *admission) snapshot() AdmissionStats {
+	return AdmissionStats{
+		MaxInflight: cap(a.slots),
+		Inflight:    len(a.slots),
+		Admitted:    a.admitted.Load(),
+		Rejected:    a.rejected.Load(),
+	}
+}

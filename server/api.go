@@ -1,0 +1,305 @@
+// Package server exposes a gaussrange.DB over HTTP/JSON: the network face
+// of the library for deployments where one loaded dataset (and its warm plan
+// cache) is shared by many clients.
+//
+// Endpoints:
+//
+//	POST /v1/query        one PRQ(q, Σ, δ, θ); body QueryRequest, reply QueryResponse
+//	POST /v1/query/batch  many queries over the pooled batch executor
+//	POST /v1/prob         qualification probability of one stored point
+//	GET  /v1/points       coordinates of stored points (?id=…&id=…)
+//	GET  /healthz         liveness + dataset summary
+//	GET  /statsz          plan-cache hit rates, per-phase candidate totals,
+//	                      admission counters, request latency histograms
+//
+// The server admits at most Config.MaxInflight requests into query execution
+// at once (a semaphore guards Phase-3 work, the dominant cost); requests
+// beyond that limit are rejected immediately with 429 so overload sheds
+// cheaply instead of queueing. Per-request deadlines (timeout_ms, or the
+// server default) are mapped onto the query context, so an expired deadline
+// aborts Phase 3 between candidates and returns 504. Handlers run queries
+// synchronously, which makes http.Server.Shutdown a graceful drain: in-flight
+// queries complete before the listener closes.
+package server
+
+import (
+	"sort"
+	"time"
+
+	"gaussrange"
+)
+
+// QueryRequest is the wire form of gaussrange.QuerySpec plus an optional
+// per-request deadline.
+type QueryRequest struct {
+	Center    []float64   `json:"center"`
+	Cov       [][]float64 `json:"cov"`
+	Delta     float64     `json:"delta"`
+	Theta     float64     `json:"theta"`
+	Strategy  string      `json:"strategy,omitempty"`
+	TargetCov [][]float64 `json:"target_cov,omitempty"`
+	// TimeoutMS bounds this query's execution in milliseconds; 0 defers to
+	// the server's default timeout. Ignored for queries inside a batch
+	// (BatchRequest carries the batch-wide deadline).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// RequestFromSpec converts a QuerySpec to its wire form.
+func RequestFromSpec(spec gaussrange.QuerySpec) QueryRequest {
+	return QueryRequest{
+		Center:    spec.Center,
+		Cov:       spec.Cov,
+		Delta:     spec.Delta,
+		Theta:     spec.Theta,
+		Strategy:  spec.Strategy,
+		TargetCov: spec.TargetCov,
+	}
+}
+
+// Spec converts the wire request back to a QuerySpec.
+func (r QueryRequest) Spec() gaussrange.QuerySpec {
+	return gaussrange.QuerySpec{
+		Center:    r.Center,
+		Cov:       r.Cov,
+		Delta:     r.Delta,
+		Theta:     r.Theta,
+		Strategy:  r.Strategy,
+		TargetCov: r.TargetCov,
+	}
+}
+
+// QueryStats is the wire form of gaussrange.Stats (durations in nanoseconds).
+type QueryStats struct {
+	Retrieved    int   `json:"retrieved"`
+	PrunedFringe int   `json:"pruned_fringe"`
+	PrunedOR     int   `json:"pruned_or"`
+	PrunedBF     int   `json:"pruned_bf"`
+	AcceptedBF   int   `json:"accepted_bf"`
+	Integrations int   `json:"integrations"`
+	NodesRead    int   `json:"nodes_read"`
+	IndexNS      int64 `json:"index_ns"`
+	FilterNS     int64 `json:"filter_ns"`
+	ProbNS       int64 `json:"prob_ns"`
+}
+
+// StatsFromResult converts library stats to the wire form.
+func StatsFromResult(st gaussrange.Stats) QueryStats {
+	return QueryStats{
+		Retrieved:    st.Retrieved,
+		PrunedFringe: st.PrunedFringe,
+		PrunedOR:     st.PrunedOR,
+		PrunedBF:     st.PrunedBF,
+		AcceptedBF:   st.AcceptedBF,
+		Integrations: st.Integrations,
+		NodesRead:    st.NodesRead,
+		IndexNS:      st.IndexTime.Nanoseconds(),
+		FilterNS:     st.FilterTime.Nanoseconds(),
+		ProbNS:       st.ProbTime.Nanoseconds(),
+	}
+}
+
+// Stats converts the wire form back to library stats.
+func (s QueryStats) Stats() gaussrange.Stats {
+	return gaussrange.Stats{
+		Retrieved:    s.Retrieved,
+		PrunedFringe: s.PrunedFringe,
+		PrunedOR:     s.PrunedOR,
+		PrunedBF:     s.PrunedBF,
+		AcceptedBF:   s.AcceptedBF,
+		Integrations: s.Integrations,
+		NodesRead:    s.NodesRead,
+		IndexTime:    time.Duration(s.IndexNS),
+		FilterTime:   time.Duration(s.FilterNS),
+		ProbTime:     time.Duration(s.ProbNS),
+	}
+}
+
+// QueryResponse is one completed query. IDs is never null on the wire: an
+// empty answer set serializes as [], so responses diff cleanly against other
+// tools.
+type QueryResponse struct {
+	IDs   []int64    `json:"ids"`
+	Stats QueryStats `json:"stats"`
+}
+
+// ResponseFromResult converts a library result to the wire form.
+func ResponseFromResult(res *gaussrange.Result) QueryResponse {
+	ids := res.IDs
+	if ids == nil {
+		ids = []int64{}
+	}
+	return QueryResponse{IDs: ids, Stats: StatsFromResult(res.Stats)}
+}
+
+// Result converts the wire response back to a library result.
+func (r QueryResponse) Result() *gaussrange.Result {
+	return &gaussrange.Result{IDs: r.IDs, Stats: r.Stats.Stats()}
+}
+
+// BatchRequest runs many queries through the pooled batch executor.
+type BatchRequest struct {
+	Queries []QueryRequest `json:"queries"`
+	// Workers requests a worker-pool size; the server clamps it to
+	// [1, Config.BatchWorkers]. 0 selects the server's cap.
+	Workers int `json:"workers,omitempty"`
+	// TimeoutMS bounds the whole batch; 0 defers to the server default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// BatchResponse aligns with BatchRequest.Queries.
+type BatchResponse struct {
+	Results []QueryResponse `json:"results"`
+}
+
+// ProbRequest asks for the qualification probability of one stored point
+// under the embedded query parameters.
+type ProbRequest struct {
+	QueryRequest
+	ID int64 `json:"id"`
+}
+
+// ProbResponse is the exact qualification probability of the point.
+type ProbResponse struct {
+	ID          int64   `json:"id"`
+	Probability float64 `json:"probability"`
+}
+
+// Point is one stored point with its identifier.
+type Point struct {
+	ID     int64     `json:"id"`
+	Coords []float64 `json:"coords"`
+}
+
+// PointsResponse answers GET /v1/points.
+type PointsResponse struct {
+	Points []Point `json:"points"`
+}
+
+// Health answers GET /healthz.
+type Health struct {
+	Status string `json:"status"`
+	Points int    `json:"points"`
+	Dim    int    `json:"dim"`
+}
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// PlanCacheStats reports the DB's compiled-plan cache counters.
+type PlanCacheStats struct {
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+// AdmissionStats reports the admission controller's counters.
+type AdmissionStats struct {
+	MaxInflight int    `json:"max_inflight"`
+	Inflight    int    `json:"inflight"`
+	Admitted    uint64 `json:"admitted"`
+	Rejected    uint64 `json:"rejected"`
+}
+
+// QueryTotals accumulates per-phase accounting over every successful query
+// the server has answered — the paper's Tables I/II counters, live.
+type QueryTotals struct {
+	Queries      uint64 `json:"queries"`
+	Answers      uint64 `json:"answers"`
+	Retrieved    uint64 `json:"retrieved"`
+	PrunedFringe uint64 `json:"pruned_fringe"`
+	PrunedOR     uint64 `json:"pruned_or"`
+	PrunedBF     uint64 `json:"pruned_bf"`
+	AcceptedBF   uint64 `json:"accepted_bf"`
+	Integrations uint64 `json:"integrations"`
+	NodesRead    uint64 `json:"nodes_read"`
+	IndexNS      int64  `json:"index_ns"`
+	FilterNS     int64  `json:"filter_ns"`
+	ProbNS       int64  `json:"prob_ns"`
+}
+
+// Histogram is a fixed-bucket latency histogram. Counts has one entry per
+// upper bound in BoundsMS plus a final overflow bucket.
+type Histogram struct {
+	BoundsMS []float64 `json:"bounds_ms"`
+	Counts   []uint64  `json:"counts"`
+	Count    uint64    `json:"count"`
+	TotalNS  int64     `json:"total_ns"`
+	MaxNS    int64     `json:"max_ns"`
+}
+
+// MeanMS returns the mean observed latency in milliseconds (0 when empty).
+func (h Histogram) MeanMS() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.TotalNS) / float64(h.Count) / 1e6
+}
+
+// Quantile estimates the q-quantile latency in milliseconds by linear
+// interpolation within the containing bucket (an upper-bound estimate for
+// the overflow bucket, capped at the observed maximum).
+func (h Histogram) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var cum float64
+	lower := 0.0
+	for i, c := range h.Counts {
+		upper := float64(h.MaxNS) / 1e6
+		if i < len(h.BoundsMS) {
+			upper = h.BoundsMS[i]
+		}
+		if cum+float64(c) >= rank && c > 0 {
+			frac := (rank - cum) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			v := lower + frac*(upper-lower)
+			if max := float64(h.MaxNS) / 1e6; v > max {
+				v = max
+			}
+			return v
+		}
+		cum += float64(c)
+		lower = upper
+	}
+	return float64(h.MaxNS) / 1e6
+}
+
+// EndpointStats aggregates one endpoint's request accounting.
+type EndpointStats struct {
+	Requests uint64    `json:"requests"`
+	Errors   uint64    `json:"errors"`   // non-2xx excluding 429
+	Rejected uint64    `json:"rejected"` // 429 from admission control
+	Latency  Histogram `json:"latency"`
+}
+
+// StatsSnapshot answers GET /statsz.
+type StatsSnapshot struct {
+	UptimeSeconds float64                  `json:"uptime_seconds"`
+	Points        int                      `json:"points"`
+	Dim           int                      `json:"dim"`
+	PlanCache     PlanCacheStats           `json:"plan_cache"`
+	Admission     AdmissionStats           `json:"admission"`
+	Queries       QueryTotals              `json:"queries"`
+	Endpoints     map[string]EndpointStats `json:"endpoints"`
+}
+
+// EndpointNames returns the snapshot's endpoint keys, sorted.
+func (s StatsSnapshot) EndpointNames() []string {
+	names := make([]string, 0, len(s.Endpoints))
+	for name := range s.Endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,48 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram()
+	for i := 0; i < 100; i++ {
+		h.observe(time.Duration(i+1) * time.Millisecond) // 1..100ms
+	}
+	snap := h.snapshot()
+	if snap.Count != 100 {
+		t.Fatalf("count = %d", snap.Count)
+	}
+	if m := snap.MeanMS(); m < 50 || m > 51.5 {
+		t.Errorf("mean = %.2fms, want ~50.5", m)
+	}
+	if q := snap.Quantile(0.5); q < 25 || q > 75 {
+		t.Errorf("p50 = %.2fms, want within the middle buckets", q)
+	}
+	if q := snap.Quantile(1); q > 100.0001 {
+		t.Errorf("p100 = %.2fms, must not exceed the observed max", q)
+	}
+	var empty Histogram
+	if empty.Quantile(0.9) != 0 || empty.MeanMS() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+}
+
+func TestAdmissionCounters(t *testing.T) {
+	a := newAdmission(2)
+	if !a.tryAcquire() || !a.tryAcquire() {
+		t.Fatal("first two acquisitions must succeed")
+	}
+	if a.tryAcquire() {
+		t.Fatal("third acquisition must fail at capacity 2")
+	}
+	a.release()
+	if !a.tryAcquire() {
+		t.Fatal("acquisition after release must succeed")
+	}
+	snap := a.snapshot()
+	if snap.MaxInflight != 2 || snap.Inflight != 2 || snap.Admitted != 3 || snap.Rejected != 1 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+}

@@ -1,0 +1,348 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"gaussrange"
+)
+
+const statusTooManyRequests = http.StatusTooManyRequests
+
+// statusClientClosedRequest reports a request whose client went away before
+// the query finished (nginx's conventional 499; the reply is rarely seen).
+const statusClientClosedRequest = 499
+
+// maxRequestBytes bounds a request body; batch requests are the largest
+// legitimate payload (thousands of specs) and fit comfortably.
+const maxRequestBytes = 16 << 20
+
+// Config configures a Server.
+type Config struct {
+	// DB is the loaded dataset to serve. Required.
+	DB *gaussrange.DB
+
+	// MaxInflight bounds the number of requests concurrently executing
+	// query work; requests beyond it receive 429 immediately.
+	// Default: 2 × GOMAXPROCS.
+	MaxInflight int
+
+	// DefaultTimeout bounds query execution when the request carries no
+	// timeout_ms of its own. 0 means unbounded.
+	DefaultTimeout time.Duration
+
+	// MaxBatchSize caps the number of queries in one batch request
+	// (default 1024).
+	MaxBatchSize int
+
+	// BatchWorkers caps the worker-pool size a batch request may ask for
+	// (default GOMAXPROCS).
+	BatchWorkers int
+}
+
+// Server serves a gaussrange.DB over HTTP. Create one with New and mount
+// Handler on an http.Server. Handlers execute queries synchronously, so
+// http.Server.Shutdown drains in-flight queries before returning.
+type Server struct {
+	db    *gaussrange.DB
+	cfg   Config
+	adm   *admission
+	met   *metrics
+	start time.Time
+
+	// preQuery, when non-nil, runs after admission with the query context —
+	// a test seam for holding requests in flight deterministically.
+	preQuery func(ctx context.Context)
+}
+
+// New validates cfg, applies defaults, and returns a Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.DB == nil {
+		return nil, errors.New("server: Config.DB is required")
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxBatchSize <= 0 {
+		cfg.MaxBatchSize = 1024
+	}
+	if cfg.BatchWorkers <= 0 {
+		cfg.BatchWorkers = runtime.GOMAXPROCS(0)
+	}
+	return &Server{
+		db:    cfg.DB,
+		cfg:   cfg,
+		adm:   newAdmission(cfg.MaxInflight),
+		met:   newMetrics(),
+		start: time.Now(),
+	}, nil
+}
+
+// Handler returns the HTTP handler serving all endpoints.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/query", s.handleQuery)
+	mux.HandleFunc("/v1/query/batch", s.handleBatch)
+	mux.HandleFunc("/v1/prob", s.handleProb)
+	mux.HandleFunc("/v1/points", s.handlePoints)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/statsz", s.handleStatsz)
+	return mux
+}
+
+// Stats assembles the current /statsz snapshot.
+func (s *Server) Stats() StatsSnapshot {
+	hits, misses := s.db.PlanCacheStats()
+	var rate float64
+	if hits+misses > 0 {
+		rate = float64(hits) / float64(hits+misses)
+	}
+	return StatsSnapshot{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Points:        s.db.Len(),
+		Dim:           s.db.Dim(),
+		PlanCache:     PlanCacheStats{Hits: hits, Misses: misses, HitRate: rate},
+		Admission:     s.adm.snapshot(),
+		Queries:       s.met.queryTotals(),
+		Endpoints:     s.met.endpointSnapshots(),
+	}
+}
+
+// queryContext derives the execution context for one request: the request's
+// own timeout_ms when given, else the server default, else unbounded. The
+// parent is the HTTP request context, so a client disconnect cancels the
+// query either way.
+func (s *Server) queryContext(parent context.Context, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if d <= 0 {
+		return context.WithCancel(parent)
+	}
+	return context.WithTimeout(parent, d)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// statusForQueryErr maps a query error to an HTTP status: deadline → 504,
+// client-cancelled → 499, anything else is a spec problem → 400.
+func statusForQueryErr(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request body: %w", err)
+	}
+	return nil
+}
+
+// admit claims an execution slot or rejects with 429. The caller must
+// release() on true.
+func (s *Server) admit(w http.ResponseWriter) bool {
+	if s.adm.tryAcquire() {
+		return true
+	}
+	w.Header().Set("Retry-After", "1")
+	writeError(w, statusTooManyRequests,
+		"server overloaded: %d queries in flight (limit %d)", s.cfg.MaxInflight, s.cfg.MaxInflight)
+	return false
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	const ep = "/v1/query"
+	t0 := time.Now()
+	status := http.StatusOK
+	defer func() { s.met.observe(ep, status, time.Since(t0)) }()
+
+	if r.Method != http.MethodPost {
+		status = http.StatusMethodNotAllowed
+		writeError(w, status, "use POST")
+		return
+	}
+	var req QueryRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		status = http.StatusBadRequest
+		writeError(w, status, "%v", err)
+		return
+	}
+	if !s.admit(w) {
+		status = statusTooManyRequests
+		return
+	}
+	defer s.adm.release()
+
+	ctx, cancel := s.queryContext(r.Context(), req.TimeoutMS)
+	defer cancel()
+	if s.preQuery != nil {
+		s.preQuery(ctx)
+	}
+	res, err := s.db.QueryCtx(ctx, req.Spec())
+	if err != nil {
+		status = statusForQueryErr(err)
+		writeError(w, status, "%v", err)
+		return
+	}
+	s.met.addQuery(res.Stats, len(res.IDs))
+	writeJSON(w, status, ResponseFromResult(res))
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	const ep = "/v1/query/batch"
+	t0 := time.Now()
+	status := http.StatusOK
+	defer func() { s.met.observe(ep, status, time.Since(t0)) }()
+
+	if r.Method != http.MethodPost {
+		status = http.StatusMethodNotAllowed
+		writeError(w, status, "use POST")
+		return
+	}
+	var req BatchRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		status = http.StatusBadRequest
+		writeError(w, status, "%v", err)
+		return
+	}
+	if len(req.Queries) > s.cfg.MaxBatchSize {
+		status = http.StatusBadRequest
+		writeError(w, status, "batch of %d queries exceeds limit %d", len(req.Queries), s.cfg.MaxBatchSize)
+		return
+	}
+	workers := req.Workers
+	if workers <= 0 || workers > s.cfg.BatchWorkers {
+		workers = s.cfg.BatchWorkers
+	}
+	if !s.admit(w) {
+		status = statusTooManyRequests
+		return
+	}
+	defer s.adm.release()
+
+	ctx, cancel := s.queryContext(r.Context(), req.TimeoutMS)
+	defer cancel()
+	if s.preQuery != nil {
+		s.preQuery(ctx)
+	}
+	specs := make([]gaussrange.QuerySpec, len(req.Queries))
+	for i, q := range req.Queries {
+		specs[i] = q.Spec()
+	}
+	results, err := s.db.QueryBatch(ctx, specs, workers)
+	if err != nil {
+		status = statusForQueryErr(err)
+		writeError(w, status, "%v", err)
+		return
+	}
+	resp := BatchResponse{Results: make([]QueryResponse, len(results))}
+	for i, res := range results {
+		s.met.addQuery(res.Stats, len(res.IDs))
+		resp.Results[i] = ResponseFromResult(res)
+	}
+	writeJSON(w, status, resp)
+}
+
+func (s *Server) handleProb(w http.ResponseWriter, r *http.Request) {
+	const ep = "/v1/prob"
+	t0 := time.Now()
+	status := http.StatusOK
+	defer func() { s.met.observe(ep, status, time.Since(t0)) }()
+
+	if r.Method != http.MethodPost {
+		status = http.StatusMethodNotAllowed
+		writeError(w, status, "use POST")
+		return
+	}
+	var req ProbRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		status = http.StatusBadRequest
+		writeError(w, status, "%v", err)
+		return
+	}
+	if req.ID < 0 || req.ID >= int64(s.db.Len()) {
+		status = http.StatusNotFound
+		writeError(w, status, "point id %d out of range [0, %d)", req.ID, s.db.Len())
+		return
+	}
+	if !s.admit(w) {
+		status = statusTooManyRequests
+		return
+	}
+	defer s.adm.release()
+
+	p, err := s.db.QueryProb(req.Spec(), req.ID)
+	if err != nil {
+		status = http.StatusBadRequest
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, status, ProbResponse{ID: req.ID, Probability: p})
+}
+
+func (s *Server) handlePoints(w http.ResponseWriter, r *http.Request) {
+	const ep = "/v1/points"
+	t0 := time.Now()
+	status := http.StatusOK
+	defer func() { s.met.observe(ep, status, time.Since(t0)) }()
+
+	if r.Method != http.MethodGet {
+		status = http.StatusMethodNotAllowed
+		writeError(w, status, "use GET with ?id=…&id=…")
+		return
+	}
+	raw := r.URL.Query()["id"]
+	if len(raw) == 0 {
+		status = http.StatusBadRequest
+		writeError(w, status, "at least one ?id= parameter is required")
+		return
+	}
+	resp := PointsResponse{Points: make([]Point, 0, len(raw))}
+	for _, v := range raw {
+		id, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			status = http.StatusBadRequest
+			writeError(w, status, "invalid id %q: %v", v, err)
+			return
+		}
+		coords, err := s.db.Point(id)
+		if err != nil {
+			status = http.StatusNotFound
+			writeError(w, status, "%v", err)
+			return
+		}
+		resp.Points = append(resp.Points, Point{ID: id, Coords: coords})
+	}
+	writeJSON(w, status, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Health{Status: "ok", Points: s.db.Len(), Dim: s.db.Dim()})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
