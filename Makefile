@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench verify race vet serve-smoke
+.PHONY: build test bench verify race vet serve-smoke bench-snapshot
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,11 @@ race:
 # concurrency-heavy).
 verify: vet race
 	@echo "verify: OK"
+
+# bench-snapshot regenerates BENCH_phase3.json, the committed Phase-3 kernel
+# comparison (per-candidate vs shared-flat vs shared-grid).
+bench-snapshot:
+	GO="$(GO)" ./scripts/bench_snapshot.sh
 
 # serve-smoke boots the full network stack once: generate a dataset, start
 # prqserved, answer one query through the Go client (prqquery -server), and

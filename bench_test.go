@@ -672,6 +672,47 @@ func BenchmarkQueryRepeated(b *testing.B) {
 	}
 }
 
+// BenchmarkPhase3 compares the Phase-3 kernels on the paper's default 2-D
+// workload: per-candidate Monte Carlo (one stream per candidate) vs the
+// shared-sample cloud, flat and grid-indexed. 10 000 samples keep the naive
+// baseline short; speedups grow with the sample count since the shared
+// kernels draw the cloud once per plan.
+func BenchmarkPhase3(b *testing.B) {
+	specs := benchSpecs(b, 8)
+	raw := toRaw(lbPts)
+	for _, mode := range []struct {
+		name   string
+		kernel Phase3Kernel
+	}{
+		{"per-candidate", KernelPerCandidate},
+		{"shared-flat", KernelSharedFlat},
+		{"shared-grid", KernelSharedGrid},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			opts := []Option{WithMonteCarlo(10000), WithSeed(7)}
+			if mode.kernel != KernelPerCandidate {
+				opts = append(opts, WithPhase3Kernel(mode.kernel))
+			}
+			db, err := Load(raw, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var integrations, touched int
+			for i := 0; i < b.N; i++ {
+				res, err := db.Query(specs[i%len(specs)])
+				if err != nil {
+					b.Fatal(err)
+				}
+				integrations = res.Stats.Integrations
+				touched = res.Stats.SamplesTouched
+			}
+			b.ReportMetric(float64(integrations), "integrations/query")
+			b.ReportMetric(float64(touched), "samples-touched/query")
+		})
+	}
+}
+
 // BenchmarkQueryBatch measures DB.QueryBatch throughput at several pool
 // sizes against the serial per-spec loop ("workers=1" is the pooled path
 // with one worker; "serial" is repeated QueryCtx).

@@ -22,6 +22,10 @@
 //	           loopback, drives it with -workers concurrent clients issuing
 //	           -queries queries, and reports throughput, latency quantiles,
 //	           plan-cache and admission statistics (not in "all")
+//	phase3   — Phase-3 kernel comparison: the same 2-D query set under the
+//	           per-candidate, shared-flat and shared-grid kernels, with
+//	           Phase-3 time, sample accounting and answer agreement; -json
+//	           writes the measurements as a JSON document (not in "all")
 //
 // Flags:
 //
@@ -31,6 +35,7 @@
 //	-samples N     MC samples per object (default 100000)
 //	-workers N     worker goroutines for the batch experiment (default NumCPU)
 //	-queries N     queries per batch for the batch experiment (default 64)
+//	-json PATH     write the phase3 report as JSON to PATH
 package main
 
 import (
@@ -55,8 +60,9 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines for the batch experiment")
 	queries := flag.Int("queries", 64, "queries per batch for the batch experiment")
 	svg := flag.String("svg", "", "write the region figure (fig13/15/16) as SVG to this path")
+	jsonPath := flag.String("json", "", "write the phase3 report as JSON to this path")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: prqbench [flags] table1|table2|table3|fig13|fig14|fig15|fig16|fig17|sweep|iostats|catalog|batch|serve|all\n")
+		fmt.Fprintf(os.Stderr, "usage: prqbench [flags] table1|table2|table3|fig13|fig14|fig15|fig16|fig17|sweep|iostats|catalog|batch|serve|phase3|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -86,6 +92,13 @@ func main() {
 	}
 	if strings.EqualFold(flag.Arg(0), "batch") {
 		if err := runBatch(cfg, *workers, *queries); err != nil {
+			fmt.Fprintf(os.Stderr, "prqbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if strings.EqualFold(flag.Arg(0), "phase3") {
+		if err := runPhase3(cfg, *queries, *jsonPath); err != nil {
 			fmt.Fprintf(os.Stderr, "prqbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,188 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"gaussrange"
+	"gaussrange/internal/data"
+	"gaussrange/internal/experiments"
+)
+
+// phase3Kernels enumerates the kernels the experiment compares, naive first
+// so speedups are reported against it.
+var phase3Kernels = []gaussrange.Phase3Kernel{
+	gaussrange.KernelPerCandidate,
+	gaussrange.KernelSharedFlat,
+	gaussrange.KernelSharedGrid,
+}
+
+// phase3KernelResult is one kernel's accumulated measurements, in the wire
+// form bench_snapshot.sh archives as BENCH_phase3.json.
+type phase3KernelResult struct {
+	Kernel         string  `json:"kernel"`
+	Phase3NS       int64   `json:"phase3_ns"`
+	TotalNS        int64   `json:"total_ns"`
+	Integrations   int     `json:"integrations"`
+	SamplesDrawn   int     `json:"samples_drawn"`
+	SamplesTouched int     `json:"samples_touched"`
+	Answers        int     `json:"answers"`
+	Speedup        float64 `json:"speedup_vs_per_candidate"`
+}
+
+// phase3Report is the JSON document written by -json.
+type phase3Report struct {
+	Dataset       string               `json:"dataset"`
+	Points        int                  `json:"points"`
+	Queries       int                  `json:"queries"`
+	Gamma         float64              `json:"gamma"`
+	Delta         float64              `json:"delta"`
+	Theta         float64              `json:"theta"`
+	Samples       int                  `json:"samples"`
+	Seed          uint64               `json:"seed"`
+	FlatGridAgree bool                 `json:"flat_grid_identical_ids"`
+	Kernels       []phase3KernelResult `json:"kernels"`
+}
+
+// runPhase3 compares the Phase-3 kernels on the paper's default 2-D workload
+// (Long Beach roads, Σ = 10·Σ₀, δ = 25, θ = 0.01): the same query set runs
+// once per kernel against a fresh DB using the Monte Carlo evaluator with the
+// configured sample count, and per-kernel Phase-3 time, sample accounting and
+// answer counts are reported. All query shapes are identical, so after the
+// first compile every query is a plan-cache hit — the shared kernels draw
+// their cloud once and amortize it across the whole run.
+func runPhase3(cfg experiments.Config, queries int, jsonPath string) error {
+	if queries < 1 {
+		return fmt.Errorf("-queries must be at least 1, got %d", queries)
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	samples := cfg.Samples
+	if samples <= 0 {
+		samples = 100000
+	}
+	points := data.LongBeach(seed)
+	raw := make([][]float64, len(points))
+	for i, p := range points {
+		raw[i] = p
+	}
+
+	const (
+		gamma = 10.0
+		delta = 25.0
+		theta = 0.01
+	)
+	sigma := experiments.PaperSigmaBase().Scale(gamma)
+	covRows := [][]float64{
+		{sigma.At(0, 0), sigma.At(0, 1)},
+		{sigma.At(1, 0), sigma.At(1, 1)},
+	}
+	specs := make([]gaussrange.QuerySpec, queries)
+	for i := range specs {
+		c := points[(i*7919)%len(points)]
+		specs[i] = gaussrange.QuerySpec{
+			Center: []float64{c[0], c[1]},
+			Cov:    covRows,
+			Delta:  delta,
+			Theta:  theta,
+		}
+	}
+	ctx := context.Background()
+
+	report := phase3Report{
+		Dataset: "longbeach",
+		Points:  len(raw),
+		Queries: queries,
+		Gamma:   gamma,
+		Delta:   delta,
+		Theta:   theta,
+		Samples: samples,
+		Seed:    seed,
+	}
+	ids := make([][][]int64, len(phase3Kernels))
+	for ki, kernel := range phase3Kernels {
+		opts := []gaussrange.Option{
+			gaussrange.WithMonteCarlo(samples),
+			gaussrange.WithSeed(seed),
+		}
+		if kernel != gaussrange.KernelPerCandidate {
+			opts = append(opts, gaussrange.WithPhase3Kernel(kernel))
+		}
+		db, err := gaussrange.Load(raw, opts...)
+		if err != nil {
+			return err
+		}
+		var kr phase3KernelResult
+		kr.Kernel = kernel.String()
+		ids[ki] = make([][]int64, queries)
+		t0 := time.Now()
+		for qi, spec := range specs {
+			res, err := db.QueryCtx(ctx, spec)
+			if err != nil {
+				return err
+			}
+			kr.Phase3NS += res.Stats.ProbTime.Nanoseconds()
+			kr.Integrations += res.Stats.Integrations
+			kr.SamplesDrawn += res.Stats.SamplesDrawn
+			kr.SamplesTouched += res.Stats.SamplesTouched
+			kr.Answers += len(res.IDs)
+			ids[ki][qi] = res.IDs
+		}
+		kr.TotalNS = time.Since(t0).Nanoseconds()
+		report.Kernels = append(report.Kernels, kr)
+	}
+	base := float64(report.Kernels[0].Phase3NS)
+	for i := range report.Kernels {
+		if ns := report.Kernels[i].Phase3NS; ns > 0 {
+			report.Kernels[i].Speedup = base / float64(ns)
+		}
+	}
+	report.FlatGridAgree = idsEqual(ids[1], ids[2])
+
+	fmt.Printf("phase-3 kernel comparison (%d points, %d queries, γ=%g, δ=%g, θ=%g, %d samples, seed %d)\n",
+		report.Points, queries, gamma, delta, theta, samples, seed)
+	fmt.Printf("  %-14s %12s %12s %14s %16s %9s %9s\n",
+		"kernel", "phase3", "total", "integrations", "samples-touched", "answers", "speedup")
+	for _, kr := range report.Kernels {
+		fmt.Printf("  %-14s %12v %12v %14d %16d %9d %8.2fx\n",
+			kr.Kernel, time.Duration(kr.Phase3NS), time.Duration(kr.TotalNS),
+			kr.Integrations, kr.SamplesTouched, kr.Answers, kr.Speedup)
+	}
+	fmt.Printf("  shared-flat and shared-grid answer sets identical: %v\n", report.FlatGridAgree)
+
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(jsonPath, buf, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+// idsEqual reports whether two per-query answer-set slices match exactly.
+func idsEqual(a, b [][]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}

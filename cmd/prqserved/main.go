@@ -24,6 +24,10 @@
 //	-max-batch N        largest accepted batch (default 1024)
 //	-batch-workers N    worker-pool cap for batch requests (default CPU)
 //	-drain-timeout D    graceful-drain budget on SIGINT/SIGTERM (default 30s)
+//	-pprof ADDR         serve net/http/pprof on a separate loopback address
+//	                    (e.g. 127.0.0.1:6060; empty = disabled)
+//	-phase3 NAME        Phase-3 kernel: per-candidate (default), shared-flat,
+//	                    or shared-grid (incompatible with -adaptive)
 //
 // On SIGINT/SIGTERM the server stops accepting connections, drains every
 // in-flight query, and exits 0; queries still running after -drain-timeout
@@ -38,6 +42,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -63,6 +68,8 @@ type config struct {
 	maxBatch       int
 	batchWorkers   int
 	drainTimeout   time.Duration
+	pprofAddr      string
+	phase3         string
 }
 
 func main() {
@@ -80,6 +87,8 @@ func main() {
 	flag.IntVar(&cfg.maxBatch, "max-batch", 1024, "largest accepted batch request")
 	flag.IntVar(&cfg.batchWorkers, "batch-workers", runtime.GOMAXPROCS(0), "worker-pool cap for batch requests")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "graceful-drain budget on shutdown")
+	flag.StringVar(&cfg.pprofAddr, "pprof", "", "serve net/http/pprof on this loopback address (empty = disabled)")
+	flag.StringVar(&cfg.phase3, "phase3", "per-candidate", `Phase-3 kernel: "per-candidate", "shared-flat" or "shared-grid"`)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: prqserved -csv points.csv | -snapshot db.grdb [flags]\n")
 		flag.PrintDefaults()
@@ -106,6 +115,13 @@ func loadDB(cfg config) (*gaussrange.DB, error) {
 	case cfg.mcSamples > 0:
 		opts = append(opts, gaussrange.WithMonteCarlo(cfg.mcSamples))
 	}
+	kernel, err := parsePhase3(cfg.phase3)
+	if err != nil {
+		return nil, err
+	}
+	if kernel != gaussrange.KernelPerCandidate {
+		opts = append(opts, gaussrange.WithPhase3Kernel(kernel))
+	}
 	opts = append(opts, gaussrange.WithSeed(cfg.seed), gaussrange.WithPlanCacheSize(cfg.planCache))
 
 	if cfg.snapshotPath != "" {
@@ -120,6 +136,33 @@ func loadDB(cfg config) (*gaussrange.DB, error) {
 		raw[i] = p
 	}
 	return gaussrange.Load(raw, opts...)
+}
+
+// parsePhase3 maps the -phase3 flag to a kernel constant.
+func parsePhase3(name string) (gaussrange.Phase3Kernel, error) {
+	switch name {
+	case "", "per-candidate":
+		return gaussrange.KernelPerCandidate, nil
+	case "shared-flat":
+		return gaussrange.KernelSharedFlat, nil
+	case "shared-grid":
+		return gaussrange.KernelSharedGrid, nil
+	}
+	return 0, fmt.Errorf("unknown -phase3 kernel %q (want per-candidate, shared-flat or shared-grid)", name)
+}
+
+// pprofHandler builds a mux with the net/http/pprof endpoints. The handlers
+// are wired explicitly rather than through the package's DefaultServeMux
+// side-effect registration, so the profiling surface exists only on the
+// dedicated -pprof listener — never on the query-serving address.
+func pprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // serve runs the server until an error or a signal on sig; on a signal it
@@ -154,6 +197,18 @@ func serve(cfg config, sig <-chan os.Signal, logw io.Writer) error {
 	go func() { errc <- hs.Serve(ln) }()
 	fmt.Fprintf(logw, "prqserved: serving %d points (%d-D) on %s (max-inflight %d)\n",
 		db.Len(), db.Dim(), ln.Addr(), cfg.maxInflight)
+
+	if cfg.pprofAddr != "" {
+		pln, err := net.Listen("tcp", cfg.pprofAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("listening on -pprof address: %w", err)
+		}
+		ps := &http.Server{Handler: pprofHandler(), ReadHeaderTimeout: 10 * time.Second}
+		defer ps.Close()
+		go ps.Serve(pln)
+		fmt.Fprintf(logw, "prqserved: pprof on http://%s/debug/pprof/\n", pln.Addr())
+	}
 
 	select {
 	case err := <-errc:

@@ -65,6 +65,7 @@ type options struct {
 	seed          uint64
 	useCatalogs   bool
 	planCacheSize int
+	phase3Kernel  Phase3Kernel
 }
 
 // Option configures Open and Load.
@@ -111,6 +112,46 @@ func WithAdaptiveMonteCarlo(maxSamples int) Option {
 	}
 }
 
+// Phase3Kernel selects how Phase 3 (probability computation) evaluates the
+// candidates that survive filtering.
+type Phase3Kernel int
+
+const (
+	// KernelPerCandidate is the default: each candidate is evaluated
+	// independently by the configured evaluator (exact, Monte Carlo, or
+	// adaptive Monte Carlo) with its own sample stream.
+	KernelPerCandidate Phase3Kernel = Phase3Kernel(core.KernelPerCandidate)
+	// KernelSharedFlat draws one mean-free Gaussian sample cloud per
+	// compiled plan (common random numbers) and reduces each candidate to a
+	// flat squared-distance scan — no per-candidate Cholesky transforms.
+	KernelSharedFlat Phase3Kernel = Phase3Kernel(core.KernelSharedFlat)
+	// KernelSharedGrid additionally indexes the shared cloud with a uniform
+	// grid of cell side δ, so each candidate touches only the ≤3^d cells
+	// its δ-ball intersects instead of the whole cloud. Counts are exact
+	// (identical to KernelSharedFlat with the same seed).
+	KernelSharedGrid Phase3Kernel = Phase3Kernel(core.KernelSharedGrid)
+)
+
+// String names the kernel as benchmarks and stats endpoints report it.
+func (k Phase3Kernel) String() string { return core.Phase3Kernel(k).String() }
+
+// WithPhase3Kernel selects the shared-sample Phase-3 kernel. The cloud size
+// is WithMonteCarlo's sample count when set, else mc.DefaultSamples
+// (100 000), and the cloud stream is seeded by WithSeed — with a shared
+// cloud the answer set is a pure function of (query shape, seed), invariant
+// under worker count and execution order. Incompatible with
+// WithAdaptiveMonteCarlo (the adaptive evaluator decides per candidate how
+// many samples to draw, which a shared cloud cannot express).
+func WithPhase3Kernel(k Phase3Kernel) Option {
+	return func(o *options) error {
+		if k < KernelPerCandidate || k > KernelSharedGrid {
+			return fmt.Errorf("gaussrange: unknown Phase-3 kernel %d", int(k))
+		}
+		o.phase3Kernel = k
+		return nil
+	}
+}
+
 // WithSeed fixes the random stream of the Monte Carlo evaluator.
 func WithSeed(seed uint64) Option {
 	return func(o *options) error { o.seed = seed; return nil }
@@ -141,6 +182,9 @@ func buildOptions(opts []Option) (options, error) {
 		if err := fn(&o); err != nil {
 			return o, err
 		}
+	}
+	if o.phase3Kernel != KernelPerCandidate && o.adaptiveMC {
+		return o, errors.New("gaussrange: WithPhase3Kernel cannot be combined with WithAdaptiveMonteCarlo")
 	}
 	return o, nil
 }
@@ -254,6 +298,12 @@ type Stats struct {
 	IndexTime    time.Duration // Phase 1
 	FilterTime   time.Duration // Phase 2
 	ProbTime     time.Duration // Phase 3
+	// SamplesDrawn and SamplesTouched account for the shared-sample Phase-3
+	// kernel (WithPhase3Kernel): Drawn is the plan's cloud size, Touched is
+	// the number of samples distance-tested across the query's candidates.
+	// Both are 0 under the default per-candidate kernel.
+	SamplesDrawn   int
+	SamplesTouched int
 }
 
 // Add accumulates other into s. Long-running services that track per-phase
@@ -270,6 +320,8 @@ func (s *Stats) Add(other Stats) {
 	s.IndexTime += other.IndexTime
 	s.FilterTime += other.FilterTime
 	s.ProbTime += other.ProbTime
+	s.SamplesDrawn += other.SamplesDrawn
+	s.SamplesTouched += other.SamplesTouched
 }
 
 // Result is a completed query.
@@ -557,13 +609,24 @@ func (db *DB) compileEngine() (*core.Engine, error) {
 	defer db.compileMu.Unlock()
 	if db.compileEng == nil {
 		eng, err := core.NewEngine(db.idx, core.NewExactEvaluator(),
-			core.Options{UseCatalogs: db.options.useCatalogs})
+			core.Options{UseCatalogs: db.options.useCatalogs, Phase3: db.phase3Options()})
 		if err != nil {
 			return nil, err
 		}
 		db.compileEng = eng
 	}
 	return db.compileEng, nil
+}
+
+// phase3Options maps the DB options onto the engine's Phase-3 kernel
+// configuration: the shared-cloud size follows WithMonteCarlo when set
+// (mc.DefaultSamples otherwise) and the cloud stream is seeded by WithSeed.
+func (db *DB) phase3Options() core.Phase3Options {
+	return core.Phase3Options{
+		Kernel:  core.Phase3Kernel(db.options.phase3Kernel),
+		Samples: db.options.mcSamples,
+		Seed:    db.options.seed,
+	}
 }
 
 // newEvaluator builds a fresh Phase-3 evaluator per the DB options.
@@ -605,16 +668,18 @@ func convertResult(res *core.Result) *Result {
 	return &Result{
 		IDs: res.IDs,
 		Stats: Stats{
-			Retrieved:    res.Stats.Retrieved,
-			PrunedFringe: res.Stats.PrunedFringe,
-			PrunedOR:     res.Stats.PrunedOR,
-			PrunedBF:     res.Stats.PrunedBF,
-			AcceptedBF:   res.Stats.AcceptedBF,
-			Integrations: res.Stats.Integrations,
-			NodesRead:    res.Stats.NodesRead,
-			IndexTime:    res.Stats.PhaseDurations[0],
-			FilterTime:   res.Stats.PhaseDurations[1],
-			ProbTime:     res.Stats.PhaseDurations[2],
+			Retrieved:      res.Stats.Retrieved,
+			PrunedFringe:   res.Stats.PrunedFringe,
+			PrunedOR:       res.Stats.PrunedOR,
+			PrunedBF:       res.Stats.PrunedBF,
+			AcceptedBF:     res.Stats.AcceptedBF,
+			Integrations:   res.Stats.Integrations,
+			NodesRead:      res.Stats.NodesRead,
+			IndexTime:      res.Stats.PhaseDurations[0],
+			FilterTime:     res.Stats.PhaseDurations[1],
+			ProbTime:       res.Stats.PhaseDurations[2],
+			SamplesDrawn:   res.Stats.SamplesDrawn,
+			SamplesTouched: res.Stats.SamplesTouched,
 		},
 	}
 }

@@ -44,6 +44,19 @@ func (p *Plan) ExecuteWith(ctx context.Context, eval Evaluator, workers int) (*R
 	if workers < 1 {
 		workers = 1
 	}
+	if p.cloud != nil {
+		// Shared-sample kernel: workers count hits against one read-only
+		// cloud+grid — no per-candidate streams, so no fork requirement and
+		// worker-count invariance by construction.
+		st, accepted, needEval, err := p.filterPhases(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if workers == 1 {
+			return p.executeShared(ctx, &st, accepted, needEval)
+		}
+		return p.executeSharedParallel(ctx, &st, accepted, needEval, workers)
+	}
 	fe, ok := eval.(ForkableEvaluator)
 	if !ok {
 		if workers == 1 {

@@ -50,6 +50,10 @@ type Options struct {
 	// nil they are built on demand with default grids.
 	RCatalog  *ucatalog.RCatalog
 	BFCatalog *ucatalog.BFCatalog
+	// Phase3 selects the Phase-3 kernel; the zero value keeps the paper's
+	// per-candidate evaluation. With a shared kernel, Compile draws one
+	// mean-free sample cloud per plan and execution bypasses the evaluator.
+	Phase3 Phase3Options
 }
 
 // Engine compiles and executes probabilistic range queries against an Index.
@@ -122,14 +126,21 @@ func (q Query) Validate(dim int) error {
 // PhaseStats reports where candidates were spent during one query — the
 // quantities the paper's Tables I–III are built from.
 type PhaseStats struct {
-	Retrieved      int // Phase 1: candidates returned by the index search
-	PrunedFringe   int // Phase 2: removed by the RR Minkowski fringe test
-	PrunedOR       int // Phase 2: removed by the oblique-region filter
-	PrunedBF       int // Phase 2: removed by the α∥ distance bound
-	AcceptedBF     int // Phase 2: accepted outright by the α⊥ bound
-	Integrations   int // Phase 3: candidates requiring probability computation
-	Answers        int // final result size
-	NodesRead      int // R-tree nodes visited during Phase 1
+	Retrieved    int // Phase 1: candidates returned by the index search
+	PrunedFringe int // Phase 2: removed by the RR Minkowski fringe test
+	PrunedOR     int // Phase 2: removed by the oblique-region filter
+	PrunedBF     int // Phase 2: removed by the α∥ distance bound
+	AcceptedBF   int // Phase 2: accepted outright by the α⊥ bound
+	Integrations int // Phase 3: candidates requiring probability computation
+	Answers      int // final result size
+	NodesRead    int // R-tree nodes visited during Phase 1
+	// SamplesDrawn and SamplesTouched account for the shared-sample kernel:
+	// Drawn is the plan's cloud size (drawn once, reused per candidate),
+	// Touched is the number of samples distance-tested across all Phase-3
+	// candidates — the grid kernel's whole point is Touched ≪ Drawn ×
+	// Integrations. Both stay 0 under the per-candidate kernel.
+	SamplesDrawn   int
+	SamplesTouched int
 	PhaseDurations [3]time.Duration
 	// AlphaUpper and AlphaLower are the BF radii used (0 when BF unused or
 	// the radius is undefined); RTheta is the θ-region radius (0 when RR and

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gaussrange/internal/mc"
+	"gaussrange/internal/vecmat"
+)
+
+// Phase3Kernel selects how Phase 3 (probability computation) evaluates the
+// candidates that survive filtering.
+type Phase3Kernel int
+
+const (
+	// KernelPerCandidate is the paper's method: every candidate draws its
+	// own Gaussian sample stream (or uses the exact evaluator). Independent
+	// streams, O(samples·d²) Cholesky work per candidate.
+	KernelPerCandidate Phase3Kernel = iota
+	// KernelSharedFlat draws one mean-free sample cloud per compiled plan
+	// and reduces every candidate to a flat squared-distance scan over it
+	// (common random numbers across candidates).
+	KernelSharedFlat
+	// KernelSharedGrid adds a uniform grid with cell side δ over the shared
+	// cloud, so each candidate's hit count visits only the ≤3^d cells its
+	// δ-ball intersects — exact counts, typically 10–100× fewer samples
+	// touched at paper-scale δ.
+	KernelSharedGrid
+)
+
+// String names the kernel as the benchmarks report it.
+func (k Phase3Kernel) String() string {
+	switch k {
+	case KernelPerCandidate:
+		return "per-candidate"
+	case KernelSharedFlat:
+		return "shared-flat"
+	case KernelSharedGrid:
+		return "shared-grid"
+	default:
+		return fmt.Sprintf("Phase3Kernel(%d)", int(k))
+	}
+}
+
+// Phase3Options configure the shared-sample Phase-3 kernel. The zero value
+// selects the per-candidate path (no cloud is attached to compiled plans).
+type Phase3Options struct {
+	// Kernel selects the Phase-3 evaluation path.
+	Kernel Phase3Kernel
+	// Samples is the shared-cloud size; 0 selects mc.DefaultSamples.
+	Samples int
+	// Seed seeds the cloud's deterministic sample stream. With a shared
+	// cloud the answer set is a pure function of (plan, Seed) — independent
+	// of worker count and execution order.
+	Seed uint64
+}
+
+// attachCloud draws the plan's shared sample cloud (and count grid for
+// KernelSharedGrid) per the engine's Phase-3 options. Called once per
+// compilation; rebound plans share the cloud because it is mean-free.
+func (p *Plan) attachCloud(opts Phase3Options) error {
+	if opts.Kernel == KernelPerCandidate || p.geo.empty {
+		return nil
+	}
+	n := opts.Samples
+	if n <= 0 {
+		n = mc.DefaultSamples
+	}
+	cloud, err := mc.NewSampleCloud(p.dist, n, opts.Seed)
+	if err != nil {
+		return err
+	}
+	p.cloud = cloud
+	if opts.Kernel == KernelSharedGrid {
+		grid, err := mc.NewCloudGrid(cloud, p.delta)
+		if err != nil {
+			// Cell addressing would overflow (δ tiny relative to the cloud
+			// extent): fall back to the flat shared scan, still correct.
+			return nil
+		}
+		p.grid = grid
+	}
+	return nil
+}
+
+// Cloud returns the plan's shared sample cloud (nil when the per-candidate
+// kernel is active or the plan is proven empty).
+func (p *Plan) Cloud() *mc.SampleCloud { return p.cloud }
+
+// Grid returns the plan's fixed-radius count grid (nil unless the grid
+// kernel is active).
+func (p *Plan) Grid() *mc.CloudGrid { return p.grid }
+
+// sharedCount counts cloud samples within δ of candidate o under the plan's
+// current mean, via the grid when present. rel is scratch of dim d.
+func (p *Plan) sharedCount(o, rel vecmat.Vector) (hits, touched int) {
+	o.SubTo(p.dist.Mean(), rel)
+	if p.grid != nil {
+		return p.grid.CountBall(rel)
+	}
+	return p.cloud.CountBall(rel, p.delta)
+}
+
+// executeShared runs Phase 3 against the plan's shared cloud, serially.
+// accepted and needEval come from filterPhases; st is mutated in place.
+func (p *Plan) executeShared(ctx context.Context, st *PhaseStats, accepted, needEval []int64) (*Result, error) {
+	t2 := time.Now()
+	st.Integrations = len(needEval)
+	st.SamplesDrawn = p.cloud.Len()
+	n := float64(p.cloud.Len())
+	rel := make(vecmat.Vector, p.dist.Dim())
+	result := accepted
+	for _, id := range needEval {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		hits, touched := p.sharedCount(p.engine.idx.points[id], rel)
+		st.SamplesTouched += touched
+		if float64(hits)/n >= p.theta {
+			result = append(result, id)
+		}
+	}
+	st.PhaseDurations[2] = time.Since(t2)
+	st.Answers = len(result)
+	sortIDs(result)
+	return &Result{IDs: result, Stats: *st}, nil
+}
+
+// executeSharedParallel is executeShared with candidates spread over a
+// worker pool. Workers share the read-only cloud and grid — no per-worker
+// or per-candidate streams exist, so the answer is identical for every
+// worker count by construction.
+func (p *Plan) executeSharedParallel(ctx context.Context, st *PhaseStats, accepted, needEval []int64, workers int) (*Result, error) {
+	t2 := time.Now()
+	n := len(needEval)
+	st.Integrations = n
+	st.SamplesDrawn = p.cloud.Len()
+	if workers > n {
+		workers = n
+	}
+	qualifies := make([]bool, n)
+	cloudN := float64(p.cloud.Len())
+
+	execCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next    atomic.Int64
+		touched atomic.Int64
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel := make(vecmat.Vector, p.dist.Dim())
+			var localTouched int64
+			defer func() { touched.Add(localTouched) }()
+			for {
+				if execCtx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				hits, t := p.sharedCount(p.engine.idx.points[needEval[i]], rel)
+				localTouched += int64(t)
+				qualifies[i] = float64(hits)/cloudN >= p.theta
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	st.SamplesTouched = int(touched.Load())
+
+	ids := accepted
+	for i, ok := range qualifies {
+		if ok {
+			ids = append(ids, needEval[i])
+		}
+	}
+	st.PhaseDurations[2] = time.Since(t2)
+	st.Answers = len(ids)
+	sortIDs(ids)
+	return &Result{IDs: ids, Stats: *st}, nil
+}

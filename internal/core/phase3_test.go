@@ -1,0 +1,228 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"gaussrange/internal/gauss"
+	"gaussrange/internal/vecmat"
+)
+
+func TestPhase3KernelString(t *testing.T) {
+	cases := map[Phase3Kernel]string{
+		KernelPerCandidate: "per-candidate",
+		KernelSharedFlat:   "shared-flat",
+		KernelSharedGrid:   "shared-grid",
+		Phase3Kernel(99):   "Phase3Kernel(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Phase3Kernel(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+// sharedEngine builds an engine whose compiled plans carry a shared cloud.
+// The evaluator is never consulted on the shared path, but NewEngine still
+// requires one.
+func sharedEngine(t testing.TB, ix *Index, kernel Phase3Kernel, samples int, seed uint64) *Engine {
+	t.Helper()
+	e, err := NewEngine(ix, NewExactEvaluator(), Options{
+		Phase3: Phase3Options{Kernel: kernel, Samples: samples, Seed: seed},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestSharedKernelWorkerInvariance is the kernel's headline guarantee: with
+// one read-only cloud, the answer set — and even the per-query sample
+// accounting — is identical for every worker count.
+func TestSharedKernelWorkerInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	ix := uniformIndex(t, rng, 4000, 2, 1000)
+	e := sharedEngine(t, ix, KernelSharedGrid, 20000, 9)
+	q := paperQuery(t, vecmat.Vector{500, 500}, 10, 25, 0.02)
+
+	plan, err := e.Compile(q, StrategyAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Cloud() == nil || plan.Grid() == nil {
+		t.Fatal("grid kernel compiled without cloud/grid")
+	}
+	want, err := plan.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Stats.SamplesDrawn != 20000 {
+		t.Errorf("SamplesDrawn = %d, want 20000", want.Stats.SamplesDrawn)
+	}
+	if want.Stats.Integrations > 0 && want.Stats.SamplesTouched == 0 {
+		t.Error("SamplesTouched = 0 despite integrations")
+	}
+	for _, workers := range []int{1, 2, 4, 8, 1 << 20} {
+		got, err := plan.ExecuteParallel(context.Background(), workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !idsEqual(got.IDs, want.IDs) {
+			t.Errorf("workers=%d: IDs differ from serial", workers)
+		}
+		if got.Stats.SamplesTouched != want.Stats.SamplesTouched {
+			t.Errorf("workers=%d: SamplesTouched = %d, want %d",
+				workers, got.Stats.SamplesTouched, want.Stats.SamplesTouched)
+		}
+		if got.Stats.SamplesDrawn != want.Stats.SamplesDrawn {
+			t.Errorf("workers=%d: SamplesDrawn = %d, want %d",
+				workers, got.Stats.SamplesDrawn, want.Stats.SamplesDrawn)
+		}
+	}
+}
+
+// TestSharedFlatGridAgree: the grid is an index, not an approximation — the
+// flat and grid kernels must return identical answer sets for the same seed,
+// with the grid touching no more samples than the flat scan.
+func TestSharedFlatGridAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	ix := uniformIndex(t, rng, 4000, 2, 1000)
+	q := paperQuery(t, vecmat.Vector{480, 520}, 10, 25, 0.02)
+
+	flat, err := sharedEngine(t, ix, KernelSharedFlat, 20000, 9).Search(q, StrategyAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := sharedEngine(t, ix, KernelSharedGrid, 20000, 9).Search(q, StrategyAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idsEqual(flat.IDs, grid.IDs) {
+		t.Errorf("flat IDs %v != grid IDs %v", flat.IDs, grid.IDs)
+	}
+	if grid.Stats.SamplesTouched > flat.Stats.SamplesTouched {
+		t.Errorf("grid touched %d samples > flat %d", grid.Stats.SamplesTouched, flat.Stats.SamplesTouched)
+	}
+	if flat.Stats.SamplesTouched != flat.Stats.Integrations*20000 {
+		t.Errorf("flat touched %d, want integrations × cloud = %d",
+			flat.Stats.SamplesTouched, flat.Stats.Integrations*20000)
+	}
+}
+
+// TestSharedKernelRebindSharesCloud: the cloud is mean-free, so rebinding a
+// plan to a new center must share the existing cloud and grid (this is what
+// lets clouds live in the plan cache across moving query objects) and still
+// answer exactly like a fresh compile at the new center.
+func TestSharedKernelRebindSharesCloud(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	ix := uniformIndex(t, rng, 4000, 2, 1000)
+	e := sharedEngine(t, ix, KernelSharedGrid, 20000, 9)
+	q := paperQuery(t, vecmat.Vector{500, 500}, 10, 25, 0.02)
+
+	plan, err := e.Compile(q, StrategyAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := gauss.New(vecmat.Vector{350, 640}, q.Dist.Cov())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebound, err := plan.Rebind(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebound.Cloud() != plan.Cloud() {
+		t.Error("rebound plan redrew the sample cloud")
+	}
+	if rebound.Grid() != plan.Grid() {
+		t.Error("rebound plan rebuilt the count grid")
+	}
+
+	got, err := rebound.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := e.Search(Query{Dist: g2, Delta: q.Delta, Theta: q.Theta}, StrategyAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idsEqual(got.IDs, want.IDs) {
+		t.Errorf("rebound plan IDs %v != fresh compile IDs %v", got.IDs, want.IDs)
+	}
+}
+
+// TestSharedKernelNearExact: away from the θ boundary the shared-sample
+// answer must match the exact evaluator; only candidates whose probability is
+// within Monte Carlo noise of θ may differ.
+func TestSharedKernelNearExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	ix := uniformIndex(t, rng, 4000, 2, 1000)
+	q := paperQuery(t, vecmat.Vector{500, 500}, 10, 25, 0.05)
+	exactEngine := newExactEngine(t, ix, Options{})
+
+	want, err := exactEngine.Search(q, StrategyAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sharedEngine(t, ix, KernelSharedGrid, 50000, 9).Search(q, StrategyAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6σ at θ=0.05 with 50 000 samples ≈ 0.006.
+	const tol = 0.01
+	wantStable := removeBoundary(t, exactEngine, q, want.IDs, tol)
+	gotStable := removeBoundary(t, exactEngine, q, got.IDs, tol)
+	if !idsEqual(wantStable, gotStable) {
+		t.Errorf("shared kernel disagrees with exact away from the boundary:\n  exact %v\n  shared %v",
+			wantStable, gotStable)
+	}
+}
+
+// TestSharedKernelEmptyPlan: a plan proven empty at compile time (BF bound
+// below θ everywhere) must not draw a cloud at all.
+func TestSharedKernelEmptyPlan(t *testing.T) {
+	rng := rand.New(rand.NewSource(48))
+	ix := uniformIndex(t, rng, 500, 2, 1000)
+	e := sharedEngine(t, ix, KernelSharedGrid, 20000, 9)
+	// γ=100 spreads the query mass so far that Pr(‖x−o‖ ≤ 1) ≪ 0.9 for
+	// every o: BF proves the result empty.
+	q := paperQuery(t, vecmat.Vector{500, 500}, 100, 1, 0.9)
+	plan, err := e.Compile(q, StrategyBF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Empty() {
+		t.Skip("plan not proven empty under these parameters")
+	}
+	if plan.Cloud() != nil {
+		t.Error("empty plan drew a sample cloud")
+	}
+	res, err := plan.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IDs) != 0 {
+		t.Errorf("empty plan returned %d ids", len(res.IDs))
+	}
+}
+
+// TestSharedKernelCancellation: a cancelled context aborts shared Phase 3.
+func TestSharedKernelCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(49))
+	ix := uniformIndex(t, rng, 4000, 2, 1000)
+	e := sharedEngine(t, ix, KernelSharedFlat, 20000, 9)
+	q := paperQuery(t, vecmat.Vector{500, 500}, 10, 25, 0.02)
+	plan, err := e.Compile(q, StrategyAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := plan.Execute(ctx); err == nil {
+		t.Error("cancelled serial execution succeeded")
+	}
+	if _, err := plan.ExecuteParallel(ctx, 4); err == nil {
+		t.Error("cancelled parallel execution succeeded")
+	}
+}

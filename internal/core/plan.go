@@ -8,6 +8,7 @@ import (
 
 	"gaussrange/internal/gauss"
 	"gaussrange/internal/geom"
+	"gaussrange/internal/mc"
 	"gaussrange/internal/vecmat"
 )
 
@@ -37,6 +38,13 @@ type Plan struct {
 	orBound  vecmat.Vector // OR per-axis bounds in the eigenbasis (nil when OR unused)
 
 	useFringe bool
+
+	// Shared-sample Phase-3 kernel state: one mean-free cloud (and optional
+	// fixed-radius count grid) drawn at compile time from the plan seed.
+	// Both are immutable and mean-independent, so Rebind's shallow copy
+	// shares them — a cached plan's cloud follows a moving query for free.
+	cloud *mc.SampleCloud
+	grid  *mc.CloudGrid
 
 	// Mean-dependent geometry, rebuilt cheaply by Rebind.
 	searchBox geom.Rect
@@ -123,6 +131,9 @@ func (e *Engine) Compile(q Query, strat Strategy) (*Plan, error) {
 		(e.opts.Fringe == FringeAllDims || dim == 2)
 
 	if err := p.bind(); err != nil {
+		return nil, err
+	}
+	if err := p.attachCloud(e.opts.Phase3); err != nil {
 		return nil, err
 	}
 	return p, nil
@@ -305,6 +316,11 @@ func (p *Plan) executeSerial(ctx context.Context, eval Evaluator) (*Result, erro
 	st, accepted, needEval, err := p.filterPhases(ctx)
 	if err != nil {
 		return nil, err
+	}
+	if p.cloud != nil {
+		// Shared-sample kernel: the evaluator is bypassed — every candidate
+		// counts hits against the plan's cloud.
+		return p.executeShared(ctx, &st, accepted, needEval)
 	}
 
 	// ---- Phase 3: probability computation --------------------------------

@@ -1,0 +1,308 @@
+package mc
+
+import (
+	"fmt"
+	"math"
+
+	"gaussrange/internal/gauss"
+	"gaussrange/internal/vecmat"
+)
+
+// SampleCloud is a mean-free Gaussian sample set drawn once per compiled
+// query plan: n draws of L·z for z ~ N(0, I), stored as one contiguous
+// []float64 of n·d coordinates. Because the cloud omits the query mean, it
+// depends only on (Σ, n, seed) — rebinding a plan to a new mean shifts the
+// *candidates* (o − q), never the samples, so one cloud serves a moving
+// query object and lives in the plan cache.
+//
+// A SampleCloud is immutable after construction and safe for concurrent use
+// by any number of goroutines: counting is a pure read. This is what makes
+// shared-sample Phase 3 worker-count-invariant by construction — every
+// worker counts against the same points, so the answer depends only on the
+// plan seed.
+type SampleCloud struct {
+	dim int
+	n   int
+	pts []float64 // n·dim, sample i occupies pts[i*dim : (i+1)*dim]
+}
+
+// NewSampleCloud draws n centered samples from dist's covariance using a
+// deterministic stream seeded with seed.
+func NewSampleCloud(dist *gauss.Dist, n int, seed uint64) (*SampleCloud, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("mc: cloud size must be positive, got %d", n)
+	}
+	d := dist.Dim()
+	c := &SampleCloud{dim: d, n: n, pts: make([]float64, n*d)}
+	rng := NewRNG(seed)
+	scratch := make(vecmat.Vector, d)
+	dst := make(vecmat.Vector, d)
+	for i := 0; i < n; i++ {
+		dist.SampleCentered(rng, scratch, dst)
+		copy(c.pts[i*d:], dst)
+	}
+	return c, nil
+}
+
+// Len returns the number of samples in the cloud.
+func (c *SampleCloud) Len() int { return c.n }
+
+// Dim returns the sample dimensionality.
+func (c *SampleCloud) Dim() int { return c.dim }
+
+// dist2At returns the squared distance between sample pts[off:off+dim] and
+// rel, accumulating axes in index order. The grid scan uses the identical
+// accumulation over reordered storage, so flat and grid counts agree bit for
+// bit even when a distance lands exactly on δ².
+func dist2At(pts []float64, off int, rel vecmat.Vector) float64 {
+	var s float64
+	for i, r := range rel {
+		d := pts[off+i] - r
+		s += d * d
+	}
+	return s
+}
+
+// CountBall returns how many cloud samples lie within distance delta of rel,
+// where rel is the candidate relative to the query mean (o − q), by scanning
+// every sample. touched is the number of samples distance-tested (= Len).
+func (c *SampleCloud) CountBall(rel vecmat.Vector, delta float64) (hits, touched int) {
+	if rel.Dim() != c.dim {
+		panic(fmt.Sprintf("mc: candidate dim %d vs cloud dim %d", rel.Dim(), c.dim))
+	}
+	d2 := delta * delta
+	pts := c.pts
+	if c.dim == 2 {
+		// Branch-light 2-D fast path: the paper's workloads are dominated by
+		// this case.
+		rx, ry := rel[0], rel[1]
+		for off := 0; off < len(pts); off += 2 {
+			dx := pts[off] - rx
+			dy := pts[off+1] - ry
+			if dx*dx+dy*dy <= d2 {
+				hits++
+			}
+		}
+		return hits, c.n
+	}
+	dim := c.dim
+	for off := 0; off < len(pts); off += dim {
+		if dist2At(pts, off, rel) <= d2 {
+			hits++
+		}
+	}
+	return hits, c.n
+}
+
+// maxGridCells bounds the *addressable* cell-coordinate space of a grid
+// (occupied cells are stored sparsely, so memory scales with the cloud, not
+// with this bound). Beyond it the linear cell index risks overflowing.
+const maxGridCells = int64(1) << 56
+
+// cellRange locates one occupied cell's samples inside CloudGrid.pts.
+type cellRange struct {
+	start int32
+	n     int32
+}
+
+// CloudGrid is a uniform grid over a SampleCloud with cell side equal to the
+// query radius δ, supporting exact fixed-radius hit counting: a δ-ball
+// around any candidate intersects at most 3 cells per axis, so a count
+// visits ≤3^d cells instead of all n samples. Samples are reordered into
+// cell-contiguous storage so each visited cell is one linear scan.
+//
+// Like the cloud it wraps, a CloudGrid is immutable and safe for concurrent
+// readers.
+type CloudGrid struct {
+	cloud *SampleCloud
+	delta float64   // cell side = query radius
+	min   []float64 // per-axis minimum over the cloud
+	dims  []int64   // cells per axis
+	cells map[int64]cellRange
+	pts   []float64 // cloud points regrouped by cell, n·dim
+}
+
+// NewCloudGrid builds the fixed-radius count grid for delta over cloud.
+// It fails only when delta is not a positive finite number or the cloud's
+// extent is so large relative to delta that cell addressing would overflow;
+// callers fall back to the flat scan in that case.
+func NewCloudGrid(cloud *SampleCloud, delta float64) (*CloudGrid, error) {
+	if !(delta > 0) || math.IsInf(delta, 1) || math.IsNaN(delta) {
+		return nil, fmt.Errorf("mc: grid cell side must be positive and finite, got %g", delta)
+	}
+	d := cloud.dim
+	g := &CloudGrid{
+		cloud: cloud,
+		delta: delta,
+		min:   make([]float64, d),
+		dims:  make([]int64, d),
+	}
+	for i := 0; i < d; i++ {
+		g.min[i] = math.Inf(1)
+	}
+	maxs := make([]float64, d)
+	for i := range maxs {
+		maxs[i] = math.Inf(-1)
+	}
+	for off := 0; off < len(cloud.pts); off += d {
+		for i := 0; i < d; i++ {
+			v := cloud.pts[off+i]
+			if v < g.min[i] {
+				g.min[i] = v
+			}
+			if v > maxs[i] {
+				maxs[i] = v
+			}
+		}
+	}
+	total := int64(1)
+	for i := 0; i < d; i++ {
+		n := int64(math.Floor((maxs[i]-g.min[i])/delta)) + 1
+		if n < 1 {
+			n = 1
+		}
+		g.dims[i] = n
+		if n > maxGridCells/total {
+			return nil, fmt.Errorf("mc: grid of %v cells per axis overflows cell addressing (δ=%g too small for the cloud extent)", g.dims[:i+1], delta)
+		}
+		total *= n
+	}
+
+	// Counting sort by cell: size each occupied cell, then scatter the
+	// samples into cell-contiguous storage.
+	keys := make([]int64, cloud.n)
+	counts := make(map[int64]int32, cloud.n/4+1)
+	for s := 0; s < cloud.n; s++ {
+		keys[s] = g.cellKeyOf(cloud.pts[s*d:])
+		counts[keys[s]]++
+	}
+	g.cells = make(map[int64]cellRange, len(counts))
+	var start int32
+	for key, n := range counts {
+		g.cells[key] = cellRange{start: start, n: n}
+		start += n
+	}
+	g.pts = make([]float64, len(cloud.pts))
+	next := make(map[int64]int32, len(counts))
+	for s := 0; s < cloud.n; s++ {
+		cr := g.cells[keys[s]]
+		slot := cr.start + next[keys[s]]
+		next[keys[s]]++
+		copy(g.pts[int(slot)*d:], cloud.pts[s*d:(s+1)*d])
+	}
+	return g, nil
+}
+
+// Cloud returns the underlying sample cloud.
+func (g *CloudGrid) Cloud() *SampleCloud { return g.cloud }
+
+// Delta returns the cell side (= the query radius the grid was built for).
+func (g *CloudGrid) Delta() float64 { return g.delta }
+
+// Cells returns the number of occupied grid cells.
+func (g *CloudGrid) Cells() int { return len(g.cells) }
+
+// binOf maps coordinate v on axis i to its (possibly out-of-range) cell
+// coordinate. The same expression bins samples at build time and candidate
+// ball extents at query time; both floating-point subtraction and division
+// are monotone, so any sample within the real interval [rel−δ, rel+δ] bins
+// inside the computed cell range — grid counts match the flat scan exactly.
+func (g *CloudGrid) binOf(v float64, i int) int64 {
+	return int64(math.Floor((v - g.min[i]) / g.delta))
+}
+
+// cellKeyOf returns the linear cell index of point p (row-major over axes).
+func (g *CloudGrid) cellKeyOf(p []float64) int64 {
+	var key int64
+	for i := 0; i < g.cloud.dim; i++ {
+		key = key*g.dims[i] + g.binOf(p[i], i)
+	}
+	return key
+}
+
+// CountBall returns the number of cloud samples within distance Delta of
+// rel (the candidate relative to the query mean), visiting only the cells
+// the δ-ball can intersect. touched is the number of samples actually
+// distance-tested — the quantity Stats reports against the cloud size.
+func (g *CloudGrid) CountBall(rel vecmat.Vector) (hits, touched int) {
+	d := g.cloud.dim
+	if rel.Dim() != d {
+		panic(fmt.Sprintf("mc: candidate dim %d vs cloud dim %d", rel.Dim(), d))
+	}
+	d2 := g.delta * g.delta
+
+	// Per-axis cell range covered by [rel−δ, rel+δ], clamped to the grid.
+	// The buffers live on the stack for the dimensionalities that matter
+	// (the paper tops out at d = 15); CountBall runs once per candidate, so
+	// per-call heap allocation would dominate small cells.
+	var loBuf, hiBuf, curBuf [16]int64
+	lo, hi := loBuf[:0], hiBuf[:0]
+	if d <= len(loBuf) {
+		lo, hi = loBuf[:d], hiBuf[:d]
+	} else {
+		lo, hi = make([]int64, d), make([]int64, d)
+	}
+	for i := 0; i < d; i++ {
+		l := g.binOf(rel[i]-g.delta, i)
+		h := g.binOf(rel[i]+g.delta, i)
+		if h < 0 || l >= g.dims[i] {
+			return 0, 0 // ball entirely outside the cloud's extent on axis i
+		}
+		if l < 0 {
+			l = 0
+		}
+		if h >= g.dims[i] {
+			h = g.dims[i] - 1
+		}
+		lo[i], hi[i] = l, h
+	}
+
+	// Odometer over the ≤3^d covered cells.
+	cur := curBuf[:0]
+	if d <= len(curBuf) {
+		cur = curBuf[:d]
+	} else {
+		cur = make([]int64, d)
+	}
+	copy(cur, lo)
+	for {
+		var key int64
+		for i := 0; i < d; i++ {
+			key = key*g.dims[i] + cur[i]
+		}
+		if cr, ok := g.cells[key]; ok {
+			end := int(cr.start+cr.n) * d
+			if d == 2 {
+				// Same 2-D fast path (and accumulation order) as the flat
+				// scan, so the two kernels count identically.
+				rx, ry := rel[0], rel[1]
+				for off := int(cr.start) * 2; off < end; off += 2 {
+					dx := g.pts[off] - rx
+					dy := g.pts[off+1] - ry
+					if dx*dx+dy*dy <= d2 {
+						hits++
+					}
+				}
+			} else {
+				for off := int(cr.start) * d; off < end; off += d {
+					if dist2At(g.pts, off, rel) <= d2 {
+						hits++
+					}
+				}
+			}
+			touched += int(cr.n)
+		}
+		// Advance the odometer.
+		i := d - 1
+		for ; i >= 0; i-- {
+			cur[i]++
+			if cur[i] <= hi[i] {
+				break
+			}
+			cur[i] = lo[i]
+		}
+		if i < 0 {
+			return hits, touched
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package mc
+
+import (
+	"math"
+	"testing"
+
+	"gaussrange/internal/gauss"
+	"gaussrange/internal/vecmat"
+)
+
+// randomSPDDist builds a d-dimensional Gaussian with a random dense SPD
+// covariance M·Mᵀ + d·I and a random mean, seeded deterministically.
+func randomSPDDist(t testing.TB, d int, seed uint64) *gauss.Dist {
+	t.Helper()
+	rng := NewRNG(seed)
+	m := vecmat.NewDense(d)
+	for i := 0; i < d; i++ {
+		for j := 0; j < d; j++ {
+			m.Set(i, j, rng.NormFloat64()*3)
+		}
+	}
+	cov := vecmat.NewSymmetric(d)
+	for i := 0; i < d; i++ {
+		for j := i; j < d; j++ {
+			var s float64
+			for k := 0; k < d; k++ {
+				s += m.At(i, k) * m.At(j, k)
+			}
+			if i == j {
+				s += float64(d)
+			}
+			cov.Set(i, j, s)
+		}
+	}
+	mean := make(vecmat.Vector, d)
+	for i := range mean {
+		mean[i] = rng.NormFloat64() * 10
+	}
+	g, err := gauss.New(mean, cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSampleCloudDeterminism(t *testing.T) {
+	g := randomSPDDist(t, 3, 7)
+	a, err := NewSampleCloud(g, 500, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSampleCloud(g, 500, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.pts {
+		if a.pts[i] != b.pts[i] {
+			t.Fatalf("same-seed clouds diverge at coordinate %d", i)
+		}
+	}
+	c, _ := NewSampleCloud(g, 500, 100)
+	same := 0
+	for i := range a.pts {
+		if a.pts[i] == c.pts[i] {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different-seed clouds share %d/%d coordinates", same, len(a.pts))
+	}
+}
+
+func TestSampleCloudValidation(t *testing.T) {
+	g := randomSPDDist(t, 2, 1)
+	if _, err := NewSampleCloud(g, 0, 1); err == nil {
+		t.Error("zero cloud size accepted")
+	}
+	if _, err := NewSampleCloud(g, -5, 1); err == nil {
+		t.Error("negative cloud size accepted")
+	}
+}
+
+// TestSampleCloudMoments sanity-checks that the centered cloud has mean ≈ 0
+// and per-axis variance ≈ Σᵢᵢ.
+func TestSampleCloudMoments(t *testing.T) {
+	g := randomSPDDist(t, 2, 3)
+	const n = 200000
+	c, err := NewSampleCloud(g, n, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		var sum, sum2 float64
+		for s := 0; s < n; s++ {
+			v := c.pts[s*2+i]
+			sum += v
+			sum2 += v * v
+		}
+		mean := sum / n
+		sigma := math.Sqrt(g.Cov().At(i, i))
+		if math.Abs(mean) > 6*sigma/math.Sqrt(n) {
+			t.Errorf("axis %d: cloud mean %g not centered (σ=%g)", i, mean, sigma)
+		}
+		varia := sum2/n - mean*mean
+		if math.Abs(varia-sigma*sigma) > 0.05*sigma*sigma {
+			t.Errorf("axis %d: cloud variance %g, want ≈%g", i, varia, sigma*sigma)
+		}
+	}
+}
+
+// TestCloudGridMatchesFlat is the kernel's central property: for random
+// clouds, candidates and radii — including δ values that land candidates
+// exactly on cell boundaries — the grid count must equal the flat O(n) scan
+// exactly, hits and all.
+func TestCloudGridMatchesFlat(t *testing.T) {
+	for _, d := range []int{2, 3, 5} {
+		for _, delta := range []float64{0.25, 1, 2.5, 8, 64} {
+			g := randomSPDDist(t, d, uint64(d)*31+uint64(delta*4))
+			cloud, err := NewSampleCloud(g, 4000, 17)
+			if err != nil {
+				t.Fatal(err)
+			}
+			grid, err := NewCloudGrid(cloud, delta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := NewRNG(uint64(d) * 1000)
+			rel := make(vecmat.Vector, d)
+			for trial := 0; trial < 200; trial++ {
+				for i := range rel {
+					// Mix candidates inside, near the fringe of, and far
+					// outside the cloud extent; snap a fraction to exact
+					// cell-boundary multiples of δ to exercise the FP
+					// boundary path.
+					rel[i] = rng.NormFloat64() * 12
+					if trial%5 == 0 {
+						rel[i] = math.Floor(rel[i]/delta) * delta
+					}
+					if trial%17 == 0 {
+						rel[i] += 200 // entirely outside the extent
+					}
+				}
+				wantHits, wantTouched := cloud.CountBall(rel, delta)
+				gotHits, gotTouched := grid.CountBall(rel)
+				if gotHits != wantHits {
+					t.Fatalf("d=%d δ=%g trial %d: grid hits %d vs flat %d",
+						d, delta, trial, gotHits, wantHits)
+				}
+				if gotTouched > wantTouched {
+					t.Errorf("d=%d δ=%g trial %d: grid touched %d > cloud size %d",
+						d, delta, trial, gotTouched, wantTouched)
+				}
+			}
+		}
+	}
+}
+
+// TestCloudGridExactBoundary pins the FP-boundary behaviour with a handmade
+// cloud: points whose squared distance to the candidate is *exactly* δ² in
+// floating point must count identically under both kernels.
+func TestCloudGridExactBoundary(t *testing.T) {
+	// Points at exact lattice positions; candidate at the origin; δ = 5 puts
+	// (3,4), (5,0) and (0,-5) exactly on the sphere (9+16 = 25 exact in FP).
+	pts := []float64{
+		3, 4,
+		5, 0,
+		0, -5,
+		3.000000001, 4, // just outside
+		2.999999999, 4, // just inside
+		-7, 1,
+		0.5, 0.25,
+	}
+	cloud := &SampleCloud{dim: 2, n: len(pts) / 2, pts: pts}
+	grid, err := NewCloudGrid(cloud, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := vecmat.Vector{0, 0}
+	wantHits, _ := cloud.CountBall(rel, 5)
+	gotHits, _ := grid.CountBall(rel)
+	if wantHits != 5 {
+		t.Fatalf("flat scan counts %d hits, want 5 (3 on-boundary + 2 interior)", wantHits)
+	}
+	if gotHits != wantHits {
+		t.Fatalf("grid hits %d vs flat %d on exact-boundary cloud", gotHits, wantHits)
+	}
+}
+
+// TestCloudGridOverflow asks for a cell side so small relative to the cloud
+// extent that linear cell addressing would overflow; the constructor must
+// refuse (callers then fall back to the flat scan).
+func TestCloudGridOverflow(t *testing.T) {
+	g := randomSPDDist(t, 2, 9)
+	cloud, err := NewSampleCloud(g, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCloudGrid(cloud, 1e-12); err == nil {
+		t.Fatal("grid with ~1e13 cells per axis accepted")
+	}
+	if _, err := NewCloudGrid(cloud, 0); err == nil {
+		t.Fatal("zero cell side accepted")
+	}
+	if _, err := NewCloudGrid(cloud, math.NaN()); err == nil {
+		t.Fatal("NaN cell side accepted")
+	}
+}
+
+// TestCloudGridCountAgainstDist reports agreement with the underlying
+// distribution: the fraction of cloud samples within δ of a candidate must
+// estimate the true qualification probability.
+func TestCloudGridCountAgainstDist(t *testing.T) {
+	g := paperDist(t, 10)
+	const n = 50000
+	cloud, err := NewSampleCloud(g, n, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := NewCloudGrid(cloud, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := NewIntegrator(n, 22)
+	o := vecmat.Vector{510, 495}
+	want, err := in.Qualification(g, o, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := make(vecmat.Vector, 2)
+	o.SubTo(g.Mean(), rel)
+	hits, _ := grid.CountBall(rel)
+	got := float64(hits) / float64(n)
+	if se := StandardError(want, n); math.Abs(got-want) > 6*se+1e-9 {
+		t.Errorf("grid estimate %g vs independent MC %g (6σ=%g)", got, want, 6*se)
+	}
+}

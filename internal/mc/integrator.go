@@ -32,10 +32,14 @@ type Integrator struct {
 	// When reuse is enabled, one sample set is drawn per distribution and
 	// shared across objects (common random numbers): cheaper and lower
 	// variance *between* candidates, at the cost of correlated errors.
-	reuse     bool
-	reuseFor  *gauss.Dist
-	reusePts  []vecmat.Vector
-	evalCount int
+	// The cache is keyed by the distribution's content fingerprint, not
+	// pointer identity: a rebound mean (or a different Dist reusing a freed
+	// address) must never silently reuse samples drawn for the old content.
+	reuse      bool
+	reuseValid bool
+	reuseKey   uint64
+	reusePts   []vecmat.Vector
+	evalCount  int
 }
 
 // NewIntegrator returns an integrator drawing `samples` points per object
@@ -57,7 +61,7 @@ func (in *Integrator) Fork(streamID uint64) *Integrator {
 
 // SetReuse toggles common-random-numbers mode: one sample set per
 // distribution, shared across all candidate objects.
-func (in *Integrator) SetReuse(on bool) { in.reuse = on; in.reuseFor = nil }
+func (in *Integrator) SetReuse(on bool) { in.reuse = on; in.reuseValid = false }
 
 // Samples returns the per-object sample count.
 func (in *Integrator) Samples() int { return in.samples }
@@ -112,9 +116,12 @@ func (in *Integrator) Qualification(dist *gauss.Dist, o vecmat.Vector, delta flo
 	return float64(hit) / float64(in.samples), nil
 }
 
-// ensureReusePoints lazily draws the shared sample set for dist.
+// ensureReusePoints lazily draws the shared sample set for dist, redrawing
+// whenever the distribution *content* (mean and covariance) differs from
+// what the cache was drawn for.
 func (in *Integrator) ensureReusePoints(dist *gauss.Dist) {
-	if in.reuseFor == dist && len(in.reusePts) == in.samples {
+	key := distFingerprint(dist)
+	if in.reuseValid && in.reuseKey == key && len(in.reusePts) == in.samples {
 		return
 	}
 	d := dist.Dim()
@@ -125,7 +132,38 @@ func (in *Integrator) ensureReusePoints(dist *gauss.Dist) {
 		dist.Sample(in.rng, scratch, p)
 		in.reusePts[i] = p
 	}
-	in.reuseFor = dist
+	in.reuseKey = key
+	in.reuseValid = true
+}
+
+// distFingerprint hashes the distribution content (dimension, mean,
+// covariance) with FNV-1a over the raw float64 bits. Two distributions with
+// equal content always collide (intended: the same samples apply); distinct
+// content colliding is a 2⁻⁶⁴ event, negligible next to Monte Carlo noise.
+func distFingerprint(dist *gauss.Dist) uint64 {
+	const (
+		offset64 = 0xcbf29ce484222325
+		prime64  = 0x100000001b3
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime64
+		}
+	}
+	d := dist.Dim()
+	mix(uint64(d))
+	for _, v := range dist.Mean() {
+		mix(math.Float64bits(v))
+	}
+	cov := dist.Cov()
+	for i := 0; i < d; i++ {
+		for j := i; j < d; j++ {
+			mix(math.Float64bits(cov.At(i, j)))
+		}
+	}
+	return h
 }
 
 // StandardError returns the 1σ standard error of an estimate p̂ from n

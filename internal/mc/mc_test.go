@@ -209,6 +209,40 @@ func TestQualificationReuseMode(t *testing.T) {
 	}
 }
 
+// Regression: the shared-sample cache must key on distribution *content*,
+// not pointer identity. Rebinding the mean in place (same *gauss.Dist, new
+// mean) previously kept the sample set drawn around the old mean, reporting
+// probabilities for a query object thousands of units away from the truth.
+func TestQualificationReuseRebindInPlace(t *testing.T) {
+	g := paperDist(t, 10)
+	in, _ := NewIntegrator(50000, 42)
+	in.SetReuse(true)
+	exact := quadform.NewExact()
+	o := vecmat.Vector{505, 505}
+	p1, err := in.Qualification(g, o, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 < 0.05 {
+		t.Fatalf("setup: expected a clearly positive probability near the mean, got %g", p1)
+	}
+	// Shift the mean far away through the accessor: pointer identity is
+	// unchanged, content is not. A pointer-keyed cache reuses the old
+	// samples and keeps reporting ≈p1 for o, now ~5000 units away.
+	g.Mean()[0] += 5000
+	p2, err := in.Qualification(g, o, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := exact.Qualification(g, o, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p2-want) > 6*StandardError(want, 50000)+1e-9 {
+		t.Errorf("stale shared samples after in-place rebind: MC %g vs exact %g (pre-rebind %g)", p2, want, p1)
+	}
+}
+
 func TestForkDecorrelated(t *testing.T) {
 	in, _ := NewIntegrator(1000, 5)
 	f1 := in.Fork(1)

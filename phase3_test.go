@@ -1,0 +1,133 @@
+package gaussrange
+
+import (
+	"context"
+	"testing"
+)
+
+func TestPhase3KernelValidation(t *testing.T) {
+	pts := gridPoints(100, 10)
+	if _, err := Load(pts, WithPhase3Kernel(Phase3Kernel(99))); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+	if _, err := Load(pts, WithPhase3Kernel(Phase3Kernel(-1))); err == nil {
+		t.Error("negative kernel accepted")
+	}
+	if _, err := Load(pts, WithAdaptiveMonteCarlo(1000), WithPhase3Kernel(KernelSharedGrid)); err == nil {
+		t.Error("shared kernel combined with adaptive MC accepted")
+	}
+	// The explicit default combines with anything.
+	if _, err := Load(pts, WithAdaptiveMonteCarlo(1000), WithPhase3Kernel(KernelPerCandidate)); err != nil {
+		t.Errorf("per-candidate kernel with adaptive MC rejected: %v", err)
+	}
+}
+
+func TestPhase3KernelStrings(t *testing.T) {
+	for k, want := range map[Phase3Kernel]string{
+		KernelPerCandidate: "per-candidate",
+		KernelSharedFlat:   "shared-flat",
+		KernelSharedGrid:   "shared-grid",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("kernel %d String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+// TestPhase3KernelQuery drives the shared kernels through the public API:
+// flat and grid must answer identically for the same seed, report the cloud
+// accounting in Stats, and agree with the exact evaluator on a workload whose
+// probabilities sit far from θ.
+func TestPhase3KernelQuery(t *testing.T) {
+	pts := gridPoints(2500, 20)
+	spec := QuerySpec{Center: []float64{500, 500}, Cov: paperCov(10), Delta: 25, Theta: 0.01}
+
+	exactDB, err := Load(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exRes, err := exactDB.Query(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var flatIDs []int64
+	for _, kernel := range []Phase3Kernel{KernelSharedFlat, KernelSharedGrid} {
+		db, err := Load(pts, WithMonteCarlo(20000), WithSeed(7), WithPhase3Kernel(kernel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := db.Query(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.SamplesDrawn != 20000 {
+			t.Errorf("%v: SamplesDrawn = %d, want 20000", kernel, res.Stats.SamplesDrawn)
+		}
+		if res.Stats.Integrations > 0 && res.Stats.SamplesTouched == 0 {
+			t.Errorf("%v: SamplesTouched = 0 with %d integrations", kernel, res.Stats.Integrations)
+		}
+		// Grid points sit far from the θ boundary at this spacing, so the
+		// sampled answer must match the exact one outright.
+		if len(res.IDs) != len(exRes.IDs) {
+			t.Errorf("%v: %d answers vs exact %d", kernel, len(res.IDs), len(exRes.IDs))
+		}
+		if kernel == KernelSharedFlat {
+			flatIDs = res.IDs
+			continue
+		}
+		if len(flatIDs) != len(res.IDs) {
+			t.Fatalf("flat %d answers vs grid %d", len(flatIDs), len(res.IDs))
+		}
+		for i := range flatIDs {
+			if flatIDs[i] != res.IDs[i] {
+				t.Fatalf("flat and grid kernels disagree at position %d", i)
+			}
+		}
+	}
+}
+
+// TestPhase3KernelDeterministicAcrossWorkers checks the public guarantee: one
+// DB with a shared kernel returns identical IDs whether a query runs alone or
+// inside a QueryBatch at any pool size.
+func TestPhase3KernelDeterministicAcrossWorkers(t *testing.T) {
+	pts := gridPoints(2500, 20)
+	db, err := Load(pts, WithMonteCarlo(20000), WithSeed(7), WithPhase3Kernel(KernelSharedGrid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := make([]QuerySpec, 8)
+	for i := range specs {
+		specs[i] = QuerySpec{
+			Center: []float64{200 + 50*float64(i), 500},
+			Cov:    paperCov(10),
+			Delta:  25,
+			Theta:  0.01,
+		}
+	}
+	ctx := context.Background()
+	want := make([][]int64, len(specs))
+	for i, spec := range specs {
+		res, err := db.QueryCtx(ctx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res.IDs
+	}
+	for _, workers := range []int{1, 4, 8} {
+		results, err := db.QueryBatch(ctx, specs, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, res := range results {
+			if len(res.IDs) != len(want[i]) {
+				t.Fatalf("workers=%d query %d: %d answers, want %d", workers, i, len(res.IDs), len(want[i]))
+			}
+			for j := range want[i] {
+				if res.IDs[j] != want[i][j] {
+					t.Fatalf("workers=%d query %d: IDs diverge at %d", workers, i, j)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# bench_snapshot.sh — record the Phase-3 kernel comparison as a committed
+# artifact: runs `prqbench phase3` on the default 2-D workload and writes
+# BENCH_phase3.json at the repository root (or to $1 when given).
+#
+# Environment:
+#   GO       go binary (default: go)
+#   QUERIES  queries per kernel (default: 16)
+#   SAMPLES  Monte Carlo samples per object (default: 100000)
+#   SEED     dataset / cloud seed (default: 1)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GO="${GO:-go}"
+QUERIES="${QUERIES:-16}"
+SAMPLES="${SAMPLES:-100000}"
+SEED="${SEED:-1}"
+OUT="${1:-BENCH_phase3.json}"
+
+echo "bench-snapshot: running prqbench phase3 (queries=$QUERIES samples=$SAMPLES seed=$SEED)"
+"$GO" run ./cmd/prqbench -queries "$QUERIES" -samples "$SAMPLES" -seed "$SEED" \
+    -json "$OUT" phase3
+
+echo "bench-snapshot: wrote $OUT"

@@ -80,37 +80,45 @@ type QueryStats struct {
 	IndexNS      int64 `json:"index_ns"`
 	FilterNS     int64 `json:"filter_ns"`
 	ProbNS       int64 `json:"prob_ns"`
+	// SamplesDrawn/SamplesTouched report the shared-sample Phase-3 kernel's
+	// work (0 under the per-candidate kernel).
+	SamplesDrawn   int `json:"samples_drawn,omitempty"`
+	SamplesTouched int `json:"samples_touched,omitempty"`
 }
 
 // StatsFromResult converts library stats to the wire form.
 func StatsFromResult(st gaussrange.Stats) QueryStats {
 	return QueryStats{
-		Retrieved:    st.Retrieved,
-		PrunedFringe: st.PrunedFringe,
-		PrunedOR:     st.PrunedOR,
-		PrunedBF:     st.PrunedBF,
-		AcceptedBF:   st.AcceptedBF,
-		Integrations: st.Integrations,
-		NodesRead:    st.NodesRead,
-		IndexNS:      st.IndexTime.Nanoseconds(),
-		FilterNS:     st.FilterTime.Nanoseconds(),
-		ProbNS:       st.ProbTime.Nanoseconds(),
+		Retrieved:      st.Retrieved,
+		PrunedFringe:   st.PrunedFringe,
+		PrunedOR:       st.PrunedOR,
+		PrunedBF:       st.PrunedBF,
+		AcceptedBF:     st.AcceptedBF,
+		Integrations:   st.Integrations,
+		NodesRead:      st.NodesRead,
+		IndexNS:        st.IndexTime.Nanoseconds(),
+		FilterNS:       st.FilterTime.Nanoseconds(),
+		ProbNS:         st.ProbTime.Nanoseconds(),
+		SamplesDrawn:   st.SamplesDrawn,
+		SamplesTouched: st.SamplesTouched,
 	}
 }
 
 // Stats converts the wire form back to library stats.
 func (s QueryStats) Stats() gaussrange.Stats {
 	return gaussrange.Stats{
-		Retrieved:    s.Retrieved,
-		PrunedFringe: s.PrunedFringe,
-		PrunedOR:     s.PrunedOR,
-		PrunedBF:     s.PrunedBF,
-		AcceptedBF:   s.AcceptedBF,
-		Integrations: s.Integrations,
-		NodesRead:    s.NodesRead,
-		IndexTime:    time.Duration(s.IndexNS),
-		FilterTime:   time.Duration(s.FilterNS),
-		ProbTime:     time.Duration(s.ProbNS),
+		Retrieved:      s.Retrieved,
+		PrunedFringe:   s.PrunedFringe,
+		PrunedOR:       s.PrunedOR,
+		PrunedBF:       s.PrunedBF,
+		AcceptedBF:     s.AcceptedBF,
+		Integrations:   s.Integrations,
+		NodesRead:      s.NodesRead,
+		IndexTime:      time.Duration(s.IndexNS),
+		FilterTime:     time.Duration(s.FilterNS),
+		ProbTime:       time.Duration(s.ProbNS),
+		SamplesDrawn:   s.SamplesDrawn,
+		SamplesTouched: s.SamplesTouched,
 	}
 }
 
@@ -217,6 +225,10 @@ type QueryTotals struct {
 	IndexNS      int64  `json:"index_ns"`
 	FilterNS     int64  `json:"filter_ns"`
 	ProbNS       int64  `json:"prob_ns"`
+	// Shared-sample Phase-3 kernel totals: samples drawn into plan clouds
+	// (counted once per query) vs. samples actually distance-tested.
+	SamplesDrawn   uint64 `json:"samples_drawn"`
+	SamplesTouched uint64 `json:"samples_touched"`
 }
 
 // Histogram is a fixed-bucket latency histogram. Counts has one entry per

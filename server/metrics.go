@@ -111,18 +111,20 @@ func (m *metrics) queryTotals() QueryTotals {
 	defer m.mu.Unlock()
 	st := m.statTotals
 	return QueryTotals{
-		Queries:      m.queries,
-		Answers:      m.answers,
-		Retrieved:    uint64(st.Retrieved),
-		PrunedFringe: uint64(st.PrunedFringe),
-		PrunedOR:     uint64(st.PrunedOR),
-		PrunedBF:     uint64(st.PrunedBF),
-		AcceptedBF:   uint64(st.AcceptedBF),
-		Integrations: uint64(st.Integrations),
-		NodesRead:    uint64(st.NodesRead),
-		IndexNS:      st.IndexTime.Nanoseconds(),
-		FilterNS:     st.FilterTime.Nanoseconds(),
-		ProbNS:       st.ProbTime.Nanoseconds(),
+		Queries:        m.queries,
+		Answers:        m.answers,
+		Retrieved:      uint64(st.Retrieved),
+		PrunedFringe:   uint64(st.PrunedFringe),
+		PrunedOR:       uint64(st.PrunedOR),
+		PrunedBF:       uint64(st.PrunedBF),
+		AcceptedBF:     uint64(st.AcceptedBF),
+		Integrations:   uint64(st.Integrations),
+		NodesRead:      uint64(st.NodesRead),
+		IndexNS:        st.IndexTime.Nanoseconds(),
+		FilterNS:       st.FilterTime.Nanoseconds(),
+		ProbNS:         st.ProbTime.Nanoseconds(),
+		SamplesDrawn:   uint64(st.SamplesDrawn),
+		SamplesTouched: uint64(st.SamplesTouched),
 	}
 }
 
