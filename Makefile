@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench verify race vet serve-smoke bench-snapshot
+.PHONY: build test bench verify race vet fmt-check fuzz-smoke serve-smoke bench-snapshot
 
 build:
 	$(GO) build ./...
@@ -17,10 +17,23 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# verify is the pre-merge gate: static analysis plus the race-enabled test
-# suite (the plan cache, worker pools, QueryBatch and the query server are
-# concurrency-heavy).
-verify: vet race
+# fmt-check fails if any file is not gofmt-clean (prints the offenders).
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# fuzz-smoke runs the R*-tree structural fuzzer briefly — enough to catch
+# invariant regressions in insert/delete/rebuild without a dedicated fuzz
+# farm.
+fuzz-smoke:
+	$(GO) test ./internal/rtree -run '^$$' -fuzz FuzzTreeOps -fuzztime 10s
+
+# verify is the pre-merge gate: formatting, static analysis, and the
+# race-enabled test suite (the storage engine, plan cache, worker pools,
+# QueryBatch and the query server are concurrency-heavy).
+verify: fmt-check vet race
 	@echo "verify: OK"
 
 # bench-snapshot regenerates BENCH_phase3.json, the committed Phase-3 kernel

@@ -1,9 +1,14 @@
 // Package client is a typed Go client for the prqserved HTTP API (see
 // gaussrange/server). It speaks the same wire types as the server, retries
-// requests that failed on connection errors (every endpoint is a read, so
-// retries are safe), and propagates context deadlines end-to-end: a ctx
-// deadline becomes the request's timeout_ms, so the server's query context
-// expires when the caller's does.
+// read requests that failed on connection errors (reads are idempotent, so
+// retries are safe; mutations are never retried on connection errors, since
+// a torn connection leaves the outcome unknown), and propagates context
+// deadlines end-to-end: a ctx deadline becomes the request's timeout_ms, so
+// the server's query context expires when the caller's does.
+//
+// The server's 429 admission rejection means the request was never executed,
+// so retrying it is safe for every endpoint; WithRetryOn429 opts into a
+// bounded retry honoring the server's Retry-After hint.
 package client
 
 import (
@@ -16,6 +21,7 @@ import (
 	"net"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -25,10 +31,11 @@ import (
 
 // Client talks to one prqserved instance. Safe for concurrent use.
 type Client struct {
-	base    string
-	hc      *http.Client
-	retries int
-	backoff time.Duration
+	base     string
+	hc       *http.Client
+	retries  int
+	backoff  time.Duration
+	retry429 int
 }
 
 // Option configures New.
@@ -61,6 +68,19 @@ func WithRetryBackoff(d time.Duration) Option {
 	return func(c *Client) { c.backoff = d }
 }
 
+// WithRetryOn429 opts into retrying requests the server rejected with 429
+// (admission control), at most n times per request, waiting out the server's
+// Retry-After hint (or the backoff schedule when absent) between attempts.
+// A 429 means the request never entered execution, so the retry is safe for
+// mutations too. Default 0: 429 is returned to the caller immediately.
+func WithRetryOn429(n int) Option {
+	return func(c *Client) {
+		if n >= 0 {
+			c.retry429 = n
+		}
+	}
+}
+
 // New returns a client for the server at baseURL (e.g. "http://127.0.0.1:8080").
 func New(baseURL string, opts ...Option) *Client {
 	c := &Client{
@@ -79,6 +99,9 @@ func New(baseURL string, opts ...Option) *Client {
 type APIError struct {
 	Status  int
 	Message string
+	// RetryAfter is the server's Retry-After hint (0 when absent) — how long
+	// to back off before retrying a 429.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -121,8 +144,21 @@ func retryable(err error) bool {
 	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
 }
 
-// do runs one JSON round-trip with the retry loop. body may be nil (GET).
+// do runs one JSON round-trip with connection-error retries — for the read
+// endpoints, where re-sending after a torn connection is safe.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	return c.doRetry(ctx, method, path, in, out, true)
+}
+
+// doMutate runs one JSON round-trip without connection-error retries: a torn
+// connection leaves a mutation's outcome unknown, so the error is surfaced
+// instead of re-applying the batch. 429 retries (opt-in) remain safe — the
+// server rejects before executing.
+func (c *Client) doMutate(ctx context.Context, method, path string, in, out any) error {
+	return c.doRetry(ctx, method, path, in, out, false)
+}
+
+func (c *Client) doRetry(ctx context.Context, method, path string, in, out any, connRetry bool) error {
 	var payload []byte
 	if in != nil {
 		var err error
@@ -131,16 +167,8 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 			return fmt.Errorf("client: encoding request: %w", err)
 		}
 	}
-	var lastErr error
-	for attempt := 0; attempt <= c.retries; attempt++ {
-		if attempt > 0 {
-			delay := c.backoff << (attempt - 1)
-			select {
-			case <-ctx.Done():
-				return ctx.Err()
-			case <-time.After(delay):
-			}
-		}
+	connAttempts, overloads := 0, 0
+	for {
 		var body io.Reader
 		if payload != nil {
 			body = bytes.NewReader(payload)
@@ -154,15 +182,43 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		}
 		resp, err := c.hc.Do(req)
 		if err != nil {
-			if urlErr := new(url.Error); errors.As(err, &urlErr) && retryable(urlErr.Err) {
-				lastErr = err
+			if urlErr := new(url.Error); errors.As(err, &urlErr) && retryable(urlErr.Err) && connRetry {
+				connAttempts++
+				if connAttempts > c.retries {
+					return fmt.Errorf("client: giving up after %d attempts: %w", c.retries+1, err)
+				}
+				if err := sleepCtx(ctx, c.backoff<<(connAttempts-1)); err != nil {
+					return err
+				}
 				continue
 			}
 			return fmt.Errorf("client: %w", err)
 		}
-		return decodeResponse(resp, out)
+		err = decodeResponse(resp, out)
+		var ae *APIError
+		if errors.As(err, &ae) && ae.Status == http.StatusTooManyRequests && overloads < c.retry429 {
+			overloads++
+			delay := ae.RetryAfter
+			if delay <= 0 {
+				delay = c.backoff << (overloads - 1)
+			}
+			if serr := sleepCtx(ctx, delay); serr != nil {
+				return serr
+			}
+			continue
+		}
+		return err
 	}
-	return fmt.Errorf("client: giving up after %d attempts: %w", c.retries+1, lastErr)
+}
+
+// sleepCtx waits for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(d):
+		return nil
+	}
 }
 
 func decodeResponse(resp *http.Response, out any) error {
@@ -177,7 +233,11 @@ func decodeResponse(resp *http.Response, out any) error {
 		if json.Unmarshal(data, &er) == nil && er.Error != "" {
 			msg = er.Error
 		}
-		return &APIError{Status: resp.StatusCode, Message: msg}
+		return &APIError{
+			Status:     resp.StatusCode,
+			Message:    msg,
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
 	}
 	if out == nil {
 		return nil
@@ -186,6 +246,25 @@ func decodeResponse(resp *http.Response, out any) error {
 		return fmt.Errorf("client: decoding response: %w", err)
 	}
 	return nil
+}
+
+// parseRetryAfter reads a Retry-After header: delta-seconds or an HTTP date.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // timeoutMS derives the wire deadline from ctx: the remaining time to the
@@ -277,6 +356,39 @@ func (c *Client) Point(ctx context.Context, id int64) ([]float64, error) {
 		return nil, fmt.Errorf("client: expected 1 point, got %d", len(pts))
 	}
 	return pts[0].Coords, nil
+}
+
+// InsertPoints inserts a batch of points as one atomic epoch and returns the
+// identifiers assigned (aligned with points) plus the published epoch.
+// Connection errors are not retried (the batch may or may not have applied);
+// 429 rejections are retried under WithRetryOn429, which is safe.
+func (c *Client) InsertPoints(ctx context.Context, points [][]float64) (ids []int64, epoch uint64, err error) {
+	var resp server.InsertPointsResponse
+	if err := c.doMutate(ctx, http.MethodPost, "/v1/points", server.InsertPointsRequest{Points: points}, &resp); err != nil {
+		return nil, 0, err
+	}
+	return resp.IDs, resp.Epoch, nil
+}
+
+// InsertPoint inserts one point and returns its identifier and the epoch the
+// insert published.
+func (c *Client) InsertPoint(ctx context.Context, p []float64) (id int64, epoch uint64, err error) {
+	ids, epoch, err := c.InsertPoints(ctx, [][]float64{p})
+	if err != nil {
+		return 0, 0, err
+	}
+	return ids[0], epoch, nil
+}
+
+// DeletePoint deletes one point, reporting whether the id was live and the
+// epoch the delete published (unchanged when the id was already gone —
+// deletes are idempotent and never 404).
+func (c *Client) DeletePoint(ctx context.Context, id int64) (deleted bool, epoch uint64, err error) {
+	var resp server.DeletePointResponse
+	if err := c.doMutate(ctx, http.MethodDelete, "/v1/points/"+strconv.FormatInt(id, 10), nil, &resp); err != nil {
+		return false, 0, err
+	}
+	return resp.Deleted, resp.Epoch, nil
 }
 
 // Health checks liveness and returns the dataset summary.

@@ -1,0 +1,136 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gaussrange/server"
+)
+
+// overloadedHandler answers 429 with a Retry-After header for the first
+// `rejections` requests, then succeeds.
+func overloadedHandler(rejections int32, retryAfter string, hits *atomic.Int32) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= rejections {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(server.ErrorResponse{Error: "overloaded"})
+			return
+		}
+		json.NewEncoder(w).Encode(server.QueryResponse{IDs: []int64{7}})
+	}
+}
+
+// TestRetryOn429 proves the opt-in: with WithRetryOn429 the client waits out
+// the server's Retry-After hint and succeeds on the next attempt; the default
+// client surfaces the 429 immediately.
+func TestRetryOn429(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(overloadedHandler(2, "0", &hits))
+	defer ts.Close()
+
+	cl := New(ts.URL, WithRetryOn429(3), WithRetryBackoff(time.Millisecond))
+	res, err := cl.Query(context.Background(), testQuerySpec())
+	if err != nil {
+		t.Fatalf("query with 429 retry: %v", err)
+	}
+	if len(res.IDs) != 1 || res.IDs[0] != 7 {
+		t.Fatalf("unexpected result %v", res.IDs)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (2 rejections + success)", got)
+	}
+}
+
+// TestNo429RetryByDefault checks a default client returns the 429 without a
+// second attempt.
+func TestNo429RetryByDefault(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(overloadedHandler(1000, "1", &hits))
+	defer ts.Close()
+
+	cl := New(ts.URL)
+	_, err := cl.Query(context.Background(), testQuerySpec())
+	if !IsOverloaded(err) {
+		t.Fatalf("want overload error, got %v", err)
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("want *APIError, got %T", err)
+	}
+	if ae.RetryAfter != time.Second {
+		t.Fatalf("RetryAfter = %v, want 1s", ae.RetryAfter)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want exactly 1", got)
+	}
+}
+
+// TestRetryOn429Exhausted checks the retry budget is bounded: n retries make
+// n+1 attempts, then the 429 is surfaced.
+func TestRetryOn429Exhausted(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(overloadedHandler(1000, "0", &hits))
+	defer ts.Close()
+
+	cl := New(ts.URL, WithRetryOn429(2), WithRetryBackoff(time.Millisecond))
+	_, err := cl.Query(context.Background(), testQuerySpec())
+	if !IsOverloaded(err) {
+		t.Fatalf("want overload error after exhaustion, got %v", err)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (initial + 2 retries)", got)
+	}
+}
+
+// TestRetryOn429ContextCancel checks a cancelled context stops the 429 wait
+// immediately instead of sleeping out a long Retry-After.
+func TestRetryOn429ContextCancel(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(overloadedHandler(1000, "30", &hits))
+	defer ts.Close()
+
+	cl := New(ts.URL, WithRetryOn429(5))
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	_, err := cl.Query(ctx, testQuerySpec())
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if time.Since(t0) > 5*time.Second {
+		t.Fatalf("client slept out the Retry-After hint despite cancellation (%v)", time.Since(t0))
+	}
+}
+
+// TestParseRetryAfter covers both header forms and the garbage cases.
+func TestParseRetryAfter(t *testing.T) {
+	if d := parseRetryAfter(""); d != 0 {
+		t.Fatalf("empty header: %v, want 0", d)
+	}
+	if d := parseRetryAfter("7"); d != 7*time.Second {
+		t.Fatalf("delta-seconds: %v, want 7s", d)
+	}
+	if d := parseRetryAfter("-3"); d != 0 {
+		t.Fatalf("negative delta: %v, want 0", d)
+	}
+	future := time.Now().Add(10 * time.Second).UTC().Format(http.TimeFormat)
+	if d := parseRetryAfter(future); d <= 0 || d > 10*time.Second {
+		t.Fatalf("HTTP date: %v, want (0, 10s]", d)
+	}
+	past := time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat)
+	if d := parseRetryAfter(past); d != 0 {
+		t.Fatalf("past HTTP date: %v, want 0", d)
+	}
+	if d := parseRetryAfter("soon"); d != 0 {
+		t.Fatalf("garbage header: %v, want 0", d)
+	}
+}

@@ -1,0 +1,291 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gaussrange"
+	"gaussrange/internal/data"
+	"gaussrange/internal/experiments"
+)
+
+// churnWriteFractions are the write rates the churn experiment sweeps: the
+// fraction of operations that are mutations (each mutation is one insert plus
+// one delete, so the point count stays fixed while epochs churn).
+var churnWriteFractions = []float64{0, 0.05, 0.20, 0.50}
+
+// churnPoints subsamples the road dataset for the churn cells. The full
+// 50k-point set would need thousands of replaces per cell to cross the
+// overlay-rebuild threshold (clamp(live/4, 128, 4096) entries); at 8k points
+// the threshold is 2048, so the higher write fractions trigger real rebuilds
+// and the two strategies are measured doing the work they differ on.
+const churnPoints = 8192
+
+// ChurnReport is the JSON document `prqbench churn -json` writes.
+type ChurnReport struct {
+	Points    int          `json:"points"`
+	Dim       int          `json:"dim"`
+	Workers   int          `json:"workers"`
+	Ops       int          `json:"ops_per_cell"`
+	Delta     float64      `json:"delta"`
+	Theta     float64      `json:"theta"`
+	Gamma     float64      `json:"gamma"`
+	Seed      uint64       `json:"seed"`
+	Cells     []ChurnCell  `json:"cells"`
+	Generated churnByWhere `json:"generated_by"`
+}
+
+type churnByWhere struct {
+	Command string `json:"command"`
+}
+
+// ChurnCell is one (strategy, write fraction) measurement.
+type ChurnCell struct {
+	Strategy      string  `json:"rebuild_strategy"`
+	WriteFraction float64 `json:"write_fraction"`
+	Reads         int     `json:"reads"`
+	Writes        int     `json:"writes"`
+	Epochs        uint64  `json:"epochs_published"`
+	WallMS        float64 `json:"wall_ms"`
+	ReadsPerSec   float64 `json:"reads_per_sec"`
+	WritesPerSec  float64 `json:"writes_per_sec"`
+	ReadP50US     float64 `json:"read_p50_us"`
+	ReadP90US     float64 `json:"read_p90_us"`
+	ReadP99US     float64 `json:"read_p99_us"`
+	ReadMaxUS     float64 `json:"read_max_us"`
+	WriteP50US    float64 `json:"write_p50_us"`
+	WriteP99US    float64 `json:"write_p99_us"`
+}
+
+// runChurn measures read latency under concurrent mutations: `workers`
+// goroutines issue paper-shaped queries against one DB while a share of
+// operations (the write fraction) replaces a random live point (one insert +
+// one delete per write, so dataset size is steady but the storage engine
+// keeps publishing epochs and crossing rebuild thresholds). Both overlay
+// rebuild strategies are swept so the default (STR) is a measured choice,
+// not a guess. Because reads pin an immutable snapshot and never lock, the
+// headline result is how flat the read quantiles stay as the write fraction
+// grows.
+func runChurn(cfg experiments.Config, workers, ops int, jsonPath string) error {
+	if ops < 1 {
+		return fmt.Errorf("-queries must be at least 1, got %d", ops)
+	}
+	if workers < 1 {
+		return fmt.Errorf("-workers must be at least 1, got %d", workers)
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	points := data.LongBeach(seed)
+	if len(points) > churnPoints {
+		points = points[:churnPoints]
+	}
+	raw := make([][]float64, len(points))
+	for i, p := range points {
+		raw[i] = p
+	}
+
+	sigma := experiments.PaperSigmaBase().Scale(10)
+	covRows := [][]float64{
+		{sigma.At(0, 0), sigma.At(0, 1)},
+		{sigma.At(1, 0), sigma.At(1, 1)},
+	}
+
+	rep := ChurnReport{
+		Points:  len(points),
+		Dim:     2,
+		Workers: workers,
+		Ops:     ops,
+		Delta:   25,
+		Theta:   0.01,
+		Gamma:   10,
+		Seed:    seed,
+		Generated: churnByWhere{
+			Command: fmt.Sprintf("prqbench -seed %d -workers %d -queries %d churn", seed, workers, ops),
+		},
+	}
+
+	strategies := []struct {
+		name string
+		opt  gaussrange.Option
+	}{
+		{"str", gaussrange.WithRebuildStrategy(gaussrange.RebuildSTR)},
+		{"incremental", gaussrange.WithRebuildStrategy(gaussrange.RebuildIncremental)},
+	}
+	fmt.Printf("read/write churn (%d points, %d ops per cell, %d workers, δ=25, θ=0.01, γ=10)\n",
+		len(points), ops, workers)
+	for _, strat := range strategies {
+		for _, wf := range churnWriteFractions {
+			cell, err := churnCell(raw, covRows, strat.name, strat.opt, wf, workers, ops, seed)
+			if err != nil {
+				return err
+			}
+			rep.Cells = append(rep.Cells, cell)
+			fmt.Printf("  %-12s wf=%.2f : %6d reads (p50 %7.1fµs  p90 %7.1fµs  p99 %8.1fµs)  %5d writes  %4d epochs  %8.1f reads/s\n",
+				cell.Strategy, cell.WriteFraction, cell.Reads,
+				cell.ReadP50US, cell.ReadP90US, cell.ReadP99US,
+				cell.Writes, cell.Epochs, cell.ReadsPerSec)
+		}
+	}
+
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+// churnCell runs one (strategy, write fraction) cell: a fresh DB, `ops` total
+// operations split across `workers` goroutines, each operation a query or a
+// replace (insert one point near a random site, delete a random live id)
+// chosen by a per-worker deterministic RNG.
+func churnCell(raw [][]float64, covRows [][]float64, stratName string, stratOpt gaussrange.Option, writeFrac float64, workers, ops int, seed uint64) (ChurnCell, error) {
+	db, err := gaussrange.Load(raw, stratOpt)
+	if err != nil {
+		return ChurnCell{}, err
+	}
+	epoch0 := db.Epoch()
+	ctx := context.Background()
+
+	// Replaceable id pool: ids inserted by this cell. Seed points stay put so
+	// every query keeps a meaningful answer set; writes churn the pool.
+	var (
+		poolMu sync.Mutex
+		pool   []int64
+	)
+
+	var (
+		next      atomic.Int64
+		readNS    = make([][]int64, workers)
+		writeNS   = make([][]int64, workers)
+		wg        sync.WaitGroup
+		errMu     sync.Mutex
+		firstErr  error
+		readsDone atomic.Int64
+	)
+	t0 := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(seed)*1_000_003 + int64(w)))
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= ops {
+					return
+				}
+				site := raw[rng.Intn(len(raw))]
+				if rng.Float64() < writeFrac {
+					// One replace: insert a jittered copy of a random site,
+					// then delete a previously inserted id (if any).
+					p := []float64{site[0] + rng.NormFloat64(), site[1] + rng.NormFloat64()}
+					t := time.Now()
+					id, err := db.Insert(p)
+					if err == nil {
+						poolMu.Lock()
+						pool = append(pool, id)
+						var victim int64 = -1
+						if len(pool) > 1 {
+							k := rng.Intn(len(pool))
+							victim = pool[k]
+							pool[k] = pool[len(pool)-1]
+							pool = pool[:len(pool)-1]
+						}
+						poolMu.Unlock()
+						if victim >= 0 {
+							_, err = db.Delete(victim)
+						}
+					}
+					writeNS[w] = append(writeNS[w], time.Since(t).Nanoseconds())
+					if err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+						return
+					}
+					continue
+				}
+				spec := gaussrange.QuerySpec{
+					Center: []float64{site[0], site[1]},
+					Cov:    covRows,
+					Delta:  25,
+					Theta:  0.01,
+				}
+				t := time.Now()
+				_, err := db.QueryCtx(ctx, spec)
+				readNS[w] = append(readNS[w], time.Since(t).Nanoseconds())
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+				readsDone.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+	if firstErr != nil {
+		return ChurnCell{}, firstErr
+	}
+
+	var reads, writes []int64
+	for w := 0; w < workers; w++ {
+		reads = append(reads, readNS[w]...)
+		writes = append(writes, writeNS[w]...)
+	}
+	sort.Slice(reads, func(a, b int) bool { return reads[a] < reads[b] })
+	sort.Slice(writes, func(a, b int) bool { return writes[a] < writes[b] })
+
+	cell := ChurnCell{
+		Strategy:      stratName,
+		WriteFraction: writeFrac,
+		Reads:         len(reads),
+		Writes:        len(writes),
+		Epochs:        db.Epoch() - epoch0,
+		WallMS:        float64(wall.Nanoseconds()) / 1e6,
+		ReadsPerSec:   float64(len(reads)) / wall.Seconds(),
+		WritesPerSec:  float64(len(writes)) / wall.Seconds(),
+		ReadP50US:     quantileUS(reads, 0.50),
+		ReadP90US:     quantileUS(reads, 0.90),
+		ReadP99US:     quantileUS(reads, 0.99),
+		ReadMaxUS:     quantileUS(reads, 1),
+		WriteP50US:    quantileUS(writes, 0.50),
+		WriteP99US:    quantileUS(writes, 0.99),
+	}
+	return cell, nil
+}
+
+// quantileUS returns the q-quantile of sorted nanosecond samples, in µs.
+func quantileUS(sorted []int64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i]) / 1e3
+}

@@ -26,6 +26,11 @@
 //	           per-candidate, shared-flat and shared-grid kernels, with
 //	           Phase-3 time, sample accounting and answer agreement; -json
 //	           writes the measurements as a JSON document (not in "all")
+//	churn    — mixed read/write experiment: -workers goroutines run -queries
+//	           operations against one live DB per cell, sweeping the write
+//	           fraction (0–20%) and both overlay-rebuild strategies, and
+//	           reporting read-latency quantiles vs write rate; -json writes
+//	           the measurements as a JSON document (not in "all")
 //
 // Flags:
 //
@@ -35,7 +40,7 @@
 //	-samples N     MC samples per object (default 100000)
 //	-workers N     worker goroutines for the batch experiment (default NumCPU)
 //	-queries N     queries per batch for the batch experiment (default 64)
-//	-json PATH     write the phase3 report as JSON to PATH
+//	-json PATH     write the phase3/churn report as JSON to PATH
 package main
 
 import (
@@ -60,9 +65,9 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines for the batch experiment")
 	queries := flag.Int("queries", 64, "queries per batch for the batch experiment")
 	svg := flag.String("svg", "", "write the region figure (fig13/15/16) as SVG to this path")
-	jsonPath := flag.String("json", "", "write the phase3 report as JSON to this path")
+	jsonPath := flag.String("json", "", "write the phase3/churn report as JSON to this path")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: prqbench [flags] table1|table2|table3|fig13|fig14|fig15|fig16|fig17|sweep|iostats|catalog|batch|serve|phase3|all\n")
+		fmt.Fprintf(os.Stderr, "usage: prqbench [flags] table1|table2|table3|fig13|fig14|fig15|fig16|fig17|sweep|iostats|catalog|batch|serve|phase3|churn|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -99,6 +104,13 @@ func main() {
 	}
 	if strings.EqualFold(flag.Arg(0), "phase3") {
 		if err := runPhase3(cfg, *queries, *jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "prqbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if strings.EqualFold(flag.Arg(0), "churn") {
+		if err := runChurn(cfg, *workers, *queries, *jsonPath); err != nil {
 			fmt.Fprintf(os.Stderr, "prqbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -15,6 +15,10 @@
 //	-addr-file PATH     write the bound address to PATH once listening
 //	-csv PATH           load points from a CSV file
 //	-snapshot PATH      restore a gaussrange snapshot (Save/SaveFile)
+//	-log PATH           append-only mutation log: replayed past the snapshot's
+//	                    epoch on startup (created if absent), then every
+//	                    insert/delete appends to it, so a restart reproduces
+//	                    the latest epoch
 //	-mc N               Monte Carlo evaluator with N samples (default: exact)
 //	-adaptive N         adaptive Monte Carlo with budget N
 //	-seed N             evaluator seed (default 1)
@@ -59,6 +63,7 @@ type config struct {
 	addrFile       string
 	csvPath        string
 	snapshotPath   string
+	logPath        string
 	mcSamples      int
 	adaptive       int
 	seed           uint64
@@ -78,6 +83,7 @@ func main() {
 	flag.StringVar(&cfg.addrFile, "addr-file", "", "write the bound address to this file once listening")
 	flag.StringVar(&cfg.csvPath, "csv", "", "load points from this CSV file")
 	flag.StringVar(&cfg.snapshotPath, "snapshot", "", "restore a gaussrange snapshot from this file")
+	flag.StringVar(&cfg.logPath, "log", "", "replay and append to this mutation log (empty = mutations are not journaled)")
 	flag.IntVar(&cfg.mcSamples, "mc", 0, "Monte Carlo samples per object (0 = exact evaluator)")
 	flag.IntVar(&cfg.adaptive, "adaptive", 0, "adaptive Monte Carlo budget (0 = off)")
 	flag.Uint64Var(&cfg.seed, "seed", 1, "evaluator seed")
@@ -171,6 +177,15 @@ func serve(cfg config, sig <-chan os.Signal, logw io.Writer) error {
 	db, err := loadDB(cfg)
 	if err != nil {
 		return err
+	}
+	if cfg.logPath != "" {
+		replayed, err := db.AttachMutationLog(cfg.logPath)
+		if err != nil {
+			return fmt.Errorf("attaching mutation log: %w", err)
+		}
+		defer db.DetachMutationLog()
+		fmt.Fprintf(logw, "prqserved: mutation log %s: replayed %d batches, now at epoch %d\n",
+			cfg.logPath, replayed, db.Epoch())
 	}
 	srv, err := server.New(server.Config{
 		DB:             db,

@@ -36,19 +36,28 @@ import (
 
 	"gaussrange/internal/core"
 	"gaussrange/internal/gauss"
-	"gaussrange/internal/geom"
 	"gaussrange/internal/mc"
 	"gaussrange/internal/rtree"
 	"gaussrange/internal/vecmat"
 )
 
 // DB is a queryable collection of exact points. All methods are safe for
-// concurrent use: queries take a shared lock and Insert an exclusive one.
+// concurrent use, and reads never block behind writes: every query pins an
+// immutable epoch snapshot with a single atomic load, while Insert, Delete
+// and Apply build the next epoch behind a writer mutex and publish it
+// atomically. A query's whole answer is therefore consistent with exactly
+// one published epoch (reported in Result.Epoch), even while mutations land
+// mid-flight.
 type DB struct {
-	mu      sync.RWMutex
 	idx     *core.Index
 	dim     int
 	options options
+
+	// writeMu serializes the mutation path: the epoch transition in idx and
+	// the matching mutation-log append happen as one unit, so the log's
+	// record order always equals the epoch order.
+	writeMu sync.Mutex
+	mlog    *MutationLog
 
 	// plans caches compiled query plans by query shape; compileEng is the
 	// long-lived engine that compiles them (lazily built, guarded by
@@ -66,6 +75,7 @@ type options struct {
 	useCatalogs   bool
 	planCacheSize int
 	phase3Kernel  Phase3Kernel
+	rebuild       RebuildStrategy
 }
 
 // Option configures Open and Load.
@@ -163,6 +173,34 @@ func WithCatalogs() Option {
 	return func(o *options) error { o.useCatalogs = true; return nil }
 }
 
+// RebuildStrategy selects how the storage engine folds its mutation overlay
+// back into the base R*-tree when the overlay crosses the rebuild threshold.
+type RebuildStrategy int
+
+const (
+	// RebuildSTR discards the old tree and STR bulk-loads the live points.
+	// The default: `prqbench churn` measures it faster than the incremental
+	// path at every write fraction on the paper's workload, and it restores
+	// the packed leaf layout that Phase-1 search performance depends on.
+	RebuildSTR RebuildStrategy = RebuildStrategy(core.RebuildSTR)
+	// RebuildIncremental deep-clones the base tree and replays overlay
+	// inserts/deletes into the clone, preserving the existing node layout.
+	RebuildIncremental RebuildStrategy = RebuildStrategy(core.RebuildIncremental)
+)
+
+// WithRebuildStrategy selects the overlay-rebuild strategy (default
+// RebuildSTR). Exposed so benchmarks can compare the two paths; the default
+// is right for almost every workload.
+func WithRebuildStrategy(s RebuildStrategy) Option {
+	return func(o *options) error {
+		if s != RebuildSTR && s != RebuildIncremental {
+			return fmt.Errorf("gaussrange: unknown rebuild strategy %d", int(s))
+		}
+		o.rebuild = s
+		return nil
+	}
+}
+
 // WithPlanCacheSize sets how many compiled query plans the database retains
 // (default DefaultPlanCacheSize). Zero disables the cache, forcing every
 // query to recompile its geometry.
@@ -202,6 +240,7 @@ func Open(dim int, opts ...Option) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	idx.SetRebuildStrategy(core.RebuildStrategy(o.rebuild))
 	return &DB{idx: idx, dim: dim, options: o, plans: newPlanCache(o.planCacheSize)}, nil
 }
 
@@ -230,30 +269,70 @@ func Load(points [][]float64, opts ...Option) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	idx.SetRebuildStrategy(core.RebuildStrategy(o.rebuild))
 	return &DB{idx: idx, dim: dim, options: o, plans: newPlanCache(o.planCacheSize)}, nil
 }
 
-// Insert adds one point and returns its identifier.
+// Insert adds one point, publishing a new epoch, and returns its identifier.
+// Identifiers are assigned sequentially and never reused.
 func (db *DB) Insert(p []float64) (int64, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.idx.Add(vecmat.Vector(p))
+	ids, _, _, err := db.Apply([][]float64{p}, nil)
+	if err != nil {
+		return 0, err
+	}
+	return ids[0], nil
 }
 
-// Len returns the number of stored points.
-func (db *DB) Len() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.idx.Len()
+// Delete removes one point, publishing a new epoch, and reports whether the
+// id was live. Deleting an unknown or already-deleted id is a no-op
+// (false, nil), so retries and log replay stay idempotent.
+func (db *DB) Delete(id int64) (bool, error) {
+	_, deleted, _, err := db.Apply(nil, []int64{id})
+	if err != nil {
+		return false, err
+	}
+	return deleted[0], nil
 }
+
+// Apply atomically applies one mutation batch — deletes first, then inserts
+// — and publishes the result as a single new epoch: concurrent queries see
+// either all of the batch or none of it. It returns the identifiers assigned
+// to the inserts (in order), a per-delete liveness report, and the published
+// epoch (a no-op batch publishes nothing and returns the current epoch).
+// When a mutation log is attached, the batch is appended to it before Apply
+// returns.
+func (db *DB) Apply(inserts [][]float64, deletes []int64) (ids []int64, deleted []bool, epoch uint64, err error) {
+	vecs := make([]vecmat.Vector, len(inserts))
+	for i, p := range inserts {
+		vecs[i] = vecmat.Vector(p)
+	}
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	before := db.idx.Epoch()
+	ids, deleted, epoch, err = db.idx.Apply(vecs, deletes)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if db.mlog != nil && epoch != before {
+		if err := db.mlog.append(epoch, inserts, deletes, deleted); err != nil {
+			return nil, nil, 0, fmt.Errorf("gaussrange: mutation log: %w", err)
+		}
+	}
+	return ids, deleted, epoch, nil
+}
+
+// Epoch returns the current storage epoch: 1 after the initial load, +1 per
+// published mutation batch.
+func (db *DB) Epoch() uint64 { return db.idx.Epoch() }
+
+// Len returns the number of stored points.
+func (db *DB) Len() int { return db.idx.Len() }
 
 // Dim returns the point dimensionality.
 func (db *DB) Dim() int { return db.dim }
 
 // Point returns a copy of the identified point's coordinates.
 func (db *DB) Point(id int64) ([]float64, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	p, err := db.idx.Point(id)
 	if err != nil {
 		return nil, err
@@ -328,6 +407,9 @@ func (s *Stats) Add(other Stats) {
 type Result struct {
 	// IDs are the qualifying point identifiers, ascending.
 	IDs []int64
+	// Epoch is the storage epoch the query pinned: the whole answer is
+	// consistent with exactly this published snapshot.
+	Epoch uint64
 	// Stats reports where candidates were spent.
 	Stats Stats
 }
@@ -345,8 +427,6 @@ func (db *DB) Query(spec QuerySpec) (*Result, error) {
 // cached plan and skip the eigendecomposition and bounding-radius
 // derivation entirely.
 func (db *DB) QueryCtx(ctx context.Context, spec QuerySpec) (*Result, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	eval, err := db.newEvaluator()
 	if err != nil {
 		return nil, err
@@ -362,8 +442,6 @@ func (db *DB) QueryCtx(ctx context.Context, spec QuerySpec) (*Result, error) {
 // Results align with specs. The first error (or ctx cancellation) stops the
 // batch promptly.
 func (db *DB) QueryBatch(ctx context.Context, specs []QuerySpec, workers int) ([]*Result, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	if len(specs) == 0 {
 		return nil, nil
 	}
@@ -447,7 +525,7 @@ func batchErr(i int, err error) error {
 }
 
 // execSpec resolves the plan for spec (cache-assisted) and executes it
-// serially with eval. Callers hold the read lock.
+// serially with eval; the executor pins its own epoch snapshot.
 func (db *DB) execSpec(ctx context.Context, spec QuerySpec, eval core.Evaluator) (*Result, error) {
 	plan, err := db.planFor(spec)
 	if err != nil {
@@ -470,8 +548,6 @@ func (db *DB) PlanCacheStats() (hits, misses uint64) {
 // for the given query parameters — useful for inspecting why a point did or
 // did not qualify.
 func (db *DB) QueryProb(spec QuerySpec, id int64) (float64, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	q, _, err := db.compile(spec)
 	if err != nil {
 		return 0, err
@@ -484,13 +560,12 @@ func (db *DB) QueryProb(spec QuerySpec, id int64) (float64, error) {
 }
 
 // RangeSearch is a conventional (certain) range query: ids of points within
-// Euclidean distance radius of center, ascending.
+// Euclidean distance radius of center, ascending. The whole answer comes
+// from one pinned epoch snapshot.
 func (db *DB) RangeSearch(center []float64, radius float64) ([]int64, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	var ids []int64
-	err := db.idx.Tree().SearchSphere(vecmat.Vector(center), radius,
-		func(_ geom.Rect, id int64) bool {
+	err := db.idx.Current().SearchSphere(vecmat.Vector(center), radius,
+		func(id int64) bool {
 			ids = append(ids, id)
 			return true
 		})
@@ -666,7 +741,8 @@ func (db *DB) engine() (*core.Engine, error) {
 
 func convertResult(res *core.Result) *Result {
 	return &Result{
-		IDs: res.IDs,
+		IDs:   res.IDs,
+		Epoch: res.Stats.Epoch,
 		Stats: Stats{
 			Retrieved:      res.Stats.Retrieved,
 			PrunedFringe:   res.Stats.PrunedFringe,
@@ -692,8 +768,6 @@ type Neighbor struct {
 
 // NearestNeighbors returns the k points closest to center, nearest first.
 func (db *DB) NearestNeighbors(center []float64, k int) ([]Neighbor, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	nn, err := db.idx.NearestNeighbors(vecmat.Vector(center), k)
 	if err != nil {
 		return nil, err
@@ -717,8 +791,6 @@ type PNNResult struct {
 // (10 000 resolves θ ≥ 0.01 reliably). This implements the probabilistic
 // nearest neighbor query the paper lists as future work.
 func (db *DB) PNN(center []float64, cov [][]float64, theta float64, samples int) ([]PNNResult, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	covM, err := vecmat.FromRows(cov)
 	if err != nil {
 		return nil, err
@@ -754,8 +826,6 @@ func (db *DB) QueryParallel(spec QuerySpec, workers int) (*Result, error) {
 // candidates are claimed once cancellation is observed) and returns
 // ctx.Err(), matching QueryCtx and QueryBatch semantics.
 func (db *DB) QueryParallelCtx(ctx context.Context, spec QuerySpec, workers int) (*Result, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	plan, err := db.planFor(spec)
 	if err != nil {
 		return nil, err

@@ -48,14 +48,14 @@ func (p *Plan) ExecuteWith(ctx context.Context, eval Evaluator, workers int) (*R
 		// Shared-sample kernel: workers count hits against one read-only
 		// cloud+grid — no per-candidate streams, so no fork requirement and
 		// worker-count invariance by construction.
-		st, accepted, needEval, err := p.filterPhases(ctx)
+		snap, st, accepted, needEval, err := p.filterPhases(ctx)
 		if err != nil {
 			return nil, err
 		}
 		if workers == 1 {
-			return p.executeShared(ctx, &st, accepted, needEval)
+			return p.executeShared(ctx, snap, &st, accepted, needEval)
 		}
-		return p.executeSharedParallel(ctx, &st, accepted, needEval, workers)
+		return p.executeSharedParallel(ctx, snap, &st, accepted, needEval, workers)
 	}
 	fe, ok := eval.(ForkableEvaluator)
 	if !ok {
@@ -65,7 +65,7 @@ func (p *Plan) ExecuteWith(ctx context.Context, eval Evaluator, workers int) (*R
 		return nil, fmt.Errorf("core: evaluator %T cannot fork for parallel execution", eval)
 	}
 
-	st, accepted, needEval, err := p.filterPhases(ctx)
+	snap, st, accepted, needEval, err := p.filterPhases(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -108,7 +108,7 @@ func (p *Plan) ExecuteWith(ctx context.Context, eval Evaluator, workers int) (*R
 				if i >= n {
 					return
 				}
-				pr, err := evs[i].Qualification(p.dist, p.engine.idx.points[needEval[i]], p.delta)
+				pr, err := evs[i].Qualification(p.dist, snap.point(needEval[i]), p.delta)
 				if err != nil {
 					errMu.Lock()
 					if firstErr == nil {

@@ -134,6 +134,9 @@ type PhaseStats struct {
 	Integrations int // Phase 3: candidates requiring probability computation
 	Answers      int // final result size
 	NodesRead    int // R-tree nodes visited during Phase 1
+	// Epoch is the storage epoch the query pinned for all three phases: the
+	// whole answer is consistent with exactly this published snapshot.
+	Epoch uint64
 	// SamplesDrawn and SamplesTouched account for the shared-sample kernel:
 	// Drawn is the plan's cloud size (drawn once, reused per candidate),
 	// Touched is the number of samples distance-tested across all Phase-3

@@ -42,20 +42,28 @@ func (e *Engine) BruteForce(q Query) (*Result, error) {
 	if err := q.Validate(e.idx.Dim()); err != nil {
 		return nil, err
 	}
+	snap := e.idx.Current()
 	var st PhaseStats
+	st.Epoch = snap.Epoch()
 	t0 := time.Now()
 	ids := make([]int64, 0)
-	for id := range e.idx.points {
-		p, err := e.eval.Qualification(q.Dist, e.idx.points[id], q.Delta)
+	var iterErr error
+	snap.Range(func(id int64, o vecmat.Vector) bool {
+		p, err := e.eval.Qualification(q.Dist, o, q.Delta)
 		if err != nil {
-			return nil, err
+			iterErr = err
+			return false
 		}
 		if p >= q.Theta {
-			ids = append(ids, int64(id))
+			ids = append(ids, id)
 		}
+		return true
+	})
+	if iterErr != nil {
+		return nil, iterErr
 	}
-	st.Retrieved = len(e.idx.points)
-	st.Integrations = len(e.idx.points)
+	st.Retrieved = snap.Len()
+	st.Integrations = snap.Len()
 	st.Answers = len(ids)
 	st.PhaseDurations[2] = time.Since(t0)
 	return &Result{IDs: ids, Stats: st}, nil

@@ -18,22 +18,62 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"gaussrange/internal/geom"
 	"gaussrange/internal/rtree"
 	"gaussrange/internal/vecmat"
 )
 
-// Index is an immutable-after-load point collection indexed by an R*-tree.
-// Point identifiers are their position in the backing slice.
+// RebuildStrategy selects how the Index folds its mutation overlay back into
+// the base R*-tree when the overlay crosses the rebuild threshold.
+type RebuildStrategy int
+
+const (
+	// RebuildSTR discards the old tree and STR bulk-loads the live points —
+	// O(n log n), and the packing restores bulk-load query quality. The
+	// default; prqbench churn measures it faster than RebuildIncremental at
+	// every write rate tried (the clone alone costs as much as the reload).
+	RebuildSTR RebuildStrategy = iota
+	// RebuildIncremental deep-clones the base tree, then replays the overlay
+	// with R* InsertPoint/DeletePoint — O(n) copy plus O(overlay·log n)
+	// updates, preserving the incremental structure.
+	RebuildIncremental
+)
+
+// Index is an epoch-versioned point collection: an atomic pointer to the
+// current immutable Snapshot. Reads pin a snapshot with Current — no lock on
+// the read path — while Insert, Delete and Apply build the next epoch behind
+// a writer mutex and publish it atomically, so a query never observes a torn
+// mixture of two epochs. Point identifiers are assigned sequentially and
+// never reused.
 type Index struct {
-	tree   *rtree.Tree
-	points []vecmat.Vector
-	dim    int
+	dim     int
+	opts    []rtree.Option // retained for overlay rebuilds
+	rebuild RebuildStrategy
+
+	mu  sync.Mutex // serializes writers; readers never take it
+	cur atomic.Pointer[Snapshot]
 }
 
-// NewIndex bulk-loads the given points (STR packing). All points must have
-// dimension dim.
+// rebuildThreshold bounds the overlay an epoch may carry before the writer
+// folds it into a fresh base tree: large enough to amortize the O(n) rebuild
+// over many mutations, small enough that the per-query overlay scan stays
+// negligible next to Phase 3.
+func rebuildThreshold(live int) int {
+	t := live / 4
+	if t < 128 {
+		t = 128
+	}
+	if t > 4096 {
+		t = 4096
+	}
+	return t
+}
+
+// NewIndex bulk-loads the given points (STR packing) as epoch 1. All points
+// must have dimension dim.
 func NewIndex(points []vecmat.Vector, dim int, opts ...rtree.Option) (*Index, error) {
 	ids := make([]int64, len(points))
 	for i := range ids {
@@ -47,56 +87,266 @@ func NewIndex(points []vecmat.Vector, dim int, opts ...rtree.Option) (*Index, er
 	for i, p := range points {
 		stored[i] = p.Clone()
 	}
-	return &Index{tree: tree, points: stored, dim: dim}, nil
+	ix := &Index{dim: dim, opts: opts}
+	ix.cur.Store(&Snapshot{tree: tree, points: stored, live: len(stored), dim: dim, epoch: 1})
+	return ix, nil
 }
 
-// NewDynamicIndex returns an empty index that accepts incremental Add calls.
+// NewDynamicIndex returns an empty epoch-1 index that accepts incremental
+// mutations.
 func NewDynamicIndex(dim int, opts ...rtree.Option) (*Index, error) {
 	tree, err := rtree.New(dim, opts...)
 	if err != nil {
 		return nil, err
 	}
-	return &Index{tree: tree, dim: dim}, nil
+	ix := &Index{dim: dim, opts: opts}
+	ix.cur.Store(&Snapshot{tree: tree, dim: dim, epoch: 1})
+	return ix, nil
 }
 
-// Add appends a point and returns its identifier.
-func (ix *Index) Add(p vecmat.Vector) (int64, error) {
-	if p.Dim() != ix.dim {
-		return 0, fmt.Errorf("core: point dim %d vs index dim %d", p.Dim(), ix.dim)
+// RestoreIndex rebuilds an index from an id-addressed point slice (nil
+// entries are deleted ids, preserved as holes so identifiers stay stable)
+// at the given epoch — the persistence layer's entry point.
+func RestoreIndex(points []vecmat.Vector, epoch uint64, dim int, opts ...rtree.Option) (*Index, error) {
+	if epoch == 0 {
+		epoch = 1
 	}
-	id := int64(len(ix.points))
-	if err := ix.tree.InsertPoint(p, id); err != nil {
-		return 0, err
+	var (
+		livePts []vecmat.Vector
+		liveIDs []int64
+	)
+	stored := make([]vecmat.Vector, len(points))
+	for i, p := range points {
+		if p == nil {
+			continue
+		}
+		if p.Dim() != dim {
+			return nil, fmt.Errorf("core: restored point %d has dim %d, want %d", i, p.Dim(), dim)
+		}
+		stored[i] = p.Clone()
+		livePts = append(livePts, stored[i])
+		liveIDs = append(liveIDs, int64(i))
 	}
-	ix.points = append(ix.points, p.Clone())
-	return id, nil
+	tree, err := rtree.BulkLoadPoints(livePts, liveIDs, dim, opts...)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{dim: dim, opts: opts}
+	ix.cur.Store(&Snapshot{tree: tree, points: stored, live: len(livePts), dim: dim, epoch: epoch})
+	return ix, nil
 }
 
-// Len returns the number of indexed points.
-func (ix *Index) Len() int { return len(ix.points) }
+// SetRebuildStrategy selects how overlay rebuilds reconstruct the base tree
+// (default RebuildSTR). Safe to call concurrently with readers.
+func (ix *Index) SetRebuildStrategy(s RebuildStrategy) {
+	ix.mu.Lock()
+	ix.rebuild = s
+	ix.mu.Unlock()
+}
+
+// Current pins the current snapshot: an immutable view of the latest
+// published epoch, valid indefinitely. This is the entire read hot path — a
+// single atomic load.
+func (ix *Index) Current() *Snapshot { return ix.cur.Load() }
+
+// Epoch returns the current epoch number.
+func (ix *Index) Epoch() uint64 { return ix.Current().epoch }
+
+// Len returns the number of live points in the current epoch.
+func (ix *Index) Len() int { return ix.Current().live }
 
 // Dim returns the point dimensionality.
 func (ix *Index) Dim() int { return ix.dim }
 
-// Point returns the coordinates of the identified point. The caller must not
-// mutate the result.
+// Point returns the coordinates of the identified point in the current
+// epoch. The caller must not mutate the result.
 func (ix *Index) Point(id int64) (vecmat.Vector, error) {
-	if id < 0 || id >= int64(len(ix.points)) {
-		return nil, fmt.Errorf("core: point id %d out of range [0, %d)", id, len(ix.points))
-	}
-	return ix.points[id], nil
+	return ix.Current().Point(id)
 }
 
-// Tree exposes the underlying R*-tree for diagnostics (read-only use).
-func (ix *Index) Tree() *rtree.Tree { return ix.tree }
+// Tree exposes the current snapshot's base R*-tree for diagnostics. It does
+// not see the mutation overlay; use Snapshot search methods for exact
+// answers.
+func (ix *Index) Tree() *rtree.Tree { return ix.Current().tree }
 
-// SearchRect returns the identifiers of points inside the rectangle.
+// SearchRect returns the identifiers of live points inside the rectangle.
 func (ix *Index) SearchRect(r geom.Rect) ([]int64, error) {
-	return ix.tree.CollectRect(r)
+	return ix.Current().SearchRect(r)
 }
 
-// NearestNeighbors returns the k nearest point identifiers to p, closest
-// first, with squared distances.
+// NearestNeighbors returns the k nearest live point identifiers to p,
+// closest first, with squared distances.
 func (ix *Index) NearestNeighbors(p vecmat.Vector, k int) ([]rtree.Neighbor, error) {
-	return ix.tree.NearestNeighbors(p, k)
+	return ix.Current().NearestNeighbors(p, k)
+}
+
+// Add appends a point and returns its identifier — kept as the historical
+// name for Insert.
+func (ix *Index) Add(p vecmat.Vector) (int64, error) { return ix.Insert(p) }
+
+// Insert adds one point as a new epoch and returns its identifier.
+func (ix *Index) Insert(p vecmat.Vector) (int64, error) {
+	ids, _, _, err := ix.Apply([]vecmat.Vector{p}, nil)
+	if err != nil {
+		return 0, err
+	}
+	return ids[0], nil
+}
+
+// Delete removes one point as a new epoch, reporting whether the id was
+// live. Deleting an unknown or already-deleted id is a no-op (false, nil).
+func (ix *Index) Delete(id int64) (bool, error) {
+	_, deleted, _, err := ix.Apply(nil, []int64{id})
+	if err != nil {
+		return false, err
+	}
+	return deleted[0], nil
+}
+
+// Apply atomically applies one mutation batch — deletes first, then inserts
+// — and publishes the result as a single new epoch. It returns the
+// identifiers assigned to inserts (in order), a per-delete liveness report
+// (false entries were unknown or already deleted — not an error, so replay
+// and retries stay idempotent), and the published epoch. A batch that
+// changes nothing publishes no epoch and returns the current one.
+//
+// Validation is complete before any state changes: a dimension or finiteness
+// error leaves the index untouched.
+func (ix *Index) Apply(inserts []vecmat.Vector, deletes []int64) (ids []int64, deleted []bool, epoch uint64, err error) {
+	for i, p := range inserts {
+		if p.Dim() != ix.dim {
+			return nil, nil, 0, fmt.Errorf("core: insert %d: point dim %d vs index dim %d", i, p.Dim(), ix.dim)
+		}
+		if !p.IsFinite() {
+			return nil, nil, 0, fmt.Errorf("core: insert %d: non-finite point %v", i, p)
+		}
+	}
+
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	cur := ix.cur.Load()
+
+	deleted = make([]bool, len(deletes))
+	effective := 0
+	for i, id := range deletes {
+		if cur.Alive(id) && !containsID(deletes[:i], id) {
+			deleted[i] = true
+			effective++
+		}
+	}
+	if len(inserts) == 0 && effective == 0 {
+		return nil, deleted, cur.epoch, nil
+	}
+
+	next := &Snapshot{
+		tree:   cur.tree,
+		points: cur.points,
+		mem:    cur.mem,
+		dead:   cur.dead,
+		live:   cur.live,
+		dim:    cur.dim,
+		epoch:  cur.epoch + 1,
+	}
+
+	if effective > 0 {
+		// Copy-on-write of the tombstone set: bounded by the rebuild
+		// threshold, so older epochs keep their exact view.
+		dead := make(map[int64]struct{}, len(cur.dead)+effective)
+		for id := range cur.dead {
+			dead[id] = struct{}{}
+		}
+		for i, id := range deletes {
+			if deleted[i] {
+				dead[id] = struct{}{}
+			}
+		}
+		next.dead = dead
+		next.live -= effective
+	}
+
+	if len(inserts) > 0 {
+		// points and mem are append-only between rebuilds: older snapshots
+		// hold shorter headers and never read past them, so appending under
+		// the writer mutex is safe without copying.
+		ids = make([]int64, len(inserts))
+		for i, p := range inserts {
+			id := int64(len(next.points))
+			next.points = append(next.points, p.Clone())
+			next.mem = append(next.mem, id)
+			ids[i] = id
+		}
+		next.live += len(inserts)
+	}
+
+	if len(next.mem)+len(next.dead) > rebuildThreshold(next.live) {
+		if err := ix.rebuildSnapshot(next); err != nil {
+			return nil, nil, 0, err
+		}
+	}
+	ix.cur.Store(next)
+	return ids, deleted, next.epoch, nil
+}
+
+// rebuildSnapshot folds next's overlay into a fresh base tree in place,
+// clearing the overlay. points gets a fresh backing array with tombstoned
+// ids zeroed to nil, so the retired epoch's array stops growing.
+func (ix *Index) rebuildSnapshot(next *Snapshot) error {
+	points := make([]vecmat.Vector, len(next.points))
+	copy(points, next.points)
+	for id := range next.dead {
+		points[id] = nil
+	}
+
+	var tree *rtree.Tree
+	if ix.rebuild == RebuildIncremental && next.tree.Len() > 0 {
+		tree = next.tree.Clone()
+		for id := range next.dead {
+			// Tombstones for overlay inserts never reached the tree;
+			// DeletePoint reports false for them, which is fine.
+			if p := next.points[id]; p != nil {
+				if _, err := tree.DeletePoint(p, id); err != nil {
+					return err
+				}
+			}
+		}
+		for _, id := range next.mem {
+			if points[id] == nil {
+				continue
+			}
+			if err := tree.InsertPoint(points[id], id); err != nil {
+				return err
+			}
+		}
+	} else {
+		var (
+			livePts []vecmat.Vector
+			liveIDs []int64
+		)
+		for id, p := range points {
+			if p != nil {
+				livePts = append(livePts, p)
+				liveIDs = append(liveIDs, int64(id))
+			}
+		}
+		var err error
+		tree, err = rtree.BulkLoadPoints(livePts, liveIDs, ix.dim, ix.opts...)
+		if err != nil {
+			return err
+		}
+	}
+
+	next.tree = tree
+	next.points = points
+	next.mem = nil
+	next.dead = nil
+	return nil
+}
+
+func containsID(ids []int64, id int64) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
 }

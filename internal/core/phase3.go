@@ -105,8 +105,8 @@ func (p *Plan) sharedCount(o, rel vecmat.Vector) (hits, touched int) {
 }
 
 // executeShared runs Phase 3 against the plan's shared cloud, serially.
-// accepted and needEval come from filterPhases; st is mutated in place.
-func (p *Plan) executeShared(ctx context.Context, st *PhaseStats, accepted, needEval []int64) (*Result, error) {
+// accepted, needEval and snap come from filterPhases; st is mutated in place.
+func (p *Plan) executeShared(ctx context.Context, snap *Snapshot, st *PhaseStats, accepted, needEval []int64) (*Result, error) {
 	t2 := time.Now()
 	st.Integrations = len(needEval)
 	st.SamplesDrawn = p.cloud.Len()
@@ -117,7 +117,7 @@ func (p *Plan) executeShared(ctx context.Context, st *PhaseStats, accepted, need
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		hits, touched := p.sharedCount(p.engine.idx.points[id], rel)
+		hits, touched := p.sharedCount(snap.point(id), rel)
 		st.SamplesTouched += touched
 		if float64(hits)/n >= p.theta {
 			result = append(result, id)
@@ -133,7 +133,7 @@ func (p *Plan) executeShared(ctx context.Context, st *PhaseStats, accepted, need
 // worker pool. Workers share the read-only cloud and grid — no per-worker
 // or per-candidate streams exist, so the answer is identical for every
 // worker count by construction.
-func (p *Plan) executeSharedParallel(ctx context.Context, st *PhaseStats, accepted, needEval []int64, workers int) (*Result, error) {
+func (p *Plan) executeSharedParallel(ctx context.Context, snap *Snapshot, st *PhaseStats, accepted, needEval []int64, workers int) (*Result, error) {
 	t2 := time.Now()
 	n := len(needEval)
 	st.Integrations = n
@@ -166,7 +166,7 @@ func (p *Plan) executeSharedParallel(ctx context.Context, st *PhaseStats, accept
 				if i >= n {
 					return
 				}
-				hits, t := p.sharedCount(p.engine.idx.points[needEval[i]], rel)
+				hits, t := p.sharedCount(snap.point(needEval[i]), rel)
 				localTouched += int64(t)
 				qualifies[i] = float64(hits)/cloudN >= p.theta
 			}

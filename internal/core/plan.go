@@ -220,33 +220,37 @@ func (p *Plan) baseStats() PhaseStats {
 	return st
 }
 
-// filterPhases executes Phases 1 and 2 using the compiled geometry, returning
-// the statistics so far, the directly-accepted ids (BF α⊥), and the
-// candidates requiring probability computation.
-func (p *Plan) filterPhases(ctx context.Context) (PhaseStats, []int64, []int64, error) {
+// filterPhases pins the index's current snapshot and executes Phases 1 and
+// 2 against it using the compiled geometry, returning the pinned snapshot
+// (which every later phase must resolve ids against, so a concurrent
+// mutation can never produce a torn answer), the statistics so far, the
+// directly-accepted ids (BF α⊥), and the candidates requiring probability
+// computation.
+func (p *Plan) filterPhases(ctx context.Context) (*Snapshot, PhaseStats, []int64, []int64, error) {
+	snap := p.engine.idx.Current()
 	st := p.baseStats()
+	st.Epoch = snap.epoch
 	if p.geo.empty {
-		return st, nil, nil, nil
+		return snap, st, nil, nil, nil
 	}
 	if err := ctx.Err(); err != nil {
-		return st, nil, nil, err
+		return snap, st, nil, nil, err
 	}
-	e := p.engine
 
 	// ---- Phase 1: index-based search -------------------------------------
 	t0 := time.Now()
-	nodesBefore := e.idx.tree.NodesRead()
-	candidates, err := e.idx.SearchRect(p.searchBox)
+	nodesBefore := snap.tree.NodesRead()
+	candidates, err := snap.SearchRect(p.searchBox)
 	if err != nil {
-		return st, nil, nil, err
+		return snap, st, nil, nil, err
 	}
 	st.Retrieved = len(candidates)
-	st.NodesRead = e.idx.tree.NodesRead() - nodesBefore
+	st.NodesRead = snap.tree.NodesRead() - nodesBefore
 	st.PhaseDurations[0] = time.Since(t0)
 
 	// ---- Phase 2: filtering ----------------------------------------------
 	t1 := time.Now()
-	dim := e.idx.Dim()
+	dim := snap.dim
 	qCenter := p.dist.Mean()
 	scratch := make(vecmat.Vector, dim)
 	yBuf := make(vecmat.Vector, dim)
@@ -257,7 +261,7 @@ func (p *Plan) filterPhases(ctx context.Context) (PhaseStats, []int64, []int64, 
 	alSq := p.geo.alphaLower * p.geo.alphaLower
 
 	for _, id := range candidates {
-		o := e.idx.points[id]
+		o := snap.point(id)
 
 		if p.fringe != nil && !p.fringe.Contains(o) {
 			st.PrunedFringe++
@@ -292,7 +296,7 @@ func (p *Plan) filterPhases(ctx context.Context) (PhaseStats, []int64, []int64, 
 		needEval = append(needEval, id)
 	}
 	st.PhaseDurations[1] = time.Since(t1)
-	return st, accepted, needEval, nil
+	return snap, st, accepted, needEval, nil
 }
 
 // Execute runs the compiled plan serially with the engine's evaluator.
@@ -313,14 +317,14 @@ func (p *Plan) ExecuteEval(ctx context.Context, eval Evaluator) (*Result, error)
 
 // executeSerial is the single-goroutine Phase-3 executor.
 func (p *Plan) executeSerial(ctx context.Context, eval Evaluator) (*Result, error) {
-	st, accepted, needEval, err := p.filterPhases(ctx)
+	snap, st, accepted, needEval, err := p.filterPhases(ctx)
 	if err != nil {
 		return nil, err
 	}
 	if p.cloud != nil {
 		// Shared-sample kernel: the evaluator is bypassed — every candidate
 		// counts hits against the plan's cloud.
-		return p.executeShared(ctx, &st, accepted, needEval)
+		return p.executeShared(ctx, snap, &st, accepted, needEval)
 	}
 
 	// ---- Phase 3: probability computation --------------------------------
@@ -332,7 +336,7 @@ func (p *Plan) executeSerial(ctx context.Context, eval Evaluator) (*Result, erro
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			qual, _, err := de.DecideQualifies(p.dist, p.engine.idx.points[id], p.delta, p.theta)
+			qual, _, err := de.DecideQualifies(p.dist, snap.point(id), p.delta, p.theta)
 			if err != nil {
 				return nil, fmt.Errorf("core: qualification of object %d: %w", id, err)
 			}
@@ -345,7 +349,7 @@ func (p *Plan) executeSerial(ctx context.Context, eval Evaluator) (*Result, erro
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			pr, err := eval.Qualification(p.dist, p.engine.idx.points[id], p.delta)
+			pr, err := eval.Qualification(p.dist, snap.point(id), p.delta)
 			if err != nil {
 				return nil, fmt.Errorf("core: qualification of object %d: %w", id, err)
 			}

@@ -132,7 +132,7 @@ func TestSearchParallelAbortsOnError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, _, needEval, err := plan.filterPhases(context.Background())
+	_, _, _, needEval, err := plan.filterPhases(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

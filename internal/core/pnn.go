@@ -41,7 +41,10 @@ func (e *Engine) PNN(dist *gauss.Dist, theta float64, samples int, seed uint64) 
 	if samples <= 0 {
 		return nil, fmt.Errorf("core: PNN sample count must be positive, got %d", samples)
 	}
-	if e.idx.Len() == 0 {
+	// Pin one snapshot for the whole sampling loop so every sample's nearest
+	// neighbor is resolved against the same epoch.
+	snap := e.idx.Current()
+	if snap.Len() == 0 {
 		return nil, nil
 	}
 
@@ -52,7 +55,7 @@ func (e *Engine) PNN(dist *gauss.Dist, theta float64, samples int, seed uint64) 
 	wins := make(map[int64]int)
 	for i := 0; i < samples; i++ {
 		dist.Sample(rng, scratch, x)
-		nn, err := e.idx.NearestNeighbors(x, 1)
+		nn, err := snap.NearestNeighbors(x, 1)
 		if err != nil {
 			return nil, err
 		}

@@ -25,7 +25,7 @@ func (e *Engine) SearchProbs(q Query, strat Strategy) ([]Match, *PhaseStats, err
 	if err != nil {
 		return nil, nil, err
 	}
-	st, accepted, needEval, err := plan.filterPhases(context.Background())
+	snap, st, accepted, needEval, err := plan.filterPhases(context.Background())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -38,7 +38,7 @@ func (e *Engine) SearchProbs(q Query, strat Strategy) ([]Match, *PhaseStats, err
 
 	matches := make([]Match, 0, len(all))
 	for _, id := range all {
-		p, err := e.eval.Qualification(q.Dist, e.idx.points[id], q.Delta)
+		p, err := e.eval.Qualification(q.Dist, snap.point(id), q.Delta)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: qualification of object %d: %w", id, err)
 		}
@@ -87,7 +87,7 @@ func (e *Engine) SearchFunc(q Query, strat Strategy, fn func(id int64) bool) (*P
 	if err != nil {
 		return nil, err
 	}
-	st, accepted, needEval, err := plan.filterPhases(context.Background())
+	snap, st, accepted, needEval, err := plan.filterPhases(context.Background())
 	if err != nil {
 		return nil, err
 	}
@@ -101,7 +101,7 @@ func (e *Engine) SearchFunc(q Query, strat Strategy, fn func(id int64) bool) (*P
 		}
 	}
 	for i, id := range needEval {
-		p, err := e.eval.Qualification(q.Dist, e.idx.points[id], q.Delta)
+		p, err := e.eval.Qualification(q.Dist, snap.point(id), q.Delta)
 		if err != nil {
 			return nil, fmt.Errorf("core: qualification of object %d: %w", id, err)
 		}

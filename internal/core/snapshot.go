@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"gaussrange/internal/geom"
+	"gaussrange/internal/rtree"
+	"gaussrange/internal/vecmat"
+)
+
+// Snapshot is one immutable epoch of the point collection: an R*-tree over
+// the points present when the tree was last built, plus a small overlay of
+// mutations applied since — recently inserted ids (mem) and tombstoned ids
+// (dead). Every search merges the tree answer with the overlay, so a
+// Snapshot is always an exact view of its epoch. Snapshots are never
+// modified after publication; queries pin one with Index.Current and read it
+// without any lock, while the writer builds the next epoch beside it.
+//
+// The points slice is shared structurally across epochs: it is append-only
+// between tree rebuilds (older snapshots hold shorter slice headers over the
+// same backing array and never index past their own length), and a rebuild
+// starts a fresh array. A nil entry marks an id deleted before the last
+// rebuild; ids are never reused.
+type Snapshot struct {
+	tree   *rtree.Tree
+	points []vecmat.Vector // id-indexed; nil = deleted before the base tree was built
+	mem    []int64         // ids inserted after the base tree was built (ascending)
+	dead   map[int64]struct{}
+	live   int
+	dim    int
+	epoch  uint64
+}
+
+// Epoch returns the snapshot's version number. Epoch 1 is the initial load;
+// every published mutation batch increments it by one.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Len returns the number of live points in this epoch.
+func (s *Snapshot) Len() int { return s.live }
+
+// Dim returns the point dimensionality.
+func (s *Snapshot) Dim() int { return s.dim }
+
+// MaxID returns the exclusive upper bound of identifiers ever assigned up to
+// this epoch (deleted ids remain burned).
+func (s *Snapshot) MaxID() int64 { return int64(len(s.points)) }
+
+// Alive reports whether id identifies a live point in this epoch.
+func (s *Snapshot) Alive(id int64) bool {
+	if id < 0 || id >= int64(len(s.points)) || s.points[id] == nil {
+		return false
+	}
+	_, gone := s.dead[id]
+	return !gone
+}
+
+// Point returns the coordinates of the identified live point. The caller
+// must not mutate the result.
+func (s *Snapshot) Point(id int64) (vecmat.Vector, error) {
+	if id < 0 || id >= int64(len(s.points)) {
+		return nil, fmt.Errorf("core: point id %d out of range [0, %d)", id, len(s.points))
+	}
+	if !s.Alive(id) {
+		return nil, fmt.Errorf("core: point id %d is deleted", id)
+	}
+	return s.points[id], nil
+}
+
+// point returns the coordinates of id without liveness checks — for
+// executors iterating ids this snapshot itself produced.
+func (s *Snapshot) point(id int64) vecmat.Vector { return s.points[id] }
+
+// Tree exposes the snapshot's base R*-tree for diagnostics. It does not see
+// the overlay; use the Snapshot search methods for exact answers.
+func (s *Snapshot) Tree() *rtree.Tree { return s.tree }
+
+// OverlaySize reports the overlay's pending inserts and tombstones — the
+// extra per-query work this epoch pays until the next rebuild.
+func (s *Snapshot) OverlaySize() (inserted, deleted int) {
+	return len(s.mem), len(s.dead)
+}
+
+// SearchRect returns the identifiers of live points inside the rectangle:
+// the base-tree answer minus tombstones, plus matching overlay inserts.
+func (s *Snapshot) SearchRect(r geom.Rect) ([]int64, error) {
+	ids, err := s.tree.CollectRect(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.dead) > 0 {
+		kept := ids[:0]
+		for _, id := range ids {
+			if _, gone := s.dead[id]; !gone {
+				kept = append(kept, id)
+			}
+		}
+		ids = kept
+	}
+	for _, id := range s.mem {
+		if _, gone := s.dead[id]; gone {
+			continue
+		}
+		if r.Contains(s.points[id]) {
+			ids = append(ids, id)
+		}
+	}
+	return ids, nil
+}
+
+// SearchSphere invokes fn for every live point within Euclidean distance
+// radius of center. Returning false stops the search early.
+func (s *Snapshot) SearchSphere(center vecmat.Vector, radius float64, fn func(id int64) bool) error {
+	stopped := false
+	err := s.tree.SearchSphere(center, radius, func(_ geom.Rect, id int64) bool {
+		if _, gone := s.dead[id]; gone {
+			return true
+		}
+		if !fn(id) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if err != nil || stopped {
+		return err
+	}
+	r2 := radius * radius
+	for _, id := range s.mem {
+		if _, gone := s.dead[id]; gone {
+			continue
+		}
+		if s.points[id].Dist2(center) <= r2 {
+			if !fn(id) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// NearestNeighbors returns the k live points closest to p, nearest first.
+// Tombstoned base-tree entries are compensated for by over-fetching, and
+// overlay inserts are merged by distance.
+func (s *Snapshot) NearestNeighbors(p vecmat.Vector, k int) ([]rtree.Neighbor, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	fetch := k + len(s.dead)
+	base, err := s.tree.NearestNeighbors(p, fetch)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]rtree.Neighbor, 0, k+len(s.mem))
+	for _, n := range base {
+		if _, gone := s.dead[n.ID]; gone {
+			continue
+		}
+		out = append(out, n)
+	}
+	for _, id := range s.mem {
+		if _, gone := s.dead[id]; gone {
+			continue
+		}
+		pt := s.points[id]
+		out = append(out, rtree.Neighbor{Rect: geom.PointRect(pt), ID: id, Dist2: pt.Dist2(p)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist2 != out[j].Dist2 {
+			return out[i].Dist2 < out[j].Dist2
+		}
+		return out[i].ID < out[j].ID
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// Range calls fn for every live point in ascending id order, stopping early
+// when fn returns false. This is the iteration order the persistence layer
+// serializes.
+func (s *Snapshot) Range(fn func(id int64, p vecmat.Vector) bool) {
+	for id := int64(0); id < int64(len(s.points)); id++ {
+		if !s.Alive(id) {
+			continue
+		}
+		if !fn(id, s.points[id]) {
+			return
+		}
+	}
+}

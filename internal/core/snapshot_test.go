@@ -1,0 +1,341 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"gaussrange/internal/geom"
+	"gaussrange/internal/vecmat"
+)
+
+// model mirrors the index with a plain map for oracle comparisons.
+type model map[int64]vecmat.Vector
+
+func (m model) rect(r geom.Rect) map[int64]bool {
+	out := map[int64]bool{}
+	for id, p := range m {
+		if r.Contains(p) {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+func (m model) sphere(c vecmat.Vector, radius float64) map[int64]bool {
+	out := map[int64]bool{}
+	for id, p := range m {
+		if p.Dist2(c) <= radius*radius {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+// TestSnapshotSearchMatchesModel churns an index with random mutation batches
+// and, after every publish, checks SearchRect, SearchSphere and Range against
+// a map-based oracle — the overlay merge (tree minus tombstones plus mem
+// inserts) must be invisible to callers.
+func TestSnapshotSearchMatchesModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var seedPts []vecmat.Vector
+	for i := 0; i < 300; i++ {
+		seedPts = append(seedPts, vecmat.Vector{rng.Float64() * 100, rng.Float64() * 100})
+	}
+	ix, err := NewIndex(seedPts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := model{}
+	for i, p := range seedPts {
+		m[int64(i)] = p
+	}
+
+	check := func(step int) {
+		snap := ix.Current()
+		if snap.Len() != len(m) {
+			t.Fatalf("step %d: Len=%d, model has %d", step, snap.Len(), len(m))
+		}
+		lo := vecmat.Vector{rng.Float64() * 80, rng.Float64() * 80}
+		r, _ := geom.NewRect(lo, vecmat.Vector{lo[0] + 30, lo[1] + 30})
+		got, err := snap.SearchRect(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := m.rect(r)
+		if len(got) != len(want) {
+			t.Fatalf("step %d: SearchRect returned %d ids, oracle %d", step, len(got), len(want))
+		}
+		for _, id := range got {
+			if !want[id] {
+				t.Fatalf("step %d: SearchRect returned id %d not in oracle", step, id)
+			}
+		}
+
+		c := vecmat.Vector{rng.Float64() * 100, rng.Float64() * 100}
+		wantS := m.sphere(c, 20)
+		gotS := map[int64]bool{}
+		if err := snap.SearchSphere(c, 20, func(id int64) bool { gotS[id] = true; return true }); err != nil {
+			t.Fatal(err)
+		}
+		if len(gotS) != len(wantS) {
+			t.Fatalf("step %d: SearchSphere returned %d ids, oracle %d", step, len(gotS), len(wantS))
+		}
+		for id := range gotS {
+			if !wantS[id] {
+				t.Fatalf("step %d: SearchSphere returned id %d not in oracle", step, id)
+			}
+		}
+
+		seen := 0
+		snap.Range(func(id int64, p vecmat.Vector) bool {
+			if _, ok := m[id]; !ok {
+				t.Fatalf("step %d: Range visited dead id %d", step, id)
+			}
+			seen++
+			return true
+		})
+		if seen != len(m) {
+			t.Fatalf("step %d: Range visited %d ids, want %d", step, seen, len(m))
+		}
+	}
+
+	check(-1)
+	var liveIDs []int64
+	for id := range m {
+		liveIDs = append(liveIDs, id)
+	}
+	for step := 0; step < 60; step++ {
+		var ins []vecmat.Vector
+		for i := 0; i < rng.Intn(8); i++ {
+			ins = append(ins, vecmat.Vector{rng.Float64() * 100, rng.Float64() * 100})
+		}
+		var dels []int64
+		for i := 0; i < rng.Intn(6) && len(liveIDs) > 0; i++ {
+			dels = append(dels, liveIDs[rng.Intn(len(liveIDs))])
+		}
+		ids, deleted, _, err := ix.Apply(ins, dels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, id := range dels {
+			if deleted[i] != (m[id] != nil) {
+				t.Fatalf("step %d: delete %d reported %v, oracle liveness %v", step, id, deleted[i], m[id] != nil)
+			}
+			delete(m, id)
+		}
+		for i, id := range ids {
+			m[id] = ins[i]
+			liveIDs = append(liveIDs, id)
+		}
+		check(step)
+	}
+}
+
+// TestNearestNeighborsWithTombstones deletes points and checks NN answers
+// against a brute-force oracle: dead ids must never surface, and overlay
+// inserts must merge in distance order.
+func TestNearestNeighborsWithTombstones(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var pts []vecmat.Vector
+	for i := 0; i < 200; i++ {
+		pts = append(pts, vecmat.Vector{rng.Float64() * 100, rng.Float64() * 100})
+	}
+	ix, err := NewIndex(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := model{}
+	for i, p := range pts {
+		m[int64(i)] = p
+	}
+	// Delete a third of the base points, then insert a few overlay points.
+	for id := int64(0); id < 200; id += 3 {
+		if _, err := ix.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+		delete(m, id)
+	}
+	for i := 0; i < 10; i++ {
+		p := vecmat.Vector{rng.Float64() * 100, rng.Float64() * 100}
+		id, err := ix.Insert(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m[id] = p
+	}
+
+	snap := ix.Current()
+	for trial := 0; trial < 20; trial++ {
+		q := vecmat.Vector{rng.Float64() * 100, rng.Float64() * 100}
+		const k = 7
+		got, err := snap.NearestNeighbors(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != k {
+			t.Fatalf("trial %d: got %d neighbors, want %d", trial, len(got), k)
+		}
+		// Oracle: the k-th smallest distance among live points.
+		var d2s []float64
+		for _, p := range m {
+			d2s = append(d2s, p.Dist2(q))
+		}
+		for i := 0; i < k; i++ {
+			min := i
+			for j := i + 1; j < len(d2s); j++ {
+				if d2s[j] < d2s[min] {
+					min = j
+				}
+			}
+			d2s[i], d2s[min] = d2s[min], d2s[i]
+			if got[i].Dist2 != d2s[i] {
+				t.Fatalf("trial %d: neighbor %d has dist2 %v, oracle %v", trial, i, got[i].Dist2, d2s[i])
+			}
+			if !snap.Alive(got[i].ID) {
+				t.Fatalf("trial %d: neighbor %d is dead id %d", trial, i, got[i].ID)
+			}
+		}
+	}
+}
+
+// TestRebuildThresholdCrossing pushes the overlay past the rebuild threshold
+// under both strategies and checks that the fold is invisible: overlay
+// drained, answers unchanged, and snapshots pinned before the rebuild keep
+// their exact pre-rebuild view.
+func TestRebuildThresholdCrossing(t *testing.T) {
+	for _, strat := range []RebuildStrategy{RebuildSTR, RebuildIncremental} {
+		name := "str"
+		if strat == RebuildIncremental {
+			name = "incremental"
+		}
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(5))
+			var pts []vecmat.Vector
+			for i := 0; i < 100; i++ {
+				pts = append(pts, vecmat.Vector{rng.Float64() * 100, rng.Float64() * 100})
+			}
+			ix, err := NewIndex(pts, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ix.SetRebuildStrategy(strat)
+			m := model{}
+			for i, p := range pts {
+				m[int64(i)] = p
+			}
+
+			pinned := ix.Current()
+			pinnedLen := pinned.Len()
+
+			// threshold = max(128, live/4); at ~100 live it is 128, so 200
+			// replaces (400 overlay entries) force at least one rebuild.
+			rebuilds := 0
+			for i := 0; i < 200; i++ {
+				p := vecmat.Vector{rng.Float64() * 100, rng.Float64() * 100}
+				victim := int64(-1)
+				for id := range m {
+					victim = id
+					break
+				}
+				ids, deleted, _, err := ix.Apply([]vecmat.Vector{p}, []int64{victim})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !deleted[0] {
+					t.Fatalf("replace %d: victim %d not deleted", i, victim)
+				}
+				delete(m, victim)
+				m[ids[0]] = p
+				if ins, dels := ix.Current().OverlaySize(); ins == 0 && dels == 0 {
+					rebuilds++
+				}
+			}
+			if rebuilds == 0 {
+				t.Fatal("no rebuild observed after 200 replaces (threshold 128)")
+			}
+
+			// Current epoch answers match the oracle.
+			whole, _ := geom.NewRect(vecmat.Vector{-1, -1}, vecmat.Vector{101, 101})
+			got, err := ix.Current().SearchRect(whole)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(m) {
+				t.Fatalf("after churn: %d live ids, oracle %d", len(got), len(m))
+			}
+			for _, id := range got {
+				if _, ok := m[id]; !ok {
+					t.Fatalf("after churn: id %d not in oracle", id)
+				}
+			}
+
+			// The pre-churn snapshot still sees exactly its own epoch.
+			if pinned.Len() != pinnedLen {
+				t.Fatalf("pinned snapshot Len changed: %d -> %d", pinnedLen, pinned.Len())
+			}
+			old, err := pinned.SearchRect(whole)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(old) != 100 {
+				t.Fatalf("pinned snapshot sees %d points, want the original 100", len(old))
+			}
+			for _, id := range old {
+				if id >= 100 {
+					t.Fatalf("pinned snapshot sees id %d inserted after the pin", id)
+				}
+			}
+		})
+	}
+}
+
+// TestApplySemantics covers the mutation batch contract: id monotonicity,
+// duplicate-delete dedup, no-op batches publishing no epoch, and validation
+// failing before any state changes.
+func TestApplySemantics(t *testing.T) {
+	ix, err := NewIndex([]vecmat.Vector{{0, 0}, {1, 1}, {2, 2}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.Epoch(); got != 1 {
+		t.Fatalf("initial epoch = %d, want 1", got)
+	}
+
+	// Duplicate deletes in one batch: only the first counts.
+	_, deleted, epoch, err := ix.Apply(nil, []int64{1, 1, 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !deleted[0] || deleted[1] || deleted[2] {
+		t.Fatalf("dedup: deleted = %v, want [true false false]", deleted)
+	}
+	if epoch != 2 || ix.Len() != 2 {
+		t.Fatalf("after delete: epoch %d len %d, want 2 and 2", epoch, ix.Len())
+	}
+
+	// No-op batch: nothing published.
+	_, _, epoch, err = ix.Apply(nil, []int64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 2 || ix.Epoch() != 2 {
+		t.Fatalf("no-op batch published epoch %d (index at %d), want 2", epoch, ix.Epoch())
+	}
+
+	// Validation failure leaves the index untouched.
+	if _, _, _, err := ix.Apply([]vecmat.Vector{{1, 2, 3}}, []int64{0}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	if ix.Epoch() != 2 || ix.Len() != 2 || !ix.Current().Alive(0) {
+		t.Fatal("failed Apply mutated the index")
+	}
+
+	// Ids are never reused: the next insert gets id 3 even though 1 is dead.
+	id, err := ix.Insert(vecmat.Vector{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 3 {
+		t.Fatalf("insert after delete got id %d, want 3", id)
+	}
+}

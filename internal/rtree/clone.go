@@ -1,0 +1,35 @@
+package rtree
+
+// Clone returns a deep copy of the tree: nodes, entry slices and bounding
+// rectangles are all duplicated, so mutating either tree never affects the
+// other. The copy starts with fresh statistics and no buffer pool. Cost is
+// O(n) in stored entries; the snapshot engine's incremental rebuild strategy
+// clones the base tree and replays the mutation overlay onto the copy.
+func (t *Tree) Clone() *Tree {
+	out := &Tree{
+		dim:     t.dim,
+		size:    t.size,
+		maxFill: t.maxFill,
+		minFill: t.minFill,
+		height:  t.height,
+	}
+	out.root = cloneNode(t.root, nil)
+	return out
+}
+
+// cloneNode deep-copies n and its subtree, wiring parent pointers to the
+// copied parents.
+func cloneNode(n *node, parent *node) *node {
+	c := &node{level: n.level, parent: parent}
+	if n.entries != nil {
+		c.entries = make([]Entry, len(n.entries))
+		for i, e := range n.entries {
+			ce := Entry{Rect: e.Rect.Clone(), ID: e.ID}
+			if e.child != nil {
+				ce.child = cloneNode(e.child, c)
+			}
+			c.entries[i] = ce
+		}
+	}
+	return c
+}

@@ -1,0 +1,77 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"gaussrange/internal/geom"
+	"gaussrange/internal/vecmat"
+)
+
+// TestCloneIndependence mutates the original tree heavily after cloning and
+// checks the clone's structure, invariants and answers are untouched — the
+// property the incremental overlay rebuild depends on.
+func TestCloneIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	pts := randPoints(rng, 2000, 2, 1000)
+	orig, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insertAll(t, orig, pts)
+
+	clone := orig.Clone()
+	if err := clone.CheckInvariants(); err != nil {
+		t.Fatalf("clone invariants: %v", err)
+	}
+	whole, _ := geom.NewRect(vecmat.Vector{-1, -1}, vecmat.Vector{1001, 1001})
+	before, err := clone.CollectRect(whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) != len(pts) {
+		t.Fatalf("clone sees %d entries, want %d", len(before), len(pts))
+	}
+
+	// Hammer the original: delete half, insert replacements.
+	for i := 0; i < len(pts); i += 2 {
+		if ok, err := orig.DeletePoint(pts[i], int64(i)); err != nil || !ok {
+			t.Fatalf("delete %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		p := vecmat.Vector{rng.Float64() * 1000, rng.Float64() * 1000}
+		if err := orig.InsertPoint(p, int64(len(pts)+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The clone answers exactly as before.
+	if err := clone.CheckInvariants(); err != nil {
+		t.Fatalf("clone invariants after original churn: %v", err)
+	}
+	after, err := clone.CollectRect(whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("clone answer changed after original churn: %d -> %d", len(before), len(after))
+	}
+	if clone.Len() != len(pts) {
+		t.Fatalf("clone Len changed: %d, want %d", clone.Len(), len(pts))
+	}
+
+	// And mutating the clone leaves the original alone.
+	origLen := orig.Len()
+	for i := 1; i < 400; i += 2 {
+		if ok, err := clone.DeletePoint(pts[i], int64(i)); err != nil || !ok {
+			t.Fatalf("clone delete %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if orig.Len() != origLen {
+		t.Fatalf("original Len changed by clone mutation: %d -> %d", origLen, orig.Len())
+	}
+	if err := orig.CheckInvariants(); err != nil {
+		t.Fatalf("original invariants after clone churn: %v", err)
+	}
+}

@@ -1,0 +1,228 @@
+package gaussrange
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// liveStrategies are the six filter combinations from the paper's evaluation.
+var liveStrategies = []string{"RR", "BF", "RR+BF", "RR+OR", "BF+OR", "ALL"}
+
+// TestLiveMutationStress interleaves queries with a writer that toggles a
+// point between two copies — each Apply inserts a fresh copy at a fixed
+// location T and deletes the previous one in the SAME batch, so in every
+// published epoch exactly one copy is alive. Readers query a region whose
+// only possible answers are toggle copies; seeing zero or two copies would
+// mean the query observed a torn mixture of epochs. Run under -race by make
+// verify, this is the end-to-end proof that lock-free snapshot reads are
+// both data-race-free and epoch-consistent.
+func TestLiveMutationStress(t *testing.T) {
+	// Seed points far from the toggle site so they never answer the query.
+	seed := gridPoints(400, 5) // [0,95]², toggle at (500,500)
+	db, err := Load(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	toggle := []float64{500, 500}
+	firstID, err := db.Insert(toggle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if firstID != int64(len(seed)) {
+		t.Fatalf("first toggle id = %d, want %d", firstID, len(seed))
+	}
+
+	// At the toggle site the qualification probability is ≈1 (δ=25 vs unit
+	// σ); at the seed points it is 0.
+	spec := QuerySpec{
+		Center: toggle,
+		Cov:    [][]float64{{1, 0}, {0, 1}},
+		Delta:  25,
+		Theta:  0.5,
+	}
+
+	const writes = 250
+	var (
+		done     atomic.Bool
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	checkResult := func(res *Result) {
+		toggles := 0
+		for _, id := range res.IDs {
+			if id >= int64(len(seed)) {
+				toggles++
+			} else {
+				fail(fmt.Errorf("seed id %d answered the toggle query", id))
+			}
+		}
+		if toggles != 1 {
+			fail(fmt.Errorf("epoch %d: %d toggle copies visible, want exactly 1 (ids %v)", res.Epoch, toggles, res.IDs))
+		}
+		if res.Epoch == 0 {
+			fail(fmt.Errorf("result carries no epoch"))
+		}
+	}
+	ctx := context.Background()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; !done.Load(); i++ {
+				if r == 0 && i%8 == 0 {
+					// One reader also exercises the pooled batch path.
+					results, err := db.QueryBatch(ctx, []QuerySpec{spec, spec, spec}, 3)
+					if err != nil {
+						fail(err)
+						return
+					}
+					for _, res := range results {
+						checkResult(res)
+					}
+					continue
+				}
+				res, err := db.QueryCtx(ctx, spec)
+				if err != nil {
+					fail(err)
+					return
+				}
+				checkResult(res)
+			}
+		}(r)
+	}
+
+	cur := firstID
+	for i := 0; i < writes; i++ {
+		ids, deleted, _, err := db.Apply([][]float64{toggle}, []int64{cur})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !deleted[0] {
+			t.Fatalf("write %d: previous toggle %d was not live", i, cur)
+		}
+		cur = ids[0]
+	}
+	done.Store(true)
+	wg.Wait()
+	if firstErr != nil {
+		t.Fatal(firstErr)
+	}
+	if got := db.Epoch(); got != uint64(2+writes) {
+		t.Fatalf("final epoch = %d, want %d", got, 2+writes)
+	}
+}
+
+// TestStrategyIdentityAcrossReplay checks the acceptance bar for the mutation
+// path: after an insert+delete cycle, a second database built by restoring
+// the same seed data and replaying the mutation log reaches the same epoch
+// and returns identical answers — ids and probabilities — under all six
+// strategy configurations.
+func TestStrategyIdentityAcrossReplay(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	seed := gridPoints(400, 5)
+	logPath := filepath.Join(t.TempDir(), "mut.grlg")
+
+	db1, err := Load(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db1.AttachMutationLog(logPath); err != nil {
+		t.Fatal(err)
+	}
+	// A few batches of churn around the query site.
+	for b := 0; b < 5; b++ {
+		var ins [][]float64
+		for i := 0; i < 8; i++ {
+			ins = append(ins, []float64{40 + rng.Float64()*20, 40 + rng.Float64()*20})
+		}
+		var dels []int64
+		for i := 0; i < 5; i++ {
+			dels = append(dels, int64(rng.Intn(len(seed))))
+		}
+		if _, _, _, err := db1.Apply(ins, dels); err != nil {
+			t.Fatal(err)
+		}
+	}
+	epoch := db1.Epoch()
+	if err := db1.SyncLog(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db1.DetachMutationLog(); err != nil {
+		t.Fatal(err)
+	}
+
+	spec := func(strategy string) QuerySpec {
+		return QuerySpec{
+			Center:   []float64{50, 50},
+			Cov:      paperCov(4),
+			Delta:    25,
+			Theta:    0.01,
+			Strategy: strategy,
+		}
+	}
+	before := map[string]string{}
+	for _, s := range liveStrategies {
+		res, err := db1.QueryCtx(context.Background(), spec(s))
+		if err != nil {
+			t.Fatalf("strategy %s: %v", s, err)
+		}
+		if len(res.IDs) == 0 {
+			t.Fatalf("strategy %s: empty answer makes the identity check vacuous", s)
+		}
+		if res.Epoch != epoch {
+			t.Fatalf("strategy %s: answer epoch %d, want %d", s, res.Epoch, epoch)
+		}
+		matches, err := db1.QueryMatches(spec(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[s] = fmt.Sprintf("%v|%v", res.IDs, matches)
+	}
+
+	// Same lineage: load the same seed data, replay the log.
+	db2, err := Load(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := db2.AttachMutationLog(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.DetachMutationLog()
+	if replayed != 5 {
+		t.Fatalf("replayed %d batches, want 5", replayed)
+	}
+	if db2.Epoch() != epoch {
+		t.Fatalf("replayed epoch %d, want %d", db2.Epoch(), epoch)
+	}
+	if db2.Len() != db1.Len() {
+		t.Fatalf("replayed Len %d, want %d", db2.Len(), db1.Len())
+	}
+	for _, s := range liveStrategies {
+		res, err := db2.QueryCtx(context.Background(), spec(s))
+		if err != nil {
+			t.Fatalf("strategy %s after replay: %v", s, err)
+		}
+		matches, err := db2.QueryMatches(spec(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := fmt.Sprintf("%v|%v", res.IDs, matches)
+		if got != before[s] {
+			t.Fatalf("strategy %s: answers diverged across replay\nbefore: %s\nafter:  %s", s, before[s], got)
+		}
+	}
+}

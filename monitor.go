@@ -29,8 +29,10 @@ type MonitorSpec struct {
 	Delta, Theta float64
 }
 
-// NewMonitor attaches a standing query to the database. The database must
-// not be mutated while monitors are attached.
+// NewMonitor attaches a standing query to the database. The database may be
+// mutated while monitors are attached: each Step pins the newest published
+// epoch snapshot, so its answer is internally consistent, and points
+// inserted or deleted between steps show up as Entered/Left deltas.
 func (db *DB) NewMonitor(spec MonitorSpec) (*Monitor, error) {
 	cov, err := vecmat.FromRows(spec.StartCov)
 	if err != nil {

@@ -1,0 +1,319 @@
+package gaussrange
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"sync"
+
+	"gaussrange/internal/vecmat"
+)
+
+// mutlogMagic identifies the append-only mutation log, version 1. The file
+// is a header followed by one record per published mutation batch:
+//
+//	header:  magic[6] | dim uint32
+//	record:  epoch uint64 | nIns uint32 | nDel uint32 |
+//	         nIns·dim float64 | nDel int64 | crc uint32
+//
+// All integers and floats are little-endian; each record's CRC covers its
+// own bytes, so a torn final record (crash mid-append) is detected and
+// truncated on replay instead of poisoning the log.
+var mutlogMagic = [6]byte{'G', 'R', 'L', 'G', 'v', '1'}
+
+// MutationLog is an append-only journal of published mutation batches.
+// Paired with an epoch-stamped snapshot it makes the mutable database
+// durable: on restart, replay applies every logged batch newer than the
+// snapshot's epoch, reproducing the exact pre-crash epoch and id
+// assignment (ids are deterministic, so no id mapping is stored).
+//
+// Appends go through the OS page cache without fsync; call Sync to force
+// durability at a barrier (e.g. after a checkpoint).
+type MutationLog struct {
+	mu   sync.Mutex
+	f    *os.File
+	dim  int
+	path string
+}
+
+// OpenMutationLog opens (creating if absent) the mutation log at path for a
+// database of the given dimensionality. An existing log's header must match
+// dim.
+func OpenMutationLog(path string, dim int) (*MutationLog, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("gaussrange: invalid mutation log dimension %d", dim)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	lg := &MutationLog{f: f, dim: dim, path: path}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() == 0 {
+		var hdr [10]byte
+		copy(hdr[:6], mutlogMagic[:])
+		binary.LittleEndian.PutUint32(hdr[6:], uint32(dim))
+		if _, err := f.Write(hdr[:]); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return lg, nil
+	}
+	var hdr [10]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("gaussrange: reading mutation log header: %w", err)
+	}
+	if [6]byte(hdr[:6]) != mutlogMagic {
+		f.Close()
+		return nil, fmt.Errorf("gaussrange: %s is not a mutation log (bad magic)", path)
+	}
+	if got := binary.LittleEndian.Uint32(hdr[6:]); got != uint32(dim) {
+		f.Close()
+		return nil, fmt.Errorf("gaussrange: mutation log dim %d vs database dim %d", got, dim)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return lg, nil
+}
+
+// Path returns the log's file path.
+func (lg *MutationLog) Path() string { return lg.path }
+
+// Sync flushes appended records to stable storage.
+func (lg *MutationLog) Sync() error {
+	lg.mu.Lock()
+	defer lg.mu.Unlock()
+	return lg.f.Sync()
+}
+
+// Close closes the underlying file. The log must not be attached to a DB
+// that will still mutate.
+func (lg *MutationLog) Close() error {
+	lg.mu.Lock()
+	defer lg.mu.Unlock()
+	return lg.f.Close()
+}
+
+// append writes one record. Called with DB.writeMu held, so record order
+// equals epoch order; the deleted flags are not stored because replaying the
+// same batch against the same lineage reproduces them.
+func (lg *MutationLog) append(epoch uint64, inserts [][]float64, deletes []int64, _ []bool) error {
+	body := make([]byte, 0, 16+8*len(inserts)*lg.dim+8*len(deletes))
+	var b8 [8]byte
+	binary.LittleEndian.PutUint64(b8[:], epoch)
+	body = append(body, b8[:]...)
+	var b4 [4]byte
+	binary.LittleEndian.PutUint32(b4[:], uint32(len(inserts)))
+	body = append(body, b4[:]...)
+	binary.LittleEndian.PutUint32(b4[:], uint32(len(deletes)))
+	body = append(body, b4[:]...)
+	for i, p := range inserts {
+		if len(p) != lg.dim {
+			return fmt.Errorf("gaussrange: log insert %d has dim %d, want %d", i, len(p), lg.dim)
+		}
+		for _, x := range p {
+			binary.LittleEndian.PutUint64(b8[:], math.Float64bits(x))
+			body = append(body, b8[:]...)
+		}
+	}
+	for _, id := range deletes {
+		binary.LittleEndian.PutUint64(b8[:], uint64(id))
+		body = append(body, b8[:]...)
+	}
+	binary.LittleEndian.PutUint32(b4[:], crc32.ChecksumIEEE(body))
+	body = append(body, b4[:]...)
+
+	lg.mu.Lock()
+	defer lg.mu.Unlock()
+	_, err := lg.f.Write(body)
+	return err
+}
+
+// logRecord is one decoded mutation batch.
+type logRecord struct {
+	epoch   uint64
+	inserts [][]float64
+	deletes []int64
+}
+
+// readRecords decodes every intact record, returning them in file order and
+// the offset just past the last intact record. A torn or corrupt tail stops
+// decoding without error — crash recovery truncates there.
+func readRecords(f *os.File, dim int) (recs []logRecord, goodEnd int64, err error) {
+	if _, err := f.Seek(10, io.SeekStart); err != nil {
+		return nil, 0, err
+	}
+	goodEnd = 10
+	br := bufio.NewReader(f)
+	for {
+		rec, n, err := readRecord(br, dim)
+		if err == io.EOF {
+			return recs, goodEnd, nil
+		}
+		if err != nil {
+			// Torn tail: keep what decoded cleanly.
+			return recs, goodEnd, nil
+		}
+		recs = append(recs, rec)
+		goodEnd += n
+	}
+}
+
+// readRecord decodes one record, verifying its CRC. Returns io.EOF at a
+// clean end of file and any other error on a torn or corrupt record.
+func readRecord(br *bufio.Reader, dim int) (logRecord, int64, error) {
+	head := make([]byte, 16)
+	if _, err := io.ReadFull(br, head); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			err = io.ErrNoProgress
+		}
+		return logRecord{}, 0, err
+	}
+	nIns := binary.LittleEndian.Uint32(head[8:12])
+	nDel := binary.LittleEndian.Uint32(head[12:16])
+	const maxBatch = 1 << 24
+	if nIns > maxBatch || nDel > maxBatch {
+		return logRecord{}, 0, fmt.Errorf("gaussrange: log record claims %d inserts / %d deletes", nIns, nDel)
+	}
+	payload := make([]byte, 8*int(nIns)*dim+8*int(nDel))
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return logRecord{}, 0, io.ErrNoProgress
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
+		return logRecord{}, 0, io.ErrNoProgress
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(head)
+	crc.Write(payload)
+	if binary.LittleEndian.Uint32(crcBuf[:]) != crc.Sum32() {
+		return logRecord{}, 0, fmt.Errorf("gaussrange: log record checksum mismatch")
+	}
+
+	rec := logRecord{epoch: binary.LittleEndian.Uint64(head[:8])}
+	off := 0
+	if nIns > 0 {
+		rec.inserts = make([][]float64, nIns)
+		for i := range rec.inserts {
+			p := make([]float64, dim)
+			for j := range p {
+				p[j] = math.Float64frombits(binary.LittleEndian.Uint64(payload[off:]))
+				off += 8
+			}
+			rec.inserts[i] = p
+		}
+	}
+	if nDel > 0 {
+		rec.deletes = make([]int64, nDel)
+		for i := range rec.deletes {
+			rec.deletes[i] = int64(binary.LittleEndian.Uint64(payload[off:]))
+			off += 8
+		}
+	}
+	return rec, int64(len(head) + len(payload) + len(crcBuf)), nil
+}
+
+// AttachMutationLog opens (creating if absent) the mutation log at path,
+// replays every logged batch newer than the database's current epoch, then
+// attaches the log so later mutations append to it. It returns the number of
+// batches replayed. A torn final record (crash mid-append) is truncated; a
+// gap between the database epoch and the first applicable record, or a
+// replay that does not reproduce the logged epochs, is a lineage error.
+//
+// The intended restart sequence is RestoreFile (epoch-stamped snapshot)
+// followed by AttachMutationLog with the log that was attached when the
+// snapshot was saved.
+func (db *DB) AttachMutationLog(path string) (replayed int, err error) {
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	if db.mlog != nil {
+		return 0, fmt.Errorf("gaussrange: a mutation log is already attached")
+	}
+	lg, err := OpenMutationLog(path, db.dim)
+	if err != nil {
+		return 0, err
+	}
+	recs, goodEnd, err := readRecords(lg.f, db.dim)
+	if err != nil {
+		lg.Close()
+		return 0, err
+	}
+	st, err := lg.f.Stat()
+	if err != nil {
+		lg.Close()
+		return 0, err
+	}
+	if st.Size() > goodEnd {
+		if err := lg.f.Truncate(goodEnd); err != nil {
+			lg.Close()
+			return 0, fmt.Errorf("gaussrange: truncating torn log tail: %w", err)
+		}
+	}
+	if _, err := lg.f.Seek(0, io.SeekEnd); err != nil {
+		lg.Close()
+		return 0, err
+	}
+
+	for _, rec := range recs {
+		cur := db.idx.Epoch()
+		if rec.epoch <= cur {
+			continue // already folded into the restored snapshot
+		}
+		if rec.epoch != cur+1 {
+			lg.Close()
+			return replayed, fmt.Errorf("gaussrange: mutation log gap: at epoch %d, next record is epoch %d", cur, rec.epoch)
+		}
+		vecs := make([]vecmat.Vector, len(rec.inserts))
+		for i, p := range rec.inserts {
+			vecs[i] = vecmat.Vector(p)
+		}
+		_, _, got, err := db.idx.Apply(vecs, rec.deletes)
+		if err != nil {
+			lg.Close()
+			return replayed, fmt.Errorf("gaussrange: replaying epoch %d: %w", rec.epoch, err)
+		}
+		if got != rec.epoch {
+			lg.Close()
+			return replayed, fmt.Errorf("gaussrange: replay diverged: record epoch %d produced epoch %d (snapshot/log lineage mismatch)", rec.epoch, got)
+		}
+		replayed++
+	}
+	db.mlog = lg
+	return replayed, nil
+}
+
+// DetachMutationLog detaches and closes the attached mutation log, if any.
+// Later mutations are no longer journaled.
+func (db *DB) DetachMutationLog() error {
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	if db.mlog == nil {
+		return nil
+	}
+	lg := db.mlog
+	db.mlog = nil
+	return lg.Close()
+}
+
+// SyncLog flushes the attached mutation log to stable storage (no-op when
+// none is attached).
+func (db *DB) SyncLog() error {
+	db.writeMu.Lock()
+	lg := db.mlog
+	db.writeMu.Unlock()
+	if lg == nil {
+		return nil
+	}
+	return lg.Sync()
+}

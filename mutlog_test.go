@@ -1,0 +1,218 @@
+package gaussrange
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPersistRoundTripWithDeletions saves a database that carries deletions
+// and later mutations in its log, then rebuilds it with RestoreFile +
+// AttachMutationLog and checks the full id space — liveness, coordinates and
+// epoch — matches the original.
+func TestPersistRoundTripWithDeletions(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	points := make([][]float64, 200)
+	for i := range points {
+		points[i] = []float64{rng.Float64() * 1000, rng.Float64() * 1000}
+	}
+	dir := t.TempDir()
+	snapPath := filepath.Join(dir, "db.grdb")
+	logPath := filepath.Join(dir, "db.grlg")
+
+	db, err := Load(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-snapshot churn: holes must survive the save.
+	for id := int64(0); id < 60; id += 2 {
+		if _, err := db.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, _, err := db.Apply([][]float64{{1, 1}, {2, 2}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	snapEpoch := db.Epoch()
+	if err := db.SaveFile(snapPath); err != nil {
+		t.Fatal(err)
+	}
+
+	// Post-snapshot churn, journaled: only the log covers these batches.
+	if _, err := db.AttachMutationLog(logPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := db.Apply([][]float64{{3, 3}}, []int64{1, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Insert([]float64{4, 4}); err != nil {
+		t.Fatal(err)
+	}
+	finalEpoch := db.Epoch()
+	if err := db.SyncLog(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DetachMutationLog(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore the snapshot alone: the journaled batches are missing.
+	mid, err := RestoreFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid.Epoch() != snapEpoch {
+		t.Fatalf("restored epoch %d, want %d", mid.Epoch(), snapEpoch)
+	}
+
+	// Replaying the log brings it to the final epoch.
+	replayed, err := mid.AttachMutationLog(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mid.DetachMutationLog()
+	if replayed != 2 {
+		t.Fatalf("replayed %d batches, want 2", replayed)
+	}
+	if mid.Epoch() != finalEpoch {
+		t.Fatalf("replayed epoch %d, want %d", mid.Epoch(), finalEpoch)
+	}
+	if mid.Len() != db.Len() {
+		t.Fatalf("replayed Len %d, want %d", mid.Len(), db.Len())
+	}
+	// Compare the entire id space: ids run 0..len(points)+3.
+	for id := int64(0); id < int64(len(points))+3; id++ {
+		want, wantErr := db.Point(id)
+		got, gotErr := mid.Point(id)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("id %d: liveness diverged (orig err %v, replayed err %v)", id, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("id %d: coords %v, want %v", id, got, want)
+			}
+		}
+	}
+}
+
+// TestMutationLogTornTail crashes mid-append (simulated by appending half a
+// record) and checks recovery: the torn bytes are truncated, every intact
+// batch replays, and the log accepts new appends afterwards.
+func TestMutationLogTornTail(t *testing.T) {
+	seed := gridPoints(100, 10)
+	logPath := filepath.Join(t.TempDir(), "mut.grlg")
+
+	db, err := Load(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.AttachMutationLog(logPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Insert([]float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DetachMutationLog(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the tail: half a record's worth of garbage.
+	f, err := os.OpenFile(logPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x03, 0, 0, 0, 0, 0, 0, 0, 0x01, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	db2, err := Load(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := db2.AttachMutationLog(logPath)
+	if err != nil {
+		t.Fatalf("recovery from torn tail failed: %v", err)
+	}
+	if replayed != 2 {
+		t.Fatalf("replayed %d batches, want 2", replayed)
+	}
+	if db2.Epoch() != db.Epoch() {
+		t.Fatalf("recovered epoch %d, want %d", db2.Epoch(), db.Epoch())
+	}
+	// The truncated log must accept and persist new batches.
+	if _, err := db2.Insert([]float64{5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.DetachMutationLog(); err != nil {
+		t.Fatal(err)
+	}
+	db3, err := Load(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err = db3.AttachMutationLog(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.DetachMutationLog()
+	if replayed != 3 || db3.Epoch() != db2.Epoch() {
+		t.Fatalf("after re-append: replayed %d (want 3), epoch %d (want %d)", replayed, db3.Epoch(), db2.Epoch())
+	}
+}
+
+// TestMutationLogLineageErrors covers the refusal paths: an epoch gap between
+// the database and the log, and a dimension mismatch in the header.
+func TestMutationLogLineageErrors(t *testing.T) {
+	dir := t.TempDir()
+	seed := gridPoints(100, 10)
+
+	// A log whose first record is epoch 5 cannot extend an epoch-1 database.
+	gapPath := filepath.Join(dir, "gap.grlg")
+	lg, err := OpenMutationLog(gapPath, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lg.append(5, [][]float64{{1, 1}}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := lg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db, err := Load(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.AttachMutationLog(gapPath); err == nil || !strings.Contains(err.Error(), "gap") {
+		t.Fatalf("epoch gap not detected: %v", err)
+	}
+
+	// Dimension mismatch is rejected at open.
+	dimPath := filepath.Join(dir, "dim.grlg")
+	lg, err = OpenMutationLog(dimPath, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Close()
+	if _, err := db.AttachMutationLog(dimPath); err == nil || !strings.Contains(err.Error(), "dim") {
+		t.Fatalf("dimension mismatch not detected: %v", err)
+	}
+
+	// Double attach is refused.
+	okPath := filepath.Join(dir, "ok.grlg")
+	if _, err := db.AttachMutationLog(okPath); err != nil {
+		t.Fatal(err)
+	}
+	defer db.DetachMutationLog()
+	if _, err := db.AttachMutationLog(okPath); err == nil {
+		t.Fatal("second AttachMutationLog accepted")
+	}
+}

@@ -5,47 +5,73 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
 	"hash/crc32"
 	"io"
 	"math"
 	"os"
+
+	"gaussrange/internal/core"
+	"gaussrange/internal/rtree"
+	"gaussrange/internal/vecmat"
 )
 
-// persistMagic identifies the on-disk snapshot format, version 1.
-var persistMagic = [6]byte{'G', 'R', 'D', 'B', 'v', '1'}
+// persistMagicV1 identifies snapshot format version 1: dense ids 0..n−1, no
+// epoch. Still readable; restored databases start at epoch 1.
+var persistMagicV1 = [6]byte{'G', 'R', 'D', 'B', 'v', '1'}
 
-// Save writes a snapshot of the database's points to w. The snapshot stores
-// the raw point data plus a CRC; Restore rebuilds the R*-tree
-// deterministically with STR bulk loading, which is faster than serializing
-// tree pages and immune to structural format drift.
+// persistMagicV2 identifies snapshot format version 2: epoch-stamped, with
+// explicit (id, point) pairs so deleted ids survive a save/restore cycle as
+// holes and identifiers stay stable across restarts.
+var persistMagicV2 = [6]byte{'G', 'R', 'D', 'B', 'v', '2'}
+
+// Save writes a snapshot of one pinned epoch to w: the epoch number, the id
+// space bound, every live (id, point) pair in ascending id order, and a CRC.
+// Restore rebuilds the R*-tree deterministically with STR bulk loading,
+// which is faster than serializing tree pages and immune to structural
+// format drift. Save never blocks mutations (it reads an immutable
+// snapshot); batches published after the pin are not included — pair Save
+// with a mutation log to cover them.
 func (db *DB) Save(w io.Writer) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	snap := db.idx.Current()
 	bw := bufio.NewWriter(w)
 	crc := crc32.NewIEEE()
 	out := io.MultiWriter(bw, crc)
 
-	if _, err := out.Write(persistMagic[:]); err != nil {
+	if _, err := out.Write(persistMagicV2[:]); err != nil {
 		return fmt.Errorf("gaussrange: writing snapshot header: %w", err)
 	}
 	if err := binary.Write(out, binary.LittleEndian, uint32(db.dim)); err != nil {
 		return err
 	}
-	if err := binary.Write(out, binary.LittleEndian, uint64(db.Len())); err != nil {
+	if err := binary.Write(out, binary.LittleEndian, snap.Epoch()); err != nil {
+		return err
+	}
+	if err := binary.Write(out, binary.LittleEndian, uint64(snap.MaxID())); err != nil {
+		return err
+	}
+	if err := binary.Write(out, binary.LittleEndian, uint64(snap.Len())); err != nil {
 		return err
 	}
 	buf := make([]byte, 8)
-	for id := int64(0); id < int64(db.Len()); id++ {
-		p, err := db.idx.Point(id)
-		if err != nil {
-			return err
+	var werr error
+	snap.Range(func(id int64, p vecmat.Vector) bool {
+		binary.LittleEndian.PutUint64(buf, uint64(id))
+		if _, err := out.Write(buf); err != nil {
+			werr = err
+			return false
 		}
 		for _, x := range p {
 			binary.LittleEndian.PutUint64(buf, math.Float64bits(x))
 			if _, err := out.Write(buf); err != nil {
-				return err
+				werr = err
+				return false
 			}
 		}
+		return true
+	})
+	if werr != nil {
+		return werr
 	}
 	if err := binary.Write(bw, binary.LittleEndian, crc.Sum32()); err != nil {
 		return err
@@ -66,8 +92,8 @@ func (db *DB) SaveFile(path string) error {
 	return f.Close()
 }
 
-// Restore reads a snapshot produced by Save and rebuilds the database.
-// Options apply as in Load.
+// Restore reads a snapshot produced by Save (either format version) and
+// rebuilds the database at the stored epoch. Options apply as in Load.
 func Restore(r io.Reader, opts ...Option) (*DB, error) {
 	br := bufio.NewReader(r)
 	crc := crc32.NewIEEE()
@@ -77,9 +103,18 @@ func Restore(r io.Reader, opts ...Option) (*DB, error) {
 	if _, err := io.ReadFull(in, magic[:]); err != nil {
 		return nil, fmt.Errorf("gaussrange: reading snapshot header: %w", err)
 	}
-	if magic != persistMagic {
+	switch magic {
+	case persistMagicV1:
+		return restoreV1(br, in, crc, opts...)
+	case persistMagicV2:
+		return restoreV2(br, in, crc, opts...)
+	default:
 		return nil, errors.New("gaussrange: not a gaussrange snapshot (bad magic)")
 	}
+}
+
+// restoreV1 reads the legacy dense format: dim, count, count·dim floats, CRC.
+func restoreV1(br *bufio.Reader, in io.Reader, crc hash.Hash32, opts ...Option) (*DB, error) {
 	var dim uint32
 	if err := binary.Read(in, binary.LittleEndian, &dim); err != nil {
 		return nil, err
@@ -108,18 +143,95 @@ func Restore(r io.Reader, opts ...Option) (*DB, error) {
 		}
 		points[i] = p
 	}
-	sum := crc.Sum32()
-	var stored uint32
-	if err := binary.Read(br, binary.LittleEndian, &stored); err != nil {
-		return nil, fmt.Errorf("gaussrange: reading snapshot checksum: %w", err)
-	}
-	if stored != sum {
-		return nil, fmt.Errorf("gaussrange: snapshot checksum mismatch (stored %08x, computed %08x)", stored, sum)
+	if err := checkSnapshotCRC(br, crc); err != nil {
+		return nil, err
 	}
 	if count == 0 {
 		return Open(int(dim), opts...)
 	}
 	return Load(points, opts...)
+}
+
+// restoreV2 reads the epoch-stamped format: dim, epoch, id-space bound, live
+// count, live (id, point) pairs in ascending id order, CRC. Deleted ids come
+// back as holes, so identifiers assigned after the restore never collide
+// with ids from before the save.
+func restoreV2(br *bufio.Reader, in io.Reader, crc hash.Hash32, opts ...Option) (*DB, error) {
+	var dim uint32
+	if err := binary.Read(in, binary.LittleEndian, &dim); err != nil {
+		return nil, err
+	}
+	var epoch, slots, live uint64
+	if err := binary.Read(in, binary.LittleEndian, &epoch); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(in, binary.LittleEndian, &slots); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(in, binary.LittleEndian, &live); err != nil {
+		return nil, err
+	}
+	if dim == 0 || dim > 1<<16 {
+		return nil, fmt.Errorf("gaussrange: snapshot dimension %d out of range", dim)
+	}
+	const maxPoints = 1 << 33
+	if slots > maxPoints || live > slots {
+		return nil, fmt.Errorf("gaussrange: snapshot claims %d live of %d ids (limit %d)", live, slots, int64(maxPoints))
+	}
+
+	points := make([]vecmat.Vector, slots)
+	buf := make([]byte, 8)
+	prev := int64(-1)
+	for i := uint64(0); i < live; i++ {
+		if _, err := io.ReadFull(in, buf); err != nil {
+			return nil, fmt.Errorf("gaussrange: truncated snapshot at record %d: %w", i, err)
+		}
+		id := int64(binary.LittleEndian.Uint64(buf))
+		if id <= prev || id >= int64(slots) {
+			return nil, fmt.Errorf("gaussrange: snapshot id %d out of order or range", id)
+		}
+		prev = id
+		p := make(vecmat.Vector, dim)
+		for j := range p {
+			if _, err := io.ReadFull(in, buf); err != nil {
+				return nil, fmt.Errorf("gaussrange: truncated snapshot at record %d: %w", i, err)
+			}
+			p[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+		}
+		points[id] = p
+	}
+	if err := checkSnapshotCRC(br, crc); err != nil {
+		return nil, err
+	}
+	return restoreDB(points, epoch, int(dim), opts...)
+}
+
+// checkSnapshotCRC verifies the trailing checksum against the bytes read.
+func checkSnapshotCRC(br *bufio.Reader, crc hash.Hash32) error {
+	sum := crc.Sum32()
+	var stored uint32
+	if err := binary.Read(br, binary.LittleEndian, &stored); err != nil {
+		return fmt.Errorf("gaussrange: reading snapshot checksum: %w", err)
+	}
+	if stored != sum {
+		return fmt.Errorf("gaussrange: snapshot checksum mismatch (stored %08x, computed %08x)", stored, sum)
+	}
+	return nil
+}
+
+// restoreDB builds a DB from an id-addressed point slice (nil = deleted) at
+// the given epoch.
+func restoreDB(points []vecmat.Vector, epoch uint64, dim int, opts ...Option) (*DB, error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := core.RestoreIndex(points, epoch, dim, rtree.WithPageSize(o.pageSize))
+	if err != nil {
+		return nil, err
+	}
+	idx.SetRebuildStrategy(core.RebuildStrategy(o.rebuild))
+	return &DB{idx: idx, dim: dim, options: o, plans: newPlanCache(o.planCacheSize)}, nil
 }
 
 // RestoreFile reads a snapshot from the given path.
@@ -142,8 +254,6 @@ type Match struct {
 // best first. Unlike Query, every answer's probability is computed (even
 // those the BF bound could accept outright).
 func (db *DB) QueryMatches(spec QuerySpec) ([]Match, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	q, strat, err := db.compile(spec)
 	if err != nil {
 		return nil, err
@@ -183,8 +293,6 @@ func (db *DB) QueryTopK(spec QuerySpec, k int) ([]Match, error) {
 // materializing the result slice — useful for very large answer sets.
 // Returning false from fn stops the query early. IDs arrive unsorted.
 func (db *DB) QueryFunc(spec QuerySpec, fn func(id int64) bool) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	q, strat, err := db.compile(spec)
 	if err != nil {
 		return err

@@ -1,13 +1,18 @@
 #!/usr/bin/env bash
-# bench_snapshot.sh — record the Phase-3 kernel comparison as a committed
-# artifact: runs `prqbench phase3` on the default 2-D workload and writes
-# BENCH_phase3.json at the repository root (or to $1 when given).
+# bench_snapshot.sh — record benchmark artifacts at the repository root:
+#   BENCH_phase3.json  `prqbench phase3` — Phase-3 kernel comparison
+#   BENCH_churn.json   `prqbench churn`  — read latency under live mutations,
+#                      sweeping write fraction and both rebuild strategies
+# Pass an output path as $1 to redirect the phase3 artifact (legacy usage);
+# the churn artifact always lands next to it as BENCH_churn.json.
 #
 # Environment:
-#   GO       go binary (default: go)
-#   QUERIES  queries per kernel (default: 16)
-#   SAMPLES  Monte Carlo samples per object (default: 100000)
-#   SEED     dataset / cloud seed (default: 1)
+#   GO         go binary (default: go)
+#   QUERIES    queries per kernel for phase3 (default: 16)
+#   SAMPLES    Monte Carlo samples per object (default: 100000)
+#   SEED       dataset / cloud seed (default: 1)
+#   CHURN_OPS  operations per churn cell (default: 6000)
+#   WORKERS    concurrent workers for churn (default: 8)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,10 +20,19 @@ GO="${GO:-go}"
 QUERIES="${QUERIES:-16}"
 SAMPLES="${SAMPLES:-100000}"
 SEED="${SEED:-1}"
+CHURN_OPS="${CHURN_OPS:-6000}"
+WORKERS="${WORKERS:-8}"
 OUT="${1:-BENCH_phase3.json}"
+CHURN_OUT="$(dirname "$OUT")/BENCH_churn.json"
 
 echo "bench-snapshot: running prqbench phase3 (queries=$QUERIES samples=$SAMPLES seed=$SEED)"
 "$GO" run ./cmd/prqbench -queries "$QUERIES" -samples "$SAMPLES" -seed "$SEED" \
     -json "$OUT" phase3
 
 echo "bench-snapshot: wrote $OUT"
+
+echo "bench-snapshot: running prqbench churn (ops=$CHURN_OPS workers=$WORKERS seed=$SEED)"
+"$GO" run ./cmd/prqbench -queries "$CHURN_OPS" -workers "$WORKERS" -seed "$SEED" \
+    -json "$CHURN_OUT" churn
+
+echo "bench-snapshot: wrote $CHURN_OUT"

@@ -4,13 +4,19 @@
 //
 // Endpoints:
 //
-//	POST /v1/query        one PRQ(q, Σ, δ, θ); body QueryRequest, reply QueryResponse
-//	POST /v1/query/batch  many queries over the pooled batch executor
-//	POST /v1/prob         qualification probability of one stored point
-//	GET  /v1/points       coordinates of stored points (?id=…&id=…)
-//	GET  /healthz         liveness + dataset summary
-//	GET  /statsz          plan-cache hit rates, per-phase candidate totals,
-//	                      admission counters, request latency histograms
+//	POST   /v1/query        one PRQ(q, Σ, δ, θ); body QueryRequest, reply QueryResponse
+//	POST   /v1/query/batch  many queries over the pooled batch executor
+//	POST   /v1/prob         qualification probability of one stored point
+//	GET    /v1/points       coordinates of stored points (?id=…&id=…)
+//	POST   /v1/points       insert a batch of points as one atomic epoch
+//	DELETE /v1/points/{id}  delete one point (idempotent)
+//	GET    /healthz         liveness + dataset summary + storage epoch
+//	GET    /statsz          plan-cache hit rates, per-phase candidate totals,
+//	                        admission counters, request latency histograms
+//
+// Every query response carries the storage epoch its answer was computed
+// against; mutation responses carry the epoch they published, so a client
+// can await read-your-writes by comparing the two.
 //
 // The server admits at most Config.MaxInflight requests into query execution
 // at once (a semaphore guards Phase-3 work, the dominant cost); requests
@@ -124,9 +130,10 @@ func (s QueryStats) Stats() gaussrange.Stats {
 
 // QueryResponse is one completed query. IDs is never null on the wire: an
 // empty answer set serializes as [], so responses diff cleanly against other
-// tools.
+// tools. Epoch is the storage epoch the answer is consistent with.
 type QueryResponse struct {
 	IDs   []int64    `json:"ids"`
+	Epoch uint64     `json:"epoch"`
 	Stats QueryStats `json:"stats"`
 }
 
@@ -136,12 +143,12 @@ func ResponseFromResult(res *gaussrange.Result) QueryResponse {
 	if ids == nil {
 		ids = []int64{}
 	}
-	return QueryResponse{IDs: ids, Stats: StatsFromResult(res.Stats)}
+	return QueryResponse{IDs: ids, Epoch: res.Epoch, Stats: StatsFromResult(res.Stats)}
 }
 
 // Result converts the wire response back to a library result.
 func (r QueryResponse) Result() *gaussrange.Result {
-	return &gaussrange.Result{IDs: r.IDs, Stats: r.Stats.Stats()}
+	return &gaussrange.Result{IDs: r.IDs, Epoch: r.Epoch, Stats: r.Stats.Stats()}
 }
 
 // BatchRequest runs many queries through the pooled batch executor.
@@ -183,11 +190,34 @@ type PointsResponse struct {
 	Points []Point `json:"points"`
 }
 
+// InsertPointsRequest is the body of POST /v1/points: one or more points to
+// insert as a single atomic batch (one published epoch).
+type InsertPointsRequest struct {
+	Points [][]float64 `json:"points"`
+}
+
+// InsertPointsResponse reports the identifiers assigned to the inserted
+// points (aligned with the request) and the epoch the batch published.
+type InsertPointsResponse struct {
+	IDs   []int64 `json:"ids"`
+	Epoch uint64  `json:"epoch"`
+}
+
+// DeletePointResponse answers DELETE /v1/points/{id}. Deleted is false when
+// the id was unknown or already deleted (the request is still a 200: deletes
+// are idempotent).
+type DeletePointResponse struct {
+	ID      int64  `json:"id"`
+	Deleted bool   `json:"deleted"`
+	Epoch   uint64 `json:"epoch"`
+}
+
 // Health answers GET /healthz.
 type Health struct {
 	Status string `json:"status"`
 	Points int    `json:"points"`
 	Dim    int    `json:"dim"`
+	Epoch  uint64 `json:"epoch"`
 }
 
 // ErrorResponse is the body of every non-2xx reply.
@@ -300,6 +330,7 @@ type StatsSnapshot struct {
 	UptimeSeconds float64                  `json:"uptime_seconds"`
 	Points        int                      `json:"points"`
 	Dim           int                      `json:"dim"`
+	Epoch         uint64                   `json:"epoch"`
 	PlanCache     PlanCacheStats           `json:"plan_cache"`
 	Admission     AdmissionStats           `json:"admission"`
 	Queries       QueryTotals              `json:"queries"`

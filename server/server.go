@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"time"
 
 	"gaussrange"
@@ -91,6 +92,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/query/batch", s.handleBatch)
 	mux.HandleFunc("/v1/prob", s.handleProb)
 	mux.HandleFunc("/v1/points", s.handlePoints)
+	mux.HandleFunc("/v1/points/", s.handlePointByID)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statsz", s.handleStatsz)
 	return mux
@@ -107,6 +109,7 @@ func (s *Server) Stats() StatsSnapshot {
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Points:        s.db.Len(),
 		Dim:           s.db.Dim(),
+		Epoch:         s.db.Epoch(),
 		PlanCache:     PlanCacheStats{Hits: hits, Misses: misses, HitRate: rate},
 		Admission:     s.adm.snapshot(),
 		Queries:       s.met.queryTotals(),
@@ -309,9 +312,15 @@ func (s *Server) handlePoints(w http.ResponseWriter, r *http.Request) {
 	status := http.StatusOK
 	defer func() { s.met.observe(ep, status, time.Since(t0)) }()
 
-	if r.Method != http.MethodGet {
+	switch r.Method {
+	case http.MethodGet:
+		// fall through to the lookup below
+	case http.MethodPost:
+		s.handleInsert(w, r, &status)
+		return
+	default:
 		status = http.StatusMethodNotAllowed
-		writeError(w, status, "use GET with ?id=…&id=…")
+		writeError(w, status, "use GET with ?id=…&id=…, or POST to insert")
 		return
 	}
 	raw := r.URL.Query()["id"]
@@ -339,8 +348,71 @@ func (s *Server) handlePoints(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, resp)
 }
 
+// handleInsert serves POST /v1/points: one atomic insert batch publishing
+// one epoch. Mutations go through admission like queries — an overlay
+// rebuild can cost O(n), so overload sheds writes too.
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request, status *int) {
+	var req InsertPointsRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		*status = http.StatusBadRequest
+		writeError(w, *status, "%v", err)
+		return
+	}
+	if len(req.Points) == 0 {
+		*status = http.StatusBadRequest
+		writeError(w, *status, "points must not be empty")
+		return
+	}
+	if !s.admit(w) {
+		*status = statusTooManyRequests
+		return
+	}
+	defer s.adm.release()
+
+	ids, _, epoch, err := s.db.Apply(req.Points, nil)
+	if err != nil {
+		*status = http.StatusBadRequest
+		writeError(w, *status, "%v", err)
+		return
+	}
+	writeJSON(w, *status, InsertPointsResponse{IDs: ids, Epoch: epoch})
+}
+
+// handlePointByID serves DELETE /v1/points/{id}.
+func (s *Server) handlePointByID(w http.ResponseWriter, r *http.Request) {
+	const ep = "/v1/points/{id}"
+	t0 := time.Now()
+	status := http.StatusOK
+	defer func() { s.met.observe(ep, status, time.Since(t0)) }()
+
+	if r.Method != http.MethodDelete {
+		status = http.StatusMethodNotAllowed
+		writeError(w, status, "use DELETE /v1/points/{id}")
+		return
+	}
+	id, err := strconv.ParseInt(strings.TrimPrefix(r.URL.Path, "/v1/points/"), 10, 64)
+	if err != nil {
+		status = http.StatusBadRequest
+		writeError(w, status, "invalid point id in path: %v", err)
+		return
+	}
+	if !s.admit(w) {
+		status = statusTooManyRequests
+		return
+	}
+	defer s.adm.release()
+
+	_, deleted, epoch, err := s.db.Apply(nil, []int64{id})
+	if err != nil {
+		status = http.StatusBadRequest
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, status, DeletePointResponse{ID: id, Deleted: deleted[0], Epoch: epoch})
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, Health{Status: "ok", Points: s.db.Len(), Dim: s.db.Dim()})
+	writeJSON(w, http.StatusOK, Health{Status: "ok", Points: s.db.Len(), Dim: s.db.Dim(), Epoch: s.db.Epoch()})
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
