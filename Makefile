@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench verify race vet fmt-check fuzz-smoke serve-smoke bench-snapshot
+.PHONY: build test bench verify race vet fmt-check fuzz-smoke serve-smoke bench-snapshot bench-compare
 
 build:
 	$(GO) build ./...
@@ -37,9 +37,21 @@ verify: fmt-check vet race
 	@echo "verify: OK"
 
 # bench-snapshot regenerates BENCH_phase3.json, the committed Phase-3 kernel
-# comparison (per-candidate vs shared-flat vs shared-grid).
+# comparison (per-candidate vs shared-flat vs shared-grid vs shared-early).
 bench-snapshot:
 	GO="$(GO)" ./scripts/bench_snapshot.sh
+
+# bench-compare reruns the Phase-3 kernel comparison and gates on the
+# committed BENCH_phase3.json: it fails if the shared kernels' answers
+# diverge or if shared-early's samples_touched relative to shared-grid
+# regresses by more than 10% against the baseline ratio. QUERIES/SAMPLES can
+# be lowered for CI; the gate is scale-invariant.
+BENCH_COMPARE_QUERIES ?= 8
+BENCH_COMPARE_SAMPLES ?= 50000
+bench-compare:
+	$(GO) run ./cmd/prqbench -queries $(BENCH_COMPARE_QUERIES) \
+		-samples $(BENCH_COMPARE_SAMPLES) -seed 1 \
+		-compare BENCH_phase3.json phase3
 
 # serve-smoke boots the full network stack once: generate a dataset, start
 # prqserved, answer one query through the Go client (prqquery -server), and

@@ -674,7 +674,7 @@ func BenchmarkQueryRepeated(b *testing.B) {
 
 // BenchmarkPhase3 compares the Phase-3 kernels on the paper's default 2-D
 // workload: per-candidate Monte Carlo (one stream per candidate) vs the
-// shared-sample cloud, flat and grid-indexed. 10 000 samples keep the naive
+// shared-sample cloud: flat, grid-indexed, and early-exit. 10 000 samples keep the naive
 // baseline short; speedups grow with the sample count since the shared
 // kernels draw the cloud once per plan.
 func BenchmarkPhase3(b *testing.B) {
@@ -687,6 +687,7 @@ func BenchmarkPhase3(b *testing.B) {
 		{"per-candidate", KernelPerCandidate},
 		{"shared-flat", KernelSharedFlat},
 		{"shared-grid", KernelSharedGrid},
+		{"shared-early", KernelSharedEarly},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
 			opts := []Option{WithMonteCarlo(10000), WithSeed(7)}

@@ -23,9 +23,10 @@
 //	           -queries queries, and reports throughput, latency quantiles,
 //	           plan-cache and admission statistics (not in "all")
 //	phase3   — Phase-3 kernel comparison: the same 2-D query set under the
-//	           per-candidate, shared-flat and shared-grid kernels, with
-//	           Phase-3 time, sample accounting and answer agreement; -json
-//	           writes the measurements as a JSON document (not in "all")
+//	           per-candidate, shared-flat, shared-grid and shared-early
+//	           kernels, with Phase-3 time, sample accounting and answer
+//	           agreement; -json writes the measurements as a JSON document
+//	           and -compare gates on a committed baseline (not in "all")
 //	churn    — mixed read/write experiment: -workers goroutines run -queries
 //	           operations against one live DB per cell, sweeping the write
 //	           fraction (0–20%) and both overlay-rebuild strategies, and
@@ -41,6 +42,8 @@
 //	-workers N     worker goroutines for the batch experiment (default NumCPU)
 //	-queries N     queries per batch for the batch experiment (default 64)
 //	-json PATH     write the phase3/churn report as JSON to PATH
+//	-compare PATH  phase3 only: fail if samples_touched regresses >10%
+//	               against the baseline report at PATH
 package main
 
 import (
@@ -66,6 +69,7 @@ func main() {
 	queries := flag.Int("queries", 64, "queries per batch for the batch experiment")
 	svg := flag.String("svg", "", "write the region figure (fig13/15/16) as SVG to this path")
 	jsonPath := flag.String("json", "", "write the phase3/churn report as JSON to this path")
+	comparePath := flag.String("compare", "", "phase3 only: compare against a baseline BENCH_phase3.json and fail on >10% samples_touched regression")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: prqbench [flags] table1|table2|table3|fig13|fig14|fig15|fig16|fig17|sweep|iostats|catalog|batch|serve|phase3|churn|all\n")
 		flag.PrintDefaults()
@@ -103,7 +107,7 @@ func main() {
 		return
 	}
 	if strings.EqualFold(flag.Arg(0), "phase3") {
-		if err := runPhase3(cfg, *queries, *jsonPath); err != nil {
+		if err := runPhase3(cfg, *queries, *jsonPath, *comparePath); err != nil {
 			fmt.Fprintf(os.Stderr, "prqbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -18,6 +18,7 @@ var phase3Kernels = []gaussrange.Phase3Kernel{
 	gaussrange.KernelPerCandidate,
 	gaussrange.KernelSharedFlat,
 	gaussrange.KernelSharedGrid,
+	gaussrange.KernelSharedEarly,
 }
 
 // phase3KernelResult is one kernel's accumulated measurements, in the wire
@@ -31,20 +32,27 @@ type phase3KernelResult struct {
 	SamplesTouched int     `json:"samples_touched"`
 	Answers        int     `json:"answers"`
 	Speedup        float64 `json:"speedup_vs_per_candidate"`
+	// Early-exit kernel accounting (zero for the other kernels).
+	CellsSkipped    int `json:"cells_skipped,omitempty"`
+	CellsFullInside int `json:"cells_full_inside,omitempty"`
+	EarlyDecisions  int `json:"early_decisions,omitempty"`
 }
 
 // phase3Report is the JSON document written by -json.
 type phase3Report struct {
-	Dataset       string               `json:"dataset"`
-	Points        int                  `json:"points"`
-	Queries       int                  `json:"queries"`
-	Gamma         float64              `json:"gamma"`
-	Delta         float64              `json:"delta"`
-	Theta         float64              `json:"theta"`
-	Samples       int                  `json:"samples"`
-	Seed          uint64               `json:"seed"`
-	FlatGridAgree bool                 `json:"flat_grid_identical_ids"`
-	Kernels       []phase3KernelResult `json:"kernels"`
+	Dataset       string  `json:"dataset"`
+	Points        int     `json:"points"`
+	Queries       int     `json:"queries"`
+	Gamma         float64 `json:"gamma"`
+	Delta         float64 `json:"delta"`
+	Theta         float64 `json:"theta"`
+	Samples       int     `json:"samples"`
+	Seed          uint64  `json:"seed"`
+	FlatGridAgree bool    `json:"flat_grid_identical_ids"`
+	// SharedAgree extends the identity check to the early-exit kernel: the
+	// shared-flat, shared-grid and shared-early answer sets are identical.
+	SharedAgree bool                 `json:"shared_identical_ids"`
+	Kernels     []phase3KernelResult `json:"kernels"`
 }
 
 // runPhase3 compares the Phase-3 kernels on the paper's default 2-D workload
@@ -54,7 +62,7 @@ type phase3Report struct {
 // answer counts are reported. All query shapes are identical, so after the
 // first compile every query is a plan-cache hit — the shared kernels draw
 // their cloud once and amortize it across the whole run.
-func runPhase3(cfg experiments.Config, queries int, jsonPath string) error {
+func runPhase3(cfg experiments.Config, queries int, jsonPath, comparePath string) error {
 	if queries < 1 {
 		return fmt.Errorf("-queries must be at least 1, got %d", queries)
 	}
@@ -130,6 +138,9 @@ func runPhase3(cfg experiments.Config, queries int, jsonPath string) error {
 			kr.Integrations += res.Stats.Integrations
 			kr.SamplesDrawn += res.Stats.SamplesDrawn
 			kr.SamplesTouched += res.Stats.SamplesTouched
+			kr.CellsSkipped += res.Stats.CellsSkipped
+			kr.CellsFullInside += res.Stats.CellsFullInside
+			kr.EarlyDecisions += res.Stats.EarlyDecisions
 			kr.Answers += len(res.IDs)
 			ids[ki][qi] = res.IDs
 		}
@@ -143,6 +154,7 @@ func runPhase3(cfg experiments.Config, queries int, jsonPath string) error {
 		}
 	}
 	report.FlatGridAgree = idsEqual(ids[1], ids[2])
+	report.SharedAgree = report.FlatGridAgree && idsEqual(ids[1], ids[3])
 
 	fmt.Printf("phase-3 kernel comparison (%d points, %d queries, γ=%g, δ=%g, θ=%g, %d samples, seed %d)\n",
 		report.Points, queries, gamma, delta, theta, samples, seed)
@@ -154,6 +166,11 @@ func runPhase3(cfg experiments.Config, queries int, jsonPath string) error {
 			kr.Integrations, kr.SamplesTouched, kr.Answers, kr.Speedup)
 	}
 	fmt.Printf("  shared-flat and shared-grid answer sets identical: %v\n", report.FlatGridAgree)
+	fmt.Printf("  all shared kernels (flat/grid/early) identical:    %v\n", report.SharedAgree)
+	if early := &report.Kernels[3]; early.EarlyDecisions > 0 {
+		fmt.Printf("  shared-early: %d early decisions, %d cells skipped, %d cells full-inside\n",
+			early.EarlyDecisions, early.CellsSkipped, early.CellsFullInside)
+	}
 
 	if jsonPath != "" {
 		buf, err := json.MarshalIndent(report, "", "  ")
@@ -165,6 +182,59 @@ func runPhase3(cfg experiments.Config, queries int, jsonPath string) error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	if comparePath != "" {
+		return comparePhase3(&report, comparePath)
+	}
+	return nil
+}
+
+// comparePhase3 gates CI on the early-exit kernel's sample savings: the run
+// fails when the shared kernels disagree or when shared-early's
+// samples_touched, as a fraction of shared-grid's, regresses more than 10%
+// against the committed baseline report. The ratio — not the absolute count
+// — is compared, so a CI run with fewer queries or samples than the
+// committed snapshot still gates meaningfully.
+func comparePhase3(report *phase3Report, baselinePath string) error {
+	if !report.SharedAgree {
+		return fmt.Errorf("shared kernels disagree on answer ids — identity broken, not a perf question")
+	}
+	buf, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base phase3Report
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	ratio := func(r *phase3Report) (float64, error) {
+		var grid, early *phase3KernelResult
+		for i := range r.Kernels {
+			switch r.Kernels[i].Kernel {
+			case "shared-grid":
+				grid = &r.Kernels[i]
+			case "shared-early":
+				early = &r.Kernels[i]
+			}
+		}
+		if grid == nil || early == nil || grid.SamplesTouched == 0 {
+			return 0, fmt.Errorf("report lacks shared-grid/shared-early sample counts")
+		}
+		return float64(early.SamplesTouched) / float64(grid.SamplesTouched), nil
+	}
+	got, err := ratio(report)
+	if err != nil {
+		return err
+	}
+	want, err := ratio(&base)
+	if err != nil {
+		return fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	limit := want * 1.10
+	fmt.Printf("bench-compare: shared-early touches %.4f of shared-grid samples (baseline %.4f, limit %.4f)\n",
+		got, want, limit)
+	if got > limit {
+		return fmt.Errorf("samples_touched regression: shared-early/shared-grid ratio %.4f exceeds baseline %.4f by more than 10%%", got, want)
 	}
 	return nil
 }

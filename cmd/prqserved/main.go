@@ -31,7 +31,8 @@
 //	-pprof ADDR         serve net/http/pprof on a separate loopback address
 //	                    (e.g. 127.0.0.1:6060; empty = disabled)
 //	-phase3 NAME        Phase-3 kernel: per-candidate (default), shared-flat,
-//	                    or shared-grid (incompatible with -adaptive)
+//	                    shared-grid or shared-early (incompatible with
+//	                    -adaptive)
 //
 // On SIGINT/SIGTERM the server stops accepting connections, drains every
 // in-flight query, and exits 0; queries still running after -drain-timeout
@@ -94,7 +95,7 @@ func main() {
 	flag.IntVar(&cfg.batchWorkers, "batch-workers", runtime.GOMAXPROCS(0), "worker-pool cap for batch requests")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "graceful-drain budget on shutdown")
 	flag.StringVar(&cfg.pprofAddr, "pprof", "", "serve net/http/pprof on this loopback address (empty = disabled)")
-	flag.StringVar(&cfg.phase3, "phase3", "per-candidate", `Phase-3 kernel: "per-candidate", "shared-flat" or "shared-grid"`)
+	flag.StringVar(&cfg.phase3, "phase3", "per-candidate", `Phase-3 kernel: "per-candidate", "shared-flat", "shared-grid" or "shared-early"`)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: prqserved -csv points.csv | -snapshot db.grdb [flags]\n")
 		flag.PrintDefaults()
@@ -153,8 +154,10 @@ func parsePhase3(name string) (gaussrange.Phase3Kernel, error) {
 		return gaussrange.KernelSharedFlat, nil
 	case "shared-grid":
 		return gaussrange.KernelSharedGrid, nil
+	case "shared-early":
+		return gaussrange.KernelSharedEarly, nil
 	}
-	return 0, fmt.Errorf("unknown -phase3 kernel %q (want per-candidate, shared-flat or shared-grid)", name)
+	return 0, fmt.Errorf("unknown -phase3 kernel %q (want per-candidate, shared-flat, shared-grid or shared-early)", name)
 }
 
 // pprofHandler builds a mux with the net/http/pprof endpoints. The handlers

@@ -140,6 +140,14 @@ const (
 	// its δ-ball intersects instead of the whole cloud. Counts are exact
 	// (identical to KernelSharedFlat with the same seed).
 	KernelSharedGrid Phase3Kernel = Phase3Kernel(core.KernelSharedGrid)
+	// KernelSharedEarly decides each candidate instead of counting it:
+	// covered grid cells proven fully inside the δ-ball credit their
+	// samples with zero distance tests, fully-outside cells are skipped,
+	// and the boundary cells are scanned nearest-first under running
+	// accept/reject bounds that stop as soon as the θ comparison is
+	// settled. Answers are byte-identical to KernelSharedFlat and
+	// KernelSharedGrid with the same seed; only the work differs.
+	KernelSharedEarly Phase3Kernel = Phase3Kernel(core.KernelSharedEarly)
 )
 
 // String names the kernel as benchmarks and stats endpoints report it.
@@ -154,7 +162,7 @@ func (k Phase3Kernel) String() string { return core.Phase3Kernel(k).String() }
 // many samples to draw, which a shared cloud cannot express).
 func WithPhase3Kernel(k Phase3Kernel) Option {
 	return func(o *options) error {
-		if k < KernelPerCandidate || k > KernelSharedGrid {
+		if k < KernelPerCandidate || k > KernelSharedEarly {
 			return fmt.Errorf("gaussrange: unknown Phase-3 kernel %d", int(k))
 		}
 		o.phase3Kernel = k
@@ -383,6 +391,16 @@ type Stats struct {
 	// Both are 0 under the default per-candidate kernel.
 	SamplesDrawn   int
 	SamplesTouched int
+	// Early-exit kernel accounting (KernelSharedEarly): covered grid cells
+	// proven fully outside / fully inside the δ-ball by corner distance,
+	// and candidates whose accept/reject bounds closed before the scan
+	// finished. All 0 under the other kernels.
+	CellsSkipped    int
+	CellsFullInside int
+	EarlyDecisions  int
+	// GridFallback reports that a grid-backed kernel could not build its
+	// cell directory for this query's δ and ran the flat scan instead.
+	GridFallback bool
 }
 
 // Add accumulates other into s. Long-running services that track per-phase
@@ -401,6 +419,12 @@ func (s *Stats) Add(other Stats) {
 	s.ProbTime += other.ProbTime
 	s.SamplesDrawn += other.SamplesDrawn
 	s.SamplesTouched += other.SamplesTouched
+	s.CellsSkipped += other.CellsSkipped
+	s.CellsFullInside += other.CellsFullInside
+	s.EarlyDecisions += other.EarlyDecisions
+	// A single degraded query marks the running total: totals answer "did
+	// any query fall back", per-query Stats answer "which".
+	s.GridFallback = s.GridFallback || other.GridFallback
 }
 
 // Result is a completed query.
@@ -744,18 +768,22 @@ func convertResult(res *core.Result) *Result {
 		IDs:   res.IDs,
 		Epoch: res.Stats.Epoch,
 		Stats: Stats{
-			Retrieved:      res.Stats.Retrieved,
-			PrunedFringe:   res.Stats.PrunedFringe,
-			PrunedOR:       res.Stats.PrunedOR,
-			PrunedBF:       res.Stats.PrunedBF,
-			AcceptedBF:     res.Stats.AcceptedBF,
-			Integrations:   res.Stats.Integrations,
-			NodesRead:      res.Stats.NodesRead,
-			IndexTime:      res.Stats.PhaseDurations[0],
-			FilterTime:     res.Stats.PhaseDurations[1],
-			ProbTime:       res.Stats.PhaseDurations[2],
-			SamplesDrawn:   res.Stats.SamplesDrawn,
-			SamplesTouched: res.Stats.SamplesTouched,
+			Retrieved:       res.Stats.Retrieved,
+			PrunedFringe:    res.Stats.PrunedFringe,
+			PrunedOR:        res.Stats.PrunedOR,
+			PrunedBF:        res.Stats.PrunedBF,
+			AcceptedBF:      res.Stats.AcceptedBF,
+			Integrations:    res.Stats.Integrations,
+			NodesRead:       res.Stats.NodesRead,
+			IndexTime:       res.Stats.PhaseDurations[0],
+			FilterTime:      res.Stats.PhaseDurations[1],
+			ProbTime:        res.Stats.PhaseDurations[2],
+			SamplesDrawn:    res.Stats.SamplesDrawn,
+			SamplesTouched:  res.Stats.SamplesTouched,
+			CellsSkipped:    res.Stats.CellsSkipped,
+			CellsFullInside: res.Stats.CellsFullInside,
+			EarlyDecisions:  res.Stats.EarlyDecisions,
+			GridFallback:    res.Stats.GridFallback,
 		},
 	}
 }

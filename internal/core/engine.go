@@ -144,6 +144,20 @@ type PhaseStats struct {
 	// Integrations. Both stay 0 under the per-candidate kernel.
 	SamplesDrawn   int
 	SamplesTouched int
+	// Early-exit kernel accounting (KernelSharedEarly only): CellsSkipped
+	// counts occupied covered cells proven fully outside the δ-ball by
+	// corner distance, CellsFullInside those proven fully inside (their
+	// samples credited with zero distance tests), and EarlyDecisions the
+	// Phase-3 candidates whose accept/reject bounds closed before every
+	// potentially qualifying sample was examined.
+	CellsSkipped    int
+	CellsFullInside int
+	EarlyDecisions  int
+	// GridFallback reports that a grid-backed kernel (shared-grid or
+	// shared-early) could not build its cell directory — δ too small for
+	// the cloud extent — and silently ran the flat scan instead. Surfaced
+	// so operators can tell a degraded configuration from a fast one.
+	GridFallback   bool
 	PhaseDurations [3]time.Duration
 	// AlphaUpper and AlphaLower are the BF radii used (0 when BF unused or
 	// the radius is undefined); RTheta is the θ-region radius (0 when RR and

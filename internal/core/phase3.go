@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,6 +30,16 @@ const (
 	// δ-ball intersects — exact counts, typically 10–100× fewer samples
 	// touched at paper-scale δ.
 	KernelSharedGrid
+	// KernelSharedEarly decides each candidate instead of counting it:
+	// covered cells are first classified against the δ-ball by corner
+	// distance (fully-inside cells credit their samples with zero tests,
+	// fully-outside cells are skipped), and the remaining boundary cells are
+	// scanned nearest-first under running accept/reject bounds that stop the
+	// moment the threshold comparison is settled. The decision is exactly
+	// the full count's decision — answers stay byte-identical to
+	// shared-flat/shared-grid — with another order of magnitude fewer
+	// samples touched at paper-scale δ.
+	KernelSharedEarly
 )
 
 // String names the kernel as the benchmarks report it.
@@ -40,6 +51,8 @@ func (k Phase3Kernel) String() string {
 		return "shared-flat"
 	case KernelSharedGrid:
 		return "shared-grid"
+	case KernelSharedEarly:
+		return "shared-early"
 	default:
 		return fmt.Sprintf("Phase3Kernel(%d)", int(k))
 	}
@@ -58,8 +71,8 @@ type Phase3Options struct {
 	Seed uint64
 }
 
-// attachCloud draws the plan's shared sample cloud (and count grid for
-// KernelSharedGrid) per the engine's Phase-3 options. Called once per
+// attachCloud draws the plan's shared sample cloud (and count grid for the
+// grid-backed kernels) per the engine's Phase-3 options. Called once per
 // compilation; rebound plans share the cloud because it is mean-free.
 func (p *Plan) attachCloud(opts Phase3Options) error {
 	if opts.Kernel == KernelPerCandidate || p.geo.empty {
@@ -74,16 +87,45 @@ func (p *Plan) attachCloud(opts Phase3Options) error {
 		return err
 	}
 	p.cloud = cloud
-	if opts.Kernel == KernelSharedGrid {
+	p.p3kernel = opts.Kernel
+	p.needHits = qualifyThreshold(p.theta, n)
+	if opts.Kernel == KernelSharedGrid || opts.Kernel == KernelSharedEarly {
 		grid, err := mc.NewCloudGrid(cloud, p.delta)
 		if err != nil {
-			// Cell addressing would overflow (δ tiny relative to the cloud
-			// extent): fall back to the flat shared scan, still correct.
+			// The dense cell directory would exceed its cap (δ tiny relative
+			// to the cloud extent): fall back to the flat shared scan, still
+			// correct. The fallback is surfaced via PhaseStats.GridFallback
+			// so operators can see a grid kernel silently running flat.
+			p.gridFallback = true
 			return nil
 		}
 		p.grid = grid
 	}
 	return nil
+}
+
+// qualifyThreshold returns the smallest hit count h for which the kernel's
+// acceptance test float64(h)/float64(n) ≥ theta holds, in [0, n+1] (n+1
+// means unattainable). The early-exit kernel compares integer hits against
+// this threshold, so its decisions reproduce the full count's floating-point
+// comparison exactly — a naive ⌈θ·n⌉ can be off by one when θ·n rounds
+// across an integer (θ=0.01, n=20000 rounds to 200.00000000000003).
+func qualifyThreshold(theta float64, n int) int {
+	fn := float64(n)
+	h := int(math.Ceil(theta * fn))
+	if h < 0 {
+		h = 0
+	}
+	if h > n+1 {
+		h = n + 1
+	}
+	for h > 0 && float64(h-1)/fn >= theta {
+		h--
+	}
+	for h <= n && float64(h)/fn < theta {
+		h++
+	}
+	return h
 }
 
 // Cloud returns the plan's shared sample cloud (nil when the per-candidate
@@ -104,22 +146,48 @@ func (p *Plan) sharedCount(o, rel vecmat.Vector) (hits, touched int) {
 	return p.cloud.CountBall(rel, p.delta)
 }
 
+// sharedQualifies decides candidate o against the plan's cloud under the
+// compiled kernel, with rel as scratch of dim d. The counting kernels
+// compare the exhaustive hit count against θ; the early kernel reproduces
+// exactly that comparison (needHits is qualifyThreshold of the same θ and
+// n) via classification and decision bounds, so the three agree bit for
+// bit and only the per-candidate statistics differ.
+func (p *Plan) sharedQualifies(o, rel vecmat.Vector, st *PhaseStats) bool {
+	if p.p3kernel == KernelSharedEarly {
+		o.SubTo(p.dist.Mean(), rel)
+		var ok bool
+		var ds mc.DecideStats
+		if p.grid != nil {
+			ok, ds = p.grid.DecideBall(rel, p.needHits)
+		} else {
+			ok, ds = p.cloud.CountBallDecide(rel, p.delta, p.needHits)
+		}
+		st.SamplesTouched += ds.Touched
+		st.CellsSkipped += ds.CellsSkipped
+		st.CellsFullInside += ds.CellsFullInside
+		if ds.Early {
+			st.EarlyDecisions++
+		}
+		return ok
+	}
+	hits, touched := p.sharedCount(o, rel)
+	st.SamplesTouched += touched
+	return float64(hits)/float64(p.cloud.Len()) >= p.theta
+}
+
 // executeShared runs Phase 3 against the plan's shared cloud, serially.
 // accepted, needEval and snap come from filterPhases; st is mutated in place.
 func (p *Plan) executeShared(ctx context.Context, snap *Snapshot, st *PhaseStats, accepted, needEval []int64) (*Result, error) {
 	t2 := time.Now()
 	st.Integrations = len(needEval)
 	st.SamplesDrawn = p.cloud.Len()
-	n := float64(p.cloud.Len())
 	rel := make(vecmat.Vector, p.dist.Dim())
 	result := accepted
 	for _, id := range needEval {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		hits, touched := p.sharedCount(snap.point(id), rel)
-		st.SamplesTouched += touched
-		if float64(hits)/n >= p.theta {
+		if p.sharedQualifies(snap.point(id), rel, st) {
 			result = append(result, id)
 		}
 	}
@@ -142,22 +210,25 @@ func (p *Plan) executeSharedParallel(ctx context.Context, snap *Snapshot, st *Ph
 		workers = n
 	}
 	qualifies := make([]bool, n)
-	cloudN := float64(p.cloud.Len())
 
 	execCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var (
-		next    atomic.Int64
-		touched atomic.Int64
-		wg      sync.WaitGroup
+		next  atomic.Int64
+		total sharedTotals
+		wg    sync.WaitGroup
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			rel := make(vecmat.Vector, p.dist.Dim())
-			var localTouched int64
-			defer func() { touched.Add(localTouched) }()
+			// Worker-local stats, flushed exactly once on the way out. The
+			// flush defer runs before wg.Done's (LIFO), so after wg.Wait
+			// every worker's contribution is in total — complete even when
+			// the context cancels mid-query, never partially flushed.
+			var local PhaseStats
+			defer func() { total.add(&local) }()
 			for {
 				if execCtx.Err() != nil {
 					return
@@ -166,17 +237,21 @@ func (p *Plan) executeSharedParallel(ctx context.Context, snap *Snapshot, st *Ph
 				if i >= n {
 					return
 				}
-				hits, t := p.sharedCount(snap.point(needEval[i]), rel)
-				localTouched += int64(t)
-				qualifies[i] = float64(hits)/cloudN >= p.theta
+				qualifies[i] = p.sharedQualifies(snap.point(needEval[i]), rel, &local)
 			}
 		}()
 	}
 	wg.Wait()
+	// Fold the worker totals into st before the cancellation check: the
+	// caller's PhaseStats then always reflects every flushed worker, whether
+	// the query completed or was cancelled mid-phase.
+	st.SamplesTouched += int(total.touched.Load())
+	st.CellsSkipped += int(total.skipped.Load())
+	st.CellsFullInside += int(total.fullInside.Load())
+	st.EarlyDecisions += int(total.early.Load())
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	st.SamplesTouched = int(touched.Load())
 
 	ids := accepted
 	for i, ok := range qualifies {
@@ -188,4 +263,20 @@ func (p *Plan) executeSharedParallel(ctx context.Context, snap *Snapshot, st *Ph
 	st.Answers = len(ids)
 	sortIDs(ids)
 	return &Result{IDs: ids, Stats: *st}, nil
+}
+
+// sharedTotals accumulates the per-worker Phase-3 sample accounting.
+type sharedTotals struct {
+	touched    atomic.Int64
+	skipped    atomic.Int64
+	fullInside atomic.Int64
+	early      atomic.Int64
+}
+
+// add folds one worker's local stats into the totals.
+func (t *sharedTotals) add(local *PhaseStats) {
+	t.touched.Add(int64(local.SamplesTouched))
+	t.skipped.Add(int64(local.CellsSkipped))
+	t.fullInside.Add(int64(local.CellsFullInside))
+	t.early.Add(int64(local.EarlyDecisions))
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math/rand"
 	"testing"
+	"time"
 
 	"gaussrange/internal/gauss"
 	"gaussrange/internal/vecmat"
@@ -14,6 +15,7 @@ func TestPhase3KernelString(t *testing.T) {
 		KernelPerCandidate: "per-candidate",
 		KernelSharedFlat:   "shared-flat",
 		KernelSharedGrid:   "shared-grid",
+		KernelSharedEarly:  "shared-early",
 		Phase3Kernel(99):   "Phase3Kernel(99)",
 	}
 	for k, want := range cases {
@@ -224,5 +226,283 @@ func TestSharedKernelCancellation(t *testing.T) {
 	}
 	if _, err := plan.ExecuteParallel(ctx, 4); err == nil {
 		t.Error("cancelled parallel execution succeeded")
+	}
+}
+
+// TestQualifyThreshold pins the early kernel's integer acceptance threshold
+// to the counting kernel's floating-point comparison: for every (θ, n) the
+// returned h must be the smallest hit count with float64(h)/float64(n) ≥ θ.
+func TestQualifyThreshold(t *testing.T) {
+	brute := func(theta float64, n int) int {
+		for h := 0; h <= n; h++ {
+			if float64(h)/float64(n) >= theta {
+				return h
+			}
+		}
+		return n + 1
+	}
+	type tc struct {
+		theta float64
+		n     int
+	}
+	cases := []tc{
+		{0.01, 20000}, // θ·n = 200.00000000000003: naive ceil says 201
+		{0.1, 30},     // 3/30 = 0.09999999999999999 < 0.1: need 4, not 3
+		{0.5, 3},
+		{1.0 / 3.0, 3},
+		{0.2, 5},
+		{0.999999, 1},
+		{1e-9, 7},
+	}
+	rng := rand.New(rand.NewSource(51))
+	for i := 0; i < 1000; i++ {
+		cases = append(cases, tc{rng.Float64(), 1 + rng.Intn(50000)})
+	}
+	for i := 0; i < 200; i++ {
+		n := 1 + rng.Intn(50000)
+		k := 1 + rng.Intn(n)
+		// Exact attainable ratios are the dangerous spots: h == k must accept.
+		cases = append(cases, tc{float64(k) / float64(n), n})
+	}
+	for _, c := range cases {
+		if got, want := qualifyThreshold(c.theta, c.n), brute(c.theta, c.n); got != want {
+			t.Fatalf("qualifyThreshold(%v, %d) = %d, want %d", c.theta, c.n, got, want)
+		}
+	}
+}
+
+// randomSPDQuery builds a d-dimensional query with a random well-conditioned
+// SPD covariance Σ = s²(AAᵀ/d + I), A ~ N(0,1) entries.
+func randomSPDQuery(t testing.TB, rng *rand.Rand, center vecmat.Vector, delta, theta float64) Query {
+	t.Helper()
+	d := len(center)
+	a := make([][]float64, d)
+	for i := range a {
+		a[i] = make([]float64, d)
+		for j := range a[i] {
+			a[i][j] = rng.NormFloat64()
+		}
+	}
+	const s2 = 36.0
+	rows := make([][]float64, d)
+	for i := range rows {
+		rows[i] = make([]float64, d)
+		for j := range rows[i] {
+			dot := 0.0
+			for k := 0; k < d; k++ {
+				dot += a[i][k] * a[j][k]
+			}
+			rows[i][j] = s2 * dot / float64(d)
+			if i == j {
+				rows[i][j] += s2
+			}
+		}
+	}
+	g, err := gauss.New(center, vecmat.MustFromRows(rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Query{Dist: g, Delta: delta, Theta: theta}
+}
+
+// TestSharedEarlyPropertyIdentity is the kernel's exactness property test:
+// across random (Σ, δ, θ, seed) plans in d ∈ {2, 3, 5}, the early-exit
+// kernel's answer IDs must be identical to the flat and grid counting
+// kernels' — including θ values that land the required hit count exactly on
+// attainable ratios k/N, where an off-by-one bound would flip answers.
+func TestSharedEarlyPropertyIdentity(t *testing.T) {
+	const samples = 5000
+	rng := rand.New(rand.NewSource(52))
+	earlyDecisions := 0
+	for _, d := range []int{2, 3, 5} {
+		ix := uniformIndex(t, rng, 3000, d, 100)
+		for trial := 0; trial < 6; trial++ {
+			center := make(vecmat.Vector, d)
+			for j := range center {
+				center[j] = 30 + 40*rng.Float64()
+			}
+			delta := 8 + 22*rng.Float64()
+			var theta float64
+			if trial%2 == 0 {
+				theta = 0.01 + 0.39*rng.Float64()
+			} else {
+				// Exactly attainable ratio: hit counts can equal need.
+				theta = float64(1+rng.Intn(samples/2)) / float64(samples)
+			}
+			q := randomSPDQuery(t, rng, center, delta, theta)
+			seed := rng.Uint64()
+
+			var ids [3][]int64
+			var res [3]*Result
+			for i, kernel := range []Phase3Kernel{KernelSharedFlat, KernelSharedGrid, KernelSharedEarly} {
+				r, err := sharedEngine(t, ix, kernel, samples, seed).Search(q, StrategyAll)
+				if err != nil {
+					t.Fatalf("d=%d trial=%d %v: %v", d, trial, kernel, err)
+				}
+				ids[i], res[i] = r.IDs, r
+			}
+			if !idsEqual(ids[0], ids[1]) || !idsEqual(ids[0], ids[2]) {
+				t.Errorf("d=%d trial=%d (δ=%.3f θ=%v seed=%d): kernels disagree\n  flat  %v\n  grid  %v\n  early %v",
+					d, trial, delta, theta, seed, ids[0], ids[1], ids[2])
+			}
+			earlyDecisions += res[2].Stats.EarlyDecisions
+			if res[2].Stats.Integrations > 0 && res[2].Stats.SamplesTouched > res[0].Stats.SamplesTouched {
+				t.Errorf("d=%d trial=%d: early touched %d > flat %d",
+					d, trial, res[2].Stats.SamplesTouched, res[0].Stats.SamplesTouched)
+			}
+		}
+	}
+	if earlyDecisions == 0 {
+		t.Error("no early decisions across all trials — the decision bounds never engaged")
+	}
+}
+
+// TestSharedEarlyWorkerInvariance extends the worker-invariance guarantee to
+// the early-exit kernel: answers and the full early-kernel accounting
+// (touched, skipped, full-inside, early decisions) must be identical for
+// every worker count.
+func TestSharedEarlyWorkerInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	ix := uniformIndex(t, rng, 4000, 2, 1000)
+	e := sharedEngine(t, ix, KernelSharedEarly, 20000, 9)
+	q := paperQuery(t, vecmat.Vector{500, 500}, 10, 25, 0.02)
+
+	plan, err := e.Compile(q, StrategyAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Cloud() == nil || plan.Grid() == nil {
+		t.Fatal("early kernel compiled without cloud/grid")
+	}
+	want, err := plan.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Stats.EarlyDecisions == 0 {
+		t.Error("no early decisions on the paper workload")
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		got, err := plan.ExecuteParallel(context.Background(), workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !idsEqual(got.IDs, want.IDs) {
+			t.Errorf("workers=%d: IDs differ from serial", workers)
+		}
+		if got.Stats.SamplesTouched != want.Stats.SamplesTouched ||
+			got.Stats.CellsSkipped != want.Stats.CellsSkipped ||
+			got.Stats.CellsFullInside != want.Stats.CellsFullInside ||
+			got.Stats.EarlyDecisions != want.Stats.EarlyDecisions {
+			t.Errorf("workers=%d: stats (touched=%d skipped=%d inside=%d early=%d) differ from serial (touched=%d skipped=%d inside=%d early=%d)",
+				workers, got.Stats.SamplesTouched, got.Stats.CellsSkipped, got.Stats.CellsFullInside, got.Stats.EarlyDecisions,
+				want.Stats.SamplesTouched, want.Stats.CellsSkipped, want.Stats.CellsFullInside, want.Stats.EarlyDecisions)
+		}
+	}
+}
+
+// TestSharedEarlyGridFallback: a δ too small for the cloud extent overflows
+// the dense cell directory; the plan must fall back to the flat decide scan,
+// surface the fallback in the stats, and still answer identically to the
+// flat counting kernel.
+func TestSharedEarlyGridFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	ix := uniformIndex(t, rng, 4000, 2, 1000)
+	const samples = 1000
+	e := sharedEngine(t, ix, KernelSharedEarly, samples, 9)
+	// δ=0.1 over a cloud extent of ~60 wants ~360 000 cells, past the
+	// 64·samples directory cap. θ=1e-5 keeps the plan non-empty (the peak
+	// ball mass is ~1.7e-4).
+	q := paperQuery(t, vecmat.Vector{500, 500}, 10, 0.1, 1e-5)
+	plan, err := e.Compile(q, StrategyAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Empty() {
+		t.Fatal("plan proven empty; fallback never exercised")
+	}
+	if plan.Cloud() == nil {
+		t.Fatal("no cloud attached")
+	}
+	if plan.Grid() != nil {
+		t.Fatal("tiny-δ grid built despite directory cap")
+	}
+	res, err := plan.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.GridFallback {
+		t.Error("GridFallback not surfaced in stats")
+	}
+	flat, err := sharedEngine(t, ix, KernelSharedFlat, samples, 9).Search(q, StrategyAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idsEqual(res.IDs, flat.IDs) {
+		t.Errorf("fallback IDs %v != flat IDs %v", res.IDs, flat.IDs)
+	}
+	if flat.Stats.GridFallback {
+		t.Error("flat kernel reported a grid fallback")
+	}
+
+	// Control: paper-scale δ builds the directory and reports no fallback.
+	ctrl, err := e.Search(paperQuery(t, vecmat.Vector{500, 500}, 10, 25, 0.02), StrategyAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.Stats.GridFallback {
+		t.Error("paper-scale δ reported a grid fallback")
+	}
+}
+
+// TestSharedParallelStatsCompleteOnCancel: when the context cancels mid-query
+// the parallel executor must still return complete per-worker accounting —
+// every flushed worker's SamplesTouched folded in, never a torn or zeroed
+// count. With the flat kernel each decided candidate touches exactly the
+// cloud size, so any observed total must be a whole multiple of it.
+func TestSharedParallelStatsCompleteOnCancel(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	ix := uniformIndex(t, rng, 5000, 2, 1000)
+	const samples = 20000
+	e := sharedEngine(t, ix, KernelSharedFlat, samples, 9)
+	// γ=1000 with a low θ keeps thousands of Phase-3 candidates in flight.
+	q := paperQuery(t, vecmat.Vector{500, 500}, 1000, 100, 0.001)
+	plan, err := e.Compile(q, StrategyRR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, base, accepted, needEval, err := plan.filterPhases(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(needEval) < 500 {
+		t.Fatalf("test needs many candidates, got %d", len(needEval))
+	}
+	full := len(needEval) * samples
+
+	observed := false
+	for attempt := 0; attempt < 100 && !observed; attempt++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(2 * time.Millisecond)
+			cancel()
+		}()
+		st := base
+		res, err := plan.executeSharedParallel(ctx, snap, &st, accepted, needEval, 4)
+		cancel()
+		if st.SamplesTouched%samples != 0 {
+			t.Fatalf("torn accounting: touched %d is not a multiple of the cloud size %d",
+				st.SamplesTouched, samples)
+		}
+		if err != nil {
+			if res != nil {
+				t.Fatal("cancelled execution returned a result alongside the error")
+			}
+			if st.SamplesTouched > 0 && st.SamplesTouched < full {
+				observed = true
+			}
+		}
+	}
+	if !observed {
+		t.Error("no cancelled run reported partial-but-complete stats; worker flushes are being dropped")
 	}
 }

@@ -45,6 +45,14 @@ type Plan struct {
 	// shares them — a cached plan's cloud follows a moving query for free.
 	cloud *mc.SampleCloud
 	grid  *mc.CloudGrid
+	// p3kernel records which shared kernel the cloud was attached for;
+	// needHits is the early kernel's integer acceptance threshold
+	// (qualifyThreshold of θ and the cloud size); gridFallback remembers
+	// that a grid kernel could not build its grid and runs flat. All three
+	// are mean-independent, so Rebind shares them too.
+	p3kernel     Phase3Kernel
+	needHits     int
+	gridFallback bool
 
 	// Mean-dependent geometry, rebuilt cheaply by Rebind.
 	searchBox geom.Rect
@@ -217,6 +225,7 @@ func (p *Plan) baseStats() PhaseStats {
 		st.AlphaUpper = p.geo.alphaUpper
 	}
 	st.AlphaLower = p.geo.alphaLower
+	st.GridFallback = p.gridFallback
 	return st
 }
 

@@ -3,6 +3,7 @@ package mc
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"gaussrange/internal/gauss"
 	"gaussrange/internal/vecmat"
@@ -50,17 +51,56 @@ func (c *SampleCloud) Len() int { return c.n }
 // Dim returns the sample dimensionality.
 func (c *SampleCloud) Dim() int { return c.dim }
 
-// dist2At returns the squared distance between sample pts[off:off+dim] and
-// rel, accumulating axes in index order. The grid scan uses the identical
-// accumulation over reordered storage, so flat and grid counts agree bit for
-// bit even when a distance lands exactly on δ².
-func dist2At(pts []float64, off int, rel vecmat.Vector) float64 {
-	var s float64
-	for i, r := range rel {
-		d := pts[off+i] - r
-		s += d * d
+// scanBlock is the tile width of the cache-blocked d>2 scan: distances for a
+// tile of samples accumulate axis-by-axis into a small buffer, giving the
+// CPU scanBlock independent add chains instead of one serial dependency per
+// sample. Each sample's squared distance still sums its axes in index order,
+// so the result is bit-identical to a per-sample loop.
+const scanBlock = 16
+
+// countRange2 counts points of a packed 2-D slice within √d2 of (rx, ry).
+// Flat and grid scans both call it, so the two kernels share one
+// floating-point accumulation even when a distance lands exactly on δ².
+func countRange2(pts []float64, rx, ry, d2 float64) (hits int) {
+	for off := 0; off < len(pts); off += 2 {
+		dx := pts[off] - rx
+		dy := pts[off+1] - ry
+		if dx*dx+dy*dy <= d2 {
+			hits++
+		}
 	}
-	return s
+	return hits
+}
+
+// countRange counts points of a packed d>2 slice within √d2 of rel using the
+// cache-blocked accumulation. Shared by the flat and grid scans.
+func countRange(pts []float64, dim int, rel vecmat.Vector, d2 float64) (hits int) {
+	var buf [scanBlock]float64
+	n := len(pts) / dim
+	for b := 0; b < n; b += scanBlock {
+		bn := scanBlock
+		if n-b < bn {
+			bn = n - b
+		}
+		base := b * dim
+		for j := 0; j < bn; j++ {
+			buf[j] = 0
+		}
+		for i := 0; i < dim; i++ {
+			r := rel[i]
+			off := base + i
+			for j := 0; j < bn; j++ {
+				dv := pts[off+j*dim] - r
+				buf[j] += dv * dv
+			}
+		}
+		for j := 0; j < bn; j++ {
+			if buf[j] <= d2 {
+				hits++
+			}
+		}
+	}
+	return hits
 }
 
 // CountBall returns how many cloud samples lie within distance delta of rel,
@@ -71,71 +111,197 @@ func (c *SampleCloud) CountBall(rel vecmat.Vector, delta float64) (hits, touched
 		panic(fmt.Sprintf("mc: candidate dim %d vs cloud dim %d", rel.Dim(), c.dim))
 	}
 	d2 := delta * delta
-	pts := c.pts
 	if c.dim == 2 {
 		// Branch-light 2-D fast path: the paper's workloads are dominated by
 		// this case.
-		rx, ry := rel[0], rel[1]
-		for off := 0; off < len(pts); off += 2 {
-			dx := pts[off] - rx
-			dy := pts[off+1] - ry
-			if dx*dx+dy*dy <= d2 {
-				hits++
-			}
-		}
-		return hits, c.n
+		return countRange2(c.pts, rel[0], rel[1], d2), c.n
 	}
-	dim := c.dim
-	for off := 0; off < len(pts); off += dim {
-		if dist2At(pts, off, rel) <= d2 {
-			hits++
-		}
-	}
-	return hits, c.n
+	return countRange(c.pts, c.dim, rel, d2), c.n
 }
 
-// maxGridCells bounds the *addressable* cell-coordinate space of a grid
-// (occupied cells are stored sparsely, so memory scales with the cloud, not
-// with this bound). Beyond it the linear cell index risks overflowing.
-const maxGridCells = int64(1) << 56
+// DecideStats accounts for one candidate's early-exit decision.
+type DecideStats struct {
+	// Touched is the number of samples consumed by the scan before the
+	// decision closed (each consumed sample was distance-tested).
+	Touched int
+	// CellsSkipped is the number of occupied covered cells proven fully
+	// outside the δ-ball by corner distance alone (0 for the flat path).
+	CellsSkipped int
+	// CellsFullInside is the number of occupied covered cells proven fully
+	// inside, crediting their samples as hits with zero tests (0 for flat).
+	CellsFullInside int
+	// Early reports that the decision closed before every potentially
+	// qualifying sample had been examined.
+	Early bool
+}
 
-// cellRange locates one occupied cell's samples inside CloudGrid.pts.
-type cellRange struct {
-	start int32
-	n     int32
+// decideState tracks one candidate's running accept/reject bounds: hits is
+// the count of samples proven within δ (including full-inside cell credits),
+// possible is hits plus the samples not yet ruled out. The final exhaustive
+// count lies in [hits, possible] at every step, so hits ≥ need proves
+// acceptance and possible < need proves rejection — the decision is exactly
+// the full count's decision, just reached sooner.
+type decideState struct {
+	hits     int
+	possible int
+	need     int
+}
+
+// decided reports whether the bounds have closed around the threshold.
+func (s *decideState) decided() bool { return s.hits >= s.need || s.possible < s.need }
+
+// decideRange2 consumes packed 2-D points until the bounds close, returning
+// the number of samples consumed (= len(pts)/2 when the range is exhausted
+// undecided).
+func decideRange2(pts []float64, rx, ry, d2 float64, st *decideState) int {
+	for off := 0; off < len(pts); off += 2 {
+		dx := pts[off] - rx
+		dy := pts[off+1] - ry
+		if dx*dx+dy*dy <= d2 {
+			st.hits++
+		} else {
+			st.possible--
+		}
+		if st.decided() {
+			return off/2 + 1
+		}
+	}
+	return len(pts) / 2
+}
+
+// decideRange is decideRange2 for d>2, reusing the cache-blocked distance
+// accumulation so early decisions test the exact values the full scan would.
+func decideRange(pts []float64, dim int, rel vecmat.Vector, d2 float64, st *decideState) int {
+	var buf [scanBlock]float64
+	n := len(pts) / dim
+	for b := 0; b < n; b += scanBlock {
+		bn := scanBlock
+		if n-b < bn {
+			bn = n - b
+		}
+		base := b * dim
+		for j := 0; j < bn; j++ {
+			buf[j] = 0
+		}
+		for i := 0; i < dim; i++ {
+			r := rel[i]
+			off := base + i
+			for j := 0; j < bn; j++ {
+				dv := pts[off+j*dim] - r
+				buf[j] += dv * dv
+			}
+		}
+		for j := 0; j < bn; j++ {
+			if buf[j] <= d2 {
+				st.hits++
+			} else {
+				st.possible--
+			}
+			if st.decided() {
+				return b + j + 1
+			}
+		}
+	}
+	return n
+}
+
+// CountBallDecide answers "do at least need samples lie within delta of
+// rel?" by scanning with running accept/reject bounds: a hit that reaches
+// need accepts immediately, a miss that drops the still-possible total below
+// need rejects immediately. One of the two always fires by the last sample
+// (after it, possible equals the exact hit count), so the decision is
+// exactly CountBall's hits ≥ need.
+func (c *SampleCloud) CountBallDecide(rel vecmat.Vector, delta float64, need int) (bool, DecideStats) {
+	if rel.Dim() != c.dim {
+		panic(fmt.Sprintf("mc: candidate dim %d vs cloud dim %d", rel.Dim(), c.dim))
+	}
+	st := decideState{need: need, possible: c.n}
+	if st.decided() {
+		// need ≤ 0 accepts and need > n rejects without touching a sample.
+		return st.hits >= need, DecideStats{Early: c.n > 0}
+	}
+	d2 := delta * delta
+	var consumed int
+	if c.dim == 2 {
+		consumed = decideRange2(c.pts, rel[0], rel[1], d2, &st)
+	} else {
+		consumed = decideRange(c.pts, c.dim, rel, d2, &st)
+	}
+	return st.hits >= need, DecideStats{Touched: consumed, Early: consumed < c.n}
+}
+
+// maxDirectoryCells bounds the dense cell directory: the directory costs 4
+// bytes per addressable cell (occupied or not), so it is capped at a fixed
+// multiple of the cloud size — beyond that δ is so small relative to the
+// cloud extent that grid pruning saves little per cell anyway, and callers
+// fall back to the flat scan.
+func maxDirectoryCells(n int) int64 {
+	c := int64(n) * 64
+	if c < 4096 {
+		c = 4096
+	}
+	return c
 }
 
 // CloudGrid is a uniform grid over a SampleCloud with cell side equal to the
 // query radius δ, supporting exact fixed-radius hit counting: a δ-ball
 // around any candidate intersects at most 3 cells per axis, so a count
 // visits ≤3^d cells instead of all n samples. Samples are reordered into
-// cell-contiguous storage so each visited cell is one linear scan.
+// cell-contiguous storage, and the cell directory is a dense prefix-sum
+// array over the full row-major key space — starts[k] .. starts[k+1] bounds
+// cell k's samples with two array loads, no hashing in the odometer loop,
+// and cells consecutive on the innermost axis occupy one contiguous run of
+// pts, so a covered row scans as a single linear range.
 //
 // Like the cloud it wraps, a CloudGrid is immutable and safe for concurrent
 // readers.
 type CloudGrid struct {
-	cloud *SampleCloud
-	delta float64   // cell side = query radius
-	min   []float64 // per-axis minimum over the cloud
-	dims  []int64   // cells per axis
-	cells map[int64]cellRange
-	pts   []float64 // cloud points regrouped by cell, n·dim
+	cloud    *SampleCloud
+	delta    float64   // cell side = query radius
+	min      []float64 // per-axis minimum over the cloud
+	margin   []float64 // per-axis FP slack for cell classification
+	dims     []int64   // cells per axis
+	stride   []int64   // row-major strides: key = Σ bin[i]·stride[i]
+	starts   []int32   // len total+1; cell k holds pts rows starts[k]..starts[k+1]
+	occupied int       // cells with at least one sample
+	pts      []float64 // cloud points regrouped by cell, n·dim
 }
 
+// gridMarginFactor scales the per-axis classification slack. Binning
+// computes floor((v − min)/δ) with two roundings, so a sample can sit a few
+// ulps of the axis extent outside its cell's analytic interval
+// [min + c·δ, min + (c+1)·δ]. Classification widens every cell interval by
+// margin = factor·(|min| + extent + δ) — orders of magnitude above the
+// worst-case rounding error, and widening only moves cells toward the
+// "boundary" class, which costs a scan but never a count.
+const gridMarginFactor = 1e-15
+
+// classifySlack is the relative band applied to the δ² comparisons of cell
+// classification: a cell counts as fully inside only when its farthest
+// corner satisfies far² ≤ δ²·(1 − slack), fully outside only when its
+// nearest corner satisfies near² ≥ δ²·(1 + slack). The band dwarfs the
+// d·ulp-scale divergence between the corner arithmetic and the per-sample
+// scan (compiler-fused or not), so no sample whose scan outcome is in doubt
+// is ever classified away — it lands in the boundary class and is tested
+// with the exact scan expression.
+const classifySlack = 1e-12
+
 // NewCloudGrid builds the fixed-radius count grid for delta over cloud.
-// It fails only when delta is not a positive finite number or the cloud's
-// extent is so large relative to delta that cell addressing would overflow;
-// callers fall back to the flat scan in that case.
+// It fails when delta is not a positive finite number or when the dense
+// directory for the cloud's extent would exceed maxDirectoryCells; callers
+// fall back to the flat scan in that case.
 func NewCloudGrid(cloud *SampleCloud, delta float64) (*CloudGrid, error) {
 	if !(delta > 0) || math.IsInf(delta, 1) || math.IsNaN(delta) {
 		return nil, fmt.Errorf("mc: grid cell side must be positive and finite, got %g", delta)
 	}
 	d := cloud.dim
 	g := &CloudGrid{
-		cloud: cloud,
-		delta: delta,
-		min:   make([]float64, d),
-		dims:  make([]int64, d),
+		cloud:  cloud,
+		delta:  delta,
+		min:    make([]float64, d),
+		margin: make([]float64, d),
+		dims:   make([]int64, d),
+		stride: make([]int64, d),
 	}
 	for i := 0; i < d; i++ {
 		g.min[i] = math.Inf(1)
@@ -155,6 +321,7 @@ func NewCloudGrid(cloud *SampleCloud, delta float64) (*CloudGrid, error) {
 			}
 		}
 	}
+	capCells := maxDirectoryCells(cloud.n)
 	total := int64(1)
 	for i := 0; i < d; i++ {
 		n := int64(math.Floor((maxs[i]-g.min[i])/delta)) + 1
@@ -162,32 +329,42 @@ func NewCloudGrid(cloud *SampleCloud, delta float64) (*CloudGrid, error) {
 			n = 1
 		}
 		g.dims[i] = n
-		if n > maxGridCells/total {
-			return nil, fmt.Errorf("mc: grid of %v cells per axis overflows cell addressing (δ=%g too small for the cloud extent)", g.dims[:i+1], delta)
+		if n > capCells/total {
+			return nil, fmt.Errorf("mc: dense cell directory for %v cells per axis exceeds %d cells (δ=%g too small for the cloud extent)", g.dims[:i+1], capCells, delta)
 		}
 		total *= n
 	}
+	s := int64(1)
+	for i := d - 1; i >= 0; i-- {
+		g.stride[i] = s
+		s *= g.dims[i]
+	}
+	for i := 0; i < d; i++ {
+		extent := float64(g.dims[i]) * delta
+		g.margin[i] = gridMarginFactor * (math.Abs(g.min[i]) + extent + delta)
+	}
 
-	// Counting sort by cell: size each occupied cell, then scatter the
-	// samples into cell-contiguous storage.
+	// Counting sort by cell key: a histogram pass sizes every cell, the
+	// prefix sum turns it into the dense directory, and a scatter pass moves
+	// the samples into cell-contiguous storage in key order.
 	keys := make([]int64, cloud.n)
-	counts := make(map[int64]int32, cloud.n/4+1)
+	g.starts = make([]int32, total+1)
 	for s := 0; s < cloud.n; s++ {
 		keys[s] = g.cellKeyOf(cloud.pts[s*d:])
-		counts[keys[s]]++
+		g.starts[keys[s]+1]++
 	}
-	g.cells = make(map[int64]cellRange, len(counts))
-	var start int32
-	for key, n := range counts {
-		g.cells[key] = cellRange{start: start, n: n}
-		start += n
+	for k := int64(1); k <= total; k++ {
+		if g.starts[k] > 0 {
+			g.occupied++
+		}
+		g.starts[k] += g.starts[k-1]
 	}
+	cursor := make([]int32, total)
+	copy(cursor, g.starts[:total])
 	g.pts = make([]float64, len(cloud.pts))
-	next := make(map[int64]int32, len(counts))
 	for s := 0; s < cloud.n; s++ {
-		cr := g.cells[keys[s]]
-		slot := cr.start + next[keys[s]]
-		next[keys[s]]++
+		slot := cursor[keys[s]]
+		cursor[keys[s]]++
 		copy(g.pts[int(slot)*d:], cloud.pts[s*d:(s+1)*d])
 	}
 	return g, nil
@@ -200,7 +377,7 @@ func (g *CloudGrid) Cloud() *SampleCloud { return g.cloud }
 func (g *CloudGrid) Delta() float64 { return g.delta }
 
 // Cells returns the number of occupied grid cells.
-func (g *CloudGrid) Cells() int { return len(g.cells) }
+func (g *CloudGrid) Cells() int { return g.occupied }
 
 // binOf maps coordinate v on axis i to its (possibly out-of-range) cell
 // coordinate. The same expression bins samples at build time and candidate
@@ -215,9 +392,30 @@ func (g *CloudGrid) binOf(v float64, i int) int64 {
 func (g *CloudGrid) cellKeyOf(p []float64) int64 {
 	var key int64
 	for i := 0; i < g.cloud.dim; i++ {
-		key = key*g.dims[i] + g.binOf(p[i], i)
+		key += g.binOf(p[i], i) * g.stride[i]
 	}
 	return key
+}
+
+// coveredRange computes the per-axis cell range covered by the δ-ball around
+// rel, clamped to the grid. ok is false when the ball misses the cloud's
+// extent entirely on some axis.
+func (g *CloudGrid) coveredRange(rel vecmat.Vector, lo, hi []int64) (ok bool) {
+	for i := range rel {
+		l := g.binOf(rel[i]-g.delta, i)
+		h := g.binOf(rel[i]+g.delta, i)
+		if h < 0 || l >= g.dims[i] {
+			return false
+		}
+		if l < 0 {
+			l = 0
+		}
+		if h >= g.dims[i] {
+			h = g.dims[i] - 1
+		}
+		lo[i], hi[i] = l, h
+	}
+	return true
 }
 
 // CountBall returns the number of cloud samples within distance Delta of
@@ -231,69 +429,42 @@ func (g *CloudGrid) CountBall(rel vecmat.Vector) (hits, touched int) {
 	}
 	d2 := g.delta * g.delta
 
-	// Per-axis cell range covered by [rel−δ, rel+δ], clamped to the grid.
-	// The buffers live on the stack for the dimensionalities that matter
-	// (the paper tops out at d = 15); CountBall runs once per candidate, so
-	// per-call heap allocation would dominate small cells.
+	// The range/odometer buffers live on the stack for the dimensionalities
+	// that matter (the paper tops out at d = 15); CountBall runs once per
+	// candidate, so per-call heap allocation would dominate small cells.
 	var loBuf, hiBuf, curBuf [16]int64
-	lo, hi := loBuf[:0], hiBuf[:0]
+	lo, hi, cur := loBuf[:0], hiBuf[:0], curBuf[:0]
 	if d <= len(loBuf) {
-		lo, hi = loBuf[:d], hiBuf[:d]
+		lo, hi, cur = loBuf[:d], hiBuf[:d], curBuf[:d]
 	} else {
-		lo, hi = make([]int64, d), make([]int64, d)
+		lo, hi, cur = make([]int64, d), make([]int64, d), make([]int64, d)
 	}
-	for i := 0; i < d; i++ {
-		l := g.binOf(rel[i]-g.delta, i)
-		h := g.binOf(rel[i]+g.delta, i)
-		if h < 0 || l >= g.dims[i] {
-			return 0, 0 // ball entirely outside the cloud's extent on axis i
-		}
-		if l < 0 {
-			l = 0
-		}
-		if h >= g.dims[i] {
-			h = g.dims[i] - 1
-		}
-		lo[i], hi[i] = l, h
+	if !g.coveredRange(rel, lo, hi) {
+		return 0, 0
 	}
 
-	// Odometer over the ≤3^d covered cells.
-	cur := curBuf[:0]
-	if d <= len(curBuf) {
-		cur = curBuf[:d]
-	} else {
-		cur = make([]int64, d)
-	}
+	// Odometer over the covered *rows*: cells consecutive on the innermost
+	// axis are contiguous in pts, so each row is one linear scan bounded by
+	// two directory loads.
 	copy(cur, lo)
+	last := d - 1
 	for {
-		var key int64
-		for i := 0; i < d; i++ {
-			key = key*g.dims[i] + cur[i]
+		base := int64(0)
+		for i := 0; i < last; i++ {
+			base += cur[i] * g.stride[i]
 		}
-		if cr, ok := g.cells[key]; ok {
-			end := int(cr.start+cr.n) * d
+		s0 := int(g.starts[base+lo[last]])
+		s1 := int(g.starts[base+hi[last]+1])
+		if s1 > s0 {
 			if d == 2 {
-				// Same 2-D fast path (and accumulation order) as the flat
-				// scan, so the two kernels count identically.
-				rx, ry := rel[0], rel[1]
-				for off := int(cr.start) * 2; off < end; off += 2 {
-					dx := g.pts[off] - rx
-					dy := g.pts[off+1] - ry
-					if dx*dx+dy*dy <= d2 {
-						hits++
-					}
-				}
+				hits += countRange2(g.pts[s0*2:s1*2], rel[0], rel[1], d2)
 			} else {
-				for off := int(cr.start) * d; off < end; off += d {
-					if dist2At(g.pts, off, rel) <= d2 {
-						hits++
-					}
-				}
+				hits += countRange(g.pts[s0*d:s1*d], d, rel, d2)
 			}
-			touched += int(cr.n)
+			touched += s1 - s0
 		}
-		// Advance the odometer.
-		i := d - 1
+		// Advance the odometer over the leading axes.
+		i := last - 1
 		for ; i >= 0; i-- {
 			cur[i]++
 			if cur[i] <= hi[i] {
@@ -305,4 +476,141 @@ func (g *CloudGrid) CountBall(rel vecmat.Vector) (hits, touched int) {
 			return hits, touched
 		}
 	}
+}
+
+// classifyCell returns conservative bounds on the squared distance from rel
+// to cell cur: near2 lower-bounds the nearest point of the (margin-widened)
+// cell box, far2 upper-bounds its farthest corner. Every sample binned into
+// the cell lies inside the widened box, so near2 ≤ scan distance ≤ far2 up
+// to the ulp-scale error classifySlack absorbs.
+func (g *CloudGrid) classifyCell(cur []int64, rel vecmat.Vector) (near2, far2 float64) {
+	for i := range rel {
+		lo := g.min[i] + float64(cur[i])*g.delta - g.margin[i]
+		hi := g.min[i] + float64(cur[i]+1)*g.delta + g.margin[i]
+		dlo := lo - rel[i]
+		dhi := hi - rel[i]
+		flo := dlo * dlo
+		fhi := dhi * dhi
+		if fhi > flo {
+			far2 += fhi
+		} else {
+			far2 += flo
+		}
+		switch {
+		case dlo > 0: // cell entirely right of rel on this axis
+			near2 += flo
+		case dhi < 0: // cell entirely left of rel on this axis
+			near2 += fhi
+		}
+	}
+	return near2, far2
+}
+
+// boundaryRow is one occupied covered cell whose classification stayed
+// ambiguous: its samples must be distance-tested. near orders the scan so
+// the cells most likely to move the bounds are consumed first.
+type boundaryRow struct {
+	s0, s1 int32
+	near   float64
+}
+
+// DecideBall answers "do at least need cloud samples lie within Delta of
+// rel?" without counting everything. Covered rows are first classified by
+// corner distance: rows fully inside the δ-ball credit their samples as
+// hits with zero distance tests, rows fully outside are skipped, and only
+// boundary rows are scanned — nearest first, under the same running
+// accept/reject bounds as CountBallDecide. The decision equals CountBall's
+// hits ≥ need exactly; only the amount of work varies.
+func (g *CloudGrid) DecideBall(rel vecmat.Vector, need int) (bool, DecideStats) {
+	d := g.cloud.dim
+	if rel.Dim() != d {
+		panic(fmt.Sprintf("mc: candidate dim %d vs cloud dim %d", rel.Dim(), d))
+	}
+	d2 := g.delta * g.delta
+	insideLim := d2 * (1 - classifySlack)
+	outsideLim := d2 * (1 + classifySlack)
+
+	var loBuf, hiBuf, curBuf [16]int64
+	lo, hi, cur := loBuf[:0], hiBuf[:0], curBuf[:0]
+	if d <= len(loBuf) {
+		lo, hi, cur = loBuf[:d], hiBuf[:d], curBuf[:d]
+	} else {
+		lo, hi, cur = make([]int64, d), make([]int64, d), make([]int64, d)
+	}
+	var stats DecideStats
+	if !g.coveredRange(rel, lo, hi) {
+		return 0 >= need, stats
+	}
+
+	// Pass 1: classify every covered cell (≤3 per axis). Occupied cells that
+	// stay ambiguous are collected for the scan pass.
+	st := decideState{need: need}
+	var rowBuf [27]boundaryRow
+	rows := rowBuf[:0]
+	boundaryTotal := 0
+	copy(cur, lo)
+	last := d - 1
+	for {
+		base := int64(0)
+		for i := 0; i < last; i++ {
+			base += cur[i] * g.stride[i]
+		}
+		for cur[last] = lo[last]; cur[last] <= hi[last]; cur[last]++ {
+			key := base + cur[last]
+			s0, s1 := g.starts[key], g.starts[key+1]
+			if s1 == s0 {
+				continue
+			}
+			near2, far2 := g.classifyCell(cur, rel)
+			switch {
+			case far2 <= insideLim:
+				st.hits += int(s1 - s0)
+				stats.CellsFullInside++
+			case near2 >= outsideLim:
+				stats.CellsSkipped++
+			default:
+				rows = append(rows, boundaryRow{s0: s0, s1: s1, near: near2})
+				boundaryTotal += int(s1 - s0)
+			}
+		}
+
+		i := last - 1
+		for ; i >= 0; i-- {
+			cur[i]++
+			if cur[i] <= hi[i] {
+				break
+			}
+			cur[i] = lo[i]
+		}
+		if i < 0 {
+			break
+		}
+	}
+
+	st.possible = st.hits + boundaryTotal
+	if st.decided() {
+		stats.Early = boundaryTotal > 0 || stats.CellsSkipped > 0 || stats.CellsFullInside > 0
+		return st.hits >= need, stats
+	}
+
+	// Pass 2: scan boundary rows nearest-first so the bounds close fast.
+	sort.Slice(rows, func(a, b int) bool { return rows[a].near < rows[b].near })
+	consumed := 0
+	for _, r := range rows {
+		pts := g.pts[int(r.s0)*d : int(r.s1)*d]
+		if d == 2 {
+			consumed += decideRange2(pts, rel[0], rel[1], d2, &st)
+		} else {
+			consumed += decideRange(pts, d, rel, d2, &st)
+		}
+		if st.decided() {
+			stats.Touched = consumed
+			stats.Early = consumed < boundaryTotal
+			return st.hits >= need, stats
+		}
+	}
+	// The scan exhausted every boundary sample, so possible == hits and the
+	// comparison below is the exact count's decision.
+	stats.Touched = consumed
+	return st.hits >= need, stats
 }

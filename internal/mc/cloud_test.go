@@ -1,7 +1,9 @@
 package mc
 
 import (
+	"fmt"
 	"math"
+	"strings"
 	"testing"
 
 	"gaussrange/internal/gauss"
@@ -111,8 +113,12 @@ func TestSampleCloudMoments(t *testing.T) {
 // TestCloudGridMatchesFlat is the kernel's central property: for random
 // clouds, candidates and radii — including δ values that land candidates
 // exactly on cell boundaries — the grid count must equal the flat O(n) scan
-// exactly, hits and all.
+// exactly, hits and all, and the early-exit decisions (flat and grid) must
+// agree with the count for thresholds straddling the exact hit total.
+// Configurations whose dense cell directory would exceed the cap must be
+// refused by the constructor (callers fall back to the flat scan).
 func TestCloudGridMatchesFlat(t *testing.T) {
+	built := 0
 	for _, d := range []int{2, 3, 5} {
 		for _, delta := range []float64{0.25, 1, 2.5, 8, 64} {
 			g := randomSPDDist(t, d, uint64(d)*31+uint64(delta*4))
@@ -122,7 +128,12 @@ func TestCloudGridMatchesFlat(t *testing.T) {
 			}
 			grid, err := NewCloudGrid(cloud, delta)
 			if err != nil {
-				t.Fatal(err)
+				if !strings.Contains(err.Error(), "dense cell directory") {
+					t.Fatalf("d=%d δ=%g: unexpected grid error: %v", d, delta, err)
+				}
+				grid = nil // directory over cap: flat fallback territory
+			} else {
+				built++
 			}
 			rng := NewRNG(uint64(d) * 1000)
 			rel := make(vecmat.Vector, d)
@@ -141,17 +152,45 @@ func TestCloudGridMatchesFlat(t *testing.T) {
 					}
 				}
 				wantHits, wantTouched := cloud.CountBall(rel, delta)
-				gotHits, gotTouched := grid.CountBall(rel)
-				if gotHits != wantHits {
-					t.Fatalf("d=%d δ=%g trial %d: grid hits %d vs flat %d",
-						d, delta, trial, gotHits, wantHits)
+				if grid != nil {
+					gotHits, gotTouched := grid.CountBall(rel)
+					if gotHits != wantHits {
+						t.Fatalf("d=%d δ=%g trial %d: grid hits %d vs flat %d",
+							d, delta, trial, gotHits, wantHits)
+					}
+					if gotTouched > wantTouched {
+						t.Errorf("d=%d δ=%g trial %d: grid touched %d > cloud size %d",
+							d, delta, trial, gotTouched, wantTouched)
+					}
 				}
-				if gotTouched > wantTouched {
-					t.Errorf("d=%d δ=%g trial %d: grid touched %d > cloud size %d",
-						d, delta, trial, gotTouched, wantTouched)
+				// Decision thresholds around the exact count — including
+				// need == hits, the case where the last boundary sample
+				// decides — must reproduce the count's comparison.
+				for _, need := range []int{wantHits - 1, wantHits, wantHits + 1, 1, cloud.Len() + 1} {
+					want := wantHits >= need
+					if got, ds := cloud.CountBallDecide(rel, delta, need); got != want {
+						t.Fatalf("d=%d δ=%g trial %d need %d: flat decide %v (stats %+v), count says %v (hits %d)",
+							d, delta, trial, need, got, ds, want, wantHits)
+					} else if ds.Touched > cloud.Len() {
+						t.Fatalf("d=%d δ=%g trial %d need %d: flat decide touched %d > cloud size", d, delta, trial, need, ds.Touched)
+					}
+					if grid == nil {
+						continue
+					}
+					got, ds := grid.DecideBall(rel, need)
+					if got != want {
+						t.Fatalf("d=%d δ=%g trial %d need %d: grid decide %v (stats %+v), count says %v (hits %d)",
+							d, delta, trial, need, got, ds, want, wantHits)
+					}
+					if ds.Touched > cloud.Len() {
+						t.Fatalf("d=%d δ=%g trial %d need %d: grid decide touched %d > cloud size", d, delta, trial, need, ds.Touched)
+					}
 				}
 			}
 		}
+	}
+	if built < 5 {
+		t.Fatalf("only %d grid configurations under the directory cap — the grid path is barely exercised", built)
 	}
 }
 
@@ -183,6 +222,19 @@ func TestCloudGridExactBoundary(t *testing.T) {
 	}
 	if gotHits != wantHits {
 		t.Fatalf("grid hits %d vs flat %d on exact-boundary cloud", gotHits, wantHits)
+	}
+	// The decisions at need = 5 (met exactly by the on-boundary points) and
+	// need = 6 (unattainable) must match the count, flat and grid alike.
+	for _, tc := range []struct {
+		need int
+		want bool
+	}{{5, true}, {6, false}} {
+		if got, _ := cloud.CountBallDecide(rel, 5, tc.need); got != tc.want {
+			t.Errorf("flat decide(need=%d) = %v, want %v", tc.need, got, tc.want)
+		}
+		if got, _ := grid.DecideBall(rel, tc.need); got != tc.want {
+			t.Errorf("grid decide(need=%d) = %v, want %v", tc.need, got, tc.want)
+		}
 	}
 }
 
@@ -232,5 +284,112 @@ func TestCloudGridCountAgainstDist(t *testing.T) {
 	got := float64(hits) / float64(n)
 	if se := StandardError(want, n); math.Abs(got-want) > 6*se+1e-9 {
 		t.Errorf("grid estimate %g vs independent MC %g (6σ=%g)", got, want, 6*se)
+	}
+}
+
+// TestDecideBallSavesWork checks that at paper scale (γ=10, δ=25, θ=0.01)
+// the early-exit path really does decide most candidates with a small
+// fraction of the samples the plain grid count touches — the whole point of
+// classification plus decision bounds.
+func TestDecideBallSavesWork(t *testing.T) {
+	g := paperDist(t, 10)
+	const n = 50000
+	cloud, err := NewSampleCloud(g, n, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := NewCloudGrid(cloud, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	need := n / 100 // θ = 0.01
+	rng := NewRNG(77)
+	rel := make(vecmat.Vector, 2)
+	countTouched, decideTouched, early := 0, 0, 0
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		// Candidates spread from the cloud core to past the qualification
+		// fringe, like Phase 2 survivors.
+		for i := range rel {
+			rel[i] = rng.NormFloat64() * 30
+		}
+		wantHits, ct := grid.CountBall(rel)
+		got, ds := grid.DecideBall(rel, need)
+		if got != (wantHits >= need) {
+			t.Fatalf("trial %d: decide %v, count %d vs need %d", trial, got, wantHits, need)
+		}
+		countTouched += ct
+		decideTouched += ds.Touched
+		if ds.Early {
+			early++
+		}
+	}
+	if decideTouched*3 > countTouched {
+		t.Errorf("decide touched %d samples vs count's %d — less than the 3× saving the kernel exists for", decideTouched, countTouched)
+	}
+	if early < trials/2 {
+		t.Errorf("only %d/%d candidates decided early", early, trials)
+	}
+}
+
+// benchCloudGrid builds a paper-like cloud/grid pair for benchmarks in the
+// given dimensionality (d=2 uses the paper's Σ at γ=10, d>2 a random SPD Σ).
+func benchCloudGrid(b *testing.B, d, n int) (*SampleCloud, *CloudGrid, vecmat.Vector, float64) {
+	b.Helper()
+	var g *gauss.Dist
+	if d == 2 {
+		g = paperDist(b, 10)
+	} else {
+		g = randomSPDDist(b, d, uint64(d))
+	}
+	cloud, err := NewSampleCloud(g, n, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// δ ≈ 1.2σ keeps a realistic mix of inside/boundary/outside cells.
+	var sigma float64
+	for i := 0; i < d; i++ {
+		sigma += g.Cov().At(i, i)
+	}
+	delta := 1.2 * math.Sqrt(sigma/float64(d))
+	grid, err := NewCloudGrid(cloud, delta)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rel := make(vecmat.Vector, d)
+	rng := NewRNG(9)
+	for i := range rel {
+		rel[i] = rng.NormFloat64() * delta / 2
+	}
+	return cloud, grid, rel, delta
+}
+
+// BenchmarkCountBall covers the flat and grid scans plus the early-exit
+// decision in 2-D (fast path) and d=5 (cache-blocked path), so benchstat
+// can see the effect of the blocked scan and the dense directory.
+func BenchmarkCountBall(b *testing.B) {
+	for _, d := range []int{2, 5} {
+		cloud, grid, rel, delta := benchCloudGrid(b, d, 100000)
+		need := cloud.Len() / 100
+		b.Run(fmt.Sprintf("flat/d=%d", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cloud.CountBall(rel, delta)
+			}
+		})
+		b.Run(fmt.Sprintf("grid/d=%d", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				grid.CountBall(rel)
+			}
+		})
+		b.Run(fmt.Sprintf("decide-flat/d=%d", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cloud.CountBallDecide(rel, delta, need)
+			}
+		})
+		b.Run(fmt.Sprintf("decide-grid/d=%d", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				grid.DecideBall(rel, need)
+			}
+		})
 	}
 }

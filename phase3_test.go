@@ -16,6 +16,12 @@ func TestPhase3KernelValidation(t *testing.T) {
 	if _, err := Load(pts, WithAdaptiveMonteCarlo(1000), WithPhase3Kernel(KernelSharedGrid)); err == nil {
 		t.Error("shared kernel combined with adaptive MC accepted")
 	}
+	if _, err := Load(pts, WithAdaptiveMonteCarlo(1000), WithPhase3Kernel(KernelSharedEarly)); err == nil {
+		t.Error("early kernel combined with adaptive MC accepted")
+	}
+	if _, err := Load(pts, WithPhase3Kernel(KernelSharedEarly)); err != nil {
+		t.Errorf("early kernel rejected: %v", err)
+	}
 	// The explicit default combines with anything.
 	if _, err := Load(pts, WithAdaptiveMonteCarlo(1000), WithPhase3Kernel(KernelPerCandidate)); err != nil {
 		t.Errorf("per-candidate kernel with adaptive MC rejected: %v", err)
@@ -27,6 +33,7 @@ func TestPhase3KernelStrings(t *testing.T) {
 		KernelPerCandidate: "per-candidate",
 		KernelSharedFlat:   "shared-flat",
 		KernelSharedGrid:   "shared-grid",
+		KernelSharedEarly:  "shared-early",
 	} {
 		if got := k.String(); got != want {
 			t.Errorf("kernel %d String() = %q, want %q", int(k), got, want)
@@ -52,7 +59,7 @@ func TestPhase3KernelQuery(t *testing.T) {
 	}
 
 	var flatIDs []int64
-	for _, kernel := range []Phase3Kernel{KernelSharedFlat, KernelSharedGrid} {
+	for _, kernel := range []Phase3Kernel{KernelSharedFlat, KernelSharedGrid, KernelSharedEarly} {
 		db, err := Load(pts, WithMonteCarlo(20000), WithSeed(7), WithPhase3Kernel(kernel))
 		if err != nil {
 			t.Fatal(err)
@@ -72,16 +79,97 @@ func TestPhase3KernelQuery(t *testing.T) {
 		if len(res.IDs) != len(exRes.IDs) {
 			t.Errorf("%v: %d answers vs exact %d", kernel, len(res.IDs), len(exRes.IDs))
 		}
+		if res.Stats.GridFallback {
+			t.Errorf("%v: unexpected grid fallback at paper-scale δ", kernel)
+		}
+		if kernel == KernelSharedEarly && res.Stats.EarlyDecisions == 0 && res.Stats.Integrations > 0 {
+			t.Error("early kernel decided nothing early")
+		}
 		if kernel == KernelSharedFlat {
 			flatIDs = res.IDs
 			continue
 		}
 		if len(flatIDs) != len(res.IDs) {
-			t.Fatalf("flat %d answers vs grid %d", len(flatIDs), len(res.IDs))
+			t.Fatalf("flat %d answers vs %v %d", len(flatIDs), kernel, len(res.IDs))
 		}
 		for i := range flatIDs {
 			if flatIDs[i] != res.IDs[i] {
-				t.Fatalf("flat and grid kernels disagree at position %d", i)
+				t.Fatalf("flat and %v kernels disagree at position %d", kernel, i)
+			}
+		}
+	}
+}
+
+// TestStrategyIdentityAcrossKernels is the acceptance bar for the early-exit
+// kernel: under all six strategy configurations from the paper's evaluation,
+// the three shared kernels return byte-identical answer IDs, and both they
+// and the per-candidate Monte Carlo kernel agree with the exact evaluator on
+// a workload whose probabilities sit far from θ (so MC noise cannot flip an
+// answer).
+func TestStrategyIdentityAcrossKernels(t *testing.T) {
+	pts := gridPoints(2500, 20)
+	spec := func(strategy string) QuerySpec {
+		return QuerySpec{
+			Center:   []float64{500, 500},
+			Cov:      paperCov(10),
+			Delta:    25,
+			Theta:    0.01,
+			Strategy: strategy,
+		}
+	}
+	exactDB, err := Load(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perCandDB, err := Load(pts, WithMonteCarlo(30000), WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharedKernels := []Phase3Kernel{KernelSharedFlat, KernelSharedGrid, KernelSharedEarly}
+	sharedDBs := make([]*DB, len(sharedKernels))
+	for i, kernel := range sharedKernels {
+		db, err := Load(pts, WithMonteCarlo(30000), WithSeed(7), WithPhase3Kernel(kernel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedDBs[i] = db
+	}
+
+	idsOf := func(db *DB, s string) []int64 {
+		t.Helper()
+		res, err := db.Query(spec(s))
+		if err != nil {
+			t.Fatalf("strategy %s: %v", s, err)
+		}
+		return res.IDs
+	}
+	same := func(a, b []int64) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	for _, s := range liveStrategies {
+		exact := idsOf(exactDB, s)
+		if len(exact) == 0 {
+			t.Fatalf("strategy %s: empty exact answer makes the identity check vacuous", s)
+		}
+		if got := idsOf(perCandDB, s); !same(got, exact) {
+			t.Errorf("strategy %s: per-candidate MC %v != exact %v", s, got, exact)
+		}
+		flat := idsOf(sharedDBs[0], s)
+		for i, kernel := range sharedKernels {
+			got := idsOf(sharedDBs[i], s)
+			if !same(got, flat) {
+				t.Errorf("strategy %s: %v IDs %v != shared-flat %v", s, kernel, got, flat)
+			}
+			if !same(got, exact) {
+				t.Errorf("strategy %s: %v IDs %v != exact %v", s, kernel, got, exact)
 			}
 		}
 	}

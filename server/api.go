@@ -90,41 +90,58 @@ type QueryStats struct {
 	// work (0 under the per-candidate kernel).
 	SamplesDrawn   int `json:"samples_drawn,omitempty"`
 	SamplesTouched int `json:"samples_touched,omitempty"`
+	// Early-exit kernel accounting (shared-early only): cells classified
+	// away without distance tests and candidates decided before their scan
+	// finished.
+	CellsSkipped    int `json:"cells_skipped,omitempty"`
+	CellsFullInside int `json:"cells_full_inside,omitempty"`
+	EarlyDecisions  int `json:"early_decisions,omitempty"`
+	// GridFallback marks a query whose grid-backed kernel ran the flat scan
+	// because the cell directory could not be built for its δ.
+	GridFallback bool `json:"grid_fallback,omitempty"`
 }
 
 // StatsFromResult converts library stats to the wire form.
 func StatsFromResult(st gaussrange.Stats) QueryStats {
 	return QueryStats{
-		Retrieved:      st.Retrieved,
-		PrunedFringe:   st.PrunedFringe,
-		PrunedOR:       st.PrunedOR,
-		PrunedBF:       st.PrunedBF,
-		AcceptedBF:     st.AcceptedBF,
-		Integrations:   st.Integrations,
-		NodesRead:      st.NodesRead,
-		IndexNS:        st.IndexTime.Nanoseconds(),
-		FilterNS:       st.FilterTime.Nanoseconds(),
-		ProbNS:         st.ProbTime.Nanoseconds(),
-		SamplesDrawn:   st.SamplesDrawn,
-		SamplesTouched: st.SamplesTouched,
+		Retrieved:       st.Retrieved,
+		PrunedFringe:    st.PrunedFringe,
+		PrunedOR:        st.PrunedOR,
+		PrunedBF:        st.PrunedBF,
+		AcceptedBF:      st.AcceptedBF,
+		Integrations:    st.Integrations,
+		NodesRead:       st.NodesRead,
+		IndexNS:         st.IndexTime.Nanoseconds(),
+		FilterNS:        st.FilterTime.Nanoseconds(),
+		ProbNS:          st.ProbTime.Nanoseconds(),
+		SamplesDrawn:    st.SamplesDrawn,
+		SamplesTouched:  st.SamplesTouched,
+		CellsSkipped:    st.CellsSkipped,
+		CellsFullInside: st.CellsFullInside,
+		EarlyDecisions:  st.EarlyDecisions,
+		GridFallback:    st.GridFallback,
 	}
 }
 
 // Stats converts the wire form back to library stats.
 func (s QueryStats) Stats() gaussrange.Stats {
 	return gaussrange.Stats{
-		Retrieved:      s.Retrieved,
-		PrunedFringe:   s.PrunedFringe,
-		PrunedOR:       s.PrunedOR,
-		PrunedBF:       s.PrunedBF,
-		AcceptedBF:     s.AcceptedBF,
-		Integrations:   s.Integrations,
-		NodesRead:      s.NodesRead,
-		IndexTime:      time.Duration(s.IndexNS),
-		FilterTime:     time.Duration(s.FilterNS),
-		ProbTime:       time.Duration(s.ProbNS),
-		SamplesDrawn:   s.SamplesDrawn,
-		SamplesTouched: s.SamplesTouched,
+		Retrieved:       s.Retrieved,
+		PrunedFringe:    s.PrunedFringe,
+		PrunedOR:        s.PrunedOR,
+		PrunedBF:        s.PrunedBF,
+		AcceptedBF:      s.AcceptedBF,
+		Integrations:    s.Integrations,
+		NodesRead:       s.NodesRead,
+		IndexTime:       time.Duration(s.IndexNS),
+		FilterTime:      time.Duration(s.FilterNS),
+		ProbTime:        time.Duration(s.ProbNS),
+		SamplesDrawn:    s.SamplesDrawn,
+		SamplesTouched:  s.SamplesTouched,
+		CellsSkipped:    s.CellsSkipped,
+		CellsFullInside: s.CellsFullInside,
+		EarlyDecisions:  s.EarlyDecisions,
+		GridFallback:    s.GridFallback,
 	}
 }
 
@@ -259,6 +276,16 @@ type QueryTotals struct {
 	// (counted once per query) vs. samples actually distance-tested.
 	SamplesDrawn   uint64 `json:"samples_drawn"`
 	SamplesTouched uint64 `json:"samples_touched"`
+	// Early-exit kernel totals (shared-early): cells classified away
+	// without distance tests and candidates decided before their scan
+	// finished.
+	CellsSkipped    uint64 `json:"cells_skipped"`
+	CellsFullInside uint64 `json:"cells_full_inside"`
+	EarlyDecisions  uint64 `json:"early_decisions"`
+	// GridFallbacks counts queries whose grid-backed kernel ran the flat
+	// scan because the cell directory could not be built for their δ — a
+	// persistently non-zero rate means the configured δ defeats the grid.
+	GridFallbacks uint64 `json:"grid_fallbacks"`
 }
 
 // Histogram is a fixed-bucket latency histogram. Counts has one entry per

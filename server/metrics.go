@@ -60,6 +60,9 @@ type metrics struct {
 	queries    uint64
 	answers    uint64
 	statTotals gaussrange.Stats
+	// gridFallbacks counts queries that reported a grid→flat fallback;
+	// Stats.Add only ORs the per-query flag, so the count lives here.
+	gridFallbacks uint64
 }
 
 type endpointMetrics struct {
@@ -104,6 +107,9 @@ func (m *metrics) addQuery(st gaussrange.Stats, answers int) {
 	m.queries++
 	m.answers += uint64(answers)
 	m.statTotals.Add(st)
+	if st.GridFallback {
+		m.gridFallbacks++
+	}
 }
 
 func (m *metrics) queryTotals() QueryTotals {
@@ -111,20 +117,24 @@ func (m *metrics) queryTotals() QueryTotals {
 	defer m.mu.Unlock()
 	st := m.statTotals
 	return QueryTotals{
-		Queries:        m.queries,
-		Answers:        m.answers,
-		Retrieved:      uint64(st.Retrieved),
-		PrunedFringe:   uint64(st.PrunedFringe),
-		PrunedOR:       uint64(st.PrunedOR),
-		PrunedBF:       uint64(st.PrunedBF),
-		AcceptedBF:     uint64(st.AcceptedBF),
-		Integrations:   uint64(st.Integrations),
-		NodesRead:      uint64(st.NodesRead),
-		IndexNS:        st.IndexTime.Nanoseconds(),
-		FilterNS:       st.FilterTime.Nanoseconds(),
-		ProbNS:         st.ProbTime.Nanoseconds(),
-		SamplesDrawn:   uint64(st.SamplesDrawn),
-		SamplesTouched: uint64(st.SamplesTouched),
+		Queries:         m.queries,
+		Answers:         m.answers,
+		Retrieved:       uint64(st.Retrieved),
+		PrunedFringe:    uint64(st.PrunedFringe),
+		PrunedOR:        uint64(st.PrunedOR),
+		PrunedBF:        uint64(st.PrunedBF),
+		AcceptedBF:      uint64(st.AcceptedBF),
+		Integrations:    uint64(st.Integrations),
+		NodesRead:       uint64(st.NodesRead),
+		IndexNS:         st.IndexTime.Nanoseconds(),
+		FilterNS:        st.FilterTime.Nanoseconds(),
+		ProbNS:          st.ProbTime.Nanoseconds(),
+		SamplesDrawn:    uint64(st.SamplesDrawn),
+		SamplesTouched:  uint64(st.SamplesTouched),
+		CellsSkipped:    uint64(st.CellsSkipped),
+		CellsFullInside: uint64(st.CellsFullInside),
+		EarlyDecisions:  uint64(st.EarlyDecisions),
+		GridFallbacks:   m.gridFallbacks,
 	}
 }
 

@@ -406,6 +406,71 @@ func TestStatszAndHealthz(t *testing.T) {
 	}
 }
 
+// TestStatszEarlyKernelStats proves the early-exit kernel's accounting flows
+// end to end: core → Result → wire QueryStats → /statsz totals — including
+// the grid-fallback flag for a δ too small for the cell directory.
+func TestStatszEarlyKernelStats(t *testing.T) {
+	db := testDB(t, gaussrange.WithMonteCarlo(2000), gaussrange.WithSeed(7),
+		gaussrange.WithPhase3Kernel(gaussrange.KernelSharedEarly))
+	_, _, cl := newTestServer(t, server.Config{DB: db})
+	ctx := context.Background()
+
+	spec := testSpec(db, "ALL")
+	direct, err := db.Query(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, err := cl.Query(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served.Stats.SamplesTouched != direct.Stats.SamplesTouched ||
+		served.Stats.CellsSkipped != direct.Stats.CellsSkipped ||
+		served.Stats.CellsFullInside != direct.Stats.CellsFullInside ||
+		served.Stats.EarlyDecisions != direct.Stats.EarlyDecisions ||
+		served.Stats.GridFallback != direct.Stats.GridFallback {
+		t.Errorf("served early-kernel stats differ:\n direct: %+v\n served: %+v",
+			direct.Stats, served.Stats)
+	}
+	if direct.Stats.Integrations > 0 && direct.Stats.EarlyDecisions == 0 {
+		t.Error("early kernel decided nothing early on the served workload")
+	}
+	if direct.Stats.GridFallback {
+		t.Error("unexpected grid fallback at paper-scale δ")
+	}
+
+	// δ=0.05 over a ~56-unit cloud extent wants ~800k directory cells, past
+	// the 64·samples cap: the plan must fall back to the flat decide scan and
+	// say so over the wire.
+	tiny := spec
+	tiny.Delta = 0.05
+	tiny.Theta = 1e-6
+	fb, err := cl.Query(ctx, tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fb.Stats.GridFallback {
+		t.Error("grid fallback not surfaced over the wire")
+	}
+
+	snap, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if snap.Queries.Queries != 2 {
+		t.Errorf("query total = %d, want 2", snap.Queries.Queries)
+	}
+	if snap.Queries.SamplesTouched == 0 || snap.Queries.SamplesDrawn == 0 {
+		t.Errorf("sample totals not accumulated: %+v", snap.Queries)
+	}
+	if snap.Queries.EarlyDecisions == 0 {
+		t.Errorf("early-decision total not accumulated: %+v", snap.Queries)
+	}
+	if snap.Queries.GridFallbacks != 1 {
+		t.Errorf("grid fallback count = %d, want 1", snap.Queries.GridFallbacks)
+	}
+}
+
 func TestRejectsMalformedRequests(t *testing.T) {
 	db := testDB(t)
 	_, ts, _ := newTestServer(t, server.Config{DB: db, MaxBatchSize: 2})
