@@ -37,15 +37,19 @@ verify: fmt-check vet race
 	@echo "verify: OK"
 
 # bench-snapshot regenerates BENCH_phase3.json, the committed Phase-3 kernel
-# comparison (per-candidate vs shared-flat vs shared-grid vs shared-early).
+# comparison (per-candidate vs shared-flat vs shared-grid vs shared-early vs
+# tiered).
 bench-snapshot:
 	GO="$(GO)" ./scripts/bench_snapshot.sh
 
 # bench-compare reruns the Phase-3 kernel comparison and gates on the
 # committed BENCH_phase3.json: it fails if the shared kernels' answers
-# diverge or if shared-early's samples_touched relative to shared-grid
-# regresses by more than 10% against the baseline ratio. QUERIES/SAMPLES can
-# be lowered for CI; the gate is scale-invariant.
+# diverge, if shared-early's samples_touched relative to shared-grid
+# regresses by more than 10% against the baseline ratio, if the tiered
+# kernel's answers stop matching shared-flat / stop being worker-count
+# deterministic, or if its tier-0–2 (sample-free) closure rate drops below
+# 70% of Phase-3 candidates. QUERIES/SAMPLES can be lowered for CI; the
+# gates are scale-invariant.
 BENCH_COMPARE_QUERIES ?= 8
 BENCH_COMPARE_SAMPLES ?= 50000
 bench-compare:

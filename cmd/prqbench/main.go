@@ -23,10 +23,11 @@
 //	           -queries queries, and reports throughput, latency quantiles,
 //	           plan-cache and admission statistics (not in "all")
 //	phase3   — Phase-3 kernel comparison: the same 2-D query set under the
-//	           per-candidate, shared-flat, shared-grid and shared-early
-//	           kernels, with Phase-3 time, sample accounting and answer
-//	           agreement; -json writes the measurements as a JSON document
-//	           and -compare gates on a committed baseline (not in "all")
+//	           per-candidate, shared-flat, shared-grid, shared-early and
+//	           tiered kernels, with Phase-3 time, sample accounting, tier-mix
+//	           breakdown, determinism checks and answer agreement; -json
+//	           writes the measurements as a JSON document and -compare gates
+//	           on a committed baseline (not in "all")
 //	churn    — mixed read/write experiment: -workers goroutines run -queries
 //	           operations against one live DB per cell, sweeping the write
 //	           fraction (0–20%) and both overlay-rebuild strategies, and

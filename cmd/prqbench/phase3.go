@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"time"
 
@@ -19,6 +20,7 @@ var phase3Kernels = []gaussrange.Phase3Kernel{
 	gaussrange.KernelSharedFlat,
 	gaussrange.KernelSharedGrid,
 	gaussrange.KernelSharedEarly,
+	gaussrange.KernelTiered,
 }
 
 // phase3KernelResult is one kernel's accumulated measurements, in the wire
@@ -36,6 +38,14 @@ type phase3KernelResult struct {
 	CellsSkipped    int `json:"cells_skipped,omitempty"`
 	CellsFullInside int `json:"cells_full_inside,omitempty"`
 	EarlyDecisions  int `json:"early_decisions,omitempty"`
+	// Tiered kernel accounting (zero for the other kernels): per-tier
+	// decision counts and the fraction of candidates closed without
+	// touching a sample (tiers 0–2).
+	TierBF          int     `json:"tier_bf,omitempty"`
+	TierEnvelope    int     `json:"tier_envelope,omitempty"`
+	TierExact       int     `json:"tier_exact,omitempty"`
+	TierMC          int     `json:"tier_mc,omitempty"`
+	TierClosureRate float64 `json:"tier_closure_rate,omitempty"`
 }
 
 // phase3Report is the JSON document written by -json.
@@ -51,8 +61,17 @@ type phase3Report struct {
 	FlatGridAgree bool    `json:"flat_grid_identical_ids"`
 	// SharedAgree extends the identity check to the early-exit kernel: the
 	// shared-flat, shared-grid and shared-early answer sets are identical.
-	SharedAgree bool                 `json:"shared_identical_ids"`
-	Kernels     []phase3KernelResult `json:"kernels"`
+	SharedAgree bool `json:"shared_identical_ids"`
+	// TieredAgree reports that the tiered kernel's answers match shared-flat
+	// everywhere the exact probability is farther from θ than the MC
+	// kernels' own sampling tolerance — the exact tiers are allowed to
+	// out-decide the cloud only on borderline candidates.
+	TieredAgree bool `json:"tiered_matches_shared"`
+	// TieredDeterministic reports that re-running the tiered query set —
+	// serially and with a parallel worker pool — reproduced the first run's
+	// answer ids exactly.
+	TieredDeterministic bool                 `json:"tiered_deterministic"`
+	Kernels             []phase3KernelResult `json:"kernels"`
 }
 
 // runPhase3 compares the Phase-3 kernels on the paper's default 2-D workload
@@ -141,10 +160,40 @@ func runPhase3(cfg experiments.Config, queries int, jsonPath, comparePath string
 			kr.CellsSkipped += res.Stats.CellsSkipped
 			kr.CellsFullInside += res.Stats.CellsFullInside
 			kr.EarlyDecisions += res.Stats.EarlyDecisions
+			kr.TierBF += res.Stats.TierBF
+			kr.TierEnvelope += res.Stats.TierEnvelope
+			kr.TierExact += res.Stats.TierExact
+			kr.TierMC += res.Stats.TierMC
 			kr.Answers += len(res.IDs)
 			ids[ki][qi] = res.IDs
 		}
 		kr.TotalNS = time.Since(t0).Nanoseconds()
+		if kernel == gaussrange.KernelTiered {
+			if kr.Integrations > 0 {
+				kr.TierClosureRate = float64(kr.TierBF+kr.TierEnvelope+kr.TierExact) / float64(kr.Integrations)
+			}
+			// Determinism: the same query set, re-run serially and through
+			// the parallel executor, must reproduce the ids byte for byte.
+			report.TieredDeterministic = true
+			for qi, spec := range specs {
+				for _, workers := range []int{1, 4} {
+					res, err := db.QueryParallelCtx(ctx, spec, workers)
+					if err != nil {
+						return err
+					}
+					if !idSliceEqual(ids[ki][qi], res.IDs) {
+						report.TieredDeterministic = false
+					}
+				}
+			}
+			// Agreement vs shared-flat at MC tolerance, using the exact
+			// probability to adjudicate each differing id.
+			agree, err := tieredMatchesShared(db, specs, ids[1], ids[ki], theta, samples)
+			if err != nil {
+				return err
+			}
+			report.TieredAgree = agree
+		}
 		report.Kernels = append(report.Kernels, kr)
 	}
 	base := float64(report.Kernels[0].Phase3NS)
@@ -171,6 +220,13 @@ func runPhase3(cfg experiments.Config, queries int, jsonPath, comparePath string
 		fmt.Printf("  shared-early: %d early decisions, %d cells skipped, %d cells full-inside\n",
 			early.EarlyDecisions, early.CellsSkipped, early.CellsFullInside)
 	}
+	if tiered := findKernel(&report, "tiered"); tiered != nil {
+		fmt.Printf("  tiered: bf=%d envelope=%d exact=%d mc=%d (%.1f%% closed sample-free)\n",
+			tiered.TierBF, tiered.TierEnvelope, tiered.TierExact, tiered.TierMC,
+			100*tiered.TierClosureRate)
+		fmt.Printf("  tiered deterministic across runs/worker counts:   %v\n", report.TieredDeterministic)
+		fmt.Printf("  tiered matches shared-flat at MC tolerance:       %v\n", report.TieredAgree)
+	}
 
 	if jsonPath != "" {
 		buf, err := json.MarshalIndent(report, "", "  ")
@@ -189,15 +245,24 @@ func runPhase3(cfg experiments.Config, queries int, jsonPath, comparePath string
 	return nil
 }
 
-// comparePhase3 gates CI on the early-exit kernel's sample savings: the run
-// fails when the shared kernels disagree or when shared-early's
-// samples_touched, as a fraction of shared-grid's, regresses more than 10%
-// against the committed baseline report. The ratio — not the absolute count
-// — is compared, so a CI run with fewer queries or samples than the
-// committed snapshot still gates meaningfully.
+// comparePhase3 gates CI on the early-exit kernel's sample savings and the
+// tiered kernel's sample-free closure rate: the run fails when the shared
+// kernels disagree, when shared-early's samples_touched, as a fraction of
+// shared-grid's, regresses more than 10% against the committed baseline
+// report, when the tiered kernel stops being deterministic or drifts from the
+// shared answers beyond MC tolerance, or when the tier-0–2 closure rate
+// regresses toward MC-heavy behaviour. Ratios — not absolute counts — are
+// compared, so a CI run with fewer queries or samples than the committed
+// snapshot still gates meaningfully.
 func comparePhase3(report *phase3Report, baselinePath string) error {
 	if !report.SharedAgree {
 		return fmt.Errorf("shared kernels disagree on answer ids — identity broken, not a perf question")
+	}
+	if !report.TieredDeterministic {
+		return fmt.Errorf("tiered kernel answers changed across runs/worker counts — determinism broken")
+	}
+	if !report.TieredAgree {
+		return fmt.Errorf("tiered kernel disagrees with shared-flat beyond MC tolerance")
 	}
 	buf, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -236,7 +301,94 @@ func comparePhase3(report *phase3Report, baselinePath string) error {
 	if got > limit {
 		return fmt.Errorf("samples_touched regression: shared-early/shared-grid ratio %.4f exceeds baseline %.4f by more than 10%%", got, want)
 	}
+
+	// Tiered closure gate: a large majority of candidates must keep closing
+	// at the sample-free tiers. The floor is absolute (the kernel's whole
+	// point) and additionally tracks the committed baseline with a small
+	// allowance for workload jitter.
+	tiered := findKernel(report, "tiered")
+	if tiered == nil {
+		return fmt.Errorf("report lacks a tiered kernel row")
+	}
+	floor := 0.70
+	if bt := findKernel(&base, "tiered"); bt != nil && bt.TierClosureRate-0.05 > floor {
+		floor = bt.TierClosureRate - 0.05
+	}
+	fmt.Printf("bench-compare: tiered closes %.1f%% of candidates at tiers 0–2 (floor %.1f%%)\n",
+		100*tiered.TierClosureRate, 100*floor)
+	if tiered.TierClosureRate < floor {
+		return fmt.Errorf("tier closure regression: %.1f%% of candidates closed sample-free, floor %.1f%%",
+			100*tiered.TierClosureRate, 100*floor)
+	}
 	return nil
+}
+
+// findKernel returns the named kernel's row, nil when absent.
+func findKernel(r *phase3Report, name string) *phase3KernelResult {
+	for i := range r.Kernels {
+		if r.Kernels[i].Kernel == name {
+			return &r.Kernels[i]
+		}
+	}
+	return nil
+}
+
+// tieredMatchesShared verifies the tiered and shared-flat answer sets agree
+// everywhere agreement is owed: ids on which they differ are adjudicated with
+// the exact probability, and only candidates within the MC kernels' own
+// sampling tolerance of θ (6σ of a binomial proportion at n samples) may
+// legitimately flip — there the exact tiers outrank the cloud, not the other
+// way around.
+func tieredMatchesShared(db *gaussrange.DB, specs []gaussrange.QuerySpec, shared, tiered [][]int64, theta float64, samples int) (bool, error) {
+	tol := 6 * math.Sqrt(theta*(1-theta)/float64(samples))
+	for qi := range specs {
+		for _, id := range symmetricDiff(shared[qi], tiered[qi]) {
+			p, err := db.QueryProb(specs[qi], id)
+			if err != nil {
+				return false, err
+			}
+			if math.Abs(p-theta) > tol {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// symmetricDiff returns the ids present in exactly one of the two ascending
+// slices.
+func symmetricDiff(a, b []int64) []int64 {
+	var out []int64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		default:
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// idSliceEqual reports whether two ascending id slices match exactly.
+func idSliceEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // idsEqual reports whether two per-query answer-set slices match exactly.

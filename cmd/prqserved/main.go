@@ -31,8 +31,8 @@
 //	-pprof ADDR         serve net/http/pprof on a separate loopback address
 //	                    (e.g. 127.0.0.1:6060; empty = disabled)
 //	-phase3 NAME        Phase-3 kernel: per-candidate (default), shared-flat,
-//	                    shared-grid or shared-early (incompatible with
-//	                    -adaptive)
+//	                    shared-grid, shared-early or tiered (incompatible
+//	                    with -adaptive)
 //
 // On SIGINT/SIGTERM the server stops accepting connections, drains every
 // in-flight query, and exits 0; queries still running after -drain-timeout
@@ -95,7 +95,7 @@ func main() {
 	flag.IntVar(&cfg.batchWorkers, "batch-workers", runtime.GOMAXPROCS(0), "worker-pool cap for batch requests")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "graceful-drain budget on shutdown")
 	flag.StringVar(&cfg.pprofAddr, "pprof", "", "serve net/http/pprof on this loopback address (empty = disabled)")
-	flag.StringVar(&cfg.phase3, "phase3", "per-candidate", `Phase-3 kernel: "per-candidate", "shared-flat", "shared-grid" or "shared-early"`)
+	flag.StringVar(&cfg.phase3, "phase3", "per-candidate", `Phase-3 kernel: "per-candidate", "shared-flat", "shared-grid", "shared-early" or "tiered"`)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: prqserved -csv points.csv | -snapshot db.grdb [flags]\n")
 		flag.PrintDefaults()
@@ -147,17 +147,10 @@ func loadDB(cfg config) (*gaussrange.DB, error) {
 
 // parsePhase3 maps the -phase3 flag to a kernel constant.
 func parsePhase3(name string) (gaussrange.Phase3Kernel, error) {
-	switch name {
-	case "", "per-candidate":
+	if name == "" {
 		return gaussrange.KernelPerCandidate, nil
-	case "shared-flat":
-		return gaussrange.KernelSharedFlat, nil
-	case "shared-grid":
-		return gaussrange.KernelSharedGrid, nil
-	case "shared-early":
-		return gaussrange.KernelSharedEarly, nil
 	}
-	return 0, fmt.Errorf("unknown -phase3 kernel %q (want per-candidate, shared-flat, shared-grid or shared-early)", name)
+	return gaussrange.ParsePhase3Kernel(name)
 }
 
 // pprofHandler builds a mux with the net/http/pprof endpoints. The handlers

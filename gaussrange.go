@@ -148,10 +148,33 @@ const (
 	// settled. Answers are byte-identical to KernelSharedFlat and
 	// KernelSharedGrid with the same seed; only the work differs.
 	KernelSharedEarly Phase3Kernel = Phase3Kernel(core.KernelSharedEarly)
+	// KernelTiered decides each candidate analytically before it ever
+	// touches a sample: the compiled BF radii first, then a noncentral-χ²
+	// probability bracket from the eigenvalue extremes of Σ, then Ruben's
+	// exact series under a certified truncation bound — falling back to a
+	// lazily drawn shared cloud only when θ lands inside the certified
+	// error interval or Σ is too ill-conditioned for the series. Answers
+	// are deterministic and seed-independent whenever the exact tiers
+	// close every candidate (the typical case), and are always invariant
+	// under worker count and execution order.
+	KernelTiered Phase3Kernel = Phase3Kernel(core.KernelTiered)
 )
 
 // String names the kernel as benchmarks and stats endpoints report it.
 func (k Phase3Kernel) String() string { return core.Phase3Kernel(k).String() }
+
+// ParsePhase3Kernel maps a kernel name — as printed by Phase3Kernel.String
+// and accepted by the CLI -phase3 flags — back to the kernel constant.
+func ParsePhase3Kernel(name string) (Phase3Kernel, error) {
+	for _, k := range []Phase3Kernel{
+		KernelPerCandidate, KernelSharedFlat, KernelSharedGrid, KernelSharedEarly, KernelTiered,
+	} {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("gaussrange: unknown Phase-3 kernel %q (want per-candidate, shared-flat, shared-grid, shared-early, or tiered)", name)
+}
 
 // WithPhase3Kernel selects the shared-sample Phase-3 kernel. The cloud size
 // is WithMonteCarlo's sample count when set, else mc.DefaultSamples
@@ -162,7 +185,7 @@ func (k Phase3Kernel) String() string { return core.Phase3Kernel(k).String() }
 // many samples to draw, which a shared cloud cannot express).
 func WithPhase3Kernel(k Phase3Kernel) Option {
 	return func(o *options) error {
-		if k < KernelPerCandidate || k > KernelSharedEarly {
+		if k < KernelPerCandidate || k > KernelTiered {
 			return fmt.Errorf("gaussrange: unknown Phase-3 kernel %d", int(k))
 		}
 		o.phase3Kernel = k
@@ -398,10 +421,30 @@ type Stats struct {
 	CellsSkipped    int
 	CellsFullInside int
 	EarlyDecisions  int
+	// Tier-mix accounting (KernelTiered): how many Phase-3 candidates each
+	// tier of the pipeline decided — TierBF by the compiled BF radii,
+	// TierEnvelope by the noncentral-χ² bracket, TierExact by Ruben's
+	// series, TierMC by the sampling fallback. The four sum to
+	// Integrations; candidates closed before TierMC touch no samples. All 0
+	// under the other kernels.
+	TierBF       int
+	TierEnvelope int
+	TierExact    int
+	TierMC       int
 	// GridFallback reports that a grid-backed kernel could not build its
 	// cell directory for this query's δ and ran the flat scan instead.
 	GridFallback bool
 }
+
+// TierMix returns the tiered kernel's per-tier decision counts in pipeline
+// order. All zero unless the query ran under KernelTiered.
+func (s Stats) TierMix() (bf, envelope, exact, mc int) {
+	return s.TierBF, s.TierEnvelope, s.TierExact, s.TierMC
+}
+
+// SampleFreeDecisions returns how many Phase-3 candidates the tiered kernel
+// closed without touching a single sample (tiers 0–2).
+func (s Stats) SampleFreeDecisions() int { return s.TierBF + s.TierEnvelope + s.TierExact }
 
 // Add accumulates other into s. Long-running services that track per-phase
 // totals across many queries (the server's /statsz endpoint, load
@@ -422,6 +465,10 @@ func (s *Stats) Add(other Stats) {
 	s.CellsSkipped += other.CellsSkipped
 	s.CellsFullInside += other.CellsFullInside
 	s.EarlyDecisions += other.EarlyDecisions
+	s.TierBF += other.TierBF
+	s.TierEnvelope += other.TierEnvelope
+	s.TierExact += other.TierExact
+	s.TierMC += other.TierMC
 	// A single degraded query marks the running total: totals answer "did
 	// any query fall back", per-query Stats answer "which".
 	s.GridFallback = s.GridFallback || other.GridFallback
@@ -783,6 +830,10 @@ func convertResult(res *core.Result) *Result {
 			CellsSkipped:    res.Stats.CellsSkipped,
 			CellsFullInside: res.Stats.CellsFullInside,
 			EarlyDecisions:  res.Stats.EarlyDecisions,
+			TierBF:          res.Stats.TierBF,
+			TierEnvelope:    res.Stats.TierEnvelope,
+			TierExact:       res.Stats.TierExact,
+			TierMC:          res.Stats.TierMC,
 			GridFallback:    res.Stats.GridFallback,
 		},
 	}

@@ -17,8 +17,17 @@ type ForkableEvaluator interface {
 }
 
 // ForkEvaluator returns an independent exact evaluator (the Ruben evaluator
-// only caches per-distribution spectra, so forks are cheap).
-func (e *ExactEvaluator) ForkEvaluator(uint64) Evaluator { return NewExactEvaluator() }
+// only caches per-distribution spectra, so forks are cheap). The fork shares
+// the parent's evaluation counter family, so counts performed on forks become
+// visible in the parent's Evaluations once the executor folds them.
+func (e *ExactEvaluator) ForkEvaluator(uint64) Evaluator {
+	return &ExactEvaluator{inner: e.inner.Fork()}
+}
+
+// FoldEvaluations publishes the fork's pending evaluation count into the
+// shared family total. Executors call it once per fork after the worker pool
+// has quiesced.
+func (e *ExactEvaluator) FoldEvaluations() { e.inner.Fold() }
 
 // ExecuteParallel runs the compiled plan with Phase 3 spread over a pool of
 // worker goroutines using the engine's evaluator. See ExecuteWith.
@@ -43,6 +52,21 @@ func (p *Plan) ExecuteParallel(ctx context.Context, workers int) (*Result, error
 func (p *Plan) ExecuteWith(ctx context.Context, eval Evaluator, workers int) (*Result, error) {
 	if workers < 1 {
 		workers = 1
+	}
+	if p.tier != nil {
+		// Tiered kernel: candidates are decided by analytic bounds and exact
+		// series before any sampling, against one shared lazy cloud — like the
+		// shared kernels there is no fork requirement, and the answer set is
+		// worker-count invariant because every tier is a pure function of the
+		// candidate.
+		snap, st, accepted, needEval, err := p.filterPhases(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if workers == 1 {
+			return p.executeTiered(ctx, snap, &st, accepted, needEval)
+		}
+		return p.executeTieredParallel(ctx, snap, &st, accepted, needEval, workers)
 	}
 	if p.cloud != nil {
 		// Shared-sample kernel: workers count hits against one read-only
@@ -123,6 +147,13 @@ func (p *Plan) ExecuteWith(ctx context.Context, eval Evaluator, workers int) (*R
 		}()
 	}
 	wg.Wait()
+	// Fold per-fork evaluation counts into the parent's shared total (the
+	// pool has quiesced, so each fork's local count is stable).
+	for _, ev := range evs {
+		if f, ok := ev.(interface{ FoldEvaluations() }); ok {
+			f.FoldEvaluations()
+		}
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}

@@ -153,10 +153,21 @@ type PhaseStats struct {
 	CellsSkipped    int
 	CellsFullInside int
 	EarlyDecisions  int
-	// GridFallback reports that a grid-backed kernel (shared-grid or
-	// shared-early) could not build its cell directory — δ too small for
-	// the cloud extent — and silently ran the flat scan instead. Surfaced
-	// so operators can tell a degraded configuration from a fast one.
+	// Tier-mix accounting (KernelTiered only): how many Phase-3 candidates
+	// each tier decided — TierBF by the compiled BF α∥/α⊥ radii, TierEnvelope
+	// by the noncentral-χ² probability bracket, TierExact by Ruben's series
+	// under its certified truncation bound, TierMC by the shared-cloud
+	// sampling fallback. Candidates closed at the first three tiers touch no
+	// samples; the four counts sum to Integrations.
+	TierBF       int
+	TierEnvelope int
+	TierExact    int
+	TierMC       int
+	// GridFallback reports that a grid-backed kernel (shared-grid,
+	// shared-early, or the tiered kernel's MC fallback) could not build its
+	// cell directory — δ too small for the cloud extent — and silently ran
+	// the flat scan instead. Surfaced so operators can tell a degraded
+	// configuration from a fast one.
 	GridFallback   bool
 	PhaseDurations [3]time.Duration
 	// AlphaUpper and AlphaLower are the BF radii used (0 when BF unused or

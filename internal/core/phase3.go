@@ -40,6 +40,16 @@ const (
 	// shared-flat/shared-grid — with another order of magnitude fewer
 	// samples touched at paper-scale δ.
 	KernelSharedEarly
+	// KernelTiered replaces sampling with a tiered decision pipeline: tier 0
+	// reuses the compiled BF α∥/α⊥ radii, tier 1 brackets the qualification
+	// probability with a noncentral-χ² envelope from the eigenvalue extremes
+	// of Σ, tier 2 evaluates Ruben's series with a certified truncation
+	// bound, and only candidates the exact tiers cannot certify (θ inside
+	// the error bound, or ill-conditioned Σ) fall back to a lazily drawn
+	// shared cloud. Most candidates touch zero samples and the answer is a
+	// deterministic, seed-independent function of the query whenever tier 3
+	// never fires.
+	KernelTiered
 )
 
 // String names the kernel as the benchmarks report it.
@@ -53,6 +63,8 @@ func (k Phase3Kernel) String() string {
 		return "shared-grid"
 	case KernelSharedEarly:
 		return "shared-early"
+	case KernelTiered:
+		return "tiered"
 	default:
 		return fmt.Sprintf("Phase3Kernel(%d)", int(k))
 	}
@@ -77,6 +89,9 @@ type Phase3Options struct {
 func (p *Plan) attachCloud(opts Phase3Options) error {
 	if opts.Kernel == KernelPerCandidate || p.geo.empty {
 		return nil
+	}
+	if opts.Kernel == KernelTiered {
+		return p.attachTier(opts)
 	}
 	n := opts.Samples
 	if n <= 0 {
@@ -265,12 +280,20 @@ func (p *Plan) executeSharedParallel(ctx context.Context, snap *Snapshot, st *Ph
 	return &Result{IDs: ids, Stats: *st}, nil
 }
 
-// sharedTotals accumulates the per-worker Phase-3 sample accounting.
+// sharedTotals accumulates the per-worker Phase-3 sample accounting. The
+// tier counters stay zero on the shared kernels and the sample counters stay
+// zero on exact-tier decisions, so one totals struct serves both executors.
 type sharedTotals struct {
 	touched    atomic.Int64
 	skipped    atomic.Int64
 	fullInside atomic.Int64
 	early      atomic.Int64
+
+	tierBF       atomic.Int64
+	tierEnvelope atomic.Int64
+	tierExact    atomic.Int64
+	tierMC       atomic.Int64
+	gridFallback atomic.Bool
 }
 
 // add folds one worker's local stats into the totals.
@@ -279,4 +302,11 @@ func (t *sharedTotals) add(local *PhaseStats) {
 	t.skipped.Add(int64(local.CellsSkipped))
 	t.fullInside.Add(int64(local.CellsFullInside))
 	t.early.Add(int64(local.EarlyDecisions))
+	t.tierBF.Add(int64(local.TierBF))
+	t.tierEnvelope.Add(int64(local.TierEnvelope))
+	t.tierExact.Add(int64(local.TierExact))
+	t.tierMC.Add(int64(local.TierMC))
+	if local.GridFallback {
+		t.gridFallback.Store(true)
+	}
 }

@@ -54,6 +54,12 @@ type Plan struct {
 	needHits     int
 	gridFallback bool
 
+	// Tiered Phase-3 kernel state (KernelTiered). The evaluator holds only
+	// mean-independent data — eigenvalue extremes, compiled radii, the lazy
+	// cloud holder — so Rebind's shallow copy shares it and a rebound plan's
+	// tier-3 cloud (if ever drawn) follows the moving query for free.
+	tier *TierEvaluator
+
 	// Mean-dependent geometry, rebuilt cheaply by Rebind.
 	searchBox geom.Rect
 	fringe    *geom.MinkowskiRegion
@@ -329,6 +335,12 @@ func (p *Plan) executeSerial(ctx context.Context, eval Evaluator) (*Result, erro
 	snap, st, accepted, needEval, err := p.filterPhases(ctx)
 	if err != nil {
 		return nil, err
+	}
+	if p.tier != nil {
+		// Tiered kernel: the evaluator is bypassed — candidates are decided
+		// by the tier pipeline (analytic bounds, then exact series, then the
+		// lazy shared cloud).
+		return p.executeTiered(ctx, snap, &st, accepted, needEval)
 	}
 	if p.cloud != nil {
 		// Shared-sample kernel: the evaluator is bypassed — every candidate

@@ -1,0 +1,151 @@
+package quadform
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"gaussrange/internal/stats"
+	"gaussrange/internal/vecmat"
+)
+
+// TestRubenCDFBoundCertified: the certified truncation bound must actually
+// contain the truth. With equal lambdas the quadratic form is an exactly
+// scaled noncentral chi-square, giving an independent reference value.
+func TestRubenCDFBoundCertified(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, d := range []int{1, 2, 5, 9} {
+		for trial := 0; trial < 20; trial++ {
+			scale := 0.5 + 5*rng.Float64()
+			lambda := make([]float64, d)
+			b := make([]float64, d)
+			var nc float64
+			for i := range lambda {
+				lambda[i] = scale
+				b[i] = 3 * (rng.Float64() - 0.5)
+				nc += b[i] * b[i]
+			}
+			x := float64(d) * (0.2 + 3*rng.Float64())
+			p, bound, err := RubenCDFBound(lambda, b, scale*x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bound < 0 {
+				t.Fatalf("negative certified bound %g", bound)
+			}
+			want, err := stats.NoncentralChiSquareCDF(float64(d), nc, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// 1e-10 absorbs the reference CDF's own series tolerance.
+			if diff := math.Abs(p - want); diff > bound+1e-10 {
+				t.Errorf("d=%d trial=%d: |%.14g - %.14g| = %g exceeds certified bound %g",
+					d, trial, p, want, diff, bound)
+			}
+		}
+	}
+}
+
+// TestRubenCDFBoundMatchesCDF: RubenCDF is the bound variant with the bound
+// discarded — the probabilities must be bit-identical.
+func TestRubenCDFBoundMatchesCDF(t *testing.T) {
+	lambda := []float64{9, 2.5, 1}
+	b := []float64{0.3, -1.2, 2}
+	for _, x := range []float64{0.5, 5, 25, 80} {
+		p1, err := RubenCDF(lambda, b, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, bound, err := RubenCDFBound(lambda, b, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p1 != p2 {
+			t.Errorf("x=%g: RubenCDF %v != RubenCDFBound %v", x, p1, p2)
+		}
+		if bound < 0 || bound > 1e-6 {
+			t.Errorf("x=%g: implausible certified bound %g", x, bound)
+		}
+	}
+}
+
+// TestExactForkCounting: forks of one evaluator share a single family total.
+// Each goroutine works on its own fork (own caches, no locks) and folds at
+// exit; the parent must then see every evaluation. Run under -race this also
+// proves the scheme has no data races.
+func TestExactForkCounting(t *testing.T) {
+	const (
+		workers = 8
+		perW    = 25
+	)
+	dist := paperDist(t, 10)
+	parent := NewExact()
+
+	// Two evaluations on the parent itself before any forks exist.
+	for i := 0; i < 2; i++ {
+		if _, err := parent.Qualification(dist, vecmat.Vector{505, 495}, 20); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			e := parent.Fork()
+			defer e.Fold()
+			for i := 0; i < perW; i++ {
+				o := vecmat.Vector{480 + float64(w), 490 + float64(i)}
+				if _, err := e.Qualification(dist, o, 25); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got, want := parent.Evaluations(), 2+workers*perW; got != want {
+		t.Errorf("Evaluations() = %d after concurrent forks, want %d", got, want)
+	}
+
+	parent.ResetEvaluations()
+	if got := parent.Evaluations(); got != 0 {
+		t.Errorf("Evaluations() = %d after reset, want 0", got)
+	}
+	// A fork created after the reset still feeds the shared family total.
+	f := parent.Fork()
+	if _, err := f.Qualification(dist, vecmat.Vector{500, 500}, 25); err != nil {
+		t.Fatal(err)
+	}
+	f.Fold()
+	if got := parent.Evaluations(); got != 1 {
+		t.Errorf("Evaluations() = %d after post-reset fork work, want 1", got)
+	}
+}
+
+// TestExactQualificationBound: the per-call certified bound must bracket a
+// direct high-precision Ruben evaluation in the eigenbasis.
+func TestExactQualificationBound(t *testing.T) {
+	dist := paperDist(t, 10)
+	e := NewExact()
+	p, bound, err := e.QualificationBound(dist, vecmat.Vector{507, 493}, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0 || p > 1 {
+		t.Fatalf("probability %g out of range", p)
+	}
+	if bound < 0 || bound > 1e-6 {
+		t.Fatalf("implausible certified bound %g", bound)
+	}
+	q, err := e.Qualification(dist, vecmat.Vector{507, 493}, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != q {
+		t.Errorf("QualificationBound %v != Qualification %v", p, q)
+	}
+}

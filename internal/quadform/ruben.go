@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"gaussrange/internal/stats"
 	"gaussrange/internal/vecmat"
@@ -39,23 +40,35 @@ const epsAbs = 1e-12
 // standard normal z_j. All lambda[j] must be positive; len(b) must equal
 // len(lambda). For t ≤ 0 the result is 0.
 func RubenCDF(lambda, b []float64, t float64) (float64, error) {
+	p, _, err := RubenCDFBound(lambda, b, t)
+	return p, err
+}
+
+// RubenCDFBound is RubenCDF plus a certified absolute error bound: the true
+// CDF value lies in [p − bound, p + bound]. The bound is rigorous, not an
+// estimate — the discarded mixture coefficients sum to exactly 1 − Σ aₖ and
+// each multiplies a χ² CDF no larger than the last one computed, so the
+// truncated tail is contained in [0, (1 − Σ aₖ)·F_k] and p is reported at the
+// interval midpoint. Callers comparing p against a threshold θ can therefore
+// certify the comparison whenever |p − θ| > bound.
+func RubenCDFBound(lambda, b []float64, t float64) (p, bound float64, err error) {
 	d := len(lambda)
 	if d == 0 || len(b) != d {
-		return 0, fmt.Errorf("quadform: need len(lambda) == len(b) > 0, got %d and %d", d, len(b))
+		return 0, 0, fmt.Errorf("quadform: need len(lambda) == len(b) > 0, got %d and %d", d, len(b))
 	}
 	for j, l := range lambda {
 		if l <= 0 || math.IsNaN(l) {
-			return 0, fmt.Errorf("quadform: lambda[%d] = %g must be positive", j, l)
+			return 0, 0, fmt.Errorf("quadform: lambda[%d] = %g must be positive", j, l)
 		}
 		if math.IsNaN(b[j]) {
-			return 0, fmt.Errorf("quadform: b[%d] is NaN", j)
+			return 0, 0, fmt.Errorf("quadform: b[%d] is NaN", j)
 		}
 	}
 	if math.IsNaN(t) {
-		return 0, fmt.Errorf("quadform: t is NaN")
+		return 0, 0, fmt.Errorf("quadform: t is NaN")
 	}
 	if t <= 0 {
-		return 0, nil
+		return 0, 0, nil
 	}
 
 	// Scale parameter: β = min λ_j keeps all mixture coefficients a_k ≥ 0
@@ -96,7 +109,7 @@ func RubenCDF(lambda, b []float64, t float64) (float64, error) {
 	// First mixture term.
 	f, err := stats.ChiSquareCDF(dof, x)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	sum := a[0] * f
 	aSum := a[0]
@@ -123,17 +136,19 @@ func RubenCDF(lambda, b []float64, t float64) (float64, error) {
 
 		fk, err := stats.ChiSquareCDF(dof+2*float64(k), x)
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 		sum += ak * fk
 
 		// Rigorous truncation bound: remaining coefficients sum to 1 − aSum
 		// and every remaining CDF factor is ≤ fk (CDF decreases in dof).
 		if tail := (1 - aSum) * fk; tail < epsAbs {
-			return clamp01(sum + tail/2), nil
+			// Midpoint of [sum, sum + tail]; clamping to [0, 1] can only move
+			// the report toward the true value, so tail/2 stays valid.
+			return clamp01(sum + tail/2), tail / 2, nil
 		}
 	}
-	return 0, ErrNotConverged
+	return 0, 0, ErrNotConverged
 }
 
 func clamp01(p float64) float64 {
@@ -152,8 +167,18 @@ func clamp01(p float64) float64 {
 //
 // Per-distribution spectral data is cached so repeated candidates against the
 // same query pay only the O(d²) offset transform plus the series.
+//
+// An Exact instance is single-goroutine, but a family of instances created
+// with Fork shares one cumulative evaluation counter safely: each instance
+// counts locally and publishes with Fold (or transparently on Evaluations of
+// the instance itself), so parallel executors can give every worker its own
+// fork and still report one total.
 type Exact struct {
-	evalCount int
+	// evalLocal counts qualifications not yet folded into evalTotal. Only the
+	// owning goroutine touches it.
+	evalLocal int64
+	// evalTotal is shared by every fork in the family.
+	evalTotal *atomic.Int64
 
 	// Cache keyed by distribution identity.
 	dist    interface{ Dim() int }
@@ -175,25 +200,55 @@ type GaussDist interface {
 }
 
 // NewExact returns an exact evaluator.
-func NewExact() *Exact { return &Exact{} }
+func NewExact() *Exact { return &Exact{evalTotal: new(atomic.Int64)} }
 
-// Evaluations returns the number of qualification computations performed.
-func (e *Exact) Evaluations() int { return e.evalCount }
+// Fork returns an evaluator with its own spectral cache and scratch buffers
+// that shares this evaluator's cumulative evaluation counter. It is the
+// per-worker instance for parallel executors: forks never contend on cache
+// state, and their counts surface in the family total once they Fold.
+func (e *Exact) Fork() *Exact { return &Exact{evalTotal: e.evalTotal} }
 
-// ResetEvaluations zeroes the counter.
-func (e *Exact) ResetEvaluations() { e.evalCount = 0 }
+// Fold publishes this instance's pending evaluation count into the shared
+// family total with a single atomic add and zeroes the local counter.
+// Parallel executors defer it per worker — LIFO, before the worker signals
+// its WaitGroup — so the total is complete after Wait even when a query is
+// cancelled mid-flight.
+func (e *Exact) Fold() {
+	if e.evalLocal != 0 {
+		e.evalTotal.Add(e.evalLocal)
+		e.evalLocal = 0
+	}
+}
+
+// Evaluations returns the number of qualification computations performed by
+// this instance's family: the folded total plus this instance's unfolded
+// count. Counts pending in other un-Folded forks are not visible.
+func (e *Exact) Evaluations() int { return int(e.evalTotal.Load() + e.evalLocal) }
+
+// ResetEvaluations zeroes the family total and this instance's local count.
+func (e *Exact) ResetEvaluations() {
+	e.evalTotal.Store(0)
+	e.evalLocal = 0
+}
 
 // Qualification returns the exact probability Pr(‖x − o‖ ≤ delta) for
 // x ~ dist.
 func (e *Exact) Qualification(dist GaussDist, o vecmat.Vector, delta float64) (float64, error) {
+	p, _, err := e.QualificationBound(dist, o, delta)
+	return p, err
+}
+
+// QualificationBound is Qualification plus the certified truncation bound of
+// RubenCDFBound: the true probability lies in [p − bound, p + bound].
+func (e *Exact) QualificationBound(dist GaussDist, o vecmat.Vector, delta float64) (p, bound float64, err error) {
 	d := dist.Dim()
 	if o.Dim() != d {
-		return 0, fmt.Errorf("quadform: object dim %d vs distribution dim %d", o.Dim(), d)
+		return 0, 0, fmt.Errorf("quadform: object dim %d vs distribution dim %d", o.Dim(), d)
 	}
 	if delta <= 0 {
-		return 0, fmt.Errorf("quadform: delta must be positive, got %g", delta)
+		return 0, 0, fmt.Errorf("quadform: delta must be positive, got %g", delta)
 	}
-	e.evalCount++
+	e.evalLocal++
 
 	if e.dist != dist || len(e.lambda) != d {
 		e.dist = dist
@@ -212,5 +267,5 @@ func (e *Exact) Qualification(dist GaussDist, o vecmat.Vector, delta float64) (f
 	for j := 0; j < d; j++ {
 		e.bBuf[j] = e.u[j] / math.Sqrt(e.lambda[j])
 	}
-	return RubenCDF(e.lambda, e.bBuf, delta*delta)
+	return RubenCDFBound(e.lambda, e.bBuf, delta*delta)
 }

@@ -19,6 +19,9 @@ func TestPhase3KernelValidation(t *testing.T) {
 	if _, err := Load(pts, WithAdaptiveMonteCarlo(1000), WithPhase3Kernel(KernelSharedEarly)); err == nil {
 		t.Error("early kernel combined with adaptive MC accepted")
 	}
+	if _, err := Load(pts, WithAdaptiveMonteCarlo(1000), WithPhase3Kernel(KernelTiered)); err == nil {
+		t.Error("tiered kernel combined with adaptive MC accepted")
+	}
 	if _, err := Load(pts, WithPhase3Kernel(KernelSharedEarly)); err != nil {
 		t.Errorf("early kernel rejected: %v", err)
 	}
@@ -34,9 +37,99 @@ func TestPhase3KernelStrings(t *testing.T) {
 		KernelSharedFlat:   "shared-flat",
 		KernelSharedGrid:   "shared-grid",
 		KernelSharedEarly:  "shared-early",
+		KernelTiered:       "tiered",
 	} {
 		if got := k.String(); got != want {
 			t.Errorf("kernel %d String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+// TestParsePhase3Kernel: every kernel round-trips through its String() name,
+// and unknown names are rejected with the valid set in the message.
+func TestParsePhase3Kernel(t *testing.T) {
+	for _, k := range []Phase3Kernel{
+		KernelPerCandidate, KernelSharedFlat, KernelSharedGrid, KernelSharedEarly, KernelTiered,
+	} {
+		got, err := ParsePhase3Kernel(k.String())
+		if err != nil {
+			t.Errorf("ParsePhase3Kernel(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Errorf("ParsePhase3Kernel(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if _, err := ParsePhase3Kernel("bogus"); err == nil {
+		t.Error("unknown kernel name accepted")
+	}
+}
+
+// TestTieredKernelQuery drives the tiered kernel through the public API: on
+// the paper workload the analytic tiers close everything, so the answer must
+// be byte-identical to the exact evaluator's, the tier mix must account for
+// every integration, and no Monte Carlo samples may be drawn.
+func TestTieredKernelQuery(t *testing.T) {
+	pts := gridPoints(2500, 20)
+	spec := QuerySpec{Center: []float64{500, 500}, Cov: paperCov(10), Delta: 25, Theta: 0.01}
+
+	exactDB, err := Load(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exRes, err := exactDB.Query(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	db, err := Load(pts, WithMonteCarlo(20000), WithSeed(7), WithPhase3Kernel(KernelTiered))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IDs) != len(exRes.IDs) {
+		t.Fatalf("tiered %d answers vs exact %d", len(res.IDs), len(exRes.IDs))
+	}
+	for i := range res.IDs {
+		if res.IDs[i] != exRes.IDs[i] {
+			t.Fatalf("tiered and exact answers disagree at position %d", i)
+		}
+	}
+	st := res.Stats
+	bf, env, exact, mcc := st.TierMix()
+	if got := bf + env + exact + mcc; got != st.Integrations {
+		t.Errorf("tier mix sums to %d, want Integrations=%d", got, st.Integrations)
+	}
+	if st.SampleFreeDecisions() != bf+env+exact {
+		t.Errorf("SampleFreeDecisions() = %d, want %d", st.SampleFreeDecisions(), bf+env+exact)
+	}
+	if mcc == 0 && st.SamplesDrawn != 0 {
+		t.Errorf("no MC-tier decisions but SamplesDrawn = %d", st.SamplesDrawn)
+	}
+	if bf+env+exact == 0 && st.Integrations > 0 {
+		t.Error("tiered kernel closed nothing analytically on the paper workload")
+	}
+
+	// Determinism: re-running the same query and re-loading under a different
+	// seed must reproduce the answer bit-for-bit when no MC tier fired.
+	if mcc == 0 {
+		db2, err := Load(pts, WithMonteCarlo(20000), WithSeed(999), WithPhase3Kernel(KernelTiered))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res2, err := db2.Query(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res2.IDs) != len(res.IDs) {
+			t.Fatalf("seed changed tiered answer count: %d vs %d", len(res2.IDs), len(res.IDs))
+		}
+		for i := range res.IDs {
+			if res2.IDs[i] != res.IDs[i] {
+				t.Fatalf("seed changed tiered answers at position %d", i)
+			}
 		}
 	}
 }
@@ -125,7 +218,7 @@ func TestStrategyIdentityAcrossKernels(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sharedKernels := []Phase3Kernel{KernelSharedFlat, KernelSharedGrid, KernelSharedEarly}
+	sharedKernels := []Phase3Kernel{KernelSharedFlat, KernelSharedGrid, KernelSharedEarly, KernelTiered}
 	sharedDBs := make([]*DB, len(sharedKernels))
 	for i, kernel := range sharedKernels {
 		db, err := Load(pts, WithMonteCarlo(30000), WithSeed(7), WithPhase3Kernel(kernel))

@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # bench_snapshot.sh — record benchmark artifacts at the repository root:
 #   BENCH_phase3.json  `prqbench phase3` — Phase-3 kernel comparison
+#                      (per-candidate, shared-flat, shared-grid, shared-early
+#                      and tiered, incl. the tiered kernel's tier-mix counters
+#                      and tier_closure_rate)
 #   BENCH_churn.json   `prqbench churn`  — read latency under live mutations,
 #                      sweeping write fraction and both rebuild strategies
 # Pass an output path as $1 to redirect the phase3 artifact (legacy usage);

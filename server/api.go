@@ -96,13 +96,37 @@ type QueryStats struct {
 	CellsSkipped    int `json:"cells_skipped,omitempty"`
 	CellsFullInside int `json:"cells_full_inside,omitempty"`
 	EarlyDecisions  int `json:"early_decisions,omitempty"`
+	// TierMix reports the tiered kernel's per-tier decision counts; nil
+	// unless the query ran under the tiered kernel. Together with
+	// grid_fallback it tells the whole Phase-3 story of one response.
+	TierMix *TierMix `json:"tier_mix,omitempty"`
 	// GridFallback marks a query whose grid-backed kernel ran the flat scan
 	// because the cell directory could not be built for its δ.
 	GridFallback bool `json:"grid_fallback,omitempty"`
 }
 
+// TierMix is the wire form of the tiered Phase-3 kernel's decision
+// breakdown: how many candidates each tier closed, in pipeline order.
+type TierMix struct {
+	BF       int `json:"bf"`
+	Envelope int `json:"envelope"`
+	Exact    int `json:"exact"`
+	MC       int `json:"mc"`
+}
+
+// Total returns the number of tier-decided candidates.
+func (t TierMix) Total() int { return t.BF + t.Envelope + t.Exact + t.MC }
+
+// SampleFree returns the candidates decided without touching samples
+// (tiers 0–2).
+func (t TierMix) SampleFree() int { return t.BF + t.Envelope + t.Exact }
+
 // StatsFromResult converts library stats to the wire form.
 func StatsFromResult(st gaussrange.Stats) QueryStats {
+	var tm *TierMix
+	if st.TierBF != 0 || st.TierEnvelope != 0 || st.TierExact != 0 || st.TierMC != 0 {
+		tm = &TierMix{BF: st.TierBF, Envelope: st.TierEnvelope, Exact: st.TierExact, MC: st.TierMC}
+	}
 	return QueryStats{
 		Retrieved:       st.Retrieved,
 		PrunedFringe:    st.PrunedFringe,
@@ -119,12 +143,17 @@ func StatsFromResult(st gaussrange.Stats) QueryStats {
 		CellsSkipped:    st.CellsSkipped,
 		CellsFullInside: st.CellsFullInside,
 		EarlyDecisions:  st.EarlyDecisions,
+		TierMix:         tm,
 		GridFallback:    st.GridFallback,
 	}
 }
 
 // Stats converts the wire form back to library stats.
 func (s QueryStats) Stats() gaussrange.Stats {
+	var bf, env, exact, mc int
+	if s.TierMix != nil {
+		bf, env, exact, mc = s.TierMix.BF, s.TierMix.Envelope, s.TierMix.Exact, s.TierMix.MC
+	}
 	return gaussrange.Stats{
 		Retrieved:       s.Retrieved,
 		PrunedFringe:    s.PrunedFringe,
@@ -141,6 +170,10 @@ func (s QueryStats) Stats() gaussrange.Stats {
 		CellsSkipped:    s.CellsSkipped,
 		CellsFullInside: s.CellsFullInside,
 		EarlyDecisions:  s.EarlyDecisions,
+		TierBF:          bf,
+		TierEnvelope:    env,
+		TierExact:       exact,
+		TierMC:          mc,
 		GridFallback:    s.GridFallback,
 	}
 }
@@ -282,6 +315,9 @@ type QueryTotals struct {
 	CellsSkipped    uint64 `json:"cells_skipped"`
 	CellsFullInside uint64 `json:"cells_full_inside"`
 	EarlyDecisions  uint64 `json:"early_decisions"`
+	// TierMix accumulates the tiered kernel's per-tier decision counts over
+	// every query; all zero when the tiered kernel is never used.
+	TierMix TierMix `json:"tier_mix"`
 	// GridFallbacks counts queries whose grid-backed kernel ran the flat
 	// scan because the cell directory could not be built for their δ — a
 	// persistently non-zero rate means the configured δ defeats the grid.

@@ -134,6 +134,7 @@ func (m *metrics) queryTotals() QueryTotals {
 		CellsSkipped:    uint64(st.CellsSkipped),
 		CellsFullInside: uint64(st.CellsFullInside),
 		EarlyDecisions:  uint64(st.EarlyDecisions),
+		TierMix:         TierMix{BF: st.TierBF, Envelope: st.TierEnvelope, Exact: st.TierExact, MC: st.TierMC},
 		GridFallbacks:   m.gridFallbacks,
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -468,6 +469,81 @@ func TestStatszEarlyKernelStats(t *testing.T) {
 	}
 	if snap.Queries.GridFallbacks != 1 {
 		t.Errorf("grid fallback count = %d, want 1", snap.Queries.GridFallbacks)
+	}
+}
+
+// TestStatszTieredKernelStats: the tiered kernel's per-tier decision counts
+// must survive the wire round-trip and accumulate into the /statsz totals.
+func TestStatszTieredKernelStats(t *testing.T) {
+	db := testDB(t, gaussrange.WithMonteCarlo(2000), gaussrange.WithSeed(7),
+		gaussrange.WithPhase3Kernel(gaussrange.KernelTiered))
+	_, ts, cl := newTestServer(t, server.Config{DB: db})
+	ctx := context.Background()
+
+	spec := testSpec(db, "ALL")
+	direct, err := db.Query(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, err := cl.Query(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct.IDs, served.IDs) {
+		t.Errorf("served tiered IDs differ from direct query")
+	}
+	// The client decodes wire stats back into library form; every tier count
+	// must survive the round-trip.
+	bf, env, exact, mcc := served.Stats.TierMix()
+	if bf != direct.Stats.TierBF || env != direct.Stats.TierEnvelope ||
+		exact != direct.Stats.TierExact || mcc != direct.Stats.TierMC {
+		t.Errorf("round-tripped tier mix (bf=%d env=%d exact=%d mc=%d) != direct (bf=%d env=%d exact=%d mc=%d)",
+			bf, env, exact, mcc, direct.Stats.TierBF, direct.Stats.TierEnvelope,
+			direct.Stats.TierExact, direct.Stats.TierMC)
+	}
+	if got := bf + env + exact + mcc; got != direct.Stats.Integrations {
+		t.Errorf("tier mix total %d != integrations %d", got, direct.Stats.Integrations)
+	}
+
+	// The raw wire JSON must carry the tier_mix object (not just the Go
+	// client's decoding of it) so non-Go consumers see it too.
+	body, err := json.Marshal(server.RequestFromSpec(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var decoded struct {
+		Stats struct {
+			TierMix *server.TierMix `json:"tier_mix"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatalf("decoding raw response: %v", err)
+	}
+	if direct.Stats.Integrations > 0 && decoded.Stats.TierMix == nil {
+		t.Fatalf("tier_mix missing from raw wire JSON: %s", raw)
+	}
+	if tm := decoded.Stats.TierMix; tm != nil && tm.Total() != direct.Stats.Integrations {
+		t.Errorf("raw tier_mix %+v total != integrations %d", *tm, direct.Stats.Integrations)
+	}
+
+	snap, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	// Two served queries ran the same spec (client + raw POST), so the
+	// accumulated tier mix is exactly double one query's integrations.
+	if snap.Queries.TierMix.Total() != 2*direct.Stats.Integrations {
+		t.Errorf("/statsz tier_mix total = %d, want %d",
+			snap.Queries.TierMix.Total(), 2*direct.Stats.Integrations)
+	}
+	if snap.Queries.TierMix.SampleFree() == 0 && direct.Stats.Integrations > 0 {
+		t.Error("tiered kernel closed nothing analytically on the served workload")
 	}
 }
 
