@@ -36,9 +36,10 @@ fuzz-smoke:
 verify: fmt-check vet race
 	@echo "verify: OK"
 
-# bench-snapshot regenerates BENCH_phase3.json, the committed Phase-3 kernel
-# comparison (per-candidate vs shared-flat vs shared-grid vs shared-early vs
-# tiered).
+# bench-snapshot regenerates the committed benchmark artifacts:
+# BENCH_phase3.json (Phase-3 kernel comparison), BENCH_churn.json (read
+# latency under live mutations) and BENCH_shard.json (sharded scatter-gather
+# serving).
 bench-snapshot:
 	GO="$(GO)" ./scripts/bench_snapshot.sh
 
@@ -49,13 +50,22 @@ bench-snapshot:
 # kernel's answers stop matching shared-flat / stop being worker-count
 # deterministic, or if its tier-0–2 (sample-free) closure rate drops below
 # 70% of Phase-3 candidates. QUERIES/SAMPLES can be lowered for CI; the
-# gates are scale-invariant.
+# gates are scale-invariant. The second run gates the sharded serving path
+# on the committed BENCH_shard.json: routed answers must stay id-identical
+# to the unsharded DB, K=4 must keep its modelled >=3x speedup (2.7x with
+# CI jitter headroom), viewport fan-out must stay below K, and the router's
+# scatter overhead must not regress more than 25% against the baseline.
 BENCH_COMPARE_QUERIES ?= 8
 BENCH_COMPARE_SAMPLES ?= 50000
+SHARD_COMPARE_QUERIES ?= 1200
+SHARD_COMPARE_WORKERS ?= 64
 bench-compare:
 	$(GO) run ./cmd/prqbench -queries $(BENCH_COMPARE_QUERIES) \
 		-samples $(BENCH_COMPARE_SAMPLES) -seed 1 \
 		-compare BENCH_phase3.json phase3
+	$(GO) run ./cmd/prqbench -queries $(SHARD_COMPARE_QUERIES) \
+		-workers $(SHARD_COMPARE_WORKERS) -seed 1 \
+		-compare BENCH_shard.json shard
 
 # serve-smoke boots the full network stack once: generate a dataset, start
 # prqserved, answer one query through the Go client (prqquery -server), and

@@ -293,6 +293,17 @@ func (c *Client) Query(ctx context.Context, spec gaussrange.QuerySpec) (*gaussra
 	return resp.Result(), nil
 }
 
+// QueryRaw runs one query at the wire level: the request is sent verbatim
+// (the caller controls timeout_ms and allow_partial) and the response is
+// returned with every wire field intact — epoch, stats and, when the server
+// is a shard router, the routing report. Used by routers talking to shards
+// and by tools that need the full response.
+func (c *Client) QueryRaw(ctx context.Context, req server.QueryRequest) (server.QueryResponse, error) {
+	var resp server.QueryResponse
+	err := c.do(ctx, http.MethodPost, "/v1/query", req, &resp)
+	return resp, err
+}
+
 // QueryBatch runs many queries through the server's pooled batch executor.
 // workers ≤ 0 lets the server pick its configured pool size. Results align
 // with specs.
@@ -368,6 +379,20 @@ func (c *Client) InsertPoints(ctx context.Context, points [][]float64) (ids []in
 		return nil, 0, err
 	}
 	return resp.IDs, resp.Epoch, nil
+}
+
+// InsertPointsWithIDs inserts a batch under caller-assigned identifiers (one
+// per point, strictly increasing, at least the server's max id) as one atomic
+// epoch. Like InsertPoints, connection errors are not retried.
+func (c *Client) InsertPointsWithIDs(ctx context.Context, points [][]float64, ids []int64) (epoch uint64, err error) {
+	if len(ids) != len(points) {
+		return 0, fmt.Errorf("client: %d ids for %d points", len(ids), len(points))
+	}
+	var resp server.InsertPointsResponse
+	if err := c.doMutate(ctx, http.MethodPost, "/v1/points", server.InsertPointsRequest{Points: points, IDs: ids}, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Epoch, nil
 }
 
 // InsertPoint inserts one point and returns its identifier and the epoch the

@@ -1,0 +1,92 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Multi addresses a fixed set of prqserved endpoints — typically the shards
+// of one partitioned deployment. Each endpoint gets its own Client built with
+// the same options, so the single-endpoint semantics carry over unchanged
+// per shard: reads retry on connection errors, mutations never do (a torn
+// connection to shard i must not re-apply the batch there), and 429 retries
+// follow WithRetryOn429. Safe for concurrent use.
+type Multi struct {
+	clients []*Client
+	bases   []string
+}
+
+// NewMulti returns a Multi over the given base URLs, applying opts to every
+// per-endpoint Client.
+func NewMulti(baseURLs []string, opts ...Option) (*Multi, error) {
+	if len(baseURLs) == 0 {
+		return nil, fmt.Errorf("client: NewMulti requires at least one endpoint")
+	}
+	m := &Multi{
+		clients: make([]*Client, len(baseURLs)),
+		bases:   make([]string, len(baseURLs)),
+	}
+	for i, u := range baseURLs {
+		if u == "" {
+			return nil, fmt.Errorf("client: endpoint %d is empty", i)
+		}
+		m.clients[i] = New(u, opts...)
+		m.bases[i] = m.clients[i].base
+	}
+	return m, nil
+}
+
+// Len returns the number of endpoints.
+func (m *Multi) Len() int { return len(m.clients) }
+
+// At returns the Client for endpoint i — the per-request endpoint override:
+// every typed Client method (Query, InsertPointsWithIDs, DeletePoint, …) is
+// available against exactly that endpoint with the usual retry semantics.
+func (m *Multi) At(i int) *Client {
+	if i < 0 || i >= len(m.clients) {
+		panic(fmt.Sprintf("client: endpoint index %d out of range [0, %d)", i, len(m.clients)))
+	}
+	return m.clients[i]
+}
+
+// Endpoints returns the normalized base URLs, aligned with At indices.
+func (m *Multi) Endpoints() []string {
+	return append([]string(nil), m.bases...)
+}
+
+// Scatter invokes fn once per index in targets with at most limit calls in
+// flight (limit ≤ 0 means all at once). Errors align with targets; a nil
+// entry is a success. Scatter itself never fails — the caller decides the
+// partial-failure policy from the error slice. fn receives the target's
+// Client, so reads and mutations keep their per-endpoint retry rules.
+func (m *Multi) Scatter(ctx context.Context, targets []int, limit int, fn func(ctx context.Context, shard int, c *Client) error) []error {
+	errs := make([]error, len(targets))
+	if len(targets) == 0 {
+		return errs
+	}
+	if limit <= 0 || limit > len(targets) {
+		limit = len(targets)
+	}
+	sem := make(chan struct{}, limit)
+	var wg sync.WaitGroup
+	for i, shard := range targets {
+		if shard < 0 || shard >= len(m.clients) {
+			errs[i] = fmt.Errorf("client: endpoint index %d out of range [0, %d)", shard, len(m.clients))
+			continue
+		}
+		wg.Add(1)
+		go func(i, shard int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = fn(ctx, shard, m.clients[shard])
+		}(i, shard)
+	}
+	wg.Wait()
+	return errs
+}

@@ -28,6 +28,13 @@
 //	           breakdown, determinism checks and answer agreement; -json
 //	           writes the measurements as a JSON document and -compare gates
 //	           on a committed baseline (not in "all")
+//	shard    — sharded scatter-gather serving: the paper workload against
+//	           K ∈ {1, 2, 4} spatially-sharded in-process deployments behind
+//	           an explicit per-shard capacity model, reporting aggregate
+//	           throughput, mean fan-out, routed-vs-unsharded answer identity
+//	           and the router's scatter overhead; -json writes the report
+//	           (committed as BENCH_shard.json) and -compare gates a fresh
+//	           run against it (not in "all")
 //	churn    — mixed read/write experiment: -workers goroutines run -queries
 //	           operations against one live DB per cell, sweeping the write
 //	           fraction (0–20%) and both overlay-rebuild strategies, and
@@ -72,7 +79,7 @@ func main() {
 	jsonPath := flag.String("json", "", "write the phase3/churn report as JSON to this path")
 	comparePath := flag.String("compare", "", "phase3 only: compare against a baseline BENCH_phase3.json and fail on >10% samples_touched regression")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: prqbench [flags] table1|table2|table3|fig13|fig14|fig15|fig16|fig17|sweep|iostats|catalog|batch|serve|phase3|churn|all\n")
+		fmt.Fprintf(os.Stderr, "usage: prqbench [flags] table1|table2|table3|fig13|fig14|fig15|fig16|fig17|sweep|iostats|catalog|batch|serve|shard|phase3|churn|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -116,6 +123,13 @@ func main() {
 	}
 	if strings.EqualFold(flag.Arg(0), "churn") {
 		if err := runChurn(cfg, *workers, *queries, *jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "prqbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if strings.EqualFold(flag.Arg(0), "shard") {
+		if err := runShard(cfg, *workers, *queries, *jsonPath, *comparePath); err != nil {
 			fmt.Fprintf(os.Stderr, "prqbench: %v\n", err)
 			os.Exit(1)
 		}

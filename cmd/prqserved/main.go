@@ -7,6 +7,13 @@
 //
 //	prqserved -csv points.csv [flags]
 //	prqserved -snapshot db.grdb [flags]
+//	prqserved -router -shard-map map.json -shards http://h1:p,http://h2:p [flags]
+//
+// In -router mode the process serves the same /v1 protocol but owns no data:
+// it routes each query to the shards whose regions overlap the query's
+// Phase-1 rectangle, scatters via the Go client, and merges the answers into
+// one deterministic sorted id list. Mutations are routed by point location
+// (inserts) or id ownership (deletes).
 //
 // Flags:
 //
@@ -33,6 +40,14 @@
 //	-phase3 NAME        Phase-3 kernel: per-candidate (default), shared-flat,
 //	                    shared-grid, shared-early or tiered (incompatible
 //	                    with -adaptive)
+//	-router             run as a scatter-gather query router (no local data)
+//	-shard-map PATH     shard map JSON produced by prqshard (router mode)
+//	-shards URLS        comma-separated shard base URLs, one per shard id, in
+//	                    shard-id order (router mode)
+//	-fanout N           bound on concurrent per-query shard requests
+//	                    (default: all overlapping shards at once)
+//	-allow-partial      serve partial answers when a shard fails instead of
+//	                    failing closed (per-request allow_partial also works)
 //
 // On SIGINT/SIGTERM the server stops accepting connections, drains every
 // in-flight query, and exits 0; queries still running after -drain-timeout
@@ -54,9 +69,12 @@ import (
 	"syscall"
 	"time"
 
+	"strings"
+
 	"gaussrange"
 	"gaussrange/internal/data"
 	"gaussrange/server"
+	"gaussrange/shard"
 )
 
 type config struct {
@@ -76,6 +94,11 @@ type config struct {
 	drainTimeout   time.Duration
 	pprofAddr      string
 	phase3         string
+	router         bool
+	shardMapPath   string
+	shards         string
+	fanout         int
+	allowPartial   bool
 }
 
 func main() {
@@ -96,8 +119,13 @@ func main() {
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "graceful-drain budget on shutdown")
 	flag.StringVar(&cfg.pprofAddr, "pprof", "", "serve net/http/pprof on this loopback address (empty = disabled)")
 	flag.StringVar(&cfg.phase3, "phase3", "per-candidate", `Phase-3 kernel: "per-candidate", "shared-flat", "shared-grid", "shared-early" or "tiered"`)
+	flag.BoolVar(&cfg.router, "router", false, "run as a scatter-gather query router over existing shards")
+	flag.StringVar(&cfg.shardMapPath, "shard-map", "", "shard map JSON produced by prqshard (router mode)")
+	flag.StringVar(&cfg.shards, "shards", "", "comma-separated shard base URLs in shard-id order (router mode)")
+	flag.IntVar(&cfg.fanout, "fanout", 0, "bound on concurrent per-query shard requests (0 = all overlapping shards)")
+	flag.BoolVar(&cfg.allowPartial, "allow-partial", false, "serve partial answers when a shard fails instead of failing closed")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: prqserved -csv points.csv | -snapshot db.grdb [flags]\n")
+		fmt.Fprintf(os.Stderr, "usage: prqserved -csv points.csv | -snapshot db.grdb | -router -shard-map map.json -shards URLS [flags]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -167,19 +195,24 @@ func pprofHandler() http.Handler {
 	return mux
 }
 
-// serve runs the server until an error or a signal on sig; on a signal it
-// drains in-flight queries (bounded by cfg.drainTimeout) before returning.
-func serve(cfg config, sig <-chan os.Signal, logw io.Writer) error {
+// buildHandler assembles the HTTP handler for the configured mode: a
+// single-node server over a local DB, or a scatter-gather router over
+// remote shards. cleanup (possibly nil) runs when serving ends.
+func buildHandler(cfg config, logw io.Writer) (h http.Handler, banner string, cleanup func(), err error) {
+	if cfg.router {
+		h, banner, err = buildRouter(cfg)
+		return h, banner, nil, err
+	}
 	db, err := loadDB(cfg)
 	if err != nil {
-		return err
+		return nil, "", nil, err
 	}
 	if cfg.logPath != "" {
 		replayed, err := db.AttachMutationLog(cfg.logPath)
 		if err != nil {
-			return fmt.Errorf("attaching mutation log: %w", err)
+			return nil, "", nil, fmt.Errorf("attaching mutation log: %w", err)
 		}
-		defer db.DetachMutationLog()
+		cleanup = func() { db.DetachMutationLog() }
 		fmt.Fprintf(logw, "prqserved: mutation log %s: replayed %d batches, now at epoch %d\n",
 			cfg.logPath, replayed, db.Epoch())
 	}
@@ -191,7 +224,73 @@ func serve(cfg config, sig <-chan os.Signal, logw io.Writer) error {
 		BatchWorkers:   cfg.batchWorkers,
 	})
 	if err != nil {
+		if cleanup != nil {
+			cleanup()
+		}
+		return nil, "", nil, err
+	}
+	banner = fmt.Sprintf("serving %d points (%d-D)", db.Len(), db.Dim())
+	return srv.Handler(), banner, cleanup, nil
+}
+
+// buildRouter wires -shard-map and -shards into a shard.Router handler.
+func buildRouter(cfg config) (http.Handler, string, error) {
+	if cfg.csvPath != "" || cfg.snapshotPath != "" || cfg.logPath != "" {
+		return nil, "", errors.New("-router cannot be combined with -csv, -snapshot or -log")
+	}
+	if cfg.shardMapPath == "" || cfg.shards == "" {
+		return nil, "", errors.New("-router requires -shard-map and -shards")
+	}
+	data, err := os.ReadFile(cfg.shardMapPath)
+	if err != nil {
+		return nil, "", fmt.Errorf("reading -shard-map: %w", err)
+	}
+	m, err := shard.DecodeMap(data)
+	if err != nil {
+		return nil, "", fmt.Errorf("parsing -shard-map: %w", err)
+	}
+	endpoints := strings.Split(cfg.shards, ",")
+	for i := range endpoints {
+		endpoints[i] = strings.TrimSpace(endpoints[i])
+	}
+	router, err := shard.NewRouter(shard.Config{
+		Map:          m,
+		Endpoints:    endpoints,
+		Fanout:       cfg.fanout,
+		AllowPartial: cfg.allowPartial,
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	h, err := shard.NewHandler(shard.HandlerConfig{
+		Router:         router,
+		DefaultTimeout: cfg.defaultTimeout,
+		MaxBatchSize:   cfg.maxBatch,
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	banner := fmt.Sprintf("routing over %d shards (routing epoch %d, fanout %s)",
+		len(m.Shards), m.RoutingEpoch, fanoutLabel(cfg.fanout))
+	return h.Mux(), banner, nil
+}
+
+func fanoutLabel(n int) string {
+	if n <= 0 {
+		return "unbounded"
+	}
+	return fmt.Sprint(n)
+}
+
+// serve runs the server until an error or a signal on sig; on a signal it
+// drains in-flight queries (bounded by cfg.drainTimeout) before returning.
+func serve(cfg config, sig <-chan os.Signal, logw io.Writer) error {
+	handler, banner, cleanup, err := buildHandler(cfg, logw)
+	if err != nil {
 		return err
+	}
+	if cleanup != nil {
+		defer cleanup()
 	}
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
@@ -203,11 +302,10 @@ func serve(cfg config, sig <-chan os.Signal, logw io.Writer) error {
 			return fmt.Errorf("writing -addr-file: %w", err)
 		}
 	}
-	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	hs := &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
-	fmt.Fprintf(logw, "prqserved: serving %d points (%d-D) on %s (max-inflight %d)\n",
-		db.Len(), db.Dim(), ln.Addr(), cfg.maxInflight)
+	fmt.Fprintf(logw, "prqserved: %s on %s\n", banner, ln.Addr())
 
 	if cfg.pprofAddr != "" {
 		pln, err := net.Listen("tcp", cfg.pprofAddr)

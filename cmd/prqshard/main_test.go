@@ -1,0 +1,125 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"gaussrange"
+	"gaussrange/shard"
+)
+
+func TestRunSplitsAndRestores(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "pts.csv")
+	f, err := os.Create(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := make([][]float64, 0, 200)
+	for i := 0; i < 200; i++ {
+		x := float64((i * 37) % 100)
+		y := float64((i * 61) % 100)
+		pts = append(pts, []float64{x, y})
+		if _, err := f.WriteString(
+			string(rune('0'+int(x)/10)) + string(rune('0'+int(x)%10)) + "," +
+				string(rune('0'+int(y)/10)) + string(rune('0'+int(y)%10)) + "\n"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	out := filepath.Join(dir, "out")
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	if err := run(csv, 4, out, 0, devnull); err != nil {
+		t.Fatal(err)
+	}
+
+	mapData, err := os.ReadFile(filepath.Join(out, "shardmap.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := shard.DecodeMap(mapData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Shards) != 4 || m.NextID != 200 {
+		t.Fatalf("map %+v", m)
+	}
+
+	// Every shard snapshot restores, and the union of routed answers equals
+	// the unsharded answer over the same CSV points.
+	ref, err := gaussrange.Load(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := gaussrange.QuerySpec{
+		Center: []float64{50, 50},
+		Cov:    [][]float64{{40, 0}, {0, 40}},
+		Delta:  20,
+		Theta:  0.05,
+	}
+	want, err := ref.Query(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var union []int64
+	total := 0
+	for i := 0; i < 4; i++ {
+		db, err := gaussrange.RestoreFile(filepath.Join(out, "shard-"+string(rune('0'+i))+".grdb"))
+		if err != nil {
+			t.Fatalf("restoring shard %d: %v", i, err)
+		}
+		total += db.Len()
+		res, err := db.Query(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		union = append(union, res.IDs...)
+	}
+	if total != 200 {
+		t.Fatalf("shards hold %d points, want 200", total)
+	}
+	sortInt64(union)
+	if want.IDs == nil {
+		want.IDs = []int64{}
+	}
+	if union == nil {
+		union = []int64{}
+	}
+	if !reflect.DeepEqual(union, want.IDs) {
+		t.Fatalf("shard union %v vs unsharded %v", union, want.IDs)
+	}
+	if len(want.IDs) == 0 {
+		t.Fatal("test query empty — comparison vacuous")
+	}
+}
+
+func sortInt64(a []int64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func TestRunRejectsMissingFlags(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	if err := run("", 4, t.TempDir(), 0, devnull); err == nil {
+		t.Error("missing -csv accepted")
+	}
+	if err := run("x.csv", 4, "", 0, devnull); err == nil {
+		t.Error("missing -out accepted")
+	}
+}

@@ -304,6 +304,54 @@ func Load(points [][]float64, opts ...Option) (*DB, error) {
 	return &DB{idx: idx, dim: dim, options: o, plans: newPlanCache(o.planCacheSize)}, nil
 }
 
+// LoadWithIDs bulk-loads points under caller-assigned identifiers: points[i]
+// is stored as id ids[i], and unused identifiers below the maximum become
+// permanent holes. This is how a shard loads its slice of a globally
+// partitioned data set while keeping the global ids, so sharded answers are
+// id-identical to an unsharded Load of the full set. The ids must be unique
+// and non-negative; they need not be sorted.
+func LoadWithIDs(points [][]float64, ids []int64, opts ...Option) (*DB, error) {
+	if len(points) == 0 {
+		return nil, errors.New("gaussrange: LoadWithIDs requires at least one point (use Open for an empty database)")
+	}
+	if len(ids) != len(points) {
+		return nil, fmt.Errorf("gaussrange: %d ids for %d points", len(ids), len(points))
+	}
+	dim := len(points[0])
+	if dim == 0 {
+		return nil, errors.New("gaussrange: zero-dimensional points")
+	}
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	var maxID int64 = -1
+	for _, id := range ids {
+		if id < 0 {
+			return nil, fmt.Errorf("gaussrange: negative point id %d", id)
+		}
+		if id > maxID {
+			maxID = id
+		}
+	}
+	addressed := make([]vecmat.Vector, maxID+1)
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("gaussrange: point %d has dim %d, want %d", i, len(p), dim)
+		}
+		if addressed[ids[i]] != nil {
+			return nil, fmt.Errorf("gaussrange: duplicate point id %d", ids[i])
+		}
+		addressed[ids[i]] = vecmat.Vector(p).Clone()
+	}
+	idx, err := core.RestoreIndex(addressed, 1, dim, rtree.WithPageSize(o.pageSize))
+	if err != nil {
+		return nil, err
+	}
+	idx.SetRebuildStrategy(core.RebuildStrategy(o.rebuild))
+	return &DB{idx: idx, dim: dim, options: o, plans: newPlanCache(o.planCacheSize)}, nil
+}
+
 // Insert adds one point, publishing a new epoch, and returns its identifier.
 // Identifiers are assigned sequentially and never reused.
 func (db *DB) Insert(p []float64) (int64, error) {
@@ -345,12 +393,46 @@ func (db *DB) Apply(inserts [][]float64, deletes []int64) (ids []int64, deleted 
 		return nil, nil, 0, err
 	}
 	if db.mlog != nil && epoch != before {
-		if err := db.mlog.append(epoch, inserts, deletes, deleted); err != nil {
+		if err := db.mlog.append(epoch, inserts, nil, deletes, deleted); err != nil {
 			return nil, nil, 0, fmt.Errorf("gaussrange: mutation log: %w", err)
 		}
 	}
 	return ids, deleted, epoch, nil
 }
+
+// ApplyWithIDs is Apply with caller-assigned insert identifiers, for when an
+// external allocator — typically a shard router that owns a global id space —
+// decides what each inserted point is called. insertIDs must be strictly
+// increasing and at least MaxID; skipped identifiers become permanent holes.
+// When a mutation log is attached the ids are journaled with the batch, so
+// replay reproduces the exact assignment.
+func (db *DB) ApplyWithIDs(inserts [][]float64, insertIDs []int64, deletes []int64) (deleted []bool, epoch uint64, err error) {
+	vecs := make([]vecmat.Vector, len(inserts))
+	for i, p := range inserts {
+		vecs[i] = vecmat.Vector(p)
+	}
+	if insertIDs == nil {
+		insertIDs = []int64{}
+	}
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	before := db.idx.Epoch()
+	deleted, epoch, err = db.idx.ApplyWithIDs(vecs, insertIDs, deletes)
+	if err != nil {
+		return nil, 0, err
+	}
+	if db.mlog != nil && epoch != before {
+		if err := db.mlog.append(epoch, inserts, insertIDs, deletes, deleted); err != nil {
+			return nil, 0, fmt.Errorf("gaussrange: mutation log: %w", err)
+		}
+	}
+	return deleted, epoch, nil
+}
+
+// MaxID returns the exclusive upper bound of identifiers ever assigned
+// (deleted and skipped ids remain burned). An external id allocator seeds its
+// counter from the maximum MaxID across shards.
+func (db *DB) MaxID() int64 { return db.idx.Current().MaxID() }
 
 // Epoch returns the current storage epoch: 1 after the initial load, +1 per
 // published mutation batch.
@@ -715,6 +797,25 @@ func (db *DB) planFor(spec QuerySpec) (*core.Plan, error) {
 	}
 	db.plans.put(key, plan)
 	return plan, nil
+}
+
+// PlanRegion compiles (or fetches from the plan cache) the spec's plan and
+// returns its Phase-1 search rectangle as per-axis [lo, hi] bounds. Every
+// answer point lies inside the rectangle, which makes it the routing key for
+// scatter-gather serving: shards whose regions miss it cannot contribute.
+// empty reports that compilation proved the whole answer empty (the bounds
+// are then nil). The DB's points are never touched — an empty DB of the
+// right dimensionality works as a pure planner.
+func (db *DB) PlanRegion(spec QuerySpec) (lo, hi []float64, empty bool, err error) {
+	plan, err := db.planFor(spec)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if plan.Empty() {
+		return nil, nil, true, nil
+	}
+	r := plan.SearchRect()
+	return r.Lo, r.Hi, false, nil
 }
 
 // compile converts the public spec to engine types (no plan caching — used

@@ -213,6 +213,30 @@ func (ix *Index) Delete(id int64) (bool, error) {
 // Validation is complete before any state changes: a dimension or finiteness
 // error leaves the index untouched.
 func (ix *Index) Apply(inserts []vecmat.Vector, deletes []int64) (ids []int64, deleted []bool, epoch uint64, err error) {
+	return ix.apply(inserts, nil, deletes)
+}
+
+// ApplyWithIDs is Apply with caller-assigned insert identifiers, for when an
+// upstream allocator (a shard router) owns the id space: insert i is stored
+// under insertIDs[i] instead of the next sequential id. The ids must be
+// strictly increasing and all at least this epoch's MaxID — identifiers below
+// that are burned (assigned or tombstoned) and are never reassigned. Skipped
+// identifiers become permanent holes, exactly like deleted ids, so disjoint
+// id streams from one allocator can interleave across many indexes.
+func (ix *Index) ApplyWithIDs(inserts []vecmat.Vector, insertIDs []int64, deletes []int64) (deleted []bool, epoch uint64, err error) {
+	if len(insertIDs) != len(inserts) {
+		return nil, 0, fmt.Errorf("core: %d insert ids for %d inserts", len(insertIDs), len(inserts))
+	}
+	if insertIDs == nil {
+		insertIDs = []int64{}
+	}
+	_, deleted, epoch, err = ix.apply(inserts, insertIDs, deletes)
+	return deleted, epoch, err
+}
+
+// apply implements Apply and ApplyWithIDs; a nil insertIDs means sequential
+// assignment.
+func (ix *Index) apply(inserts []vecmat.Vector, insertIDs []int64, deletes []int64) (ids []int64, deleted []bool, epoch uint64, err error) {
 	for i, p := range inserts {
 		if p.Dim() != ix.dim {
 			return nil, nil, 0, fmt.Errorf("core: insert %d: point dim %d vs index dim %d", i, p.Dim(), ix.dim)
@@ -225,6 +249,17 @@ func (ix *Index) Apply(inserts []vecmat.Vector, deletes []int64) (ids []int64, d
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	cur := ix.cur.Load()
+
+	// Explicit ids are validated under the lock against the live MaxID so the
+	// whole batch is rejected before any state changes.
+	for i, id := range insertIDs {
+		if id < int64(len(cur.points)) {
+			return nil, nil, 0, fmt.Errorf("core: insert id %d below max id %d (ids are never reused)", id, len(cur.points))
+		}
+		if i > 0 && id <= insertIDs[i-1] {
+			return nil, nil, 0, fmt.Errorf("core: insert ids not strictly increasing: %d after %d", id, insertIDs[i-1])
+		}
+	}
 
 	deleted = make([]bool, len(deletes))
 	effective := 0
@@ -267,10 +302,17 @@ func (ix *Index) Apply(inserts []vecmat.Vector, deletes []int64) (ids []int64, d
 	if len(inserts) > 0 {
 		// points and mem are append-only between rebuilds: older snapshots
 		// hold shorter headers and never read past them, so appending under
-		// the writer mutex is safe without copying.
+		// the writer mutex is safe without copying. Explicit ids pad nil
+		// holes up to their position.
 		ids = make([]int64, len(inserts))
 		for i, p := range inserts {
 			id := int64(len(next.points))
+			if insertIDs != nil {
+				id = insertIDs[i]
+				for int64(len(next.points)) < id {
+					next.points = append(next.points, nil)
+				}
+			}
 			next.points = append(next.points, p.Clone())
 			next.mem = append(next.mem, id)
 			ids[i] = id

@@ -172,3 +172,78 @@ func TestChooseStrategy(t *testing.T) {
 		t.Errorf("thin Σ chose %v, want ALL", got)
 	}
 }
+
+func TestApplyWithIDs(t *testing.T) {
+	ix, err := NewIndex([]vecmat.Vector{{0, 0}, {1, 1}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Explicit ids with a gap: id 3 is skipped and becomes a permanent hole.
+	deleted, epoch, err := ix.ApplyWithIDs(
+		[]vecmat.Vector{{2, 2}, {4, 4}}, []int64{2, 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deleted) != 0 || epoch != 2 {
+		t.Fatalf("deleted=%v epoch=%d", deleted, epoch)
+	}
+	snap := ix.Current()
+	if got := snap.MaxID(); got != 5 {
+		t.Fatalf("MaxID = %d, want 5", got)
+	}
+	for _, id := range []int64{0, 1, 2, 4} {
+		if !snap.Alive(id) {
+			t.Errorf("id %d not alive", id)
+		}
+	}
+	if snap.Alive(3) {
+		t.Error("skipped id 3 reported alive")
+	}
+	p, err := snap.Point(4)
+	if err != nil || !p.Equal(vecmat.Vector{4, 4}, 0) {
+		t.Fatalf("Point(4) = %v, %v", p, err)
+	}
+
+	// Reusing a burned id, or non-increasing ids, must fail atomically.
+	if _, _, err := ix.ApplyWithIDs([]vecmat.Vector{{9, 9}}, []int64{4}, nil); err == nil {
+		t.Error("reused id accepted")
+	}
+	if _, _, err := ix.ApplyWithIDs([]vecmat.Vector{{9, 9}, {8, 8}}, []int64{7, 6}, nil); err == nil {
+		t.Error("non-increasing ids accepted")
+	}
+	if _, _, err := ix.ApplyWithIDs([]vecmat.Vector{{9, 9}}, []int64{5, 6}, nil); err == nil {
+		t.Error("mismatched id count accepted")
+	}
+	if ix.Epoch() != 2 {
+		t.Fatalf("failed batches published an epoch: %d", ix.Epoch())
+	}
+
+	// Deletes and explicit-id inserts combine in one epoch, and searches see
+	// the explicit ids after an overlay rebuild.
+	deleted, _, err = ix.ApplyWithIDs([]vecmat.Vector{{6, 6}}, []int64{10}, []int64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !deleted[0] {
+		t.Error("delete of live id 0 not reported")
+	}
+	for i := 0; i < 300; i++ { // push past the rebuild threshold
+		if _, err := ix.Add(vecmat.Vector{float64(i), float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, _ := geom.NewRect(vecmat.Vector{5.5, 5.5}, vecmat.Vector{6.5, 6.5})
+	ids, err := ix.SearchRect(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, id := range ids {
+		if id == 10 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("explicit id 10 missing from post-rebuild search: %v", ids)
+	}
+}

@@ -223,6 +223,12 @@ func (p *Plan) AlphaLower() float64 { return p.geo.alphaLower }
 // bound stays below θ everywhere), so execution skips all three phases.
 func (p *Plan) Empty() bool { return p.geo.empty }
 
+// SearchRect returns a copy of the Phase-1 search rectangle bound to the
+// current query mean. Every answer point lies inside it, which makes it the
+// routing key for scatter-gather serving: a shard whose region misses this
+// rectangle cannot contribute. Meaningless when Empty reports true.
+func (p *Plan) SearchRect() geom.Rect { return p.searchBox.Clone() }
+
 // baseStats seeds the per-execution statistics with the compiled radii.
 func (p *Plan) baseStats() PhaseStats {
 	var st PhaseStats

@@ -1,0 +1,167 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"gaussrange/internal/vecmat"
+)
+
+func randomPoints(r *rand.Rand, n, dim int) []vecmat.Vector {
+	pts := make([]vecmat.Vector, n)
+	for i := range pts {
+		p := make(vecmat.Vector, dim)
+		for j := range p {
+			p[j] = r.Float64() * 1000
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func TestPartitionSTRCoversAllPointsOnce(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, dim := range []int{1, 2, 3} {
+		for _, k := range []int{1, 2, 4, 7, 8} {
+			pts := randomPoints(r, 500, dim)
+			tiles, err := PartitionSTR(pts, dim, k)
+			if err != nil {
+				t.Fatalf("PartitionSTR(dim=%d,k=%d): %v", dim, k, err)
+			}
+			if len(tiles) != k {
+				t.Fatalf("dim=%d k=%d: got %d tiles", dim, k, len(tiles))
+			}
+			seen := make(map[int]int)
+			for ti, tile := range tiles {
+				if len(tile.Indices) == 0 {
+					t.Errorf("dim=%d k=%d: tile %d is empty", dim, k, ti)
+				}
+				for _, idx := range tile.Indices {
+					if prev, dup := seen[idx]; dup {
+						t.Fatalf("point %d in tiles %d and %d", idx, prev, ti)
+					}
+					seen[idx] = ti
+					// Member points must lie in the closed routing region
+					// and in the MBR.
+					if !tile.Region.Contains(pts[idx]) {
+						t.Fatalf("dim=%d k=%d: point %d outside region of tile %d", dim, k, idx, ti)
+					}
+					if !tile.Bounds.Contains(pts[idx]) {
+						t.Fatalf("dim=%d k=%d: point %d outside bounds of tile %d", dim, k, idx, ti)
+					}
+				}
+			}
+			if len(seen) != len(pts) {
+				t.Fatalf("dim=%d k=%d: %d of %d points assigned", dim, k, len(seen), len(pts))
+			}
+		}
+	}
+}
+
+func TestPartitionSTRRegionsCoverSpace(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	pts := randomPoints(r, 300, 2)
+	tiles, err := PartitionSTR(pts, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arbitrary probe points — including ones far outside the data — must be
+	// contained by at least one routing region (outer edges are infinite).
+	probes := []vecmat.Vector{
+		{-1e9, -1e9}, {1e9, 1e9}, {500, 500}, {0, 1e6}, {123.25, -77.5},
+	}
+	for _, p := range probes {
+		found := false
+		for _, tile := range tiles {
+			if tile.Region.Contains(p) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("probe %v not covered by any routing region", p)
+		}
+	}
+	// Outer edges of the union must be infinite on every axis.
+	loMin, hiMax := math.Inf(1), math.Inf(-1)
+	for _, tile := range tiles {
+		loMin = math.Min(loMin, tile.Region.Lo[0])
+		hiMax = math.Max(hiMax, tile.Region.Hi[0])
+	}
+	if !math.IsInf(loMin, -1) || !math.IsInf(hiMax, 1) {
+		t.Errorf("outermost region edges not infinite: [%g, %g]", loMin, hiMax)
+	}
+}
+
+func TestPartitionSTRDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	pts := randomPoints(r, 400, 2)
+	a, err := PartitionSTR(pts, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PartitionSTR(pts, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("PartitionSTR is not deterministic")
+	}
+}
+
+func TestPartitionSTRBalance(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	pts := randomPoints(r, 1000, 2)
+	tiles, err := PartitionSTR(pts, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ti, tile := range tiles {
+		if n := len(tile.Indices); n < 200 || n > 300 {
+			t.Errorf("tile %d holds %d of 1000 points (want ~250)", ti, n)
+		}
+	}
+}
+
+func TestPartitionSTRErrors(t *testing.T) {
+	pts := randomPoints(rand.New(rand.NewSource(1)), 3, 2)
+	if _, err := PartitionSTR(pts, 2, 4); err == nil {
+		t.Error("k > len(points) accepted")
+	}
+	if _, err := PartitionSTR(pts, 2, 0); err == nil {
+		t.Error("k = 0 accepted")
+	}
+	if _, err := PartitionSTR(pts, 3, 1); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+}
+
+func TestPartitionSTRBoundaryTies(t *testing.T) {
+	// Many points sharing one x coordinate force cuts through ties; every
+	// point must still land in exactly one tile whose region contains it.
+	var pts []vecmat.Vector
+	for i := 0; i < 40; i++ {
+		pts = append(pts, vecmat.Vector{100, float64(i)})
+	}
+	for i := 0; i < 40; i++ {
+		pts = append(pts, vecmat.Vector{float64(i * 13 % 200), float64(i)})
+	}
+	tiles, err := PartitionSTR(pts, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, tile := range tiles {
+		for _, idx := range tile.Indices {
+			if !tile.Region.Contains(pts[idx]) {
+				t.Fatalf("tie point %d outside its region", idx)
+			}
+		}
+		count += len(tile.Indices)
+	}
+	if count != len(pts) {
+		t.Fatalf("assigned %d of %d points", count, len(pts))
+	}
+}

@@ -18,12 +18,25 @@ import (
 //
 //	header:  magic[6] | dim uint32
 //	record:  epoch uint64 | nIns uint32 | nDel uint32 |
-//	         nIns·dim float64 | nDel int64 | crc uint32
+//	         nIns·dim float64 | nDel int64 | [nIns int64 ids] | crc uint32
 //
 // All integers and floats are little-endian; each record's CRC covers its
 // own bytes, so a torn final record (crash mid-append) is detected and
 // truncated on replay instead of poisoning the log.
+//
+// A record whose inserts carry caller-assigned identifiers (ApplyWithIDs,
+// used by the shard router's global id allocator) sets explicitIDFlag on the
+// nIns field and appends the ids after the deletes; replay then routes
+// through ApplyWithIDs so the exact id assignment is reproduced. The flag bit
+// cannot collide with a count because counts are capped at maxLogBatch.
 var mutlogMagic = [6]byte{'G', 'R', 'L', 'G', 'v', '1'}
+
+// explicitIDFlag marks a record whose inserts carry explicit identifiers.
+const explicitIDFlag = uint32(1) << 31
+
+// maxLogBatch bounds the insert/delete counts a record may claim, keeping
+// corrupt headers from provoking huge allocations.
+const maxLogBatch = 1 << 24
 
 // MutationLog is an append-only journal of published mutation batches.
 // Paired with an epoch-stamped snapshot it makes the mutable database
@@ -107,14 +120,25 @@ func (lg *MutationLog) Close() error {
 
 // append writes one record. Called with DB.writeMu held, so record order
 // equals epoch order; the deleted flags are not stored because replaying the
-// same batch against the same lineage reproduces them.
-func (lg *MutationLog) append(epoch uint64, inserts [][]float64, deletes []int64, _ []bool) error {
-	body := make([]byte, 0, 16+8*len(inserts)*lg.dim+8*len(deletes))
+// same batch against the same lineage reproduces them. A non-nil insertIDs
+// (one per insert) writes an explicit-id record.
+func (lg *MutationLog) append(epoch uint64, inserts [][]float64, insertIDs []int64, deletes []int64, _ []bool) error {
+	if len(inserts) > maxLogBatch || len(deletes) > maxLogBatch {
+		return fmt.Errorf("gaussrange: log batch too large: %d inserts / %d deletes", len(inserts), len(deletes))
+	}
+	if insertIDs != nil && len(insertIDs) != len(inserts) {
+		return fmt.Errorf("gaussrange: log batch has %d ids for %d inserts", len(insertIDs), len(inserts))
+	}
+	body := make([]byte, 0, 16+8*len(inserts)*lg.dim+8*len(deletes)+8*len(insertIDs))
 	var b8 [8]byte
 	binary.LittleEndian.PutUint64(b8[:], epoch)
 	body = append(body, b8[:]...)
 	var b4 [4]byte
-	binary.LittleEndian.PutUint32(b4[:], uint32(len(inserts)))
+	nIns := uint32(len(inserts))
+	if insertIDs != nil {
+		nIns |= explicitIDFlag
+	}
+	binary.LittleEndian.PutUint32(b4[:], nIns)
 	body = append(body, b4[:]...)
 	binary.LittleEndian.PutUint32(b4[:], uint32(len(deletes)))
 	body = append(body, b4[:]...)
@@ -131,6 +155,10 @@ func (lg *MutationLog) append(epoch uint64, inserts [][]float64, deletes []int64
 		binary.LittleEndian.PutUint64(b8[:], uint64(id))
 		body = append(body, b8[:]...)
 	}
+	for _, id := range insertIDs {
+		binary.LittleEndian.PutUint64(b8[:], uint64(id))
+		body = append(body, b8[:]...)
+	}
 	binary.LittleEndian.PutUint32(b4[:], crc32.ChecksumIEEE(body))
 	body = append(body, b4[:]...)
 
@@ -140,11 +168,13 @@ func (lg *MutationLog) append(epoch uint64, inserts [][]float64, deletes []int64
 	return err
 }
 
-// logRecord is one decoded mutation batch.
+// logRecord is one decoded mutation batch. insertIDs is nil for sequential
+// records and one id per insert for explicit-id records.
 type logRecord struct {
-	epoch   uint64
-	inserts [][]float64
-	deletes []int64
+	epoch     uint64
+	inserts   [][]float64
+	insertIDs []int64
+	deletes   []int64
 }
 
 // readRecords decodes every intact record, returning them in file order and
@@ -181,12 +211,17 @@ func readRecord(br *bufio.Reader, dim int) (logRecord, int64, error) {
 		return logRecord{}, 0, err
 	}
 	nIns := binary.LittleEndian.Uint32(head[8:12])
+	explicit := nIns&explicitIDFlag != 0
+	nIns &^= explicitIDFlag
 	nDel := binary.LittleEndian.Uint32(head[12:16])
-	const maxBatch = 1 << 24
-	if nIns > maxBatch || nDel > maxBatch {
+	if nIns > maxLogBatch || nDel > maxLogBatch {
 		return logRecord{}, 0, fmt.Errorf("gaussrange: log record claims %d inserts / %d deletes", nIns, nDel)
 	}
-	payload := make([]byte, 8*int(nIns)*dim+8*int(nDel))
+	nIDs := 0
+	if explicit {
+		nIDs = int(nIns)
+	}
+	payload := make([]byte, 8*int(nIns)*dim+8*int(nDel)+8*nIDs)
 	if _, err := io.ReadFull(br, payload); err != nil {
 		return logRecord{}, 0, io.ErrNoProgress
 	}
@@ -218,6 +253,13 @@ func readRecord(br *bufio.Reader, dim int) (logRecord, int64, error) {
 		rec.deletes = make([]int64, nDel)
 		for i := range rec.deletes {
 			rec.deletes[i] = int64(binary.LittleEndian.Uint64(payload[off:]))
+			off += 8
+		}
+	}
+	if explicit {
+		rec.insertIDs = make([]int64, nIns)
+		for i := range rec.insertIDs {
+			rec.insertIDs[i] = int64(binary.LittleEndian.Uint64(payload[off:]))
 			off += 8
 		}
 	}
@@ -278,7 +320,12 @@ func (db *DB) AttachMutationLog(path string) (replayed int, err error) {
 		for i, p := range rec.inserts {
 			vecs[i] = vecmat.Vector(p)
 		}
-		_, _, got, err := db.idx.Apply(vecs, rec.deletes)
+		var got uint64
+		if rec.insertIDs != nil {
+			_, got, err = db.idx.ApplyWithIDs(vecs, rec.insertIDs, rec.deletes)
+		} else {
+			_, _, got, err = db.idx.Apply(vecs, rec.deletes)
+		}
 		if err != nil {
 			lg.Close()
 			return replayed, fmt.Errorf("gaussrange: replaying epoch %d: %w", rec.epoch, err)

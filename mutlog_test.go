@@ -181,7 +181,7 @@ func TestMutationLogLineageErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := lg.append(5, [][]float64{{1, 1}}, nil, nil); err != nil {
+	if err := lg.append(5, [][]float64{{1, 1}}, nil, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := lg.Close(); err != nil {

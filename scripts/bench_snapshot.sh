@@ -6,6 +6,10 @@
 #                      and tier_closure_rate)
 #   BENCH_churn.json   `prqbench churn`  — read latency under live mutations,
 #                      sweeping write fraction and both rebuild strategies
+#   BENCH_shard.json   `prqbench shard`  — sharded scatter-gather serving:
+#                      aggregate throughput at K ∈ {1,2,4} capacity-modelled
+#                      shards, mean fan-out, answer identity and the
+#                      router's scatter overhead
 # Pass an output path as $1 to redirect the phase3 artifact (legacy usage);
 # the churn artifact always lands next to it as BENCH_churn.json.
 #
@@ -16,6 +20,8 @@
 #   SEED       dataset / cloud seed (default: 1)
 #   CHURN_OPS  operations per churn cell (default: 6000)
 #   WORKERS    concurrent workers for churn (default: 8)
+#   SHARD_QUERIES  queries per shard-count cell (default: 1200)
+#   SHARD_WORKERS  concurrent clients driving the router (default: 64)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,8 +31,11 @@ SAMPLES="${SAMPLES:-100000}"
 SEED="${SEED:-1}"
 CHURN_OPS="${CHURN_OPS:-6000}"
 WORKERS="${WORKERS:-8}"
+SHARD_QUERIES="${SHARD_QUERIES:-1200}"
+SHARD_WORKERS="${SHARD_WORKERS:-64}"
 OUT="${1:-BENCH_phase3.json}"
 CHURN_OUT="$(dirname "$OUT")/BENCH_churn.json"
+SHARD_OUT="$(dirname "$OUT")/BENCH_shard.json"
 
 echo "bench-snapshot: running prqbench phase3 (queries=$QUERIES samples=$SAMPLES seed=$SEED)"
 "$GO" run ./cmd/prqbench -queries "$QUERIES" -samples "$SAMPLES" -seed "$SEED" \
@@ -39,3 +48,9 @@ echo "bench-snapshot: running prqbench churn (ops=$CHURN_OPS workers=$WORKERS se
     -json "$CHURN_OUT" churn
 
 echo "bench-snapshot: wrote $CHURN_OUT"
+
+echo "bench-snapshot: running prqbench shard (queries=$SHARD_QUERIES workers=$SHARD_WORKERS seed=$SEED)"
+"$GO" run ./cmd/prqbench -queries "$SHARD_QUERIES" -workers "$SHARD_WORKERS" -seed "$SEED" \
+    -json "$SHARD_OUT" shard
+
+echo "bench-snapshot: wrote $SHARD_OUT"

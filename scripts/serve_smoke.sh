@@ -1,22 +1,43 @@
 #!/usr/bin/env bash
 # serve_smoke.sh — end-to-end smoke test of the network query service:
-# datagen → prqserved → one query through the client → graceful SIGTERM.
+# datagen → prqserved → one query through the client → graceful SIGTERM,
+# then the sharded path: prqshard splits the same dataset into 2 shards,
+# prqserved -router scatters over them, and the routed answer must be
+# byte-identical to the direct single-node answer.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 GO="${GO:-go}"
 tmp="$(mktemp -d)"
 pid=""
+pids=()
 cleanup() {
     if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
         kill -9 "$pid" 2>/dev/null || true
     fi
+    for p in "${pids[@]}"; do
+        kill -9 "$p" 2>/dev/null || true
+    done
     rm -rf "$tmp"
 }
 trap cleanup EXIT
 
+# wait_addr FILE PID — wait until FILE holds a bound address.
+wait_addr() {
+    local file="$1" watch="$2"
+    for _ in $(seq 1 100); do
+        [ -s "$file" ] && return 0
+        if ! kill -0 "$watch" 2>/dev/null; then
+            echo "serve-smoke: server exited before listening" >&2
+            return 1
+        fi
+        sleep 0.1
+    done
+    [ -s "$file" ] || { echo "serve-smoke: no address file $file" >&2; return 1; }
+}
+
 echo "serve-smoke: building binaries"
-"$GO" build -o "$tmp/bin/" ./cmd/datagen ./cmd/prqserved ./cmd/prqquery
+"$GO" build -o "$tmp/bin/" ./cmd/datagen ./cmd/prqserved ./cmd/prqquery ./cmd/prqshard
 
 echo "serve-smoke: generating dataset"
 "$tmp/bin/datagen" -seed 1 -n 5000 clustered "$tmp/points.csv"
@@ -43,9 +64,60 @@ echo "serve-smoke: querying through the client"
     | tee "$tmp/result.json"
 grep -q '"ids"' "$tmp/result.json"
 
+echo "serve-smoke: querying direct answer for the router diff"
+"$tmp/bin/prqquery" -server "http://$addr" -json \
+    -center 500,500 -cov "70,34.6;34.6,30" -delta 25 -theta 0.01 \
+    > "$tmp/direct.json"
+
 echo "serve-smoke: draining with SIGTERM"
 kill -TERM "$pid"
 wait "$pid"
 pid=""
+
+echo "serve-smoke: splitting the dataset into 2 shards"
+"$tmp/bin/prqshard" -csv "$tmp/points.csv" -k 2 -out "$tmp/shards"
+
+echo "serve-smoke: starting 2 shard servers"
+shard_urls=""
+for i in 0 1; do
+    "$tmp/bin/prqserved" -snapshot "$tmp/shards/shard-$i.grdb" \
+        -addr 127.0.0.1:0 -addr-file "$tmp/shard$i.addr" &
+    pids+=($!)
+    wait_addr "$tmp/shard$i.addr" "${pids[-1]}"
+    shard_urls="$shard_urls,http://$(cat "$tmp/shard$i.addr")"
+done
+shard_urls="${shard_urls#,}"
+
+echo "serve-smoke: starting the router over $shard_urls"
+"$tmp/bin/prqserved" -router -shard-map "$tmp/shards/shardmap.json" \
+    -shards "$shard_urls" -addr 127.0.0.1:0 -addr-file "$tmp/router.addr" &
+pids+=($!)
+wait_addr "$tmp/router.addr" "${pids[-1]}"
+router_addr="$(cat "$tmp/router.addr")"
+
+echo "serve-smoke: querying through the router"
+"$tmp/bin/prqquery" -server "http://$router_addr" -json \
+    -center 500,500 -cov "70,34.6;34.6,30" -delta 25 -theta 0.01 \
+    > "$tmp/routed.json"
+
+# The routed answer ids must be non-empty and byte-identical to the direct
+# single-node ids.
+grep -o '"ids":\[[0-9,]*\]' "$tmp/direct.json" > "$tmp/direct.ids"
+grep -o '"ids":\[[0-9,]*\]' "$tmp/routed.json" > "$tmp/routed.ids"
+grep -q '[0-9]' "$tmp/direct.ids" || { echo "serve-smoke: direct answer empty — diff proves nothing" >&2; exit 1; }
+if ! diff "$tmp/direct.ids" "$tmp/routed.ids"; then
+    echo "serve-smoke: routed answer differs from direct answer" >&2
+    exit 1
+fi
+echo "serve-smoke: routed answer matches direct answer: $(cat "$tmp/direct.ids")"
+
+echo "serve-smoke: draining shard cluster with SIGTERM"
+for p in "${pids[@]}"; do
+    kill -TERM "$p" 2>/dev/null || true
+done
+for p in "${pids[@]}"; do
+    wait "$p" 2>/dev/null || true
+done
+pids=()
 
 echo "serve-smoke: OK"

@@ -48,6 +48,10 @@ type QueryRequest struct {
 	// the server's default timeout. Ignored for queries inside a batch
 	// (BatchRequest carries the batch-wide deadline).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// AllowPartial opts in to a partial answer from a shard router when some
+	// shards fail (the response then sets Routing.Partial). Routers default
+	// to fail-closed; a plain single-node server ignores the field.
+	AllowPartial bool `json:"allow_partial,omitempty"`
 }
 
 // RequestFromSpec converts a QuerySpec to its wire form.
@@ -103,6 +107,37 @@ type QueryStats struct {
 	// GridFallback marks a query whose grid-backed kernel ran the flat scan
 	// because the cell directory could not be built for its δ.
 	GridFallback bool `json:"grid_fallback,omitempty"`
+}
+
+// Add accumulates another response's stats into s — the wire-level analogue
+// of gaussrange.Stats.Add, used by the shard router to aggregate per-shard
+// phase work into one merged response.
+func (s *QueryStats) Add(o QueryStats) {
+	s.Retrieved += o.Retrieved
+	s.PrunedFringe += o.PrunedFringe
+	s.PrunedOR += o.PrunedOR
+	s.PrunedBF += o.PrunedBF
+	s.AcceptedBF += o.AcceptedBF
+	s.Integrations += o.Integrations
+	s.NodesRead += o.NodesRead
+	s.IndexNS += o.IndexNS
+	s.FilterNS += o.FilterNS
+	s.ProbNS += o.ProbNS
+	s.SamplesDrawn += o.SamplesDrawn
+	s.SamplesTouched += o.SamplesTouched
+	s.CellsSkipped += o.CellsSkipped
+	s.CellsFullInside += o.CellsFullInside
+	s.EarlyDecisions += o.EarlyDecisions
+	if o.TierMix != nil {
+		if s.TierMix == nil {
+			s.TierMix = &TierMix{}
+		}
+		s.TierMix.BF += o.TierMix.BF
+		s.TierMix.Envelope += o.TierMix.Envelope
+		s.TierMix.Exact += o.TierMix.Exact
+		s.TierMix.MC += o.TierMix.MC
+	}
+	s.GridFallback = s.GridFallback || o.GridFallback
 }
 
 // TierMix is the wire form of the tiered Phase-3 kernel's decision
@@ -180,11 +215,39 @@ func (s QueryStats) Stats() gaussrange.Stats {
 
 // QueryResponse is one completed query. IDs is never null on the wire: an
 // empty answer set serializes as [], so responses diff cleanly against other
-// tools. Epoch is the storage epoch the answer is consistent with.
+// tools. Epoch is the storage epoch the answer is consistent with (for a
+// routed answer, the maximum epoch across the shards that contributed).
+// Routing is present only on responses from a shard router.
 type QueryResponse struct {
-	IDs   []int64    `json:"ids"`
-	Epoch uint64     `json:"epoch"`
-	Stats QueryStats `json:"stats"`
+	IDs     []int64      `json:"ids"`
+	Epoch   uint64       `json:"epoch"`
+	Stats   QueryStats   `json:"stats"`
+	Routing *RoutingInfo `json:"routing,omitempty"`
+}
+
+// RoutingInfo reports how a shard router assembled a response: how far the
+// Phase-1 rectangle pruned the fan-out, which shard epochs the merged answer
+// saw, and — under allow_partial — which shards failed to contribute.
+type RoutingInfo struct {
+	// RoutingEpoch is the shard map version the router routed with.
+	RoutingEpoch uint64 `json:"routing_epoch"`
+	// Shards is the number of shards in the map; Fanout is how many the
+	// Phase-1 rectangle actually overlapped (and were queried).
+	Shards int `json:"shards"`
+	Fanout int `json:"fanout"`
+	// Partial marks an allow_partial answer missing ≥1 shard's contribution;
+	// FailedShards lists the shard ids that failed (sorted).
+	Partial      bool  `json:"partial,omitempty"`
+	FailedShards []int `json:"failed_shards,omitempty"`
+	// ShardEpochs reports each contributing shard's storage epoch, in shard
+	// id order.
+	ShardEpochs []ShardEpoch `json:"shard_epochs,omitempty"`
+}
+
+// ShardEpoch pairs a shard id with the storage epoch its answer came from.
+type ShardEpoch struct {
+	Shard int    `json:"shard"`
+	Epoch uint64 `json:"epoch"`
 }
 
 // ResponseFromResult converts a library result to the wire form.
@@ -241,9 +304,14 @@ type PointsResponse struct {
 }
 
 // InsertPointsRequest is the body of POST /v1/points: one or more points to
-// insert as a single atomic batch (one published epoch).
+// insert as a single atomic batch (one published epoch). IDs, when present,
+// assigns explicit identifiers (one per point, strictly increasing, ≥ the
+// shard's max id) — the shard router uses this to keep the global id space
+// consistent across shards; plain clients leave it empty for sequential
+// assignment.
 type InsertPointsRequest struct {
 	Points [][]float64 `json:"points"`
+	IDs    []int64     `json:"ids,omitempty"`
 }
 
 // InsertPointsResponse reports the identifiers assigned to the inserted
@@ -262,12 +330,15 @@ type DeletePointResponse struct {
 	Epoch   uint64 `json:"epoch"`
 }
 
-// Health answers GET /healthz.
+// Health answers GET /healthz. MaxID is the exclusive upper bound of point
+// identifiers ever assigned — an id allocator (shard router) seeds its
+// counter from the maximum across shards.
 type Health struct {
 	Status string `json:"status"`
 	Points int    `json:"points"`
 	Dim    int    `json:"dim"`
 	Epoch  uint64 `json:"epoch"`
+	MaxID  int64  `json:"max_id"`
 }
 
 // ErrorResponse is the body of every non-2xx reply.
@@ -322,6 +393,33 @@ type QueryTotals struct {
 	// scan because the cell directory could not be built for their δ — a
 	// persistently non-zero rate means the configured δ defeats the grid.
 	GridFallbacks uint64 `json:"grid_fallbacks"`
+}
+
+// Add accumulates another server's totals into t — used by the shard router
+// to aggregate /statsz across shards.
+func (t *QueryTotals) Add(o QueryTotals) {
+	t.Queries += o.Queries
+	t.Answers += o.Answers
+	t.Retrieved += o.Retrieved
+	t.PrunedFringe += o.PrunedFringe
+	t.PrunedOR += o.PrunedOR
+	t.PrunedBF += o.PrunedBF
+	t.AcceptedBF += o.AcceptedBF
+	t.Integrations += o.Integrations
+	t.NodesRead += o.NodesRead
+	t.IndexNS += o.IndexNS
+	t.FilterNS += o.FilterNS
+	t.ProbNS += o.ProbNS
+	t.SamplesDrawn += o.SamplesDrawn
+	t.SamplesTouched += o.SamplesTouched
+	t.CellsSkipped += o.CellsSkipped
+	t.CellsFullInside += o.CellsFullInside
+	t.EarlyDecisions += o.EarlyDecisions
+	t.TierMix.BF += o.TierMix.BF
+	t.TierMix.Envelope += o.TierMix.Envelope
+	t.TierMix.Exact += o.TierMix.Exact
+	t.TierMix.MC += o.TierMix.MC
+	t.GridFallbacks += o.GridFallbacks
 }
 
 // Histogram is a fixed-bucket latency histogram. Counts has one entry per

@@ -369,7 +369,18 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request, status *in
 	}
 	defer s.adm.release()
 
-	ids, _, epoch, err := s.db.Apply(req.Points, nil)
+	var (
+		ids   []int64
+		epoch uint64
+		err   error
+	)
+	if len(req.IDs) > 0 {
+		// Explicit identifiers from an upstream allocator (shard router).
+		_, epoch, err = s.db.ApplyWithIDs(req.Points, req.IDs, nil)
+		ids = req.IDs
+	} else {
+		ids, _, epoch, err = s.db.Apply(req.Points, nil)
+	}
 	if err != nil {
 		*status = http.StatusBadRequest
 		writeError(w, *status, "%v", err)
@@ -412,7 +423,7 @@ func (s *Server) handlePointByID(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, Health{Status: "ok", Points: s.db.Len(), Dim: s.db.Dim(), Epoch: s.db.Epoch()})
+	writeJSON(w, http.StatusOK, Health{Status: "ok", Points: s.db.Len(), Dim: s.db.Dim(), Epoch: s.db.Epoch(), MaxID: s.db.MaxID()})
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,178 @@
+package shard
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func testPoints(r *rand.Rand, n int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = []float64{r.Float64() * 1000, r.Float64() * 1000}
+	}
+	return pts
+}
+
+func TestSplitInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	pts := testPoints(r, 800)
+	for _, k := range []int{1, 2, 4, 8} {
+		m, parts, err := Split(pts, k)
+		if err != nil {
+			t.Fatalf("Split k=%d: %v", k, err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if len(m.Shards) != k || len(parts) != k {
+			t.Fatalf("k=%d: %d shards, %d parts", k, len(m.Shards), len(parts))
+		}
+		if m.NextID != int64(len(pts)) {
+			t.Fatalf("k=%d: NextID %d, want %d", k, m.NextID, len(pts))
+		}
+		seen := make(map[int64]bool)
+		for si, part := range parts {
+			if len(part.IDs) != m.Shards[si].Points {
+				t.Fatalf("k=%d shard %d: %d ids vs Points=%d", k, si, len(part.IDs), m.Shards[si].Points)
+			}
+			for i, id := range part.IDs {
+				if seen[id] {
+					t.Fatalf("k=%d: id %d in two shards", k, id)
+				}
+				seen[id] = true
+				if !reflect.DeepEqual(part.Points[i], pts[id]) {
+					t.Fatalf("k=%d: id %d maps to wrong point", k, id)
+				}
+				if id < m.Shards[si].IDMin || id > m.Shards[si].IDMax {
+					t.Fatalf("k=%d shard %d: id %d outside advertised range [%d, %d]",
+						k, si, id, m.Shards[si].IDMin, m.Shards[si].IDMax)
+				}
+				// The owning shard must be locatable from the coordinates
+				// alone — mutation routing depends on it. Ties go to the
+				// lowest shard id, which may differ from si only if a lower
+				// region also contains the point.
+				if home := m.Locate(part.Points[i]); home > si {
+					t.Fatalf("k=%d: point %d located to shard %d but stored on %d", k, id, home, si)
+				} else if home < si && !m.Shards[home].regionContains(part.Points[i]) {
+					t.Fatalf("k=%d: Locate returned non-containing shard", k)
+				}
+			}
+		}
+		if len(seen) != len(pts) {
+			t.Fatalf("k=%d: %d of %d ids assigned", k, len(seen), len(pts))
+		}
+	}
+}
+
+func TestMapJSONRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	m, _, err := Split(testPoints(r, 200), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeMap(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, back) {
+		t.Fatalf("map round-trip diverged:\n  in:  %+v\n  out: %+v", m, back)
+	}
+	// The outer regions carry ±Inf — must survive the trip (DeepEqual above
+	// proves it, but make the intent explicit).
+	if got := float64(back.Shards[0].RegionLo[0]); got == -1e308 || got > -1e300 {
+		t.Fatalf("outer lo bound not -Inf: %v", got)
+	}
+}
+
+func TestLocateIsTotalAndDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	pts := testPoints(r, 300)
+	m, _, err := Split(pts, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := [][]float64{{-1e7, 5}, {1e7, -1e7}, {500, 500}, {0, 0}, {999, 1}}
+	for _, p := range probes {
+		home := m.Locate(p)
+		if home < 0 {
+			t.Fatalf("Locate(%v) = -1", p)
+		}
+		if again := m.Locate(p); again != home {
+			t.Fatalf("Locate(%v) nondeterministic: %d vs %d", p, home, again)
+		}
+		// Lowest-id tie rule: no lower shard's region may contain p.
+		for i := 0; i < home; i++ {
+			if m.Shards[i].regionContains(p) {
+				t.Fatalf("Locate(%v) = %d but shard %d also contains it", p, home, i)
+			}
+		}
+	}
+	if m.Locate([]float64{1, 2, 3}) != -1 {
+		t.Fatal("dimension mismatch not rejected")
+	}
+}
+
+func TestOverlappingPrunes(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	m, _, err := Split(testPoints(r, 400), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The whole space overlaps everything.
+	if got := m.Overlapping([]float64{-1e9, -1e9}, []float64{1e9, 1e9}); len(got) != 4 {
+		t.Fatalf("world query overlaps %d shards, want 4", got)
+	}
+	// A tiny box strictly inside one shard's finite interior overlaps fewer
+	// than all shards.
+	var inner []float64
+	for _, sh := range m.Shards {
+		if sh.Points > 0 {
+			inner = []float64{(sh.BoundsLo[0] + sh.BoundsHi[0]) / 2, (sh.BoundsLo[1] + sh.BoundsHi[1]) / 2}
+			break
+		}
+	}
+	got := m.Overlapping([]float64{inner[0] - 1e-6, inner[1] - 1e-6}, []float64{inner[0] + 1e-6, inner[1] + 1e-6})
+	if len(got) == 0 || len(got) == 4 {
+		t.Fatalf("tiny query overlaps %v shards", got)
+	}
+}
+
+func TestDeleteCandidates(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	pts := testPoints(r, 500)
+	m, parts, err := Split(pts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si, part := range parts {
+		for _, id := range part.IDs {
+			cands := m.DeleteCandidates(id)
+			found := false
+			for _, c := range cands {
+				if c == si {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("id %d stored on shard %d not among candidates %v", id, si, cands)
+			}
+		}
+	}
+	if got := m.DeleteCandidates(int64(len(pts)) + 100); len(got) != 0 {
+		t.Fatalf("post-load id has initial candidates %v", got)
+	}
+}
+
+func TestDecodeMapRejectsInvalid(t *testing.T) {
+	if _, err := DecodeMap([]byte(`{"version": 99}`)); err == nil {
+		t.Error("bad version accepted")
+	}
+	if _, err := DecodeMap([]byte(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,460 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gaussrange"
+	"gaussrange/client"
+	"gaussrange/server"
+)
+
+// Config configures a Router.
+type Config struct {
+	// Map is the shard map to route with. Required.
+	Map *Map
+	// Endpoints are the shard base URLs, aligned with shard ids. Required;
+	// must have one entry per map shard.
+	Endpoints []string
+	// Fanout bounds the number of shard requests in flight per routed query
+	// (0 = no bound beyond the fan-out set itself).
+	Fanout int
+	// AllowPartial makes partial answers the default policy when shards fail
+	// (individual requests can also opt in via allow_partial). Default:
+	// fail-closed — any failed shard fails the query.
+	AllowPartial bool
+	// ClientOptions configure every per-shard client (retries, backoff,
+	// timeouts, 429 policy).
+	ClientOptions []client.Option
+	// Planner compiles query plans; an empty DB of the map's dimensionality
+	// is created when nil. The planner's data is never read — only its plan
+	// cache and compiled Phase-1 rectangles.
+	Planner *gaussrange.DB
+}
+
+// Router fans probabilistic range queries out to the shards whose routing
+// region overlaps the query plan's Phase-1 search rectangle, merges the
+// per-shard answers into one deterministic sorted id list, and routes
+// mutations by shard-map lookup under a global id allocator. Safe for
+// concurrent use.
+type Router struct {
+	m            *Map
+	multi        *client.Multi
+	planner      *gaussrange.DB
+	fanout       int
+	allowPartial bool
+
+	// Global id allocation: nextID is seeded lazily from the shard map and
+	// the shards' live max ids, then handed out under idMu. owner remembers
+	// which shard each router-allocated id landed on, so deletes of fresh ids
+	// go to one shard instead of a broadcast.
+	idMu   sync.Mutex
+	synced bool
+	nextID int64
+	owner  map[int64]int
+
+	// Counters for /statsz.
+	queries      atomic.Uint64
+	fanoutTotal  atomic.Uint64
+	emptyRoutes  atomic.Uint64
+	partials     atomic.Uint64
+	shardErrors  atomic.Uint64
+	inserts      atomic.Uint64
+	deletes      atomic.Uint64
+	dedupDropped atomic.Uint64
+}
+
+// NewRouter validates cfg and returns a Router.
+func NewRouter(cfg Config) (*Router, error) {
+	if cfg.Map == nil {
+		return nil, errors.New("shard: Config.Map is required")
+	}
+	if err := cfg.Map.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Endpoints) != len(cfg.Map.Shards) {
+		return nil, fmt.Errorf("shard: %d endpoints for %d shards", len(cfg.Endpoints), len(cfg.Map.Shards))
+	}
+	multi, err := client.NewMulti(cfg.Endpoints, cfg.ClientOptions...)
+	if err != nil {
+		return nil, err
+	}
+	planner := cfg.Planner
+	if planner == nil {
+		planner, err = gaussrange.Open(cfg.Map.Dim)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if planner.Dim() != cfg.Map.Dim {
+		return nil, fmt.Errorf("shard: planner dim %d vs map dim %d", planner.Dim(), cfg.Map.Dim)
+	}
+	return &Router{
+		m:            cfg.Map,
+		multi:        multi,
+		planner:      planner,
+		fanout:       cfg.Fanout,
+		allowPartial: cfg.AllowPartial,
+		nextID:       cfg.Map.NextID,
+		owner:        make(map[int64]int),
+	}, nil
+}
+
+// Map returns the routing map.
+func (r *Router) Map() *Map { return r.m }
+
+// Endpoints returns the shard base URLs, aligned with shard ids.
+func (r *Router) Endpoints() []string { return r.multi.Endpoints() }
+
+// Route compiles (or fetches from the plan cache) the request's plan and
+// returns the fan-out set: the ids of shards whose routing region overlaps
+// the plan's Phase-1 search rectangle. empty reports a query whose answer
+// compilation proved empty (no shard needs to run).
+func (r *Router) Route(req server.QueryRequest) (targets []int, empty bool, err error) {
+	lo, hi, empty, err := r.planner.PlanRegion(req.Spec())
+	if err != nil {
+		return nil, false, err
+	}
+	if empty {
+		return nil, true, nil
+	}
+	return r.m.Overlapping(lo, hi), false, nil
+}
+
+// ErrPartial marks a fail-closed routed query that lost ≥1 shard.
+var ErrPartial = errors.New("shard: incomplete answer")
+
+// remainingMS converts a context deadline into a wire timeout_ms (0 when the
+// context has none), so every shard inherits the router's remaining budget.
+func remainingMS(ctx context.Context) int64 {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return 0
+	}
+	ms := time.Until(dl).Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	return ms
+}
+
+// Query routes one query: fan out to the overlapping shards, merge ids
+// (sorted, de-duplicated — a candidate whose δ-ball straddles a tile cut may
+// come back from two shards), aggregate stats, and report the routing
+// decision. With neither the request's allow_partial nor the router's
+// AllowPartial set, any failed shard fails the whole query with ErrPartial;
+// otherwise the merged partial answer is returned with Routing.Partial set.
+func (r *Router) Query(ctx context.Context, req server.QueryRequest) (server.QueryResponse, error) {
+	r.queries.Add(1)
+	targets, empty, err := r.Route(req)
+	if err != nil {
+		return server.QueryResponse{}, err
+	}
+	info := &server.RoutingInfo{
+		RoutingEpoch: r.m.RoutingEpoch,
+		Shards:       len(r.m.Shards),
+		Fanout:       len(targets),
+	}
+	if empty || len(targets) == 0 {
+		r.emptyRoutes.Add(1)
+		return server.QueryResponse{IDs: []int64{}, Routing: info}, nil
+	}
+	r.fanoutTotal.Add(uint64(len(targets)))
+
+	shardReq := req
+	shardReq.AllowPartial = false
+	shardReq.TimeoutMS = remainingMS(ctx)
+	resps := make([]server.QueryResponse, len(targets))
+	errs := r.multi.Scatter(ctx, targets, r.fanout, func(ctx context.Context, shard int, c *client.Client) error {
+		resp, err := c.QueryRaw(ctx, shardReq)
+		if err != nil {
+			return err
+		}
+		for i, t := range targets {
+			if t == shard {
+				resps[i] = resp
+			}
+		}
+		return nil
+	})
+
+	var failed []int
+	var firstErr error
+	for i, err := range errs {
+		if err != nil {
+			failed = append(failed, targets[i])
+			if firstErr == nil {
+				firstErr = err
+			}
+			r.shardErrors.Add(1)
+		}
+	}
+	if len(failed) > 0 {
+		sort.Ints(failed)
+		if !req.AllowPartial && !r.allowPartial {
+			return server.QueryResponse{}, fmt.Errorf("%w: shard(s) %v failed: %v", ErrPartial, failed, firstErr)
+		}
+		if len(failed) == len(targets) {
+			// Nothing contributed — a partial answer needs at least one shard.
+			return server.QueryResponse{}, fmt.Errorf("%w: all %d routed shards failed: %v", ErrPartial, len(failed), firstErr)
+		}
+		info.Partial = true
+		info.FailedShards = failed
+		r.partials.Add(1)
+	}
+
+	out := server.QueryResponse{IDs: []int64{}, Routing: info}
+	for i, t := range targets {
+		if errs[i] != nil {
+			continue
+		}
+		resp := resps[i]
+		out.IDs = append(out.IDs, resp.IDs...)
+		out.Stats.Add(resp.Stats)
+		if resp.Epoch > out.Epoch {
+			out.Epoch = resp.Epoch
+		}
+		info.ShardEpochs = append(info.ShardEpochs, server.ShardEpoch{Shard: t, Epoch: resp.Epoch})
+	}
+	sort.Slice(info.ShardEpochs, func(i, j int) bool { return info.ShardEpochs[i].Shard < info.ShardEpochs[j].Shard })
+	before := len(out.IDs)
+	out.IDs = mergeIDs(out.IDs)
+	r.dedupDropped.Add(uint64(before - len(out.IDs)))
+	return out, nil
+}
+
+// mergeIDs sorts ids ascending and drops duplicates in place, so a routed
+// answer is byte-for-byte identical to the single-node answer.
+func mergeIDs(ids []int64) []int64 {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := ids[:0]
+	for i, id := range ids {
+		if i == 0 || id != ids[i-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// syncIDsLocked seeds the global allocator from the shards' live max ids the
+// first time a mutation needs it. Called with idMu held.
+func (r *Router) syncIDsLocked(ctx context.Context) error {
+	if r.synced {
+		return nil
+	}
+	all := make([]int, len(r.m.Shards))
+	for i := range all {
+		all[i] = i
+	}
+	maxIDs := make([]int64, len(all))
+	errs := r.multi.Scatter(ctx, all, r.fanout, func(ctx context.Context, shard int, c *client.Client) error {
+		h, err := c.Health(ctx)
+		if err != nil {
+			return err
+		}
+		maxIDs[shard] = h.MaxID
+		return nil
+	})
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("shard: syncing ids: shard %d: %w", all[i], err)
+		}
+	}
+	for _, id := range maxIDs {
+		if id > r.nextID {
+			r.nextID = id
+		}
+	}
+	r.synced = true
+	return nil
+}
+
+// Insert routes one insert batch: every point is assigned a fresh global id
+// and sent to the shard whose region contains it (boundary ties go to the
+// lowest shard id), as one explicit-id sub-batch per shard. Returns the
+// global ids (aligned with points) and the maximum epoch the sub-batches
+// published. Inserts are fail-closed: if any shard fails, the error reports
+// which — sub-batches already applied on other shards stay applied (their
+// ids are burned), so a retry inserts the points again under fresh ids only
+// on the shards that missed them... callers that need exactly-once should
+// retry with the failing points only.
+func (r *Router) Insert(ctx context.Context, points [][]float64) (ids []int64, epoch uint64, err error) {
+	if len(points) == 0 {
+		return nil, 0, errors.New("shard: empty insert batch")
+	}
+	homes := make([]int, len(points))
+	for i, p := range points {
+		if len(p) != r.m.Dim {
+			return nil, 0, fmt.Errorf("shard: insert %d has dim %d, want %d", i, len(p), r.m.Dim)
+		}
+		home := r.m.Locate(p)
+		if home < 0 {
+			return nil, 0, fmt.Errorf("shard: no shard region contains point %d (%v)", i, p)
+		}
+		homes[i] = home
+	}
+
+	r.idMu.Lock()
+	if err := r.syncIDsLocked(ctx); err != nil {
+		r.idMu.Unlock()
+		return nil, 0, err
+	}
+	ids = make([]int64, len(points))
+	for i := range points {
+		ids[i] = r.nextID
+		r.nextID++
+	}
+	r.idMu.Unlock()
+
+	// Group into per-shard sub-batches; allocation order keeps each group's
+	// ids strictly increasing, as ApplyWithIDs requires.
+	groups := make(map[int]*Part)
+	var targets []int
+	for i, p := range points {
+		g := groups[homes[i]]
+		if g == nil {
+			g = &Part{}
+			groups[homes[i]] = g
+			targets = append(targets, homes[i])
+		}
+		g.Points = append(g.Points, p)
+		g.IDs = append(g.IDs, ids[i])
+	}
+	sort.Ints(targets)
+
+	epochs := make([]uint64, len(targets))
+	errs := r.multi.Scatter(ctx, targets, r.fanout, func(ctx context.Context, shard int, c *client.Client) error {
+		g := groups[shard]
+		ep, err := c.InsertPointsWithIDs(ctx, g.Points, g.IDs)
+		if err != nil {
+			return err
+		}
+		for i, t := range targets {
+			if t == shard {
+				epochs[i] = ep
+			}
+		}
+		return nil
+	})
+	var failMsgs []string
+	for i, err := range errs {
+		if err != nil {
+			r.shardErrors.Add(1)
+			failMsgs = append(failMsgs, fmt.Sprintf("shard %d: %v", targets[i], err))
+			continue
+		}
+		if epochs[i] > epoch {
+			epoch = epochs[i]
+		}
+		// Remember who owns the successfully applied ids so deletes route
+		// point-to-point instead of broadcasting.
+		r.idMu.Lock()
+		for _, id := range groups[targets[i]].IDs {
+			r.owner[id] = targets[i]
+		}
+		r.idMu.Unlock()
+	}
+	if len(failMsgs) > 0 {
+		return ids, epoch, fmt.Errorf("shard: insert incomplete: %s", strings.Join(failMsgs, "; "))
+	}
+	r.inserts.Add(uint64(len(points)))
+	return ids, epoch, nil
+}
+
+// Delete routes one delete. Routing precedence: the router's own allocation
+// record (exactly one shard), then the map's initial id intervals (possibly
+// several — they are a filter, not a partition), then a broadcast for ids
+// this router never saw (e.g. allocated before a restart). Deletes are
+// idempotent on every shard, so the merged result is the OR of the per-shard
+// outcomes; any shard error fails the call (retry is safe).
+func (r *Router) Delete(ctx context.Context, id int64) (deleted bool, epoch uint64, err error) {
+	var targets []int
+	r.idMu.Lock()
+	if home, ok := r.owner[id]; ok {
+		targets = []int{home}
+	}
+	r.idMu.Unlock()
+	if targets == nil && id >= 0 && id < r.m.NextID {
+		targets = r.m.DeleteCandidates(id)
+	}
+	if targets == nil {
+		targets = make([]int, len(r.m.Shards))
+		for i := range targets {
+			targets[i] = i
+		}
+	}
+	if len(targets) == 0 {
+		return false, 0, nil
+	}
+
+	dels := make([]bool, len(targets))
+	epochs := make([]uint64, len(targets))
+	errs := r.multi.Scatter(ctx, targets, r.fanout, func(ctx context.Context, shard int, c *client.Client) error {
+		d, ep, err := c.DeletePoint(ctx, id)
+		if err != nil {
+			return err
+		}
+		for i, t := range targets {
+			if t == shard {
+				dels[i], epochs[i] = d, ep
+			}
+		}
+		return nil
+	})
+	for i, err := range errs {
+		if err != nil {
+			r.shardErrors.Add(1)
+			return false, 0, fmt.Errorf("shard: delete %d on shard %d: %w", id, targets[i], err)
+		}
+		if dels[i] {
+			deleted = true
+		}
+		if epochs[i] > epoch {
+			epoch = epochs[i]
+		}
+	}
+	if deleted {
+		r.idMu.Lock()
+		delete(r.owner, id)
+		r.idMu.Unlock()
+		r.deletes.Add(1)
+	}
+	return deleted, epoch, nil
+}
+
+// Counters is the router's own accounting, served under /statsz.
+type Counters struct {
+	Queries      uint64  `json:"queries"`
+	FanoutTotal  uint64  `json:"fanout_total"`
+	MeanFanout   float64 `json:"mean_fanout"`
+	EmptyRoutes  uint64  `json:"empty_routes"`
+	Partials     uint64  `json:"partials"`
+	ShardErrors  uint64  `json:"shard_errors"`
+	Inserts      uint64  `json:"inserts"`
+	Deletes      uint64  `json:"deletes"`
+	DedupDropped uint64  `json:"dedup_dropped"`
+}
+
+// CountersSnapshot returns the router's counters.
+func (r *Router) CountersSnapshot() Counters {
+	c := Counters{
+		Queries:      r.queries.Load(),
+		FanoutTotal:  r.fanoutTotal.Load(),
+		EmptyRoutes:  r.emptyRoutes.Load(),
+		Partials:     r.partials.Load(),
+		ShardErrors:  r.shardErrors.Load(),
+		Inserts:      r.inserts.Load(),
+		Deletes:      r.deletes.Load(),
+		DedupDropped: r.dedupDropped.Load(),
+	}
+	if routed := c.Queries - c.EmptyRoutes; routed > 0 {
+		c.MeanFanout = float64(c.FanoutTotal) / float64(routed)
+	}
+	return c
+}
