@@ -1,0 +1,187 @@
+package gaussrange
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randCov2 builds a random 2×2 SPD covariance with paper-scale variances.
+func randCov2(rng *rand.Rand) [][]float64 {
+	a := 20 + 60*rng.Float64()
+	b := 20 + 60*rng.Float64()
+	c := (2*rng.Float64() - 1) * 0.8 * math.Sqrt(a*b)
+	return [][]float64{{a, c}, {c, b}}
+}
+
+// TestSharedBatchQueryIdentity is the public batch-vs-serial property: across
+// random (Σ, δ, θ, seed) shapes and batch sizes, a shared-batch DB's
+// QueryBatch answers must be byte-identical to (a) the same DB's per-query
+// QueryCtx answers and (b) the shared-early kernel's answers under the same
+// seed — for every member, at several worker counts.
+func TestSharedBatchQueryIdentity(t *testing.T) {
+	pts := gridPoints(2500, 20)
+	rng := rand.New(rand.NewSource(71))
+	const samples = 20000
+	ctx := context.Background()
+
+	for trial := 0; trial < 3; trial++ {
+		cov := randCov2(rng)
+		delta := 15 + 25*rng.Float64()
+		var theta float64
+		if trial%2 == 0 {
+			theta = 0.005 + 0.1*rng.Float64()
+		} else {
+			// Exactly attainable ratio: hit counts can land on the threshold.
+			theta = float64(1+rng.Intn(samples/50)) / float64(samples)
+		}
+		seed := rng.Uint64()
+
+		batchDB, err := Load(pts, WithMonteCarlo(samples), WithSeed(seed), WithPhase3Kernel(KernelSharedBatch))
+		if err != nil {
+			t.Fatal(err)
+		}
+		earlyDB, err := Load(pts, WithMonteCarlo(samples), WithSeed(seed), WithPhase3Kernel(KernelSharedEarly))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for _, batch := range []int{1, 2, 7, 16} {
+			specs := make([]QuerySpec, batch)
+			for i := range specs {
+				specs[i] = QuerySpec{
+					Center: []float64{100 + 800*rng.Float64(), 100 + 800*rng.Float64()},
+					Cov:    cov,
+					Delta:  delta,
+					Theta:  theta,
+				}
+			}
+			for _, workers := range []int{1, 4} {
+				got, err := batchDB.QueryBatch(ctx, specs, workers)
+				if err != nil {
+					t.Fatalf("trial=%d batch=%d workers=%d: %v", trial, batch, workers, err)
+				}
+				for i := range specs {
+					want, err := batchDB.QueryCtx(ctx, specs[i])
+					if err != nil {
+						t.Fatal(err)
+					}
+					early, err := earlyDB.QueryCtx(ctx, specs[i])
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !sameIDs(got[i].IDs, want.IDs) {
+						t.Fatalf("trial=%d batch=%d workers=%d member %d: batched %v != per-query %v",
+							trial, batch, workers, i, got[i].IDs, want.IDs)
+					}
+					if !sameIDs(got[i].IDs, early.IDs) {
+						t.Fatalf("trial=%d batch=%d workers=%d member %d: batched %v != shared-early %v",
+							trial, batch, workers, i, got[i].IDs, early.IDs)
+					}
+					if got[i].Stats.BatchQueries != batch {
+						t.Errorf("member %d: BatchQueries = %d, want %d", i, got[i].Stats.BatchQueries, batch)
+					}
+				}
+				groups := 0
+				for i := range got {
+					groups += got[i].Stats.BatchGroups
+				}
+				if groups != 1 {
+					t.Errorf("trial=%d batch=%d: BatchGroups sums to %d, want 1 (one shape)", trial, batch, groups)
+				}
+			}
+		}
+	}
+}
+
+// TestSharedBatchGrouping: a batch mixing two query shapes must split into
+// two coalesced groups — results still align with specs, every member
+// reports its group's size, and exactly one member per group carries
+// BatchGroups.
+func TestSharedBatchGrouping(t *testing.T) {
+	pts := gridPoints(2500, 20)
+	db, err := Load(pts, WithMonteCarlo(20000), WithSeed(7), WithPhase3Kernel(KernelSharedBatch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := make([]QuerySpec, 12)
+	for i := range specs {
+		specs[i] = QuerySpec{
+			Center: []float64{200 + 60*float64(i), 500},
+			Cov:    paperCov(10),
+			Delta:  25,
+			Theta:  0.01,
+		}
+		if i%2 == 1 {
+			specs[i].Delta = 40 // second shape, interleaved
+		}
+	}
+	got, err := db.QueryBatch(context.Background(), specs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := 0
+	for i := range got {
+		if got[i].Stats.BatchQueries != 6 {
+			t.Errorf("member %d: BatchQueries = %d, want 6", i, got[i].Stats.BatchQueries)
+		}
+		groups += got[i].Stats.BatchGroups
+		want, err := db.QueryCtx(context.Background(), specs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameIDs(got[i].IDs, want.IDs) {
+			t.Errorf("member %d: batched IDs differ from per-query", i)
+		}
+	}
+	if groups != 2 {
+		t.Errorf("BatchGroups sums to %d, want 2 (two shapes)", groups)
+	}
+
+	// Hit the plan-cache fast path on a repeat batch: same shapes again.
+	if _, err := db.QueryBatch(context.Background(), specs, 4); err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := db.PlanCacheStats(); hits == 0 {
+		t.Error("repeat batch never hit the plan cache")
+	}
+}
+
+// TestSharedBatchCancellation: a cancelled context aborts the coalesced path
+// with ctx.Err(), and error specs surface with their index.
+func TestSharedBatchCancellation(t *testing.T) {
+	pts := gridPoints(400, 20)
+	db, err := Load(pts, WithMonteCarlo(5000), WithSeed(7), WithPhase3Kernel(KernelSharedBatch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := make([]QuerySpec, 8)
+	for i := range specs {
+		specs[i] = QuerySpec{Center: []float64{100, 100}, Cov: paperCov(10), Delta: 25, Theta: 0.01}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.QueryBatch(ctx, specs, 4); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled coalesced batch error = %v, want context.Canceled", err)
+	}
+
+	bad := specs
+	bad[3].Cov = [][]float64{{1, 0}, {0, -1}}
+	if _, err := db.QueryBatch(context.Background(), bad, 4); err == nil {
+		t.Error("indefinite covariance accepted by coalesced batch")
+	}
+}
+
+func sameIDs(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

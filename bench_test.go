@@ -743,4 +743,31 @@ func BenchmarkQueryBatch(b *testing.B) {
 			}
 		})
 	}
+
+	// Same-Σ workload under the shared-batch kernel: every spec shares one
+	// plan fingerprint, so QueryBatch coalesces the whole set into a single
+	// batched Phase-3 group sweeping one compiled cloud. "perquery" is the
+	// same DB answering each spec alone — the amortization denominator.
+	bdb, err := Load(toRaw(lbPts), WithMonteCarlo(20000), WithSeed(1), WithPhase3Kernel(KernelSharedBatch))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("shared-batch/perquery", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, spec := range specs {
+				if _, err := bdb.QueryCtx(ctx, spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	for _, workers := range []int{1, 4} {
+		b.Run("shared-batch/workers="+trimFloat(float64(workers)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bdb.QueryBatch(ctx, specs, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

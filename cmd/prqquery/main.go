@@ -16,7 +16,8 @@
 //	-strategy S       RR | BF | RR+BF | RR+OR | BF+OR | ALL (default ALL)
 //	-mc N             use Monte Carlo with N samples (default: exact)
 //	-phase3 NAME      Phase-3 kernel: per-candidate (default), shared-flat,
-//	                  shared-grid, shared-early or tiered (local mode only)
+//	                  shared-grid, shared-early, tiered or shared-batch
+//	                  (local mode only)
 //	-timeout D        abort the query after duration D (e.g. 500ms; 0 = none)
 //	-server URL       query a prqserved instance instead of loading a CSV
 //	-json             print the result as JSON (scriptable; identical shape
@@ -94,7 +95,7 @@ func main() {
 	flag.Float64Var(&o.theta, "theta", 0, "probability threshold θ")
 	flag.StringVar(&o.strategy, "strategy", "ALL", "filter strategy")
 	flag.IntVar(&o.mcSamples, "mc", 0, "Monte Carlo samples (0 = exact evaluator)")
-	flag.StringVar(&o.phase3, "phase3", "", `Phase-3 kernel: "per-candidate", "shared-flat", "shared-grid", "shared-early" or "tiered"`)
+	flag.StringVar(&o.phase3, "phase3", "", `Phase-3 kernel: "per-candidate", "shared-flat", "shared-grid", "shared-early", "tiered" or "shared-batch"`)
 	flag.DurationVar(&o.timeout, "timeout", 0, "abort the query after this duration (0 = no limit)")
 	flag.StringVar(&o.serverURL, "server", "", "query a running prqserved at this base URL instead of loading a CSV")
 	flag.BoolVar(&o.jsonOut, "json", false, "print the result as JSON")
@@ -332,6 +333,9 @@ func render(o runOpts, out io.Writer, points, dim int, res *gaussrange.Result, a
 		total := bf + env + exact + mcc
 		fmt.Fprintf(out, "tier mix: bf=%d envelope=%d exact=%d mc=%d (%.1f%% sample-free)\n",
 			bf, env, exact, mcc, 100*float64(st.SampleFreeDecisions())/float64(total))
+	}
+	if st.BatchQueries > 0 {
+		fmt.Fprintf(out, "batch: ran in a %d-query batched-kernel group\n", st.BatchQueries)
 	}
 	if st.GridFallback {
 		fmt.Fprintf(out, "note: grid fallback — cell directory could not be built for this δ\n")

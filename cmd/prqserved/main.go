@@ -38,8 +38,11 @@
 //	-pprof ADDR         serve net/http/pprof on a separate loopback address
 //	                    (e.g. 127.0.0.1:6060; empty = disabled)
 //	-phase3 NAME        Phase-3 kernel: per-candidate (default), shared-flat,
-//	                    shared-grid, shared-early or tiered (incompatible
-//	                    with -adaptive)
+//	                    shared-grid, shared-early, tiered or shared-batch
+//	                    (incompatible with -adaptive)
+//	-coalesce           merge concurrent same-shape /v1/query requests into
+//	                    one batched execution per admission slot (pairs with
+//	                    -phase3 shared-batch)
 //	-router             run as a scatter-gather query router (no local data)
 //	-shard-map PATH     shard map JSON produced by prqshard (router mode)
 //	-shards URLS        comma-separated shard base URLs, one per shard id, in
@@ -48,6 +51,9 @@
 //	                    (default: all overlapping shards at once)
 //	-allow-partial      serve partial answers when a shard fails instead of
 //	                    failing closed (per-request allow_partial also works)
+//	-answer-cache N     router-side LRU of fully-merged answers, invalidated
+//	                    whenever a higher shard epoch is observed (router
+//	                    mode; 0 = disabled)
 //
 // On SIGINT/SIGTERM the server stops accepting connections, drains every
 // in-flight query, and exits 0; queries still running after -drain-timeout
@@ -94,11 +100,13 @@ type config struct {
 	drainTimeout   time.Duration
 	pprofAddr      string
 	phase3         string
+	coalesce       bool
 	router         bool
 	shardMapPath   string
 	shards         string
 	fanout         int
 	allowPartial   bool
+	answerCache    int
 }
 
 func main() {
@@ -118,12 +126,14 @@ func main() {
 	flag.IntVar(&cfg.batchWorkers, "batch-workers", runtime.GOMAXPROCS(0), "worker-pool cap for batch requests")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "graceful-drain budget on shutdown")
 	flag.StringVar(&cfg.pprofAddr, "pprof", "", "serve net/http/pprof on this loopback address (empty = disabled)")
-	flag.StringVar(&cfg.phase3, "phase3", "per-candidate", `Phase-3 kernel: "per-candidate", "shared-flat", "shared-grid", "shared-early" or "tiered"`)
+	flag.StringVar(&cfg.phase3, "phase3", "per-candidate", `Phase-3 kernel: "per-candidate", "shared-flat", "shared-grid", "shared-early", "tiered" or "shared-batch"`)
+	flag.BoolVar(&cfg.coalesce, "coalesce", false, "merge concurrent same-shape /v1/query requests into one batched execution")
 	flag.BoolVar(&cfg.router, "router", false, "run as a scatter-gather query router over existing shards")
 	flag.StringVar(&cfg.shardMapPath, "shard-map", "", "shard map JSON produced by prqshard (router mode)")
 	flag.StringVar(&cfg.shards, "shards", "", "comma-separated shard base URLs in shard-id order (router mode)")
 	flag.IntVar(&cfg.fanout, "fanout", 0, "bound on concurrent per-query shard requests (0 = all overlapping shards)")
 	flag.BoolVar(&cfg.allowPartial, "allow-partial", false, "serve partial answers when a shard fails instead of failing closed")
+	flag.IntVar(&cfg.answerCache, "answer-cache", 0, "router-side merged-answer LRU size (router mode; 0 = disabled)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: prqserved -csv points.csv | -snapshot db.grdb | -router -shard-map map.json -shards URLS [flags]\n")
 		flag.PrintDefaults()
@@ -222,6 +232,7 @@ func buildHandler(cfg config, logw io.Writer) (h http.Handler, banner string, cl
 		DefaultTimeout: cfg.defaultTimeout,
 		MaxBatchSize:   cfg.maxBatch,
 		BatchWorkers:   cfg.batchWorkers,
+		Coalesce:       cfg.coalesce,
 	})
 	if err != nil {
 		if cleanup != nil {
@@ -254,10 +265,11 @@ func buildRouter(cfg config) (http.Handler, string, error) {
 		endpoints[i] = strings.TrimSpace(endpoints[i])
 	}
 	router, err := shard.NewRouter(shard.Config{
-		Map:          m,
-		Endpoints:    endpoints,
-		Fanout:       cfg.fanout,
-		AllowPartial: cfg.allowPartial,
+		Map:             m,
+		Endpoints:       endpoints,
+		Fanout:          cfg.fanout,
+		AllowPartial:    cfg.allowPartial,
+		AnswerCacheSize: cfg.answerCache,
 	})
 	if err != nil {
 		return nil, "", err

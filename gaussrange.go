@@ -158,6 +158,15 @@ const (
 	// close every candidate (the typical case), and are always invariant
 	// under worker count and execution order.
 	KernelTiered Phase3Kernel = Phase3Kernel(core.KernelTiered)
+	// KernelSharedBatch is KernelSharedEarly restructured for many-query
+	// batches: QueryBatch groups specs by plan fingerprint (same Σ, δ, θ,
+	// strategy — centers may differ) and sweeps each group's shared cloud
+	// once, advancing every member's accept/reject bounds per block over
+	// float32 sample mirrors (SIMD rows on amd64). Answers are byte-identical
+	// to the other shared kernels with the same seed; Stats.BatchQueries and
+	// Stats.BatchGroups report the coalescing. Single queries (Query,
+	// QueryParallel) run the per-query early-exit path.
+	KernelSharedBatch Phase3Kernel = Phase3Kernel(core.KernelSharedBatch)
 )
 
 // String names the kernel as benchmarks and stats endpoints report it.
@@ -167,13 +176,13 @@ func (k Phase3Kernel) String() string { return core.Phase3Kernel(k).String() }
 // and accepted by the CLI -phase3 flags — back to the kernel constant.
 func ParsePhase3Kernel(name string) (Phase3Kernel, error) {
 	for _, k := range []Phase3Kernel{
-		KernelPerCandidate, KernelSharedFlat, KernelSharedGrid, KernelSharedEarly, KernelTiered,
+		KernelPerCandidate, KernelSharedFlat, KernelSharedGrid, KernelSharedEarly, KernelTiered, KernelSharedBatch,
 	} {
 		if k.String() == name {
 			return k, nil
 		}
 	}
-	return 0, fmt.Errorf("gaussrange: unknown Phase-3 kernel %q (want per-candidate, shared-flat, shared-grid, shared-early, or tiered)", name)
+	return 0, fmt.Errorf("gaussrange: unknown Phase-3 kernel %q (want per-candidate, shared-flat, shared-grid, shared-early, tiered, or shared-batch)", name)
 }
 
 // WithPhase3Kernel selects the shared-sample Phase-3 kernel. The cloud size
@@ -185,7 +194,7 @@ func ParsePhase3Kernel(name string) (Phase3Kernel, error) {
 // many samples to draw, which a shared cloud cannot express).
 func WithPhase3Kernel(k Phase3Kernel) Option {
 	return func(o *options) error {
-		if k < KernelPerCandidate || k > KernelTiered {
+		if k < KernelPerCandidate || k > KernelSharedBatch {
 			return fmt.Errorf("gaussrange: unknown Phase-3 kernel %d", int(k))
 		}
 		o.phase3Kernel = k
@@ -516,6 +525,12 @@ type Stats struct {
 	// GridFallback reports that a grid-backed kernel could not build its
 	// cell directory for this query's δ and ran the flat scan instead.
 	GridFallback bool
+	// Batched-execution accounting (KernelSharedBatch): BatchQueries is how
+	// many queries shared this query's Phase-3 sweep (0 when the query ran a
+	// per-query executor); BatchGroups is 1 on exactly one member per sweep,
+	// so aggregated totals count each coalesced group once.
+	BatchQueries int
+	BatchGroups  int
 }
 
 // TierMix returns the tiered kernel's per-tier decision counts in pipeline
@@ -551,6 +566,8 @@ func (s *Stats) Add(other Stats) {
 	s.TierEnvelope += other.TierEnvelope
 	s.TierExact += other.TierExact
 	s.TierMC += other.TierMC
+	s.BatchQueries += other.BatchQueries
+	s.BatchGroups += other.BatchGroups
 	// A single degraded query marks the running total: totals answer "did
 	// any query fall back", per-query Stats answer "which".
 	s.GridFallback = s.GridFallback || other.GridFallback
@@ -594,12 +611,20 @@ func (db *DB) QueryCtx(ctx context.Context, spec QuerySpec) (*Result, error) {
 // and load-test patterns — compile once and amortize evaluator startup.
 // Results align with specs. The first error (or ctx cancellation) stops the
 // batch promptly.
+//
+// Under KernelSharedBatch the batch is instead grouped by plan fingerprint
+// (same Σ, δ, θ, strategy — centers may differ) and each group's Phase 3
+// runs as one batched sweep over the group's shared cloud; see
+// KernelSharedBatch for the identity guarantee and Stats accounting.
 func (db *DB) QueryBatch(ctx context.Context, specs []QuerySpec, workers int) ([]*Result, error) {
 	if len(specs) == 0 {
 		return nil, nil
 	}
 	if workers < 1 {
 		workers = 1
+	}
+	if db.options.phase3Kernel == KernelSharedBatch {
+		return db.queryBatchCoalesced(ctx, specs, workers)
 	}
 	if workers > len(specs) {
 		workers = len(specs)
@@ -675,6 +700,82 @@ func (db *DB) QueryBatch(ctx context.Context, specs []QuerySpec, workers int) ([
 
 func batchErr(i int, err error) error {
 	return fmt.Errorf("gaussrange: batch query %d: %w", i, err)
+}
+
+// queryBatchCoalesced is QueryBatch's KernelSharedBatch path: specs group by
+// plan fingerprint, each group's members rebind one cached compilation (so
+// they share its sample cloud), and core.ExecuteBatch sweeps the cloud once
+// per group with all members' bounds advancing per block. Groups execute in
+// first-appearance order; results align with specs.
+func (db *DB) queryBatchCoalesced(ctx context.Context, specs []QuerySpec, workers int) ([]*Result, error) {
+	var order []string
+	groups := make(map[string][]int)
+	for i := range specs {
+		key, err := db.planFingerprint(specs[i])
+		if err != nil {
+			return nil, batchErr(i, err)
+		}
+		if _, ok := groups[key]; !ok {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], i)
+	}
+	results := make([]*Result, len(specs))
+	for _, key := range order {
+		idxs := groups[key]
+		// Compile (or fetch) the group's base plan once, then rebind the
+		// remaining members from it directly — never via planFor, which with
+		// a disabled plan cache would compile per member and break the
+		// shared-cloud requirement.
+		base, err := db.planFor(specs[idxs[0]])
+		if err != nil {
+			return nil, batchErr(idxs[0], err)
+		}
+		plans := make([]*core.Plan, len(idxs))
+		plans[0] = base
+		for j, i := range idxs[1:] {
+			dist, err := base.Dist().WithMean(vecmat.Vector(specs[i].Center))
+			if err != nil {
+				return nil, batchErr(i, err)
+			}
+			plans[j+1], err = base.Rebind(dist)
+			if err != nil {
+				return nil, batchErr(i, err)
+			}
+		}
+		res, err := core.ExecuteBatch(ctx, plans, workers)
+		if err != nil {
+			return nil, batchErr(idxs[0], err)
+		}
+		for j, i := range idxs {
+			results[i] = convertResult(res[j])
+		}
+	}
+	return results, nil
+}
+
+// PlanFingerprint returns the opaque fingerprint of the spec's compiled
+// query shape — Σ (with TargetCov folded in), δ, θ and the normalized
+// strategy, excluding the center. It is the key under which plans cache and
+// under which QueryBatch coalesces queries into one batched Phase-3 sweep;
+// servers use it to group concurrent requests that can share an execution.
+func (db *DB) PlanFingerprint(spec QuerySpec) (string, error) {
+	return db.planFingerprint(spec)
+}
+
+func (db *DB) planFingerprint(spec QuerySpec) (string, error) {
+	if len(spec.Center) != db.dim {
+		return "", fmt.Errorf("gaussrange: center dim %d vs db dim %d", len(spec.Center), db.dim)
+	}
+	cov, err := db.specCov(spec)
+	if err != nil {
+		return "", err
+	}
+	stratName := spec.Strategy
+	if stratName == "" {
+		stratName = "ALL"
+	}
+	return planKey(cov, spec.Delta, spec.Theta, stratName), nil
 }
 
 // execSpec resolves the plan for spec (cache-assisted) and executes it
@@ -936,6 +1037,8 @@ func convertResult(res *core.Result) *Result {
 			TierExact:       res.Stats.TierExact,
 			TierMC:          res.Stats.TierMC,
 			GridFallback:    res.Stats.GridFallback,
+			BatchQueries:    res.Stats.BatchQueries,
+			BatchGroups:     res.Stats.BatchGroups,
 		},
 	}
 }

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gaussrange/internal/mc"
+	"gaussrange/internal/vecmat"
+)
+
+// batchChunk is how many Phase-3 jobs a worker claims per batched kernel
+// call: wide enough that the shared sweep amortizes the cloud stream across
+// many centers, small enough that a pool keeps every worker busy on modest
+// batches.
+const batchChunk = 16
+
+// ExecuteBatch runs a group of compiled plans — one compile Rebind-fanned to
+// many query centers — through a single batched Phase 3. Phases 1 and 2 run
+// per plan (they are mean-dependent and cheap); every surviving candidate
+// then becomes one job in a global schedule that sweeps the shared cloud or
+// grid once per chunk, advancing all members' accept/reject bounds per block.
+//
+// Each member's answer set is byte-identical to executing its plan alone
+// (same qualifyThreshold comparison, same float64 hit counts — see
+// mc.DecideBatch); only the Stats accounting granularity differs. The i-th
+// result corresponds to the i-th plan. Every member's Stats carries
+// BatchQueries = len(plans); exactly the first carries BatchGroups = 1.
+//
+// All plans must share plan 0's compiled cloud (and grid), i.e. be Rebinds
+// of one compilation; the tiered and per-candidate kernels cannot batch.
+func ExecuteBatch(ctx context.Context, plans []*Plan, workers int) ([]*Result, error) {
+	b := len(plans)
+	if b == 0 {
+		return nil, fmt.Errorf("core: ExecuteBatch with no plans")
+	}
+	lead := plans[0]
+	for i, p := range plans {
+		if p == nil {
+			return nil, fmt.Errorf("core: ExecuteBatch plan %d is nil", i)
+		}
+		if p.tier != nil {
+			return nil, fmt.Errorf("core: ExecuteBatch cannot run the tiered kernel")
+		}
+		if p.cloud == nil && !p.geo.empty {
+			return nil, fmt.Errorf("core: ExecuteBatch plan %d has no shared cloud (compile with a shared Phase-3 kernel)", i)
+		}
+		if p.cloud != lead.cloud || p.grid != lead.grid {
+			return nil, fmt.Errorf("core: ExecuteBatch plan %d does not share plan 0's compiled cloud (batch members must Rebind one compilation)", i)
+		}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	snaps := make([]*Snapshot, b)
+	sts := make([]PhaseStats, b)
+	accepted := make([][]int64, b)
+	needEval := make([][]int64, b)
+	for i, p := range plans {
+		snap, st, acc, ne, err := p.filterPhases(ctx)
+		if err != nil {
+			return nil, err
+		}
+		snaps[i], sts[i], accepted[i], needEval[i] = snap, st, acc, ne
+	}
+	return executeBatchPhase3(ctx, plans, snaps, sts, accepted, needEval, workers)
+}
+
+// executeBatchPhase3 is ExecuteBatch past the filter phases, split out so the
+// cancellation tests can drive Phase 3 directly. sts is mutated in place:
+// after return — even a cancelled one — it reflects every chunk that
+// completed, never a torn count.
+func executeBatchPhase3(ctx context.Context, plans []*Plan, snaps []*Snapshot, sts []PhaseStats, accepted, needEval [][]int64, workers int) ([]*Result, error) {
+	b := len(plans)
+	lead := plans[0]
+	t2 := time.Now()
+
+	// Merge every plan's Phase-3 candidates into one job list; jobs for plan
+	// i occupy [off[i], off[i+1]).
+	dim := lead.dist.Dim()
+	total := 0
+	for i := range plans {
+		total += len(needEval[i])
+	}
+	jobs := make([]mc.BatchJob, 0, total)
+	relBuf := make(vecmat.Vector, total*dim)
+	off := make([]int, b+1)
+	for i, p := range plans {
+		off[i] = len(jobs)
+		sts[i].Integrations = len(needEval[i])
+		if p.cloud != nil {
+			sts[i].SamplesDrawn = p.cloud.Len()
+		}
+		for _, id := range needEval[i] {
+			rel := relBuf[len(jobs)*dim : (len(jobs)+1)*dim]
+			snaps[i].point(id).SubTo(p.dist.Mean(), rel)
+			jobs = append(jobs, mc.BatchJob{Rel: rel, Need: p.needHits})
+		}
+	}
+	off[b] = len(jobs)
+
+	// Workers claim fixed chunks of the global schedule, so chunk membership
+	// — and with it every job's decision and accounting — depends only on the
+	// job order, never on the worker count.
+	nChunks := (len(jobs) + batchChunk - 1) / batchChunk
+	done := make([]bool, nChunks)
+	if workers > nChunks {
+		workers = nChunks
+	}
+	execCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if execCtx.Err() != nil {
+					return
+				}
+				c := int(next.Add(1)) - 1
+				if c >= nChunks {
+					return
+				}
+				lo := c * batchChunk
+				hi := lo + batchChunk
+				if hi > len(jobs) {
+					hi = len(jobs)
+				}
+				if lead.grid != nil {
+					lead.grid.DecideBatch(jobs[lo:hi])
+				} else {
+					lead.cloud.DecideBatch(lead.delta, jobs[lo:hi])
+				}
+				done[c] = true
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(t2)
+
+	// Fold completed chunks into the per-plan stats before the cancellation
+	// check, so the caller's accounting reflects every finished chunk whether
+	// the batch completed or was cancelled mid-sweep. done is stable here:
+	// each chunk is claimed by exactly one worker and wg.Wait orders the
+	// writes before these reads.
+	jobPlan := 0
+	for c := 0; c < nChunks; c++ {
+		if !done[c] {
+			continue
+		}
+		lo := c * batchChunk
+		hi := lo + batchChunk
+		if hi > len(jobs) {
+			hi = len(jobs)
+		}
+		for j := lo; j < hi; j++ {
+			for jobPlan+1 < b && j >= off[jobPlan+1] {
+				jobPlan++
+			}
+			st := &sts[jobPlan]
+			ds := jobs[j].Stats
+			st.SamplesTouched += ds.Touched
+			st.CellsSkipped += ds.CellsSkipped
+			st.CellsFullInside += ds.CellsFullInside
+			if ds.Early {
+				st.EarlyDecisions++
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	perQuery := elapsed / time.Duration(b)
+	results := make([]*Result, b)
+	for i := range plans {
+		ids := accepted[i]
+		for k, id := range needEval[i] {
+			if jobs[off[i]+k].Accept {
+				ids = append(ids, id)
+			}
+		}
+		sts[i].PhaseDurations[2] = perQuery
+		sts[i].Answers = len(ids)
+		sts[i].BatchQueries = b
+		if i == 0 {
+			sts[i].BatchGroups = 1
+		}
+		sortIDs(ids)
+		results[i] = &Result{IDs: ids, Stats: sts[i]}
+	}
+	return results, nil
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"gaussrange/internal/gauss"
+	"gaussrange/internal/vecmat"
+)
+
+// rebindFan compiles one plan and rebinds it to a fan of centers around the
+// base query, returning the batch members (member 0 is the base plan).
+func rebindFan(t testing.TB, e *Engine, q Query, strat Strategy, batch int, seed int64) []*Plan {
+	t.Helper()
+	base, err := e.Compile(q, strat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	plans := make([]*Plan, batch)
+	plans[0] = base
+	for i := 1; i < batch; i++ {
+		center := make(vecmat.Vector, q.Dist.Dim())
+		for j := range center {
+			center[j] = q.Dist.Mean()[j] + rng.NormFloat64()*40
+		}
+		g, err := gauss.New(center, q.Dist.Cov())
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans[i], err = base.Rebind(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return plans
+}
+
+// TestExecuteBatchMatchesSerial is the batched executor's identity property:
+// for every member of a batch, the batched answer set must equal executing
+// that member's plan alone — across dimensions, batch sizes and worker
+// counts, with and without the grid (tiny δ forces the flat fallback).
+func TestExecuteBatchMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for _, d := range []int{2, 3, 5} {
+		ix := uniformIndex(t, rng, 3000, d, 100)
+		e := sharedEngine(t, ix, KernelSharedBatch, 5000, 7)
+		center := make(vecmat.Vector, d)
+		for j := range center {
+			center[j] = 50
+		}
+		q := randomSPDQuery(t, rng, center, 20, 0.02)
+		for _, batch := range []int{1, 2, 7, 16} {
+			plans := rebindFan(t, e, q, StrategyAll, batch, int64(d*100+batch))
+			for _, workers := range []int{1, 4} {
+				got, err := ExecuteBatch(context.Background(), plans, workers)
+				if err != nil {
+					t.Fatalf("d=%d batch=%d workers=%d: %v", d, batch, workers, err)
+				}
+				if len(got) != batch {
+					t.Fatalf("d=%d batch=%d: %d results", d, batch, len(got))
+				}
+				for i, p := range plans {
+					want, err := p.Execute(context.Background())
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !idsEqual(got[i].IDs, want.IDs) {
+						t.Errorf("d=%d batch=%d workers=%d member %d: batched IDs %v != serial %v",
+							d, batch, workers, i, got[i].IDs, want.IDs)
+					}
+					if got[i].Stats.BatchQueries != batch {
+						t.Errorf("member %d: BatchQueries = %d, want %d", i, got[i].Stats.BatchQueries, batch)
+					}
+					wantGroups := 0
+					if i == 0 {
+						wantGroups = 1
+					}
+					if got[i].Stats.BatchGroups != wantGroups {
+						t.Errorf("member %d: BatchGroups = %d, want %d", i, got[i].Stats.BatchGroups, wantGroups)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestExecuteBatchWorkerInvariance: chunk membership is fixed by job order,
+// so both answers and the full batched accounting must be identical for
+// every worker count.
+func TestExecuteBatchWorkerInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	ix := uniformIndex(t, rng, 4000, 2, 1000)
+	e := sharedEngine(t, ix, KernelSharedBatch, 20000, 9)
+	q := paperQuery(t, vecmat.Vector{500, 500}, 10, 25, 0.02)
+	plans := rebindFan(t, e, q, StrategyAll, 16, 63)
+
+	want, err := ExecuteBatch(context.Background(), plans, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got, err := ExecuteBatch(context.Background(), plans, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range plans {
+			if !idsEqual(got[i].IDs, want[i].IDs) {
+				t.Errorf("workers=%d member %d: IDs differ from workers=1", workers, i)
+			}
+			g, w := got[i].Stats, want[i].Stats
+			if g.SamplesTouched != w.SamplesTouched || g.CellsSkipped != w.CellsSkipped ||
+				g.CellsFullInside != w.CellsFullInside || g.EarlyDecisions != w.EarlyDecisions {
+				t.Errorf("workers=%d member %d: stats (touched=%d skipped=%d inside=%d early=%d) differ from workers=1 (touched=%d skipped=%d inside=%d early=%d)",
+					workers, i, g.SamplesTouched, g.CellsSkipped, g.CellsFullInside, g.EarlyDecisions,
+					w.SamplesTouched, w.CellsSkipped, w.CellsFullInside, w.EarlyDecisions)
+			}
+		}
+	}
+}
+
+// TestExecuteBatchValidation: mixed compilations, tiered plans and
+// per-candidate plans must be rejected up front.
+func TestExecuteBatchValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	ix := uniformIndex(t, rng, 1000, 2, 1000)
+	q := paperQuery(t, vecmat.Vector{500, 500}, 10, 25, 0.02)
+
+	if _, err := ExecuteBatch(context.Background(), nil, 1); err == nil {
+		t.Error("empty batch accepted")
+	}
+
+	e := sharedEngine(t, ix, KernelSharedBatch, 2000, 9)
+	p1, err := e.Compile(q, StrategyAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := e.Compile(q, StrategyAll) // separate compile: separate cloud
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExecuteBatch(context.Background(), []*Plan{p1, p2}, 1); err == nil {
+		t.Error("batch across two compilations accepted")
+	}
+	if _, err := ExecuteBatch(context.Background(), []*Plan{p1, nil}, 1); err == nil {
+		t.Error("nil member accepted")
+	}
+
+	pc, err := newExactEngine(t, ix, Options{}).Compile(q, StrategyAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExecuteBatch(context.Background(), []*Plan{pc}, 1); err == nil {
+		t.Error("per-candidate plan accepted")
+	}
+
+	tiered := sharedEngine(t, ix, KernelTiered, 2000, 9)
+	pt, err := tiered.Compile(q, StrategyAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExecuteBatch(context.Background(), []*Plan{pt}, 1); err == nil {
+		t.Error("tiered plan accepted")
+	}
+}
+
+// TestExecuteBatchStatsCompleteOnCancel mirrors the per-query executor's
+// cancellation guarantee at chunk granularity: a cancelled batch must leave
+// per-plan stats reflecting exactly the chunks that completed — with the
+// flat kernel every decided job in a full chunk touches whole tiles, so the
+// per-plan counts must never be torn mid-job (each job's Touched is a
+// multiple of the tile size or the terminal remainder, and never exceeds the
+// cloud).
+func TestExecuteBatchStatsCompleteOnCancel(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	ix := uniformIndex(t, rng, 5000, 2, 1000)
+	const samples = 20000
+	e := sharedEngine(t, ix, KernelSharedBatch, samples, 9)
+	// γ=1000, tiny θ: hundreds of Phase-3 candidates per member, and δ=0.1
+	// overflows the cell directory so the plan runs the flat (no-grid)
+	// batched path, whose near-full scans leave time to cancel mid-sweep.
+	q := paperQuery(t, vecmat.Vector{500, 500}, 1000, 0.1, 0.001)
+	plans := rebindFan(t, e, q, StrategyRR, 4, 66)
+	if plans[0].Grid() != nil || plans[0].Cloud() == nil {
+		t.Fatal("expected a flat-fallback shared-batch plan")
+	}
+
+	snaps := make([]*Snapshot, len(plans))
+	sts := make([]PhaseStats, len(plans))
+	accepted := make([][]int64, len(plans))
+	needEval := make([][]int64, len(plans))
+	total := 0
+	for i, p := range plans {
+		snap, st, acc, ne, err := p.filterPhases(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps[i], sts[i], accepted[i], needEval[i] = snap, st, acc, ne
+		total += len(ne)
+	}
+	if total < 500 {
+		t.Fatalf("test needs many candidates, got %d", total)
+	}
+
+	observed := false
+	for attempt := 0; attempt < 100 && !observed; attempt++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(2 * time.Millisecond)
+			cancel()
+		}()
+		stsTry := append([]PhaseStats(nil), sts...)
+		res, err := executeBatchPhase3(ctx, plans, snaps, stsTry, accepted, needEval, 4)
+		cancel()
+		var touched int
+		for i := range stsTry {
+			touched += stsTry[i].SamplesTouched
+			if stsTry[i].SamplesTouched > len(needEval[i])*samples {
+				t.Fatalf("member %d: touched %d exceeds candidates × cloud", i, stsTry[i].SamplesTouched)
+			}
+		}
+		if err != nil {
+			if res != nil {
+				t.Fatal("cancelled batch returned results alongside the error")
+			}
+			full := total * samples
+			if touched > 0 && touched < full {
+				observed = true
+			}
+		}
+	}
+	if !observed {
+		t.Error("no cancelled run reported partial-but-complete stats; chunk folds are being dropped")
+	}
+}

@@ -168,7 +168,14 @@ type PhaseStats struct {
 	// cell directory — δ too small for the cloud extent — and silently ran
 	// the flat scan instead. Surfaced so operators can tell a degraded
 	// configuration from a fast one.
-	GridFallback   bool
+	GridFallback bool
+	// Batched execution accounting (ExecuteBatch only): BatchQueries is how
+	// many queries shared this query's Phase-3 sweep (1 when a batch of one
+	// ran the batched path; 0 on the per-query executors), BatchGroups is 1
+	// on exactly one member per batch so aggregating Add calls count each
+	// batched sweep once.
+	BatchQueries   int
+	BatchGroups    int
 	PhaseDurations [3]time.Duration
 	// AlphaUpper and AlphaLower are the BF radii used (0 when BF unused or
 	// the radius is undefined); RTheta is the θ-region radius (0 when RR and

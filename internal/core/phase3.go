@@ -50,6 +50,17 @@ const (
 	// deterministic, seed-independent function of the query whenever tier 3
 	// never fires.
 	KernelTiered
+	// KernelSharedBatch is the early-exit kernel restructured for batches of
+	// query centers sharing one compiled plan: ExecuteBatch merges every
+	// member's Phase-3 candidates into one job schedule and sweeps the shared
+	// cloud/grid once, advancing all members' accept/reject bounds per block
+	// over float32 sample mirrors (half the memory traffic, SIMD rows on
+	// amd64). Decisions are byte-identical to shared-early — a float32
+	// distance only classifies samples provably clear of δ², anything inside
+	// the rounding band is retested in float64 — so answers match the per-
+	// query kernels bit for bit. A plan compiled for this kernel executed
+	// singly (Execute/ExecuteWith) runs the per-query early-exit path.
+	KernelSharedBatch
 )
 
 // String names the kernel as the benchmarks report it.
@@ -65,6 +76,8 @@ func (k Phase3Kernel) String() string {
 		return "shared-early"
 	case KernelTiered:
 		return "tiered"
+	case KernelSharedBatch:
+		return "shared-batch"
 	default:
 		return fmt.Sprintf("Phase3Kernel(%d)", int(k))
 	}
@@ -104,7 +117,7 @@ func (p *Plan) attachCloud(opts Phase3Options) error {
 	p.cloud = cloud
 	p.p3kernel = opts.Kernel
 	p.needHits = qualifyThreshold(p.theta, n)
-	if opts.Kernel == KernelSharedGrid || opts.Kernel == KernelSharedEarly {
+	if opts.Kernel == KernelSharedGrid || opts.Kernel == KernelSharedEarly || opts.Kernel == KernelSharedBatch {
 		grid, err := mc.NewCloudGrid(cloud, p.delta)
 		if err != nil {
 			// The dense cell directory would exceed its cap (δ tiny relative
@@ -168,7 +181,7 @@ func (p *Plan) sharedCount(o, rel vecmat.Vector) (hits, touched int) {
 // n) via classification and decision bounds, so the three agree bit for
 // bit and only the per-candidate statistics differ.
 func (p *Plan) sharedQualifies(o, rel vecmat.Vector, st *PhaseStats) bool {
-	if p.p3kernel == KernelSharedEarly {
+	if p.p3kernel == KernelSharedEarly || p.p3kernel == KernelSharedBatch {
 		o.SubTo(p.dist.Mean(), rel)
 		var ok bool
 		var ds mc.DecideStats

@@ -1,0 +1,413 @@
+package mc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gaussrange/internal/vecmat"
+)
+
+// This file implements the batched shared-cloud decide kernels: many query
+// centers (jobs) advance their accept/reject bounds against one sample cloud
+// in a single scheduled pass, instead of each center re-streaming the cloud
+// through the cache. The inner scans read the float32 mirror (half the
+// memory traffic of the per-query kernels) with 4-wide manually unrolled
+// distance loops, yet every hit count — and therefore every decision — is
+// byte-identical to the per-query float64 kernels: a float32 distance only
+// classifies samples provably clear of δ², and anything within the rounding
+// band is retested with the per-query kernel's exact float64 expression.
+
+// BatchJob is one candidate decision in a batched sweep: Rel is the candidate
+// relative to its query mean (o − q) and Need the plan's qualification
+// threshold. The kernel fills Accept and Stats. Jobs in one batch share the
+// cloud and δ but may belong to different query centers — that is the point:
+// the samples stream once while every job's bounds advance per block.
+//
+// Accept is exactly the per-query decision (CountBall hits ≥ Need). Stats
+// granularity differs: the batched kernels account whole tiles/cells, so
+// Touched can exceed the per-query kernels' per-sample early-exit counts.
+type BatchJob struct {
+	Rel    vecmat.Vector
+	Need   int
+	Accept bool
+	Stats  DecideStats
+}
+
+// eps32 is the float32 rounding unit (2⁻²⁴).
+const eps32 = 1.0 / (1 << 24)
+
+// f32CoordLimit gates the float32 fast path: beyond it coordinates approach
+// float32 overflow and the rounding-error model below no longer holds, so the
+// batch falls back to pure float64 rows (still batched, still correct).
+const f32CoordLimit = 1e18
+
+// f32ErrBand returns a conservative bound E on |D32 − D64|, where D64 is the
+// float64 squared distance the per-query kernels compute for a sample and D32
+// its float32 counterpart over the mirrored coordinates. coordBound bounds
+// every |coordinate| involved (cloud samples and job rel vectors).
+//
+// Per-axis, the rounded float32 difference fl32(s32 − rel32) is within
+// Δ ≤ 2·coordBound·eps32 of the real difference (one rounding per operand,
+// one for the subtraction); we take 4·coordBound·eps32 for margin. For the
+// squared sum the bound 2Δ·Σ|dᵢ| + d·Δ² plus the float32 accumulation error
+// (≤ (d+2)·eps32 of the sum's magnitude, which is ~d2 anywhere near the
+// comparison band) gives, generously:
+//
+//	E = 8Δ·√(2·d·d2) + 2·d·Δ² + 64·d·eps32·d2
+//
+// The bound certifies both directions of the δ² comparison: if D64 ≤ d2 then
+// D32 ≤ d2+E (so D32 > d2+E proves a miss), and D32 ≥ D64 − 2Δ√(d·D64) − …
+// is monotone in D64 past the band, so D32 ≤ d2−E proves D64 ≤ d2 (a hit).
+// See DESIGN.md §13 for the full argument.
+func f32ErrBand(dim int, d2, coordBound float64) float64 {
+	delta := 4 * coordBound * eps32
+	d := float64(dim)
+	return 8*delta*math.Sqrt(2*d*d2) + 2*d*delta*delta + 64*d*eps32*d2
+}
+
+// batchBand holds the per-batch comparison thresholds: float32 distances at
+// most d2lo are certain hits, above d2hi certain misses, and the band between
+// them is retested in float64. f32lo/f32hi are the thresholds rounded
+// outward to float32 (f32lo down, f32hi up), so pure-float32 comparisons in
+// the SIMD rows widen the band by at most one ulp — never narrow it. f32ok
+// is false when the band would be too wide (E ≥ d2/4) or coordinates could
+// overflow float32 — rows then scan in pure float64, which is the per-query
+// expression verbatim.
+type batchBand struct {
+	d2, d2lo, d2hi float64
+	f32lo, f32hi   float32
+	f32ok          bool
+}
+
+func makeBatchBand(dim int, d2, coordBound float64) batchBand {
+	e := f32ErrBand(dim, d2, coordBound)
+	b := batchBand{d2: d2, d2lo: d2 - e, d2hi: d2 + e}
+	b.f32ok = !math.IsNaN(e) && !math.IsInf(e, 0) && e < 0.25*d2 && coordBound < f32CoordLimit
+	b.f32lo = float32(b.d2lo)
+	if float64(b.f32lo) > b.d2lo {
+		b.f32lo = math.Nextafter32(b.f32lo, float32(math.Inf(-1)))
+	}
+	b.f32hi = float32(b.d2hi)
+	if float64(b.f32hi) < b.d2hi {
+		b.f32hi = math.Nextafter32(b.f32hi, float32(math.Inf(1)))
+	}
+	return b
+}
+
+// batchState is one job's working state during a batched sweep.
+type batchState struct {
+	st       decideState
+	rel      vecmat.Vector
+	rel32    []float32
+	touched  int
+	boundary int // grid only: samples in the job's boundary cells
+	stats    DecideStats
+}
+
+// newBatchStates validates job dimensions and prepares per-job scan state.
+// possible seeds every decideState's upper bound (the cloud size for the flat
+// sweep; 0 for the grid, which derives it from classification).
+func newBatchStates(dim int, jobs []BatchJob, possible int) []batchState {
+	states := make([]batchState, len(jobs))
+	rel32 := make([]float32, len(jobs)*dim)
+	for i := range jobs {
+		if jobs[i].Rel.Dim() != dim {
+			panic(fmt.Sprintf("mc: batch job %d dim %d vs cloud dim %d", i, jobs[i].Rel.Dim(), dim))
+		}
+		s := &states[i]
+		s.st = decideState{need: jobs[i].Need, possible: possible}
+		s.rel = jobs[i].Rel
+		s.rel32 = rel32[i*dim : (i+1)*dim : (i+1)*dim]
+		for k, v := range jobs[i].Rel {
+			s.rel32[k] = float32(v)
+		}
+	}
+	return states
+}
+
+// maxAbsRel bounds |coordinate| over every job's rel vector.
+func maxAbsRel(jobs []BatchJob) float64 {
+	var m float64
+	for i := range jobs {
+		for _, v := range jobs[i].Rel {
+			if a := math.Abs(v); a > m {
+				m = a
+			}
+		}
+	}
+	return m
+}
+
+// retestN re-evaluates one band-ambiguous sample with axis-index-order
+// accumulation, the same summation the blocked countRange performs per
+// sample, so the hit count matches the per-query kernel even when the
+// distance lands exactly on δ².
+func retestN(pts []float64, off, dim int, rel vecmat.Vector, d2 float64) int {
+	var s float64
+	for i := 0; i < dim; i++ {
+		dv := pts[off+i] - rel[i]
+		s += dv * dv
+	}
+	if s <= d2 {
+		return 1
+	}
+	return 0
+}
+
+// batchCountRow2 counts hits among packed 2-D samples against (rx, ry) using
+// the float32 mirror through the SIMD/unrolled row counter: samples at most
+// f32lo are certain hits and samples above f32hi certain misses, so when the
+// two counts agree no sample sits inside the rounding band and the lo count
+// IS the float64 count. A disagreement (rare by construction of the band)
+// recounts the whole row with the per-query float64 expression — the result
+// always equals countRange2(pts, rx, ry, d2).
+func batchCountRow2(pts32 []float32, pts []float64, b *batchBand, rx32, ry32 float32, rx, ry float64) (hits int) {
+	cl, ch := countRow2F32(pts32, rx32, ry32, b.f32lo, b.f32hi)
+	if cl == ch {
+		return cl
+	}
+	return countRange2(pts, rx, ry, b.d2)
+}
+
+// batchCountRow is batchCountRow2 for d>2: the cache-blocked axis-major
+// accumulation of countRange, in float32 with a 4-wide unrolled sample loop.
+func batchCountRow(pts32 []float32, pts []float64, dim int, rel32 []float32, rel vecmat.Vector, d2, d2lo, d2hi float64) (hits int) {
+	var buf [scanBlock]float32
+	n := len(pts32) / dim
+	for b := 0; b < n; b += scanBlock {
+		bn := scanBlock
+		if n-b < bn {
+			bn = n - b
+		}
+		base := b * dim
+		for j := 0; j < bn; j++ {
+			buf[j] = 0
+		}
+		for i := 0; i < dim; i++ {
+			r := rel32[i]
+			off := base + i
+			j := 0
+			for ; j+4 <= bn; j += 4 {
+				dv0 := pts32[off+j*dim] - r
+				dv1 := pts32[off+(j+1)*dim] - r
+				dv2 := pts32[off+(j+2)*dim] - r
+				dv3 := pts32[off+(j+3)*dim] - r
+				buf[j] += dv0 * dv0
+				buf[j+1] += dv1 * dv1
+				buf[j+2] += dv2 * dv2
+				buf[j+3] += dv3 * dv3
+			}
+			for ; j < bn; j++ {
+				dv := pts32[off+j*dim] - r
+				buf[j] += dv * dv
+			}
+		}
+		for j := 0; j < bn; j++ {
+			q := float64(buf[j])
+			if q <= d2lo {
+				hits++
+			} else if q <= d2hi {
+				hits += retestN(pts, (b+j)*dim, dim, rel, d2)
+			}
+		}
+	}
+	return hits
+}
+
+// countRow counts one job's hits over a row of samples, choosing the float32
+// banded scan when the band is usable and the per-query float64 expression
+// otherwise. Either way the count is exactly the per-query kernel's.
+func (b *batchBand) countRow(pts32 []float32, pts []float64, dim int, s *batchState) int {
+	if dim == 2 {
+		if b.f32ok {
+			return batchCountRow2(pts32, pts, b, s.rel32[0], s.rel32[1], s.rel[0], s.rel[1])
+		}
+		return countRange2(pts, s.rel[0], s.rel[1], b.d2)
+	}
+	if b.f32ok {
+		return batchCountRow(pts32, pts, dim, s.rel32, s.rel, b.d2, b.d2lo, b.d2hi)
+	}
+	return countRange(pts, dim, s.rel, b.d2)
+}
+
+// batchTile is the flat sweep's tile width in samples: 256 2-D float32
+// samples are 2 KiB, so a tile stays L1-resident while every active job
+// scans it.
+const batchTile = 256
+
+// DecideBatch answers every job's "do at least Need samples lie within delta
+// of Rel?" in one blocked sweep over the cloud: samples stream tile by tile,
+// and each tile is scanned by every still-undecided job while it is cache
+// resident. Bounds advance at tile granularity — hits and misses are counted
+// per tile, decided jobs drop out — so each Accept equals CountBallDecide's
+// (and CountBall's hits ≥ Need) exactly; only Touched accounting differs.
+func (c *SampleCloud) DecideBatch(delta float64, jobs []BatchJob) {
+	states := newBatchStates(c.dim, jobs, c.n)
+	band := makeBatchBand(c.dim, delta*delta, c.maxAbs+maxAbsRel(jobs))
+	if c.pts32 == nil {
+		band.f32ok = false // hand-built cloud without a mirror: float64 rows
+	}
+
+	active := make([]int32, 0, len(jobs))
+	for i := range states {
+		if !states[i].st.decided() {
+			active = append(active, int32(i))
+		}
+	}
+	for t := 0; t < c.n && len(active) > 0; t += batchTile {
+		tn := batchTile
+		if c.n-t < tn {
+			tn = c.n - t
+		}
+		p64 := c.pts[t*c.dim : (t+tn)*c.dim]
+		var p32 []float32
+		if band.f32ok {
+			p32 = c.pts32[t*c.dim : (t+tn)*c.dim]
+		}
+		keep := active[:0]
+		for _, ji := range active {
+			s := &states[ji]
+			h := band.countRow(p32, p64, c.dim, s)
+			s.st.hits += h
+			s.st.possible -= tn - h
+			s.touched += tn
+			if !s.st.decided() {
+				keep = append(keep, ji)
+			}
+		}
+		active = keep
+	}
+	for i := range jobs {
+		s := &states[i]
+		jobs[i].Accept = s.st.hits >= s.st.need
+		jobs[i].Stats = DecideStats{Touched: s.touched, Early: s.touched < c.n}
+	}
+}
+
+// gridRowJob schedules one boundary cell of one job for the shared scan pass.
+type gridRowJob struct {
+	s0, s1 int32
+	job    int32
+	near   float64
+}
+
+// DecideBatch is the grid-accelerated batched decide: every job first
+// classifies its covered cells exactly as DecideBall does (full-inside cells
+// credit hits, outside cells are skipped), then all jobs' boundary cells merge
+// into one shared scan schedule ordered by nearest corner distance — the same
+// close-the-bounds-first order DecideBall uses per query — with cells of jobs
+// that have already decided skipped at visit time. Decisions are byte-
+// identical to per-query DecideBall; Touched is cell-granular rather than
+// sample-granular.
+func (g *CloudGrid) DecideBatch(jobs []BatchJob) {
+	d := g.cloud.dim
+	d2 := g.delta * g.delta
+	insideLim := d2 * (1 - classifySlack)
+	outsideLim := d2 * (1 + classifySlack)
+	states := newBatchStates(d, jobs, 0)
+	// g.maxAbs comes from the grid's own extent scan, so hand-built clouds
+	// without the NewSampleCloud bookkeeping still get a sound error band.
+	band := makeBatchBand(d, d2, g.maxAbs+maxAbsRel(jobs))
+
+	var loBuf, hiBuf, curBuf [16]int64
+	var lo, hi, cur []int64
+	if d <= len(loBuf) {
+		lo, hi, cur = loBuf[:d], hiBuf[:d], curBuf[:d]
+	} else {
+		lo, hi, cur = make([]int64, d), make([]int64, d), make([]int64, d)
+	}
+
+	// Pass 1 per job: classify covered cells, collect boundary cells into the
+	// shared schedule.
+	var rows []gridRowJob
+	for ji := range jobs {
+		s := &states[ji]
+		if !g.coveredRange(s.rel, lo, hi) {
+			continue // zero hits, zero possible: decided
+		}
+		copy(cur, lo)
+		last := d - 1
+		for {
+			base := int64(0)
+			for i := 0; i < last; i++ {
+				base += cur[i] * g.stride[i]
+			}
+			for cur[last] = lo[last]; cur[last] <= hi[last]; cur[last]++ {
+				key := base + cur[last]
+				s0, s1 := g.starts[key], g.starts[key+1]
+				if s1 == s0 {
+					continue
+				}
+				near2, far2 := g.classifyCell(cur, s.rel)
+				switch {
+				case far2 <= insideLim:
+					s.st.hits += int(s1 - s0)
+					s.stats.CellsFullInside++
+				case near2 >= outsideLim:
+					s.stats.CellsSkipped++
+				default:
+					rows = append(rows, gridRowJob{s0: s0, s1: s1, job: int32(ji), near: near2})
+					s.boundary += int(s1 - s0)
+				}
+			}
+			i := last - 1
+			for ; i >= 0; i-- {
+				cur[i]++
+				if cur[i] <= hi[i] {
+					break
+				}
+				cur[i] = lo[i]
+			}
+			if i < 0 {
+				break
+			}
+		}
+		s.st.possible = s.st.hits + s.boundary
+	}
+
+	// Pass 2: one shared scan over the schedule, nearest cells first (ties
+	// broken by storage offset so coincident cells of nearby centers scan
+	// back to back while hot), skipping cells whose job has already decided.
+	sort.Slice(rows, func(a, b int) bool {
+		if rows[a].near != rows[b].near {
+			return rows[a].near < rows[b].near
+		}
+		if rows[a].s0 != rows[b].s0 {
+			return rows[a].s0 < rows[b].s0
+		}
+		return rows[a].job < rows[b].job
+	})
+	for _, r := range rows {
+		s := &states[r.job]
+		// Large cells scan in batchTile chunks so a job whose bounds close
+		// mid-cell stops within one chunk of where the per-query kernel
+		// would, instead of paying for the whole cell.
+		s0, rown := int(r.s0), int(r.s1-r.s0)
+		for off := 0; off < rown && !s.st.decided(); off += batchTile {
+			cn := batchTile
+			if rown-off < cn {
+				cn = rown - off
+			}
+			lo64 := (s0 + off) * d
+			hi64 := (s0 + off + cn) * d
+			h := band.countRow(g.pts32[lo64:hi64], g.pts[lo64:hi64], d, s)
+			s.st.hits += h
+			s.st.possible -= cn - h
+			s.touched += cn
+		}
+	}
+
+	for i := range jobs {
+		s := &states[i]
+		jobs[i].Accept = s.st.hits >= s.st.need
+		st := s.stats
+		st.Touched = s.touched
+		if s.touched < s.boundary {
+			st.Early = true
+		} else if s.boundary == 0 {
+			st.Early = st.CellsSkipped > 0 || st.CellsFullInside > 0
+		}
+		jobs[i].Stats = st
+	}
+}

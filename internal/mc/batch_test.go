@@ -1,0 +1,306 @@
+package mc
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"gaussrange/internal/vecmat"
+)
+
+// TestDecideBatchMatchesPerQuery is the batched kernel's central property:
+// for random clouds, radii, batch sizes and thresholds straddling the exact
+// hit counts, every batched decision — flat and grid — must equal the
+// per-query decision (CountBall hits ≥ need) exactly.
+func TestDecideBatchMatchesPerQuery(t *testing.T) {
+	for _, d := range []int{2, 3, 5} {
+		for _, delta := range []float64{1, 2.5, 8} {
+			g := randomSPDDist(t, d, uint64(d)*131+uint64(delta*4))
+			cloud, err := NewSampleCloud(g, 4000, 23)
+			if err != nil {
+				t.Fatal(err)
+			}
+			grid, err := NewCloudGrid(cloud, delta)
+			if err != nil {
+				if !strings.Contains(err.Error(), "dense cell directory") {
+					t.Fatalf("d=%d δ=%g: unexpected grid error: %v", d, delta, err)
+				}
+				grid = nil
+			}
+			rng := NewRNG(uint64(d)*977 + uint64(delta))
+			for _, batch := range []int{1, 2, 7, 16} {
+				jobs := make([]BatchJob, batch)
+				wantHits := make([]int, batch)
+				for i := range jobs {
+					rel := make(vecmat.Vector, d)
+					for k := range rel {
+						rel[k] = rng.NormFloat64() * 12
+						if i%5 == 0 {
+							rel[k] = math.Floor(rel[k]/delta) * delta
+						}
+						if i%11 == 0 {
+							rel[k] += 200 // outside the cloud extent
+						}
+					}
+					hits, _ := cloud.CountBall(rel, delta)
+					wantHits[i] = hits
+					// Thresholds around the exact count, plus the trivial
+					// accept/reject extremes, rotate across the batch.
+					needs := []int{hits, hits + 1, hits - 1, 1, 0, cloud.Len() + 1}
+					jobs[i] = BatchJob{Rel: rel, Need: needs[i%len(needs)]}
+				}
+
+				flat := append([]BatchJob(nil), jobs...)
+				cloud.DecideBatch(delta, flat)
+				for i := range flat {
+					want := wantHits[i] >= flat[i].Need
+					if flat[i].Accept != want {
+						t.Fatalf("d=%d δ=%g batch=%d job %d: flat batch %v, count says %v (hits %d, need %d)",
+							d, delta, batch, i, flat[i].Accept, want, wantHits[i], flat[i].Need)
+					}
+					if pq, _ := cloud.CountBallDecide(flat[i].Rel, delta, flat[i].Need); pq != flat[i].Accept {
+						t.Fatalf("d=%d δ=%g batch=%d job %d: flat batch %v vs per-query %v",
+							d, delta, batch, i, flat[i].Accept, pq)
+					}
+					if flat[i].Stats.Touched > cloud.Len() {
+						t.Fatalf("d=%d δ=%g batch=%d job %d: touched %d > cloud size", d, delta, batch, i, flat[i].Stats.Touched)
+					}
+				}
+
+				if grid == nil {
+					continue
+				}
+				gj := append([]BatchJob(nil), jobs...)
+				grid.DecideBatch(gj)
+				for i := range gj {
+					want := wantHits[i] >= gj[i].Need
+					if gj[i].Accept != want {
+						t.Fatalf("d=%d δ=%g batch=%d job %d: grid batch %v, count says %v (hits %d, need %d)",
+							d, delta, batch, i, gj[i].Accept, want, wantHits[i], gj[i].Need)
+					}
+					if pq, _ := grid.DecideBall(gj[i].Rel, gj[i].Need); pq != gj[i].Accept {
+						t.Fatalf("d=%d δ=%g batch=%d job %d: grid batch %v vs per-query %v",
+							d, delta, batch, i, gj[i].Accept, pq)
+					}
+					if gj[i].Stats.Touched > cloud.Len() {
+						t.Fatalf("d=%d δ=%g batch=%d job %d: grid touched %d > cloud size", d, delta, batch, i, gj[i].Stats.Touched)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchRowCountsMatchFloat64 pins the float32 banded rows against the
+// float64 truth at row granularity: over random rows — with a fraction of
+// samples snapped to exact-boundary distances — the banded count must equal
+// countRange2/countRange exactly, i.e. the band never mislabels a sample
+// whose float64 comparison is in doubt.
+func TestBatchRowCountsMatchFloat64(t *testing.T) {
+	rng := NewRNG(4242)
+	for _, d := range []int{2, 5} {
+		for trial := 0; trial < 300; trial++ {
+			n := 1 + int(rng.Uint64()%97)
+			pts := make([]float64, n*d)
+			rel := make(vecmat.Vector, d)
+			for i := range rel {
+				rel[i] = rng.NormFloat64() * 50
+			}
+			delta := 1 + rng.Float64()*40
+			d2 := delta * delta
+			var maxAbs float64
+			for s := 0; s < n; s++ {
+				for i := 0; i < d; i++ {
+					pts[s*d+i] = rel[i] + rng.NormFloat64()*delta
+				}
+				if s%4 == 0 {
+					// Snap the sample onto (or a few ulps around) the sphere.
+					var dist float64
+					for i := 0; i < d; i++ {
+						dv := pts[s*d+i] - rel[i]
+						dist += dv * dv
+					}
+					if dist > 0 {
+						scale := delta / math.Sqrt(dist)
+						for i := 0; i < d; i++ {
+							pts[s*d+i] = rel[i] + (pts[s*d+i]-rel[i])*scale
+						}
+					}
+				}
+				for i := 0; i < d; i++ {
+					if a := math.Abs(pts[s*d+i]); a > maxAbs {
+						maxAbs = a
+					}
+				}
+			}
+			pts32 := make([]float32, len(pts))
+			for i, v := range pts {
+				pts32[i] = float32(v)
+			}
+			band := makeBatchBand(d, d2, maxAbs+maxAbsRel([]BatchJob{{Rel: rel}}))
+			if !band.f32ok {
+				t.Fatalf("d=%d trial %d: band unusable for benign coordinates (E band too wide)", d, trial)
+			}
+			rel32 := make([]float32, d)
+			for i, v := range rel {
+				rel32[i] = float32(v)
+			}
+			var want, got int
+			if d == 2 {
+				want = countRange2(pts, rel[0], rel[1], d2)
+				got = batchCountRow2(pts32, pts, &band, rel32[0], rel32[1], rel[0], rel[1])
+			} else {
+				want = countRange(pts, d, rel, d2)
+				got = batchCountRow(pts32, pts, d, rel32, rel, d2, band.d2lo, band.d2hi)
+			}
+			if got != want {
+				t.Fatalf("d=%d trial %d: banded float32 row counts %d, float64 truth %d", d, trial, got, want)
+			}
+		}
+	}
+}
+
+// TestCountRow2F32MatchesScalar pins the platform row counter (SIMD on amd64)
+// against a straight scalar evaluation of the same float32 comparisons, across
+// lengths that exercise every vector-width remainder, including thresholds
+// placed exactly on attainable float32 distances.
+func TestCountRow2F32MatchesScalar(t *testing.T) {
+	rng := NewRNG(99)
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33, 100, 257} {
+		for trial := 0; trial < 20; trial++ {
+			pts := make([]float32, 2*n)
+			for i := range pts {
+				pts[i] = float32(rng.NormFloat64() * 10)
+			}
+			qx := float32(rng.NormFloat64() * 5)
+			qy := float32(rng.NormFloat64() * 5)
+			var lo, hi float32
+			if n > 0 && trial%3 == 0 {
+				// Thresholds exactly on a sample's float32 distance: the ≤
+				// comparison must count it on both sides.
+				k := int(rng.Uint64() % uint64(n))
+				dx := pts[2*k] - qx
+				dy := pts[2*k+1] - qy
+				lo = dx*dx + dy*dy
+				hi = lo
+			} else {
+				lo = float32(rng.Float64() * 200)
+				hi = lo + float32(rng.Float64()*100)
+			}
+			var wantLo, wantHi int
+			for i := 0; i < n; i++ {
+				dx := pts[2*i] - qx
+				dy := pts[2*i+1] - qy
+				q := dx*dx + dy*dy
+				if q <= lo {
+					wantLo++
+				}
+				if q <= hi {
+					wantHi++
+				}
+			}
+			gotLo, gotHi := countRow2F32(pts, qx, qy, lo, hi)
+			if gotLo != wantLo || gotHi != wantHi {
+				t.Fatalf("n=%d trial=%d: countRow2F32 = (%d, %d), scalar reference = (%d, %d)",
+					n, trial, gotLo, gotHi, wantLo, wantHi)
+			}
+		}
+	}
+}
+
+// TestDecideBatchExactBoundary replays the handmade exact-boundary cloud
+// through both batched paths. The literal cloud has no float32 mirror, so the
+// flat batch exercises the pure-float64 fallback; the grid rebuilds its own
+// mirror and bound, exercising the banded path on points exactly on δ².
+func TestDecideBatchExactBoundary(t *testing.T) {
+	pts := []float64{
+		3, 4,
+		5, 0,
+		0, -5,
+		3.000000001, 4,
+		2.999999999, 4,
+		-7, 1,
+		0.5, 0.25,
+	}
+	cloud := &SampleCloud{dim: 2, n: len(pts) / 2, pts: pts}
+	grid, err := NewCloudGrid(cloud, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := vecmat.Vector{0, 0}
+	jobs := []BatchJob{
+		{Rel: rel, Need: 5}, // met exactly by the on-boundary points
+		{Rel: rel, Need: 6}, // unattainable
+	}
+	flat := append([]BatchJob(nil), jobs...)
+	cloud.DecideBatch(5, flat)
+	if !flat[0].Accept || flat[1].Accept {
+		t.Errorf("flat batch on exact-boundary cloud: need=5 → %v (want true), need=6 → %v (want false)",
+			flat[0].Accept, flat[1].Accept)
+	}
+	gj := append([]BatchJob(nil), jobs...)
+	grid.DecideBatch(gj)
+	if !gj[0].Accept || gj[1].Accept {
+		t.Errorf("grid batch on exact-boundary cloud: need=5 → %v (want true), need=6 → %v (want false)",
+			gj[0].Accept, gj[1].Accept)
+	}
+}
+
+// TestBatchBandFallback checks the guard rails: coordinates near float32
+// overflow or a band wider than δ²/4 must disable the float32 fast path
+// (decisions then come from the per-query float64 expressions directly).
+func TestBatchBandFallback(t *testing.T) {
+	if b := makeBatchBand(2, 625, 1e19); b.f32ok {
+		t.Error("band accepted coordinates beyond the float32-safe limit")
+	}
+	// A tiny radius against huge coordinates makes E ≥ d2/4.
+	if b := makeBatchBand(2, 1e-12, 1e6); b.f32ok {
+		t.Error("band accepted an error bound wider than the comparison radius")
+	}
+	if b := makeBatchBand(2, 625, 1e3); !b.f32ok {
+		t.Error("band rejected benign paper-scale coordinates")
+	}
+}
+
+// BenchmarkDecideBatch measures the batched kernels at paper scale against
+// the equivalent per-query loop, flat and grid, at batch width 16.
+func BenchmarkDecideBatch(b *testing.B) {
+	for _, d := range []int{2, 5} {
+		cloud, grid, rel, delta := benchCloudGrid(b, d, 100000)
+		need := cloud.Len() / 100
+		rng := NewRNG(31)
+		jobs := make([]BatchJob, 16)
+		for i := range jobs {
+			r := make(vecmat.Vector, d)
+			for k := range r {
+				r[k] = rel[k] + rng.NormFloat64()*delta
+			}
+			jobs[i] = BatchJob{Rel: r, Need: need}
+		}
+		b.Run(fmt.Sprintf("flat-batch16/d=%d", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cloud.DecideBatch(delta, jobs)
+			}
+		})
+		b.Run(fmt.Sprintf("flat-perquery16/d=%d", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for j := range jobs {
+					cloud.CountBallDecide(jobs[j].Rel, delta, need)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("grid-batch16/d=%d", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				grid.DecideBatch(jobs)
+			}
+		})
+		b.Run(fmt.Sprintf("grid-perquery16/d=%d", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for j := range jobs {
+					grid.DecideBall(jobs[j].Rel, need)
+				}
+			}
+		})
+	}
+}

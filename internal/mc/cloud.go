@@ -25,6 +25,14 @@ type SampleCloud struct {
 	dim int
 	n   int
 	pts []float64 // n·dim, sample i occupies pts[i*dim : (i+1)*dim]
+	// pts32 mirrors pts in float32 for the batched kernel's wide scans. The
+	// float64 slice stays authoritative: every comparison a float32 scan
+	// cannot certify is retested against pts (see batch.go), so the mirror
+	// halves memory traffic without changing a single count.
+	pts32 []float32
+	// maxAbs bounds |coordinate| over the cloud; the batched kernel derives
+	// its float32 rounding-error band from it.
+	maxAbs float64
 }
 
 // NewSampleCloud draws n centered samples from dist's covariance using a
@@ -41,6 +49,13 @@ func NewSampleCloud(dist *gauss.Dist, n int, seed uint64) (*SampleCloud, error) 
 	for i := 0; i < n; i++ {
 		dist.SampleCentered(rng, scratch, dst)
 		copy(c.pts[i*d:], dst)
+	}
+	c.pts32 = make([]float32, len(c.pts))
+	for i, v := range c.pts {
+		c.pts32[i] = float32(v)
+		if a := math.Abs(v); a > c.maxAbs {
+			c.maxAbs = a
+		}
 	}
 	return c, nil
 }
@@ -265,6 +280,8 @@ type CloudGrid struct {
 	starts   []int32   // len total+1; cell k holds pts rows starts[k]..starts[k+1]
 	occupied int       // cells with at least one sample
 	pts      []float64 // cloud points regrouped by cell, n·dim
+	pts32    []float32 // float32 mirror of pts in the same cell order
+	maxAbs   float64   // max |coordinate| over the cloud (from the extent scan)
 }
 
 // gridMarginFactor scales the per-axis classification slack. Binning
@@ -321,6 +338,14 @@ func NewCloudGrid(cloud *SampleCloud, delta float64) (*CloudGrid, error) {
 			}
 		}
 	}
+	for i := 0; i < d; i++ {
+		if a := math.Abs(g.min[i]); a > g.maxAbs {
+			g.maxAbs = a
+		}
+		if a := math.Abs(maxs[i]); a > g.maxAbs {
+			g.maxAbs = a
+		}
+	}
 	capCells := maxDirectoryCells(cloud.n)
 	total := int64(1)
 	for i := 0; i < d; i++ {
@@ -366,6 +391,10 @@ func NewCloudGrid(cloud *SampleCloud, delta float64) (*CloudGrid, error) {
 		slot := cursor[keys[s]]
 		cursor[keys[s]]++
 		copy(g.pts[int(slot)*d:], cloud.pts[s*d:(s+1)*d])
+	}
+	g.pts32 = make([]float32, len(g.pts))
+	for i, v := range g.pts {
+		g.pts32[i] = float32(v)
 	}
 	return g, nil
 }

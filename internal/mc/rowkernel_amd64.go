@@ -1,0 +1,59 @@
+package mc
+
+// SIMD row counters for the batched 2-D scan (rowkernel_amd64.s). Both count,
+// over packed [x0,y0,x1,y1,…] float32 samples, how many squared distances to
+// (qx, qy) are ≤ lo and how many are ≤ hi, returning loCount | hiCount<<32.
+// The counts are certificates, not answers: the caller treats loCount as sure
+// hits only when loCount == hiCount (no sample inside the rounding band) and
+// otherwise recounts the row in float64 — so a lane-order or rounding quirk
+// in the vector math can never change a decision, only force a slow path.
+//
+// countRow2AVX consumes len(pts) in multiples of 16 floats (8 samples),
+// countRow2SSE in multiples of 8 floats (4 samples); the Go wrapper handles
+// the remainder scalar.
+
+//go:noescape
+func countRow2AVX(pts []float32, qx, qy, lo, hi float32) uint64
+
+//go:noescape
+func countRow2SSE(pts []float32, qx, qy, lo, hi float32) uint64
+
+// cpuHasAVX2 reports AVX2 with OS-enabled YMM state (CPUID + XGETBV).
+func cpuHasAVX2() bool
+
+var useAVX2 = cpuHasAVX2()
+
+// countRow2F32 counts samples with squared distance ≤ lo and ≤ hi over a
+// packed 2-D float32 row. The scalar tail may round differently from the
+// vector body (or use FMA contraction on other builds); that is fine because
+// every admissible evaluation stays within the error band the thresholds
+// were widened by — band membership, not the float32 value, decides whether
+// the float64 truth is consulted.
+func countRow2F32(pts32 []float32, qx, qy, lo, hi float32) (cntLo, cntHi int) {
+	n := 0
+	if useAVX2 {
+		n = len(pts32) &^ 15
+		if n > 0 {
+			packed := countRow2AVX(pts32[:n], qx, qy, lo, hi)
+			cntLo, cntHi = int(uint32(packed)), int(packed>>32)
+		}
+	} else {
+		n = len(pts32) &^ 7
+		if n > 0 {
+			packed := countRow2SSE(pts32[:n], qx, qy, lo, hi)
+			cntLo, cntHi = int(uint32(packed)), int(packed>>32)
+		}
+	}
+	for off := n; off+1 < len(pts32); off += 2 {
+		dx := pts32[off] - qx
+		dy := pts32[off+1] - qy
+		q := dx*dx + dy*dy
+		if q <= lo {
+			cntLo++
+		}
+		if q <= hi {
+			cntHi++
+		}
+	}
+	return cntLo, cntHi
+}

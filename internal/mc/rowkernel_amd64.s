@@ -1,0 +1,163 @@
+// SIMD row counters for the batched 2-D Phase-3 scan. See rowkernel_amd64.go
+// for the contract. Samples are packed [x0,y0,x1,y1,...]; each iteration
+// computes squared distances for a block, compares against both thresholds,
+// and accumulates the -1 compare masks into per-lane counters. Every sample's
+// distance occupies two lanes (x and y swap under the in-lane shuffle), so
+// the reduced totals are halved before returning.
+
+#include "textflag.h"
+
+// func countRow2SSE(pts []float32, qx, qy, lo, hi float32) uint64
+TEXT ·countRow2SSE(SB), NOSPLIT, $0-48
+	MOVQ  pts_base+0(FP), SI
+	MOVQ  pts_len+8(FP), CX
+	MOVSS qx+24(FP), X0
+	MOVSS qy+28(FP), X7
+	UNPCKLPS X7, X0          // X0 = [qx, qy, _, _]
+	MOVLHPS  X0, X0          // X0 = [qx, qy, qx, qy]
+	MOVSS lo+32(FP), X1
+	SHUFPS $0x00, X1, X1     // X1 = lo ×4
+	MOVSS hi+36(FP), X2
+	SHUFPS $0x00, X2, X2     // X2 = hi ×4
+	PXOR  X3, X3             // lo-count accumulator
+	PXOR  X4, X4             // hi-count accumulator
+	SHRQ  $3, CX             // blocks of 8 floats (4 samples)
+	JZ    reduce
+
+loop:
+	MOVUPS (SI), X5
+	MOVUPS 16(SI), X6
+	SUBPS  X0, X5
+	SUBPS  X0, X6
+	MULPS  X5, X5            // [dx0²,dy0²,dx1²,dy1²]
+	MULPS  X6, X6
+	MOVAPS X5, X7
+	SHUFPS $0xB1, X5, X7     // swap pair lanes
+	ADDPS  X7, X5            // [q0,q0,q1,q1]
+	MOVAPS X6, X7
+	SHUFPS $0xB1, X6, X7
+	ADDPS  X7, X6            // [q2,q2,q3,q3]
+	MOVAPS X5, X7
+	CMPPS  X1, X7, $2        // q ≤ lo
+	PSUBL  X7, X3
+	CMPPS  X2, X5, $2        // q ≤ hi
+	PSUBL  X5, X4
+	MOVAPS X6, X7
+	CMPPS  X1, X7, $2
+	PSUBL  X7, X3
+	CMPPS  X2, X6, $2
+	PSUBL  X6, X4
+	ADDQ   $32, SI
+	DECQ   CX
+	JNZ    loop
+
+reduce:
+	PSHUFL $0x4E, X3, X7
+	PADDL  X7, X3
+	PSHUFL $0xB1, X3, X7
+	PADDL  X7, X3
+	PSHUFL $0x4E, X4, X7
+	PADDL  X7, X4
+	PSHUFL $0xB1, X4, X7
+	PADDL  X7, X4
+	MOVQ   X3, AX
+	MOVL   AX, AX            // zero-extend the replicated lane
+	SHRQ   $1, AX            // each sample counted in two lanes
+	MOVQ   X4, BX
+	MOVL   BX, BX
+	SHRQ   $1, BX
+	SHLQ   $32, BX
+	ORQ    BX, AX
+	MOVQ   AX, ret+40(FP)
+	RET
+
+// func countRow2AVX(pts []float32, qx, qy, lo, hi float32) uint64
+TEXT ·countRow2AVX(SB), NOSPLIT, $0-48
+	MOVQ  pts_base+0(FP), SI
+	MOVQ  pts_len+8(FP), CX
+	MOVSS qx+24(FP), X0
+	MOVSS qy+28(FP), X7
+	UNPCKLPS X7, X0          // X0 = [qx, qy, _, _]
+	VPBROADCASTQ X0, Y0      // Y0 = [qx, qy] ×4
+	VBROADCASTSS lo+32(FP), Y1
+	VBROADCASTSS hi+36(FP), Y2
+	VPXOR Y3, Y3, Y3         // lo-count accumulator
+	VPXOR Y4, Y4, Y4         // hi-count accumulator
+	SHRQ  $4, CX             // blocks of 16 floats (8 samples)
+	JZ    reduce
+
+loop:
+	VMOVUPS (SI), Y5
+	VMOVUPS 32(SI), Y6
+	VSUBPS  Y0, Y5, Y5
+	VSUBPS  Y0, Y6, Y6
+	VMULPS  Y5, Y5, Y5
+	VMULPS  Y6, Y6, Y6
+	VSHUFPS $0xB1, Y5, Y5, Y7
+	VADDPS  Y7, Y5, Y5       // [q0,q0,q1,q1,q2,q2,q3,q3]
+	VSHUFPS $0xB1, Y6, Y6, Y7
+	VADDPS  Y7, Y6, Y6
+	VCMPPS  $2, Y1, Y5, Y7   // q ≤ lo
+	VPSUBD  Y7, Y3, Y3
+	VCMPPS  $2, Y2, Y5, Y7   // q ≤ hi
+	VPSUBD  Y7, Y4, Y4
+	VCMPPS  $2, Y1, Y6, Y7
+	VPSUBD  Y7, Y3, Y3
+	VCMPPS  $2, Y2, Y6, Y7
+	VPSUBD  Y7, Y4, Y4
+	ADDQ    $64, SI
+	DECQ    CX
+	JNZ     loop
+
+reduce:
+	VEXTRACTI128 $1, Y3, X7
+	VPADDD  X7, X3, X3
+	VPSHUFD $0x4E, X3, X7
+	VPADDD  X7, X3, X3
+	VPSHUFD $0xB1, X3, X7
+	VPADDD  X7, X3, X3
+	VEXTRACTI128 $1, Y4, X7
+	VPADDD  X7, X4, X4
+	VPSHUFD $0x4E, X4, X7
+	VPADDD  X7, X4, X4
+	VPSHUFD $0xB1, X4, X7
+	VPADDD  X7, X4, X4
+	MOVQ    X3, AX
+	MOVL    AX, AX
+	SHRQ    $1, AX
+	MOVQ    X4, BX
+	MOVL    BX, BX
+	SHRQ    $1, BX
+	SHLQ    $32, BX
+	ORQ     BX, AX
+	VZEROUPPER
+	MOVQ    AX, ret+40(FP)
+	RET
+
+// func cpuHasAVX2() bool
+TEXT ·cpuHasAVX2(SB), NOSPLIT, $0-1
+	MOVL $0, AX
+	CPUID
+	CMPL AX, $7
+	JLT  none
+	MOVL $1, AX
+	MOVL $0, CX
+	CPUID
+	ANDL $(1<<27 | 1<<28), CX // OSXSAVE + AVX
+	CMPL CX, $(1<<27 | 1<<28)
+	JNE  none
+	MOVL $0, CX
+	XGETBV
+	ANDL $6, AX               // XMM + YMM state enabled by the OS
+	CMPL AX, $6
+	JNE  none
+	MOVL $7, AX
+	MOVL $0, CX
+	CPUID
+	TESTL $(1<<5), BX         // AVX2
+	JZ   none
+	MOVB $1, ret+0(FP)
+	RET
+none:
+	MOVB $0, ret+0(FP)
+	RET

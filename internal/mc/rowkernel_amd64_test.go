@@ -1,0 +1,43 @@
+package mc
+
+import "testing"
+
+// TestRowKernelVariantsAgree runs both assembly bodies against the scalar
+// comparison at their native block widths: whichever variant the host
+// dispatches at runtime, both must produce the scalar counts exactly.
+func TestRowKernelVariantsAgree(t *testing.T) {
+	rng := NewRNG(7)
+	for _, samples := range []int{8, 16, 24, 64, 200} {
+		pts := make([]float32, 2*samples)
+		for i := range pts {
+			pts[i] = float32(rng.NormFloat64() * 8)
+		}
+		qx := float32(rng.NormFloat64())
+		qy := float32(rng.NormFloat64())
+		lo := float32(rng.Float64() * 120)
+		hi := lo + float32(rng.Float64()*60)
+		var wantLo, wantHi int
+		for i := 0; i < samples; i++ {
+			dx := pts[2*i] - qx
+			dy := pts[2*i+1] - qy
+			q := dx*dx + dy*dy
+			if q <= lo {
+				wantLo++
+			}
+			if q <= hi {
+				wantHi++
+			}
+		}
+		nSSE := (2 * samples) &^ 7
+		packed := countRow2SSE(pts[:nSSE], qx, qy, lo, hi)
+		if gl, gh := int(uint32(packed)), int(packed>>32); gl != wantLo || gh != wantHi {
+			t.Errorf("samples=%d: SSE = (%d, %d), scalar = (%d, %d)", samples, gl, gh, wantLo, wantHi)
+		}
+		if samples%8 == 0 {
+			packed = countRow2AVX(pts, qx, qy, lo, hi)
+			if gl, gh := int(uint32(packed)), int(packed>>32); gl != wantLo || gh != wantHi {
+				t.Errorf("samples=%d: AVX = (%d, %d), scalar = (%d, %d)", samples, gl, gh, wantLo, wantHi)
+			}
+		}
+	}
+}

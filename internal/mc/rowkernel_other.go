@@ -1,0 +1,69 @@
+//go:build !amd64
+
+package mc
+
+// countRow2F32 is the portable fallback for the SIMD 2-D row counter: count
+// samples with squared distance ≤ lo and ≤ hi over a packed float32 row,
+// 4-wide unrolled. Rounding differences against the amd64 vector body are
+// immaterial — both stay inside the error band the thresholds carry, and
+// band membership sends the row to the float64 truth.
+func countRow2F32(pts32 []float32, qx, qy, lo, hi float32) (cntLo, cntHi int) {
+	n := len(pts32) / 2
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		off := 2 * i
+		dx0 := pts32[off] - qx
+		dy0 := pts32[off+1] - qy
+		dx1 := pts32[off+2] - qx
+		dy1 := pts32[off+3] - qy
+		dx2 := pts32[off+4] - qx
+		dy2 := pts32[off+5] - qy
+		dx3 := pts32[off+6] - qx
+		dy3 := pts32[off+7] - qy
+		q0 := dx0*dx0 + dy0*dy0
+		q1 := dx1*dx1 + dy1*dy1
+		q2 := dx2*dx2 + dy2*dy2
+		q3 := dx3*dx3 + dy3*dy3
+		l0, l1, l2, l3 := 0, 0, 0, 0
+		if q0 <= lo {
+			l0 = 1
+		}
+		if q1 <= lo {
+			l1 = 1
+		}
+		if q2 <= lo {
+			l2 = 1
+		}
+		if q3 <= lo {
+			l3 = 1
+		}
+		cntLo += l0 + l1 + l2 + l3
+		h0, h1, h2, h3 := 0, 0, 0, 0
+		if q0 <= hi {
+			h0 = 1
+		}
+		if q1 <= hi {
+			h1 = 1
+		}
+		if q2 <= hi {
+			h2 = 1
+		}
+		if q3 <= hi {
+			h3 = 1
+		}
+		cntHi += h0 + h1 + h2 + h3
+	}
+	for ; i < n; i++ {
+		off := 2 * i
+		dx := pts32[off] - qx
+		dy := pts32[off+1] - qy
+		q := dx*dx + dy*dy
+		if q <= lo {
+			cntLo++
+		}
+		if q <= hi {
+			cntHi++
+		}
+	}
+	return cntLo, cntHi
+}

@@ -22,6 +22,9 @@ func TestPhase3KernelValidation(t *testing.T) {
 	if _, err := Load(pts, WithAdaptiveMonteCarlo(1000), WithPhase3Kernel(KernelTiered)); err == nil {
 		t.Error("tiered kernel combined with adaptive MC accepted")
 	}
+	if _, err := Load(pts, WithAdaptiveMonteCarlo(1000), WithPhase3Kernel(KernelSharedBatch)); err == nil {
+		t.Error("batch kernel combined with adaptive MC accepted")
+	}
 	if _, err := Load(pts, WithPhase3Kernel(KernelSharedEarly)); err != nil {
 		t.Errorf("early kernel rejected: %v", err)
 	}
@@ -38,6 +41,7 @@ func TestPhase3KernelStrings(t *testing.T) {
 		KernelSharedGrid:   "shared-grid",
 		KernelSharedEarly:  "shared-early",
 		KernelTiered:       "tiered",
+		KernelSharedBatch:  "shared-batch",
 	} {
 		if got := k.String(); got != want {
 			t.Errorf("kernel %d String() = %q, want %q", int(k), got, want)
@@ -49,7 +53,7 @@ func TestPhase3KernelStrings(t *testing.T) {
 // and unknown names are rejected with the valid set in the message.
 func TestParsePhase3Kernel(t *testing.T) {
 	for _, k := range []Phase3Kernel{
-		KernelPerCandidate, KernelSharedFlat, KernelSharedGrid, KernelSharedEarly, KernelTiered,
+		KernelPerCandidate, KernelSharedFlat, KernelSharedGrid, KernelSharedEarly, KernelTiered, KernelSharedBatch,
 	} {
 		got, err := ParsePhase3Kernel(k.String())
 		if err != nil {
@@ -218,7 +222,7 @@ func TestStrategyIdentityAcrossKernels(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sharedKernels := []Phase3Kernel{KernelSharedFlat, KernelSharedGrid, KernelSharedEarly, KernelTiered}
+	sharedKernels := []Phase3Kernel{KernelSharedFlat, KernelSharedGrid, KernelSharedEarly, KernelTiered, KernelSharedBatch}
 	sharedDBs := make([]*DB, len(sharedKernels))
 	for i, kernel := range sharedKernels {
 		db, err := Load(pts, WithMonteCarlo(30000), WithSeed(7), WithPhase3Kernel(kernel))

@@ -107,6 +107,11 @@ type QueryStats struct {
 	// GridFallback marks a query whose grid-backed kernel ran the flat scan
 	// because the cell directory could not be built for its δ.
 	GridFallback bool `json:"grid_fallback,omitempty"`
+	// BatchQueries is the size of the batched-kernel group this query ran in
+	// (0 when it ran a per-query executor); BatchGroups marks the group
+	// leader. Sums of the two across a batch give groups and their sizes.
+	BatchQueries int `json:"batch_queries,omitempty"`
+	BatchGroups  int `json:"batch_groups,omitempty"`
 }
 
 // Add accumulates another response's stats into s — the wire-level analogue
@@ -128,6 +133,8 @@ func (s *QueryStats) Add(o QueryStats) {
 	s.CellsSkipped += o.CellsSkipped
 	s.CellsFullInside += o.CellsFullInside
 	s.EarlyDecisions += o.EarlyDecisions
+	s.BatchQueries += o.BatchQueries
+	s.BatchGroups += o.BatchGroups
 	if o.TierMix != nil {
 		if s.TierMix == nil {
 			s.TierMix = &TierMix{}
@@ -180,6 +187,8 @@ func StatsFromResult(st gaussrange.Stats) QueryStats {
 		EarlyDecisions:  st.EarlyDecisions,
 		TierMix:         tm,
 		GridFallback:    st.GridFallback,
+		BatchQueries:    st.BatchQueries,
+		BatchGroups:     st.BatchGroups,
 	}
 }
 
@@ -210,6 +219,8 @@ func (s QueryStats) Stats() gaussrange.Stats {
 		TierExact:       exact,
 		TierMC:          mc,
 		GridFallback:    s.GridFallback,
+		BatchQueries:    s.BatchQueries,
+		BatchGroups:     s.BatchGroups,
 	}
 }
 
@@ -393,6 +404,11 @@ type QueryTotals struct {
 	// scan because the cell directory could not be built for their δ — a
 	// persistently non-zero rate means the configured δ defeats the grid.
 	GridFallbacks uint64 `json:"grid_fallbacks"`
+	// CoalescedQueries counts queries answered as part of a multi-query
+	// batched-kernel group (size ≥ 2) — via /v1/query/batch, or /v1/query
+	// coalescing when Config.Coalesce is on. BatchGroups counts the groups.
+	CoalescedQueries uint64 `json:"coalesced_queries"`
+	BatchGroups      uint64 `json:"batch_groups"`
 }
 
 // Add accumulates another server's totals into t — used by the shard router
@@ -420,6 +436,8 @@ func (t *QueryTotals) Add(o QueryTotals) {
 	t.TierMix.Exact += o.TierMix.Exact
 	t.TierMix.MC += o.TierMix.MC
 	t.GridFallbacks += o.GridFallbacks
+	t.CoalescedQueries += o.CoalescedQueries
+	t.BatchGroups += o.BatchGroups
 }
 
 // Histogram is a fixed-bucket latency histogram. Counts has one entry per

@@ -1,0 +1,176 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"gaussrange"
+	"gaussrange/server"
+)
+
+// TestCoalescedQueriesMatchSerial builds one coalesce group deterministically
+// — the leader is parked in the preQuery seam while followers enqueue — and
+// checks the whole contract: every member gets the same answer a direct query
+// would, every member reports the group size, exactly one member is the group
+// leader, the group consumed one admission slot, and /statsz accounts the
+// coalesced queries.
+func TestCoalescedQueriesMatchSerial(t *testing.T) {
+	db := testDB(t,
+		gaussrange.WithMonteCarlo(20000),
+		gaussrange.WithSeed(5),
+		gaussrange.WithPhase3Kernel(gaussrange.KernelSharedBatch))
+	s, _, cl := newTestServer(t, server.Config{DB: db, Coalesce: true})
+
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 16)
+	s.SetPreQuery(func(ctx context.Context) { entered <- struct{}{}; <-gate })
+
+	const followers = 5
+	specs := make([]gaussrange.QuerySpec, followers+1)
+	for i := range specs {
+		center, err := db.Point(int64(i * 50))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Same shape (Σ, δ, θ, strategy), different centers: one plan
+		// fingerprint, so all six requests coalesce into one group.
+		specs[i] = testSpec(db, "ALL")
+		specs[i].Center = center
+	}
+
+	ctx := context.Background()
+	results := make([]*gaussrange.Result, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		results[0], errs[0] = cl.Query(ctx, specs[0])
+	}()
+	<-entered // the leader holds its admission slot inside preQuery
+
+	for i := 1; i < len(specs); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = cl.Query(ctx, specs[i])
+		}(i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.CoalesceWaiting() < followers {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d followers enqueued", s.CoalesceWaiting(), followers)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+
+	groups := 0
+	for i := range specs {
+		if errs[i] != nil {
+			t.Fatalf("member %d: %v", i, errs[i])
+		}
+		want, err := db.Query(specs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results[i].IDs) != len(want.IDs) {
+			t.Fatalf("member %d: coalesced answered %d ids, direct %d", i, len(results[i].IDs), len(want.IDs))
+		}
+		for j := range want.IDs {
+			if results[i].IDs[j] != want.IDs[j] {
+				t.Fatalf("member %d: coalesced IDs differ from direct query", i)
+			}
+		}
+		if results[i].Stats.BatchQueries != len(specs) {
+			t.Errorf("member %d: BatchQueries = %d, want %d", i, results[i].Stats.BatchQueries, len(specs))
+		}
+		groups += results[i].Stats.BatchGroups
+	}
+	if groups != 1 {
+		t.Errorf("BatchGroups sums to %d, want 1", groups)
+	}
+
+	snap, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Admission.Admitted != 1 {
+		t.Errorf("admitted = %d, want 1 (one slot for the whole group)", snap.Admission.Admitted)
+	}
+	if snap.Queries.CoalescedQueries != uint64(len(specs)) {
+		t.Errorf("coalesced_queries = %d, want %d", snap.Queries.CoalescedQueries, len(specs))
+	}
+	if snap.Queries.BatchGroups != 1 {
+		t.Errorf("batch_groups = %d, want 1", snap.Queries.BatchGroups)
+	}
+}
+
+// TestCoalesceErrorIsolation: a malformed spec through the coalesced path
+// fails with 400 without wedging the coalescer, and healthy queries keep
+// working before and after.
+func TestCoalesceErrorIsolation(t *testing.T) {
+	db := testDB(t,
+		gaussrange.WithMonteCarlo(5000),
+		gaussrange.WithPhase3Kernel(gaussrange.KernelSharedBatch))
+	_, _, cl := newTestServer(t, server.Config{DB: db, Coalesce: true})
+	ctx := context.Background()
+
+	good := testSpec(db, "ALL")
+	if _, err := cl.Query(ctx, good); err != nil {
+		t.Fatalf("healthy coalesced query: %v", err)
+	}
+	bad := good
+	bad.Cov = [][]float64{{1, 0}, {0, -1}}
+	if _, err := cl.Query(ctx, bad); err == nil {
+		t.Fatal("indefinite covariance accepted through the coalesced path")
+	}
+	if _, err := cl.Query(ctx, good); err != nil {
+		t.Fatalf("healthy query after a failed one: %v", err)
+	}
+}
+
+// TestCoalesceOverload: when no admission slot is free, a would-be leader is
+// rejected with 429 exactly like the non-coalesced path.
+func TestCoalesceOverload(t *testing.T) {
+	db := testDB(t,
+		gaussrange.WithMonteCarlo(5000),
+		gaussrange.WithPhase3Kernel(gaussrange.KernelSharedBatch))
+	s, ts, cl := newTestServer(t, server.Config{DB: db, Coalesce: true, MaxInflight: 1})
+
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 16)
+	s.SetPreQuery(func(ctx context.Context) { entered <- struct{}{}; <-gate })
+
+	// Occupy the only slot with a batch request parked in preQuery.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := cl.QueryBatch(context.Background(), []gaussrange.QuerySpec{testSpec(db, "ALL")}, 1); err != nil {
+			t.Errorf("batch holding the slot: %v", err)
+		}
+	}()
+	<-entered
+
+	body, err := json.Marshal(server.RequestFromSpec(testSpec(db, "ALL")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("saturated coalesced query: status %d, want 429", resp.StatusCode)
+	}
+	close(gate)
+	wg.Wait()
+}

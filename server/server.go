@@ -45,6 +45,14 @@ type Config struct {
 	// BatchWorkers caps the worker-pool size a batch request may ask for
 	// (default GOMAXPROCS).
 	BatchWorkers int
+
+	// Coalesce merges concurrent /v1/query requests that share a plan
+	// fingerprint and storage epoch into one batched execution holding one
+	// admission slot (see coalescer). Most effective when the DB runs the
+	// shared-batch Phase-3 kernel, which sweeps the common sample cloud
+	// once for the whole group. Off by default: coalesced queries execute
+	// under the server's default timeout rather than their own timeout_ms.
+	Coalesce bool
 }
 
 // Server serves a gaussrange.DB over HTTP. Create one with New and mount
@@ -55,6 +63,7 @@ type Server struct {
 	cfg   Config
 	adm   *admission
 	met   *metrics
+	coal  *coalescer // non-nil when Config.Coalesce is on
 	start time.Time
 
 	// preQuery, when non-nil, runs after admission with the query context —
@@ -76,13 +85,17 @@ func New(cfg Config) (*Server, error) {
 	if cfg.BatchWorkers <= 0 {
 		cfg.BatchWorkers = runtime.GOMAXPROCS(0)
 	}
-	return &Server{
+	s := &Server{
 		db:    cfg.DB,
 		cfg:   cfg,
 		adm:   newAdmission(cfg.MaxInflight),
 		met:   newMetrics(),
 		start: time.Now(),
-	}, nil
+	}
+	if cfg.Coalesce {
+		s.coal = newCoalescer(s)
+	}
+	return s, nil
 }
 
 // Handler returns the HTTP handler serving all endpoints.
@@ -193,6 +206,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "%v", err)
 		return
 	}
+	if s.coal != nil {
+		s.handleQueryCoalesced(w, r, req, &status)
+		return
+	}
 	if !s.admit(w) {
 		status = statusTooManyRequests
 		return
@@ -212,6 +229,29 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	s.met.addQuery(res.Stats, len(res.IDs))
 	writeJSON(w, status, ResponseFromResult(res))
+}
+
+// handleQueryCoalesced routes one /v1/query through the coalescer. The
+// request's own timeout bounds its wait for the group's answer; execution
+// itself runs under the group context (see coalescer).
+func (s *Server) handleQueryCoalesced(w http.ResponseWriter, r *http.Request, req QueryRequest, status *int) {
+	ctx, cancel := s.queryContext(r.Context(), req.TimeoutMS)
+	defer cancel()
+	res, err := s.coal.do(ctx, req.Spec())
+	if err != nil {
+		if errors.Is(err, errOverloaded) {
+			*status = statusTooManyRequests
+			w.Header().Set("Retry-After", "1")
+			writeError(w, *status,
+				"server overloaded: %d queries in flight (limit %d)", s.cfg.MaxInflight, s.cfg.MaxInflight)
+			return
+		}
+		*status = statusForQueryErr(err)
+		writeError(w, *status, "%v", err)
+		return
+	}
+	s.met.addQuery(res.Stats, len(res.IDs))
+	writeJSON(w, *status, ResponseFromResult(res))
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {

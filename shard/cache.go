@@ -1,0 +1,124 @@
+package shard
+
+import (
+	"container/list"
+	"encoding/binary"
+	"math"
+	"sync"
+
+	"gaussrange/server"
+)
+
+// answerCache is a bounded LRU over fully-merged routed answers. An entry's
+// key binds the query identity (plan fingerprint + center coordinates +
+// routing epoch) to the storage-epoch frontier the router has observed, so a
+// hit can only serve an answer computed against the same data version the
+// router currently knows about: any response or mutation revealing a higher
+// shard epoch clears the cache and advances the frontier, retiring every
+// older answer at once. Partial answers are never cached — a hit is always a
+// complete merge. Scatter-gather reads cost a network round trip per
+// overlapping shard, so even a modest hit rate pays for the small map.
+type answerCache struct {
+	mu    sync.Mutex
+	cap   int
+	epoch uint64 // highest shard storage epoch seen in any response
+	items map[string]*list.Element
+	lru   *list.List // front = most recently used
+
+	hits   uint64
+	misses uint64
+}
+
+type cacheEntry struct {
+	key  string
+	resp server.QueryResponse
+}
+
+func newAnswerCache(capacity int) *answerCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &answerCache{cap: capacity, items: make(map[string]*list.Element), lru: list.New()}
+}
+
+// baseKey serializes the epoch-independent part of a cache key. The plan
+// fingerprint covers (Σ, δ, θ, strategy) but deliberately excludes the mean,
+// so the center's raw bits are appended here.
+func cacheBaseKey(fp string, center []float64, routingEpoch uint64) string {
+	buf := make([]byte, 0, len(fp)+8*len(center)+16)
+	buf = append(buf, fp...)
+	buf = binary.LittleEndian.AppendUint64(buf, routingEpoch)
+	for _, v := range center {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return string(buf)
+}
+
+// keyLocked appends the current epoch frontier to a base key.
+func (c *answerCache) keyLocked(base string) string {
+	var ep [8]byte
+	binary.LittleEndian.PutUint64(ep[:], c.epoch)
+	return base + string(ep[:])
+}
+
+// get returns the cached answer for base at the current epoch frontier.
+func (c *answerCache) get(base string) (server.QueryResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[c.keyLocked(base)]
+	if !ok {
+		c.misses++
+		return server.QueryResponse{}, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).resp, true
+}
+
+// put stores a complete merged answer. The response's own epoch first
+// advances the frontier (clearing older entries); an answer already behind
+// the frontier is stale and is not cached.
+func (c *answerCache) put(base string, resp server.QueryResponse) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.observeLocked(resp.Epoch)
+	if resp.Epoch < c.epoch {
+		return
+	}
+	key := c.keyLocked(base)
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).resp = resp
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.lru.PushFront(&cacheEntry{key: key, resp: resp})
+	for len(c.items) > c.cap {
+		el := c.lru.Back()
+		c.lru.Remove(el)
+		delete(c.items, el.Value.(*cacheEntry).key)
+	}
+}
+
+// observeEpoch folds an epoch learned outside the query path (insert/delete
+// responses) into the frontier, invalidating pre-mutation answers.
+func (c *answerCache) observeEpoch(ep uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.observeLocked(ep)
+}
+
+func (c *answerCache) observeLocked(ep uint64) {
+	if ep <= c.epoch {
+		return
+	}
+	c.epoch = ep
+	c.items = make(map[string]*list.Element)
+	c.lru.Init()
+}
+
+// stats returns (hits, misses, live entries).
+func (c *answerCache) stats() (hits, misses uint64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, len(c.items)
+}

@@ -36,6 +36,11 @@ type Config struct {
 	// is created when nil. The planner's data is never read — only its plan
 	// cache and compiled Phase-1 rectangles.
 	Planner *gaussrange.DB
+	// AnswerCacheSize bounds the router's LRU of fully-merged answers, keyed
+	// on (plan fingerprint, center, routing epoch, observed shard-epoch
+	// frontier); any response or routed mutation revealing a higher shard
+	// epoch invalidates the whole cache. 0 disables caching.
+	AnswerCacheSize int
 }
 
 // Router fans probabilistic range queries out to the shards whose routing
@@ -49,6 +54,7 @@ type Router struct {
 	planner      *gaussrange.DB
 	fanout       int
 	allowPartial bool
+	cache        *answerCache // nil when Config.AnswerCacheSize == 0
 
 	// Global id allocation: nextID is seeded lazily from the shard map and
 	// the shards' live max ids, then handed out under idMu. owner remembers
@@ -101,6 +107,7 @@ func NewRouter(cfg Config) (*Router, error) {
 		planner:      planner,
 		fanout:       cfg.Fanout,
 		allowPartial: cfg.AllowPartial,
+		cache:        newAnswerCache(cfg.AnswerCacheSize),
 		nextID:       cfg.Map.NextID,
 		owner:        make(map[int64]int),
 	}, nil
@@ -152,6 +159,15 @@ func remainingMS(ctx context.Context) int64 {
 // otherwise the merged partial answer is returned with Routing.Partial set.
 func (r *Router) Query(ctx context.Context, req server.QueryRequest) (server.QueryResponse, error) {
 	r.queries.Add(1)
+	var cacheKey string
+	if r.cache != nil {
+		if fp, err := r.planner.PlanFingerprint(req.Spec()); err == nil {
+			cacheKey = cacheBaseKey(fp, req.Center, r.m.RoutingEpoch)
+			if resp, ok := r.cache.get(cacheKey); ok {
+				return resp, nil
+			}
+		}
+	}
 	targets, empty, err := r.Route(req)
 	if err != nil {
 		return server.QueryResponse{}, err
@@ -226,6 +242,9 @@ func (r *Router) Query(ctx context.Context, req server.QueryRequest) (server.Que
 	before := len(out.IDs)
 	out.IDs = mergeIDs(out.IDs)
 	r.dedupDropped.Add(uint64(before - len(out.IDs)))
+	if r.cache != nil && cacheKey != "" && !info.Partial {
+		r.cache.put(cacheKey, out)
+	}
 	return out, nil
 }
 
@@ -360,6 +379,9 @@ func (r *Router) Insert(ctx context.Context, points [][]float64) (ids []int64, e
 		}
 		r.idMu.Unlock()
 	}
+	if r.cache != nil {
+		r.cache.observeEpoch(epoch)
+	}
 	if len(failMsgs) > 0 {
 		return ids, epoch, fmt.Errorf("shard: insert incomplete: %s", strings.Join(failMsgs, "; "))
 	}
@@ -419,6 +441,9 @@ func (r *Router) Delete(ctx context.Context, id int64) (deleted bool, epoch uint
 			epoch = epochs[i]
 		}
 	}
+	if r.cache != nil {
+		r.cache.observeEpoch(epoch)
+	}
 	if deleted {
 		r.idMu.Lock()
 		delete(r.owner, id)
@@ -439,6 +464,10 @@ type Counters struct {
 	Inserts      uint64  `json:"inserts"`
 	Deletes      uint64  `json:"deletes"`
 	DedupDropped uint64  `json:"dedup_dropped"`
+	// Answer-cache accounting; all zero when the cache is disabled.
+	AnswerCacheHits    uint64 `json:"answer_cache_hits"`
+	AnswerCacheMisses  uint64 `json:"answer_cache_misses"`
+	AnswerCacheEntries int    `json:"answer_cache_entries"`
 }
 
 // CountersSnapshot returns the router's counters.
@@ -455,6 +484,9 @@ func (r *Router) CountersSnapshot() Counters {
 	}
 	if routed := c.Queries - c.EmptyRoutes; routed > 0 {
 		c.MeanFanout = float64(c.FanoutTotal) / float64(routed)
+	}
+	if r.cache != nil {
+		c.AnswerCacheHits, c.AnswerCacheMisses, c.AnswerCacheEntries = r.cache.stats()
 	}
 	return c
 }
