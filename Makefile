@@ -58,6 +58,12 @@ bench-snapshot:
 # to the unsharded DB, K=4 must keep its modelled >=3x speedup (2.7x with
 # CI jitter headroom), viewport fan-out must stay below K, and the router's
 # scatter overhead must not regress more than 25% against the baseline.
+# The third run gates the group-commit write pipeline on the committed
+# BENCH_churn.json ingest section: grouped commit must sustain >=5x the
+# synchronous per-batch-fsync insert rate at 64 concurrent writers in the
+# same run, and a deterministic mutation sequence must stay byte-identical
+# (epochs and answers) across synchronous commit, grouped commit, and
+# follower replay of the grouped log.
 BENCH_COMPARE_QUERIES ?= 8
 BENCH_COMPARE_SAMPLES ?= 50000
 SHARD_COMPARE_QUERIES ?= 1200
@@ -69,6 +75,7 @@ bench-compare:
 	$(GO) run ./cmd/prqbench -queries $(SHARD_COMPARE_QUERIES) \
 		-workers $(SHARD_COMPARE_WORKERS) -seed 1 \
 		-compare BENCH_shard.json shard
+	$(GO) run ./cmd/prqbench -seed 1 -compare BENCH_churn.json churn
 
 # serve-smoke boots the full network stack once: generate a dataset, start
 # prqserved, answer one query through the Go client (prqquery -server), and

@@ -1,14 +1,26 @@
 // Package client is a typed Go client for the prqserved HTTP API (see
 // gaussrange/server). It speaks the same wire types as the server, retries
 // read requests that failed on connection errors (reads are idempotent, so
-// retries are safe; mutations are never retried on connection errors, since
-// a torn connection leaves the outcome unknown), and propagates context
-// deadlines end-to-end: a ctx deadline becomes the request's timeout_ms, so
-// the server's query context expires when the caller's does.
+// retries are safe), and propagates context deadlines end-to-end: a ctx
+// deadline becomes the request's timeout_ms, so the server's query context
+// expires when the caller's does.
+//
+// Mutations are NEVER retried on connection errors: a torn connection leaves
+// the outcome unknown — the batch may have committed before the connection
+// died — so a blind resend risks applying it twice (duplicate points under
+// fresh ids). The connection error is surfaced instead; callers that need
+// exactly-once semantics should read back (compare /healthz max_id or the
+// inserted coordinates) before resending.
 //
 // The server's 429 admission rejection means the request was never executed,
-// so retrying it is safe for every endpoint; WithRetryOn429 opts into a
-// bounded retry honoring the server's Retry-After hint.
+// so retrying it is safe for every endpoint — mutations included;
+// WithRetryOn429 opts into a bounded retry honoring the server's Retry-After
+// hint, applied identically to query and mutation calls.
+//
+// Follower read replicas (prqserved -follow) answer queries with
+// replica_epoch and refuse mutations with 403 (IsReadOnly). A client that
+// wrote at epoch E on the leader has read-your-writes on a follower once the
+// follower's epoch reaches E — WaitForEpoch blocks until it does.
 package client
 
 import (
@@ -113,6 +125,13 @@ func (e *APIError) Error() string {
 func IsOverloaded(err error) bool {
 	var ae *APIError
 	return errors.As(err, &ae) && ae.Status == http.StatusTooManyRequests
+}
+
+// IsReadOnly reports whether err is a follower replica's 403 mutation
+// refusal — the signal to direct the write at the leader instead.
+func IsReadOnly(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Status == http.StatusForbidden
 }
 
 // IsDeadline reports whether err is the server's 504 for an expired query
@@ -414,6 +433,35 @@ func (c *Client) DeletePoint(ctx context.Context, id int64) (deleted bool, epoch
 		return false, 0, err
 	}
 	return resp.Deleted, resp.Epoch, nil
+}
+
+// WaitForEpoch polls /healthz until the server's storage epoch reaches
+// epoch, returning the first epoch observed at or past it. On a follower the
+// health epoch is the replay epoch, so WaitForEpoch(ctx, E) after a leader
+// write that published epoch E is the read-your-writes barrier: once it
+// returns, every query on this server answers at ≥ E. interval ≤ 0 polls
+// every 10ms; the ctx deadline bounds the wait. A follower that reports a
+// sticky replication error fails the wait immediately — its epoch will never
+// advance.
+func (c *Client) WaitForEpoch(ctx context.Context, epoch uint64, interval time.Duration) (uint64, error) {
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	for {
+		h, err := c.Health(ctx)
+		if err != nil {
+			return 0, err
+		}
+		if h.Epoch >= epoch {
+			return h.Epoch, nil
+		}
+		if h.ReplicaError != "" {
+			return h.Epoch, fmt.Errorf("client: replica stalled at epoch %d with error: %s", h.Epoch, h.ReplicaError)
+		}
+		if err := sleepCtx(ctx, interval); err != nil {
+			return h.Epoch, err
+		}
+	}
 }
 
 // Health checks liveness and returns the dataset summary.

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"reflect"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -14,6 +15,7 @@ import (
 	"gaussrange"
 	"gaussrange/internal/data"
 	"gaussrange/internal/experiments"
+	"gaussrange/replica"
 )
 
 // churnWriteFractions are the write rates the churn experiment sweeps: the
@@ -28,6 +30,20 @@ var churnWriteFractions = []float64{0, 0.05, 0.20, 0.50}
 // and the two strategies are measured doing the work they differ on.
 const churnPoints = 8192
 
+// ingestWriters is the concurrency of the ingest-throughput rows: 64
+// concurrent writers hammering one leader, the contention level the
+// group-commit pipeline exists for. ingestPerWriter inserts per writer keeps
+// the synchronous baseline (one fsync per insert) under a few seconds.
+const (
+	ingestWriters   = 64
+	ingestPerWriter = 12
+)
+
+// ingestSpeedupFloor is the -compare gate: grouped commit must sustain at
+// least this multiple of the synchronous per-batch-fsync insert throughput
+// in the same run, on the same disk.
+const ingestSpeedupFloor = 5.0
+
 // ChurnReport is the JSON document `prqbench churn -json` writes.
 type ChurnReport struct {
 	Points    int          `json:"points"`
@@ -39,7 +55,44 @@ type ChurnReport struct {
 	Gamma     float64      `json:"gamma"`
 	Seed      uint64       `json:"seed"`
 	Cells     []ChurnCell  `json:"cells"`
+	Ingest    *ChurnIngest `json:"ingest,omitempty"`
 	Generated churnByWhere `json:"generated_by"`
+}
+
+// ChurnIngest is the group-commit ingest section: sustained insert
+// throughput at ingestWriters concurrent writers under the synchronous wal
+// (one fsync per batch — the pre-pipeline behaviour) versus the grouped wal
+// (one fsync per commit window), plus the determinism booleans the
+// bench-compare gate enforces.
+type ChurnIngest struct {
+	Writers          int         `json:"writers"`
+	InsertsPerWriter int         `json:"inserts_per_writer"`
+	Rows             []IngestRow `json:"rows"`
+	// GroupCommitSpeedup is grouped inserts/s over synchronous inserts/s,
+	// measured in the same run on the same disk.
+	GroupCommitSpeedup float64 `json:"group_commit_speedup"`
+	// EpochsIdentical / AnswersIdentical: a deterministic single-writer
+	// mutation sequence produces byte-identical epoch trails and query
+	// answers under synchronous and grouped commit.
+	EpochsIdentical  bool `json:"epochs_identical"`
+	AnswersIdentical bool `json:"answers_identical"`
+	// FollowerIdentical: a follower replaying the grouped wal answers the
+	// same query with the same ids at the same epoch as the leader.
+	FollowerIdentical bool `json:"follower_replay_identical"`
+}
+
+// IngestRow is one ingest measurement: mode is "sync-wal" (per-batch fsync)
+// or "grouped-wal" (group commit).
+type IngestRow struct {
+	Mode          string  `json:"mode"`
+	Inserts       int     `json:"inserts"`
+	WallMS        float64 `json:"wall_ms"`
+	InsertsPerSec float64 `json:"inserts_per_sec"`
+	Fsyncs        uint64  `json:"fsyncs"`
+	Records       uint64  `json:"log_records"`
+	Groups        uint64  `json:"commit_groups"`
+	MaxGroup      int     `json:"max_group"`
+	Epochs        uint64  `json:"epochs_published"`
 }
 
 type churnByWhere struct {
@@ -73,7 +126,7 @@ type ChurnCell struct {
 // not a guess. Because reads pin an immutable snapshot and never lock, the
 // headline result is how flat the read quantiles stay as the write fraction
 // grows.
-func runChurn(cfg experiments.Config, workers, ops int, jsonPath string) error {
+func runChurn(cfg experiments.Config, workers, ops int, jsonPath, comparePath string) error {
 	if ops < 1 {
 		return fmt.Errorf("-queries must be at least 1, got %d", ops)
 	}
@@ -83,6 +136,11 @@ func runChurn(cfg experiments.Config, workers, ops int, jsonPath string) error {
 	seed := cfg.Seed
 	if seed == 0 {
 		seed = 1
+	}
+	if comparePath != "" {
+		// Compare mode reruns only the ingest section (the latency sweep is
+		// minutes of wall clock) and gates on same-run, same-disk invariants.
+		return compareChurn(comparePath, seed)
 	}
 	points := data.LongBeach(seed)
 	if len(points) > churnPoints {
@@ -135,6 +193,13 @@ func runChurn(cfg experiments.Config, workers, ops int, jsonPath string) error {
 				cell.Writes, cell.Epochs, cell.ReadsPerSec)
 		}
 	}
+
+	ing, err := runIngest(seed)
+	if err != nil {
+		return err
+	}
+	rep.Ingest = ing
+	printIngest(ing)
 
 	if jsonPath != "" {
 		f, err := os.Create(jsonPath)
@@ -279,6 +344,286 @@ func churnCell(raw [][]float64, covRows [][]float64, stratName string, stratOpt 
 		WriteP99US:    quantileUS(writes, 0.99),
 	}
 	return cell, nil
+}
+
+// runIngest measures sustained insert throughput at ingestWriters concurrent
+// writers under both wal modes, then checks the determinism contract: a
+// deterministic single-writer sequence must produce byte-identical epochs
+// and answers under synchronous and grouped commit, and a follower replaying
+// the grouped log must answer identically to its leader.
+func runIngest(seed uint64) (*ChurnIngest, error) {
+	ing := &ChurnIngest{Writers: ingestWriters, InsertsPerWriter: ingestPerWriter}
+	// Best of three repetitions per mode: one round is ~100ms of wall clock
+	// and scheduler noise on a loaded CI box can dwarf the effect under test.
+	best := func(mode string, synchronous bool) (IngestRow, error) {
+		var bestRow IngestRow
+		for rep := 0; rep < 3; rep++ {
+			row, err := ingestRow(mode, synchronous, seed+uint64(rep))
+			if err != nil {
+				return IngestRow{}, err
+			}
+			if row.InsertsPerSec > bestRow.InsertsPerSec {
+				bestRow = row
+			}
+		}
+		return bestRow, nil
+	}
+	syncRow, err := best("sync-wal", true)
+	if err != nil {
+		return nil, err
+	}
+	groupedRow, err := best("grouped-wal", false)
+	if err != nil {
+		return nil, err
+	}
+	ing.Rows = []IngestRow{syncRow, groupedRow}
+	if syncRow.InsertsPerSec > 0 {
+		ing.GroupCommitSpeedup = groupedRow.InsertsPerSec / syncRow.InsertsPerSec
+	}
+	ing.EpochsIdentical, ing.AnswersIdentical, ing.FollowerIdentical, err = ingestIdentity(seed)
+	if err != nil {
+		return nil, err
+	}
+	return ing, nil
+}
+
+// ingestRow runs one throughput measurement: a fresh 2-D DB with a wal in
+// the given mode, ingestWriters goroutines each inserting ingestPerWriter
+// single points (the per-request shape `POST /v1/points` produces).
+func ingestRow(mode string, synchronous bool, seed uint64) (IngestRow, error) {
+	dir, err := os.MkdirTemp("", "prqingest")
+	if err != nil {
+		return IngestRow{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := gaussrange.Open(2, gaussrange.WithSeed(seed))
+	if err != nil {
+		return IngestRow{}, err
+	}
+	// The commit window is the grouped pipeline's latency/throughput knob and
+	// is sized to the disk: writers block for window + flush per round, so on
+	// a fast disk a short window keeps the pipeline fsync-bound (what group
+	// commit amortizes) instead of timer-bound. The synchronous row ignores it.
+	cfg := gaussrange.WALConfig{Dir: dir, Synchronous: synchronous, CommitWindow: 50 * time.Microsecond}
+	if _, err := db.AttachWAL(cfg); err != nil {
+		return IngestRow{}, err
+	}
+
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	t0 := time.Now()
+	for w := 0; w < ingestWriters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(seed)*7_368_787 + int64(w)))
+			for i := 0; i < ingestPerWriter; i++ {
+				p := []float64{500 + rng.NormFloat64()*30, 500 + rng.NormFloat64()*30}
+				if _, err := db.Insert(p); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+	ws, _ := db.WALStats()
+	if err := db.DetachWAL(); err != nil {
+		return IngestRow{}, err
+	}
+	if firstErr != nil {
+		return IngestRow{}, firstErr
+	}
+
+	n := ingestWriters * ingestPerWriter
+	return IngestRow{
+		Mode:          mode,
+		Inserts:       n,
+		WallMS:        float64(wall.Nanoseconds()) / 1e6,
+		InsertsPerSec: float64(n) / wall.Seconds(),
+		Fsyncs:        ws.Store.Fsyncs,
+		Records:       ws.Store.Records,
+		Groups:        ws.Batcher.Groups,
+		MaxGroup:      ws.Batcher.MaxGroup,
+		Epochs:        db.Epoch(),
+	}, nil
+}
+
+// identityTrail runs the deterministic single-writer mutation sequence on db
+// (mostly inserts near the paper query center, one delete in four) and
+// returns the epoch published after every operation.
+func identityTrail(db *gaussrange.DB, seed uint64) ([]uint64, error) {
+	rng := rand.New(rand.NewSource(int64(seed) * 99_991))
+	var live []int64
+	trail := make([]uint64, 0, 60)
+	for i := 0; i < 60; i++ {
+		if rng.Float64() < 0.25 && len(live) > 0 {
+			k := rng.Intn(len(live))
+			if _, err := db.Delete(live[k]); err != nil {
+				return nil, err
+			}
+			live = append(live[:k], live[k+1:]...)
+		} else {
+			p := []float64{500 + rng.NormFloat64()*20, 500 + rng.NormFloat64()*20}
+			id, err := db.Insert(p)
+			if err != nil {
+				return nil, err
+			}
+			live = append(live, id)
+		}
+		trail = append(trail, db.Epoch())
+	}
+	return trail, nil
+}
+
+// ingestIdentity checks the byte-identity contract across the three ways a
+// mutation history can be executed: synchronous commit, grouped commit, and
+// follower replay of the grouped log.
+func ingestIdentity(seed uint64) (epochsOK, answersOK, followerOK bool, err error) {
+	spec := gaussrange.QuerySpec{
+		Center: []float64{500, 500},
+		Cov:    [][]float64{{70, 34.6}, {34.6, 30}},
+		Delta:  25,
+		Theta:  0.01,
+	}
+	run := func(synchronous bool) (string, []uint64, *gaussrange.Result, func(), error) {
+		dir, err := os.MkdirTemp("", "prqident")
+		if err != nil {
+			return "", nil, nil, nil, err
+		}
+		cleanup := func() { os.RemoveAll(dir) }
+		db, err := gaussrange.Open(2, gaussrange.WithSeed(seed))
+		if err != nil {
+			cleanup()
+			return "", nil, nil, nil, err
+		}
+		if _, err := db.AttachWAL(gaussrange.WALConfig{Dir: dir, Synchronous: synchronous}); err != nil {
+			cleanup()
+			return "", nil, nil, nil, err
+		}
+		trail, err := identityTrail(db, seed)
+		if err == nil {
+			err = db.DetachWAL()
+		}
+		if err != nil {
+			cleanup()
+			return "", nil, nil, nil, err
+		}
+		res, err := db.Query(spec)
+		if err != nil {
+			cleanup()
+			return "", nil, nil, nil, err
+		}
+		return dir, trail, res, cleanup, nil
+	}
+
+	_, syncTrail, syncRes, syncClean, err := run(true)
+	if err != nil {
+		return false, false, false, err
+	}
+	defer syncClean()
+	groupedDir, groupedTrail, groupedRes, groupedClean, err := run(false)
+	if err != nil {
+		return false, false, false, err
+	}
+	defer groupedClean()
+
+	epochsOK = reflect.DeepEqual(syncTrail, groupedTrail)
+	answersOK = reflect.DeepEqual(syncRes.IDs, groupedRes.IDs) && syncRes.Epoch == groupedRes.Epoch
+
+	fdb, err := gaussrange.Open(2, gaussrange.WithSeed(seed))
+	if err != nil {
+		return epochsOK, answersOK, false, err
+	}
+	f, err := replica.New(fdb, replica.Config{Dir: groupedDir})
+	if err != nil {
+		return epochsOK, answersOK, false, err
+	}
+	defer f.Stop()
+	if _, err := f.CatchUp(); err != nil {
+		return epochsOK, answersOK, false, err
+	}
+	fres, err := fdb.Query(spec)
+	if err != nil {
+		return epochsOK, answersOK, false, err
+	}
+	followerOK = reflect.DeepEqual(fres.IDs, groupedRes.IDs) && fres.Epoch == groupedRes.Epoch
+	return epochsOK, answersOK, followerOK, nil
+}
+
+func printIngest(ing *ChurnIngest) {
+	fmt.Printf("group-commit ingest (%d writers × %d single-point inserts)\n",
+		ing.Writers, ing.InsertsPerWriter)
+	for _, r := range ing.Rows {
+		fmt.Printf("  %-12s : %6d inserts in %8.1f ms  (%8.1f inserts/s, %4d fsyncs, %4d records",
+			r.Mode, r.Inserts, r.WallMS, r.InsertsPerSec, r.Fsyncs, r.Records)
+		if r.Groups > 0 {
+			fmt.Printf(", max group %d", r.MaxGroup)
+		}
+		fmt.Printf(")\n")
+	}
+	fmt.Printf("  group-commit speedup : %.2fx\n", ing.GroupCommitSpeedup)
+	fmt.Printf("  epochs identical %v, answers identical %v, follower replay identical %v\n",
+		ing.EpochsIdentical, ing.AnswersIdentical, ing.FollowerIdentical)
+}
+
+// compareChurn is the bench-compare gate: it reruns the ingest section and
+// fails unless grouped commit sustains ≥5× the synchronous insert rate in
+// the same run AND the sync/grouped/follower identity booleans all hold. The
+// committed baseline must itself have recorded a passing ingest section, so
+// a stale artifact regenerated before a regression cannot mask it.
+func compareChurn(baselinePath string, seed uint64) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base ChurnReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+	if base.Ingest == nil {
+		return fmt.Errorf("baseline %s has no ingest section — regenerate it with `make bench-snapshot`", baselinePath)
+	}
+	if base.Ingest.GroupCommitSpeedup < ingestSpeedupFloor {
+		return fmt.Errorf("baseline %s records group-commit speedup %.2fx < %.0fx — the committed artifact already fails the gate",
+			baselinePath, base.Ingest.GroupCommitSpeedup, ingestSpeedupFloor)
+	}
+	if !base.Ingest.EpochsIdentical || !base.Ingest.AnswersIdentical || !base.Ingest.FollowerIdentical {
+		return fmt.Errorf("baseline %s records an identity failure — the committed artifact already fails the gate", baselinePath)
+	}
+
+	ing, err := runIngest(seed)
+	if err != nil {
+		return err
+	}
+	printIngest(ing)
+	if ing.GroupCommitSpeedup < ingestSpeedupFloor {
+		return fmt.Errorf("group-commit speedup %.2fx below the %.0fx floor (sync %.1f inserts/s, grouped %.1f inserts/s)",
+			ing.GroupCommitSpeedup, ingestSpeedupFloor, ing.Rows[0].InsertsPerSec, ing.Rows[1].InsertsPerSec)
+	}
+	if !ing.EpochsIdentical || !ing.AnswersIdentical {
+		return fmt.Errorf("sync and grouped commit diverged (epochs identical %v, answers identical %v)",
+			ing.EpochsIdentical, ing.AnswersIdentical)
+	}
+	if !ing.FollowerIdentical {
+		return fmt.Errorf("follower replay diverged from its leader")
+	}
+	sync, grouped := ing.Rows[0], ing.Rows[1]
+	if grouped.Fsyncs >= sync.Fsyncs {
+		return fmt.Errorf("grouped mode issued %d fsyncs, synchronous mode %d — commit windows are not grouping",
+			grouped.Fsyncs, sync.Fsyncs)
+	}
+	fmt.Println("churn ingest gate: OK")
+	return nil
 }
 
 // quantileUS returns the q-quantile of sorted nanosecond samples, in µs.

@@ -38,8 +38,14 @@
 //	churn    — mixed read/write experiment: -workers goroutines run -queries
 //	           operations against one live DB per cell, sweeping the write
 //	           fraction (0–20%) and both overlay-rebuild strategies, and
-//	           reporting read-latency quantiles vs write rate; -json writes
-//	           the measurements as a JSON document (not in "all")
+//	           reporting read-latency quantiles vs write rate; an ingest
+//	           section then measures sustained insert throughput at 64
+//	           concurrent writers under synchronous (per-batch fsync) vs
+//	           grouped wal commit and checks sync/grouped/follower answer
+//	           and epoch identity; -json writes the measurements as a JSON
+//	           document and -compare reruns only the ingest section, gating
+//	           on the ≥5× group-commit speedup and the identity booleans
+//	           (not in "all")
 //
 // Flags:
 //
@@ -50,8 +56,9 @@
 //	-workers N     worker goroutines for the batch experiment (default NumCPU)
 //	-queries N     queries per batch for the batch experiment (default 64)
 //	-json PATH     write the phase3/churn report as JSON to PATH
-//	-compare PATH  phase3 only: fail if samples_touched regresses >10%
-//	               against the baseline report at PATH
+//	-compare PATH  phase3/shard/churn: gate a fresh run against the committed
+//	               baseline report at PATH (phase3: samples_touched regression;
+//	               churn: group-commit ingest speedup + replay identity)
 package main
 
 import (
@@ -122,7 +129,7 @@ func main() {
 		return
 	}
 	if strings.EqualFold(flag.Arg(0), "churn") {
-		if err := runChurn(cfg, *workers, *queries, *jsonPath); err != nil {
+		if err := runChurn(cfg, *workers, *queries, *jsonPath, *comparePath); err != nil {
 			fmt.Fprintf(os.Stderr, "prqbench: %v\n", err)
 			os.Exit(1)
 		}

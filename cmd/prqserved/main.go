@@ -26,6 +26,25 @@
 //	                    epoch on startup (created if absent), then every
 //	                    insert/delete appends to it, so a restart reproduces
 //	                    the latest epoch
+//	-wal DIR            group-commit write-ahead log (leader mode; excludes
+//	                    -log): mutations ride a commit window, one fsync per
+//	                    group, segments roll and chain lineage roots so a
+//	                    follower can verify the shipped history
+//	-commit-window D    longest a mutation waits for its group (default 2ms)
+//	-commit-bytes N     flush a group early at this encoded size (default 4MiB)
+//	-segment-bytes N    roll wal segments at this size (default 64MiB)
+//	-wal-sync           synchronous wal: one fsync per mutation batch (the
+//	                    baseline group commit is measured against)
+//	-follow DIR         read-only follower: tail DIR (a leader's -wal
+//	                    directory, shipped or shared), verify segment lineage,
+//	                    replay committed groups, refuse mutations with 403 and
+//	                    stamp replica_epoch on query responses. Start the
+//	                    follower from the leader's base state (the same -csv
+//	                    or an epoch-stamped -snapshot); without either the
+//	                    database starts empty, sized from the wal itself,
+//	                    which is correct only when the wal holds the full
+//	                    history
+//	-follow-interval D  follower tail poll interval (default 100ms)
 //	-mc N               Monte Carlo evaluator with N samples (default: exact)
 //	-adaptive N         adaptive Monte Carlo with budget N
 //	-seed N             evaluator seed (default 1)
@@ -57,7 +76,9 @@
 //
 // On SIGINT/SIGTERM the server stops accepting connections, drains every
 // in-flight query, and exits 0; queries still running after -drain-timeout
-// are aborted.
+// are aborted. With -wal the batcher is then drained (queued mutations reach
+// their fsync durability point) and the segment store closed; with -log the
+// mutation log is synced to stable storage before it closes.
 package main
 
 import (
@@ -79,6 +100,7 @@ import (
 
 	"gaussrange"
 	"gaussrange/internal/data"
+	"gaussrange/replica"
 	"gaussrange/server"
 	"gaussrange/shard"
 )
@@ -89,6 +111,13 @@ type config struct {
 	csvPath        string
 	snapshotPath   string
 	logPath        string
+	walDir         string
+	commitWindow   time.Duration
+	commitBytes    int64
+	segmentBytes   int64
+	walSync        bool
+	followDir      string
+	followInterval time.Duration
 	mcSamples      int
 	adaptive       int
 	seed           uint64
@@ -116,6 +145,13 @@ func main() {
 	flag.StringVar(&cfg.csvPath, "csv", "", "load points from this CSV file")
 	flag.StringVar(&cfg.snapshotPath, "snapshot", "", "restore a gaussrange snapshot from this file")
 	flag.StringVar(&cfg.logPath, "log", "", "replay and append to this mutation log (empty = mutations are not journaled)")
+	flag.StringVar(&cfg.walDir, "wal", "", "group-commit write-ahead log: segment store directory (leader mode; excludes -log)")
+	flag.DurationVar(&cfg.commitWindow, "commit-window", 0, "group-commit window: longest a mutation waits for its group's fsync (0 = default 2ms)")
+	flag.Int64Var(&cfg.commitBytes, "commit-bytes", 0, "flush a commit group early at this encoded size (0 = default 4MiB)")
+	flag.Int64Var(&cfg.segmentBytes, "segment-bytes", 0, "roll wal segments at this size (0 = default 64MiB)")
+	flag.BoolVar(&cfg.walSync, "wal-sync", false, "synchronous wal: one fsync per mutation batch instead of per commit group")
+	flag.StringVar(&cfg.followDir, "follow", "", "run as a read-only follower tailing this wal segment directory")
+	flag.DurationVar(&cfg.followInterval, "follow-interval", 0, "follower tail poll interval (0 = default 100ms)")
 	flag.IntVar(&cfg.mcSamples, "mc", 0, "Monte Carlo samples per object (0 = exact evaluator)")
 	flag.IntVar(&cfg.adaptive, "adaptive", 0, "adaptive Monte Carlo budget (0 = off)")
 	flag.Uint64Var(&cfg.seed, "seed", 1, "evaluator seed")
@@ -148,11 +184,45 @@ func main() {
 	}
 }
 
-// loadDB builds the DB from exactly one of -csv / -snapshot.
+// loadDB builds the DB from exactly one of -csv / -snapshot; in -follow mode
+// both may be absent, and an empty database is sized from the wal's first
+// segment header instead (the follower replays everything from the log).
 func loadDB(cfg config) (*gaussrange.DB, error) {
+	if cfg.followDir != "" && cfg.csvPath == "" && cfg.snapshotPath == "" {
+		dim, err := replica.DirDim(cfg.followDir)
+		if err != nil {
+			return nil, fmt.Errorf("-follow without -snapshot needs a wal with at least one segment: %w", err)
+		}
+		opts, err := loadOpts(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return gaussrange.Open(dim, opts...)
+	}
 	if (cfg.csvPath == "") == (cfg.snapshotPath == "") {
 		return nil, errors.New("exactly one of -csv and -snapshot is required")
 	}
+	opts, err := loadOpts(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	if cfg.snapshotPath != "" {
+		return gaussrange.RestoreFile(cfg.snapshotPath, opts...)
+	}
+	pts, err := data.LoadCSV(cfg.csvPath)
+	if err != nil {
+		return nil, err
+	}
+	raw := make([][]float64, len(pts))
+	for i, p := range pts {
+		raw[i] = p
+	}
+	return gaussrange.Load(raw, opts...)
+}
+
+// loadOpts maps the evaluator/cache flags to DB options.
+func loadOpts(cfg config) ([]gaussrange.Option, error) {
 	var opts []gaussrange.Option
 	switch {
 	case cfg.adaptive > 0:
@@ -167,20 +237,7 @@ func loadDB(cfg config) (*gaussrange.DB, error) {
 	if kernel != gaussrange.KernelPerCandidate {
 		opts = append(opts, gaussrange.WithPhase3Kernel(kernel))
 	}
-	opts = append(opts, gaussrange.WithSeed(cfg.seed), gaussrange.WithPlanCacheSize(cfg.planCache))
-
-	if cfg.snapshotPath != "" {
-		return gaussrange.RestoreFile(cfg.snapshotPath, opts...)
-	}
-	pts, err := data.LoadCSV(cfg.csvPath)
-	if err != nil {
-		return nil, err
-	}
-	raw := make([][]float64, len(pts))
-	for i, p := range pts {
-		raw[i] = p
-	}
-	return gaussrange.Load(raw, opts...)
+	return append(opts, gaussrange.WithSeed(cfg.seed), gaussrange.WithPlanCacheSize(cfg.planCache)), nil
 }
 
 // parsePhase3 maps the -phase3 flag to a kernel constant.
@@ -213,27 +270,74 @@ func buildHandler(cfg config, logw io.Writer) (h http.Handler, banner string, cl
 		h, banner, err = buildRouter(cfg)
 		return h, banner, nil, err
 	}
+	if moreThanOne(cfg.logPath != "", cfg.walDir != "", cfg.followDir != "") {
+		return nil, "", nil, errors.New("-log, -wal and -follow are mutually exclusive")
+	}
 	db, err := loadDB(cfg)
 	if err != nil {
 		return nil, "", nil, err
 	}
-	if cfg.logPath != "" {
-		replayed, err := db.AttachMutationLog(cfg.logPath)
-		if err != nil {
-			return nil, "", nil, fmt.Errorf("attaching mutation log: %w", err)
-		}
-		cleanup = func() { db.DetachMutationLog() }
-		fmt.Fprintf(logw, "prqserved: mutation log %s: replayed %d batches, now at epoch %d\n",
-			cfg.logPath, replayed, db.Epoch())
-	}
-	srv, err := server.New(server.Config{
+	srvCfg := server.Config{
 		DB:             db,
 		MaxInflight:    cfg.maxInflight,
 		DefaultTimeout: cfg.defaultTimeout,
 		MaxBatchSize:   cfg.maxBatch,
 		BatchWorkers:   cfg.batchWorkers,
 		Coalesce:       cfg.coalesce,
-	})
+	}
+	switch {
+	case cfg.logPath != "":
+		replayed, err := db.AttachMutationLog(cfg.logPath)
+		if err != nil {
+			return nil, "", nil, fmt.Errorf("attaching mutation log: %w", err)
+		}
+		// Shutdown ordering: the listener has already drained every in-flight
+		// mutation, so Sync flushes the last appended records to stable
+		// storage before the log closes — a clean SIGTERM loses nothing.
+		cleanup = func() {
+			db.SyncLog()
+			db.DetachMutationLog()
+		}
+		fmt.Fprintf(logw, "prqserved: mutation log %s: replayed %d batches, now at epoch %d\n",
+			cfg.logPath, replayed, db.Epoch())
+	case cfg.walDir != "":
+		replayed, err := db.AttachWAL(gaussrange.WALConfig{
+			Dir:          cfg.walDir,
+			CommitWindow: cfg.commitWindow,
+			CommitBytes:  cfg.commitBytes,
+			SegmentBytes: cfg.segmentBytes,
+			Synchronous:  cfg.walSync,
+		})
+		if err != nil {
+			return nil, "", nil, fmt.Errorf("attaching wal: %w", err)
+		}
+		// DetachWAL drains the batcher (queued mutations reach their fsync
+		// durability point), then syncs and closes the segment store.
+		cleanup = func() { db.DetachWAL() }
+		mode := "grouped"
+		if cfg.walSync {
+			mode = "synchronous"
+		}
+		fmt.Fprintf(logw, "prqserved: wal %s (%s): replayed %d groups, now at epoch %d\n",
+			cfg.walDir, mode, replayed, db.Epoch())
+	case cfg.followDir != "":
+		f, err := replica.New(db, replica.Config{Dir: cfg.followDir, Interval: cfg.followInterval})
+		if err != nil {
+			return nil, "", nil, err
+		}
+		applied, err := f.CatchUp()
+		if err != nil {
+			f.Stop()
+			return nil, "", nil, fmt.Errorf("follower catch-up: %w", err)
+		}
+		f.Start()
+		cleanup = f.Stop
+		srvCfg.ReadOnly = true
+		srvCfg.Follower = f
+		fmt.Fprintf(logw, "prqserved: following %s: applied %d groups, now at epoch %d (read-only)\n",
+			cfg.followDir, applied, db.Epoch())
+	}
+	srv, err := server.New(srvCfg)
 	if err != nil {
 		if cleanup != nil {
 			cleanup()
@@ -241,13 +345,27 @@ func buildHandler(cfg config, logw io.Writer) (h http.Handler, banner string, cl
 		return nil, "", nil, err
 	}
 	banner = fmt.Sprintf("serving %d points (%d-D)", db.Len(), db.Dim())
+	if cfg.followDir != "" {
+		banner += " as read-only follower"
+	}
 	return srv.Handler(), banner, cleanup, nil
+}
+
+// moreThanOne reports whether two or more of the given modes are set.
+func moreThanOne(modes ...bool) bool {
+	n := 0
+	for _, m := range modes {
+		if m {
+			n++
+		}
+	}
+	return n > 1
 }
 
 // buildRouter wires -shard-map and -shards into a shard.Router handler.
 func buildRouter(cfg config) (http.Handler, string, error) {
-	if cfg.csvPath != "" || cfg.snapshotPath != "" || cfg.logPath != "" {
-		return nil, "", errors.New("-router cannot be combined with -csv, -snapshot or -log")
+	if cfg.csvPath != "" || cfg.snapshotPath != "" || cfg.logPath != "" || cfg.walDir != "" || cfg.followDir != "" {
+		return nil, "", errors.New("-router cannot be combined with -csv, -snapshot, -log, -wal or -follow")
 	}
 	if cfg.shardMapPath == "" || cfg.shards == "" {
 		return nil, "", errors.New("-router requires -shard-map and -shards")

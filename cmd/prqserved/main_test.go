@@ -196,3 +196,93 @@ func TestLoadDBValidation(t *testing.T) {
 		t.Error("missing CSV accepted")
 	}
 }
+
+// TestServeLeaderFollower runs the full replication loop through the daemon:
+// a leader serving -csv with -wal takes inserts, a follower on -follow (no
+// snapshot — sized from the wal itself) serves them read-only at ≥ the
+// published epoch, and a SIGTERM'd leader loses nothing: a restarted leader
+// resumes at the exact pre-shutdown epoch.
+func TestServeLeaderFollower(t *testing.T) {
+	dir := t.TempDir()
+	walDir := filepath.Join(dir, "wal")
+	lcfg := testConfig(dir, writeTestCSV(t, dir))
+	lcfg.walDir = walDir
+	lcfg.commitWindow = time.Millisecond
+	laddr, lsig, ldone := startServe(t, lcfg)
+
+	ctx := context.Background()
+	lcl := client.New("http://" + laddr)
+	ids, epoch, err := lcl.InsertPoints(ctx, [][]float64{{500, 500}, {501, 501}})
+	if err != nil {
+		t.Fatalf("leader insert: %v", err)
+	}
+	if _, epoch2, err := lcl.DeletePoint(ctx, ids[0]); err != nil || epoch2 <= epoch {
+		t.Fatalf("leader delete: epoch %d after %d, err %v", epoch2, epoch, err)
+	}
+	lh, err := lcl.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Follower over the same directory (shared ship path), bootstrapped from
+	// the same base state the leader started from — the wal only carries
+	// history after that base.
+	fcfg := testConfig(dir, lcfg.csvPath)
+	fcfg.addrFile = filepath.Join(dir, "faddr")
+	fcfg.followDir = walDir
+	fcfg.followInterval = 2 * time.Millisecond
+	faddr, fsig, fdone := startServe(t, fcfg)
+	fcl := client.New("http://" + faddr)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		fh, err := fcl.Health(ctx)
+		if err != nil {
+			t.Fatalf("follower health: %v", err)
+		}
+		if fh.ReplicaError != "" {
+			t.Fatalf("follower replication error: %s", fh.ReplicaError)
+		}
+		if fh.ReadOnly && fh.Epoch >= lh.Epoch {
+			if fh.Points != lh.Points || fh.MaxID != lh.MaxID {
+				t.Fatalf("follower %+v diverged from leader %+v", fh, lh)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower stuck at epoch %d, leader at %d", fh.Epoch, lh.Epoch)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if p, err := fcl.Point(ctx, ids[1]); err != nil || p[0] != 501 {
+		t.Fatalf("follower Point(%d) = %v, %v", ids[1], p, err)
+	}
+	if _, _, err := fcl.InsertPoints(ctx, [][]float64{{1, 1}}); err == nil {
+		t.Fatal("follower accepted an insert")
+	}
+
+	// SIGTERM the leader: the drain must leave a wal a restart resumes from.
+	lsig <- syscall.SIGTERM
+	if err := <-ldone; err != nil {
+		t.Fatalf("leader drain: %v", err)
+	}
+	lcfg2 := lcfg
+	lcfg2.addrFile = filepath.Join(dir, "addr2")
+	laddr2, lsig2, ldone2 := startServe(t, lcfg2)
+	lh2, err := client.New("http://" + laddr2).Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lh2.Epoch != lh.Epoch || lh2.Points != lh.Points || lh2.MaxID != lh.MaxID {
+		t.Fatalf("restarted leader %+v, want %+v", lh2, lh)
+	}
+
+	fsig <- syscall.SIGTERM
+	lsig2 <- syscall.SIGTERM
+	if err := <-fdone; err != nil {
+		t.Fatalf("follower drain: %v", err)
+	}
+	if err := <-ldone2; err != nil {
+		t.Fatalf("restarted leader drain: %v", err)
+	}
+}

@@ -55,9 +55,11 @@ type DB struct {
 
 	// writeMu serializes the mutation path: the epoch transition in idx and
 	// the matching mutation-log append happen as one unit, so the log's
-	// record order always equals the epoch order.
+	// record order always equals the epoch order. With a wal attached the
+	// group-commit flusher is the only writer that takes it per group.
 	writeMu sync.Mutex
 	mlog    *MutationLog
+	wal     atomic.Pointer[walPipeline]
 
 	// plans caches compiled query plans by query shape; compileEng is the
 	// long-lived engine that compiles them (lazily built, guarded by
@@ -388,8 +390,13 @@ func (db *DB) Delete(id int64) (bool, error) {
 // to the inserts (in order), a per-delete liveness report, and the published
 // epoch (a no-op batch publishes nothing and returns the current epoch).
 // When a mutation log is attached, the batch is appended to it before Apply
-// returns.
+// returns; when a wal is attached (AttachWAL), the batch rides the
+// group-commit pipeline and Apply returns only after its group's fsync
+// durability point.
 func (db *DB) Apply(inserts [][]float64, deletes []int64) (ids []int64, deleted []bool, epoch uint64, err error) {
+	if p := db.wal.Load(); p != nil {
+		return p.apply(inserts, nil, deletes)
+	}
 	vecs := make([]vecmat.Vector, len(inserts))
 	for i, p := range inserts {
 		vecs[i] = vecmat.Vector(p)
@@ -414,8 +421,19 @@ func (db *DB) Apply(inserts [][]float64, deletes []int64) (ids []int64, deleted 
 // decides what each inserted point is called. insertIDs must be strictly
 // increasing and at least MaxID; skipped identifiers become permanent holes.
 // When a mutation log is attached the ids are journaled with the batch, so
-// replay reproduces the exact assignment.
+// replay reproduces the exact assignment. With a wal attached the batch rides
+// the group-commit pipeline like Apply.
 func (db *DB) ApplyWithIDs(inserts [][]float64, insertIDs []int64, deletes []int64) (deleted []bool, epoch uint64, err error) {
+	if p := db.wal.Load(); p != nil {
+		if insertIDs != nil && len(insertIDs) != len(inserts) {
+			return nil, 0, fmt.Errorf("core: %d insert ids for %d inserts", len(insertIDs), len(inserts))
+		}
+		if insertIDs == nil {
+			insertIDs = []int64{}
+		}
+		_, deleted, epoch, err = p.apply(inserts, insertIDs, deletes)
+		return deleted, epoch, err
+	}
 	vecs := make([]vecmat.Vector, len(inserts))
 	for i, p := range inserts {
 		vecs[i] = vecmat.Vector(p)

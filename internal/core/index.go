@@ -237,31 +237,69 @@ func (ix *Index) ApplyWithIDs(inserts []vecmat.Vector, insertIDs []int64, delete
 // apply implements Apply and ApplyWithIDs; a nil insertIDs means sequential
 // assignment.
 func (ix *Index) apply(inserts []vecmat.Vector, insertIDs []int64, deletes []int64) (ids []int64, deleted []bool, epoch uint64, err error) {
+	st, err := ix.Stage(inserts, insertIDs, deletes)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	st.Publish()
+	return st.IDs, st.Deleted, st.Epoch, nil
+}
+
+// Staged is a validated mutation batch whose next snapshot has been built but
+// not yet published: readers still see the previous epoch, and the writer
+// mutex is held until Publish or Discard. The gap is where the write pipeline
+// makes the batch durable (append to the log, fsync) before making it
+// visible, so a crash never leaves a published epoch that the log lacks.
+type Staged struct {
+	ix   *Index
+	next *Snapshot // nil when the batch changed nothing
+
+	// IDs are the identifiers assigned to the inserts, in order.
+	IDs []int64
+	// Deleted reports per-delete liveness (false = unknown or already dead).
+	Deleted []bool
+	// Epoch is the epoch Publish will make current. For a no-op batch it is
+	// the already-current epoch.
+	Epoch uint64
+	// NoOp reports that the batch changed nothing: Publish will not move the
+	// epoch, and the batch needs no durability.
+	NoOp bool
+}
+
+// Stage validates one mutation batch and builds — but does not publish — the
+// next snapshot. On success the writer mutex is held until the caller
+// resolves the Staged with exactly one of Publish or Discard; on error the
+// index is untouched and the mutex released.
+//
+// All validation (dimensions, finiteness, explicit-id ordering) completes
+// before any state changes, exactly as in Apply.
+func (ix *Index) Stage(inserts []vecmat.Vector, insertIDs []int64, deletes []int64) (*Staged, error) {
 	for i, p := range inserts {
 		if p.Dim() != ix.dim {
-			return nil, nil, 0, fmt.Errorf("core: insert %d: point dim %d vs index dim %d", i, p.Dim(), ix.dim)
+			return nil, fmt.Errorf("core: insert %d: point dim %d vs index dim %d", i, p.Dim(), ix.dim)
 		}
 		if !p.IsFinite() {
-			return nil, nil, 0, fmt.Errorf("core: insert %d: non-finite point %v", i, p)
+			return nil, fmt.Errorf("core: insert %d: non-finite point %v", i, p)
 		}
 	}
 
 	ix.mu.Lock()
-	defer ix.mu.Unlock()
 	cur := ix.cur.Load()
 
 	// Explicit ids are validated under the lock against the live MaxID so the
 	// whole batch is rejected before any state changes.
 	for i, id := range insertIDs {
 		if id < int64(len(cur.points)) {
-			return nil, nil, 0, fmt.Errorf("core: insert id %d below max id %d (ids are never reused)", id, len(cur.points))
+			ix.mu.Unlock()
+			return nil, fmt.Errorf("core: insert id %d below max id %d (ids are never reused)", id, len(cur.points))
 		}
 		if i > 0 && id <= insertIDs[i-1] {
-			return nil, nil, 0, fmt.Errorf("core: insert ids not strictly increasing: %d after %d", id, insertIDs[i-1])
+			ix.mu.Unlock()
+			return nil, fmt.Errorf("core: insert ids not strictly increasing: %d after %d", id, insertIDs[i-1])
 		}
 	}
 
-	deleted = make([]bool, len(deletes))
+	deleted := make([]bool, len(deletes))
 	effective := 0
 	for i, id := range deletes {
 		if cur.Alive(id) && !containsID(deletes[:i], id) {
@@ -270,7 +308,7 @@ func (ix *Index) apply(inserts []vecmat.Vector, insertIDs []int64, deletes []int
 		}
 	}
 	if len(inserts) == 0 && effective == 0 {
-		return nil, deleted, cur.epoch, nil
+		return &Staged{ix: ix, Deleted: deleted, Epoch: cur.epoch, NoOp: true}, nil
 	}
 
 	next := &Snapshot{
@@ -299,11 +337,14 @@ func (ix *Index) apply(inserts []vecmat.Vector, insertIDs []int64, deletes []int
 		next.live -= effective
 	}
 
+	var ids []int64
 	if len(inserts) > 0 {
 		// points and mem are append-only between rebuilds: older snapshots
 		// hold shorter headers and never read past them, so appending under
 		// the writer mutex is safe without copying. Explicit ids pad nil
-		// holes up to their position.
+		// holes up to their position. A Discarded stage's appends are
+		// harmlessly overwritten by the next Stage — no published snapshot
+		// reads past its own header length.
 		ids = make([]int64, len(inserts))
 		for i, p := range inserts {
 			id := int64(len(next.points))
@@ -322,11 +363,31 @@ func (ix *Index) apply(inserts []vecmat.Vector, insertIDs []int64, deletes []int
 
 	if len(next.mem)+len(next.dead) > rebuildThreshold(next.live) {
 		if err := ix.rebuildSnapshot(next); err != nil {
-			return nil, nil, 0, err
+			ix.mu.Unlock()
+			return nil, err
 		}
 	}
-	ix.cur.Store(next)
-	return ids, deleted, next.epoch, nil
+	return &Staged{ix: ix, next: next, IDs: ids, Deleted: deleted, Epoch: next.epoch}, nil
+}
+
+// Publish makes the staged snapshot the current epoch and releases the
+// writer mutex. For a no-op stage it only releases the mutex.
+func (s *Staged) Publish() {
+	if s.next != nil {
+		s.ix.cur.Store(s.next)
+	}
+	s.ix.mu.Unlock()
+	s.next = nil
+	s.ix = nil
+}
+
+// Discard abandons the staged snapshot without publishing and releases the
+// writer mutex. Readers never saw it; the next Stage rebuilds from the
+// still-current epoch.
+func (s *Staged) Discard() {
+	s.ix.mu.Unlock()
+	s.next = nil
+	s.ix = nil
 }
 
 // rebuildSnapshot folds next's overlay into a fresh base tree in place,

@@ -4,39 +4,30 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
-	"hash/crc32"
 	"io"
-	"math"
 	"os"
 	"sync"
 
 	"gaussrange/internal/vecmat"
+	"gaussrange/internal/wal"
 )
 
-// mutlogMagic identifies the append-only mutation log, version 1. The file
-// is a header followed by one record per published mutation batch:
+// mutlogMagic identifies the append-only single-file mutation log, version 1.
+// The file is a header followed by one record per published mutation batch:
 //
 //	header:  magic[6] | dim uint32
-//	record:  epoch uint64 | nIns uint32 | nDel uint32 |
-//	         nIns·dim float64 | nDel int64 | [nIns int64 ids] | crc uint32
+//	record:  wal.Codec record with Chained false (unchained CRC)
 //
-// All integers and floats are little-endian; each record's CRC covers its
-// own bytes, so a torn final record (crash mid-append) is detected and
-// truncated on replay instead of poisoning the log.
-//
-// A record whose inserts carry caller-assigned identifiers (ApplyWithIDs,
-// used by the shard router's global id allocator) sets explicitIDFlag on the
-// nIns field and appends the ids after the deletes; replay then routes
-// through ApplyWithIDs so the exact id assignment is reproduced. The flag bit
-// cannot collide with a count because counts are capped at maxLogBatch.
+// The record layout (epoch, counts, points, deletes, optional explicit ids,
+// CRC) is shared with the segmented wal — see wal.Codec — and predates it:
+// existing GRLGv1 logs stay byte-compatible. A torn final record (crash
+// mid-append) is detected and truncated on replay instead of poisoning the
+// log. For the group-commit segmented successor with tamper-evident lineage
+// and follower shipping, see DB.AttachWAL.
 var mutlogMagic = [6]byte{'G', 'R', 'L', 'G', 'v', '1'}
 
-// explicitIDFlag marks a record whose inserts carry explicit identifiers.
-const explicitIDFlag = uint32(1) << 31
-
-// maxLogBatch bounds the insert/delete counts a record may claim, keeping
-// corrupt headers from provoking huge allocations.
-const maxLogBatch = 1 << 24
+// maxLogBatch bounds the insert/delete counts a record may claim.
+const maxLogBatch = wal.MaxBatch
 
 // MutationLog is an append-only journal of published mutation batches.
 // Paired with an epoch-stamped snapshot it makes the mutable database
@@ -123,147 +114,42 @@ func (lg *MutationLog) Close() error {
 // same batch against the same lineage reproduces them. A non-nil insertIDs
 // (one per insert) writes an explicit-id record.
 func (lg *MutationLog) append(epoch uint64, inserts [][]float64, insertIDs []int64, deletes []int64, _ []bool) error {
-	if len(inserts) > maxLogBatch || len(deletes) > maxLogBatch {
-		return fmt.Errorf("gaussrange: log batch too large: %d inserts / %d deletes", len(inserts), len(deletes))
+	c := wal.Codec{Dim: lg.dim}
+	body, _, err := c.Append(nil, wal.Record{
+		Epoch:     epoch,
+		Inserts:   inserts,
+		InsertIDs: insertIDs,
+		Deletes:   deletes,
+	}, 0)
+	if err != nil {
+		return fmt.Errorf("gaussrange: log %w", err)
 	}
-	if insertIDs != nil && len(insertIDs) != len(inserts) {
-		return fmt.Errorf("gaussrange: log batch has %d ids for %d inserts", len(insertIDs), len(inserts))
-	}
-	body := make([]byte, 0, 16+8*len(inserts)*lg.dim+8*len(deletes)+8*len(insertIDs))
-	var b8 [8]byte
-	binary.LittleEndian.PutUint64(b8[:], epoch)
-	body = append(body, b8[:]...)
-	var b4 [4]byte
-	nIns := uint32(len(inserts))
-	if insertIDs != nil {
-		nIns |= explicitIDFlag
-	}
-	binary.LittleEndian.PutUint32(b4[:], nIns)
-	body = append(body, b4[:]...)
-	binary.LittleEndian.PutUint32(b4[:], uint32(len(deletes)))
-	body = append(body, b4[:]...)
-	for i, p := range inserts {
-		if len(p) != lg.dim {
-			return fmt.Errorf("gaussrange: log insert %d has dim %d, want %d", i, len(p), lg.dim)
-		}
-		for _, x := range p {
-			binary.LittleEndian.PutUint64(b8[:], math.Float64bits(x))
-			body = append(body, b8[:]...)
-		}
-	}
-	for _, id := range deletes {
-		binary.LittleEndian.PutUint64(b8[:], uint64(id))
-		body = append(body, b8[:]...)
-	}
-	for _, id := range insertIDs {
-		binary.LittleEndian.PutUint64(b8[:], uint64(id))
-		body = append(body, b8[:]...)
-	}
-	binary.LittleEndian.PutUint32(b4[:], crc32.ChecksumIEEE(body))
-	body = append(body, b4[:]...)
-
 	lg.mu.Lock()
 	defer lg.mu.Unlock()
-	_, err := lg.f.Write(body)
+	_, err = lg.f.Write(body)
 	return err
-}
-
-// logRecord is one decoded mutation batch. insertIDs is nil for sequential
-// records and one id per insert for explicit-id records.
-type logRecord struct {
-	epoch     uint64
-	inserts   [][]float64
-	insertIDs []int64
-	deletes   []int64
 }
 
 // readRecords decodes every intact record, returning them in file order and
 // the offset just past the last intact record. A torn or corrupt tail stops
 // decoding without error — crash recovery truncates there.
-func readRecords(f *os.File, dim int) (recs []logRecord, goodEnd int64, err error) {
+func readRecords(f *os.File, dim int) (recs []wal.Record, goodEnd int64, err error) {
 	if _, err := f.Seek(10, io.SeekStart); err != nil {
 		return nil, 0, err
 	}
 	goodEnd = 10
+	c := wal.Codec{Dim: dim}
 	br := bufio.NewReader(f)
 	for {
-		rec, n, err := readRecord(br, dim)
-		if err == io.EOF {
-			return recs, goodEnd, nil
-		}
+		rec, n, _, err := c.Read(br, 0)
 		if err != nil {
-			// Torn tail: keep what decoded cleanly.
+			// io.EOF is a clean end; anything else is a torn or corrupt
+			// tail — keep what decoded cleanly and let recovery truncate.
 			return recs, goodEnd, nil
 		}
 		recs = append(recs, rec)
 		goodEnd += n
 	}
-}
-
-// readRecord decodes one record, verifying its CRC. Returns io.EOF at a
-// clean end of file and any other error on a torn or corrupt record.
-func readRecord(br *bufio.Reader, dim int) (logRecord, int64, error) {
-	head := make([]byte, 16)
-	if _, err := io.ReadFull(br, head); err != nil {
-		if err == io.ErrUnexpectedEOF {
-			err = io.ErrNoProgress
-		}
-		return logRecord{}, 0, err
-	}
-	nIns := binary.LittleEndian.Uint32(head[8:12])
-	explicit := nIns&explicitIDFlag != 0
-	nIns &^= explicitIDFlag
-	nDel := binary.LittleEndian.Uint32(head[12:16])
-	if nIns > maxLogBatch || nDel > maxLogBatch {
-		return logRecord{}, 0, fmt.Errorf("gaussrange: log record claims %d inserts / %d deletes", nIns, nDel)
-	}
-	nIDs := 0
-	if explicit {
-		nIDs = int(nIns)
-	}
-	payload := make([]byte, 8*int(nIns)*dim+8*int(nDel)+8*nIDs)
-	if _, err := io.ReadFull(br, payload); err != nil {
-		return logRecord{}, 0, io.ErrNoProgress
-	}
-	var crcBuf [4]byte
-	if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
-		return logRecord{}, 0, io.ErrNoProgress
-	}
-	crc := crc32.NewIEEE()
-	crc.Write(head)
-	crc.Write(payload)
-	if binary.LittleEndian.Uint32(crcBuf[:]) != crc.Sum32() {
-		return logRecord{}, 0, fmt.Errorf("gaussrange: log record checksum mismatch")
-	}
-
-	rec := logRecord{epoch: binary.LittleEndian.Uint64(head[:8])}
-	off := 0
-	if nIns > 0 {
-		rec.inserts = make([][]float64, nIns)
-		for i := range rec.inserts {
-			p := make([]float64, dim)
-			for j := range p {
-				p[j] = math.Float64frombits(binary.LittleEndian.Uint64(payload[off:]))
-				off += 8
-			}
-			rec.inserts[i] = p
-		}
-	}
-	if nDel > 0 {
-		rec.deletes = make([]int64, nDel)
-		for i := range rec.deletes {
-			rec.deletes[i] = int64(binary.LittleEndian.Uint64(payload[off:]))
-			off += 8
-		}
-	}
-	if explicit {
-		rec.insertIDs = make([]int64, nIns)
-		for i := range rec.insertIDs {
-			rec.insertIDs[i] = int64(binary.LittleEndian.Uint64(payload[off:]))
-			off += 8
-		}
-	}
-	return rec, int64(len(head) + len(payload) + len(crcBuf)), nil
 }
 
 // AttachMutationLog opens (creating if absent) the mutation log at path,
@@ -281,6 +167,9 @@ func (db *DB) AttachMutationLog(path string) (replayed int, err error) {
 	defer db.writeMu.Unlock()
 	if db.mlog != nil {
 		return 0, fmt.Errorf("gaussrange: a mutation log is already attached")
+	}
+	if db.wal.Load() != nil {
+		return 0, fmt.Errorf("gaussrange: a wal is already attached")
 	}
 	lg, err := OpenMutationLog(path, db.dim)
 	if err != nil {
@@ -309,30 +198,30 @@ func (db *DB) AttachMutationLog(path string) (replayed int, err error) {
 
 	for _, rec := range recs {
 		cur := db.idx.Epoch()
-		if rec.epoch <= cur {
+		if rec.Epoch <= cur {
 			continue // already folded into the restored snapshot
 		}
-		if rec.epoch != cur+1 {
+		if rec.Epoch != cur+1 {
 			lg.Close()
-			return replayed, fmt.Errorf("gaussrange: mutation log gap: at epoch %d, next record is epoch %d", cur, rec.epoch)
+			return replayed, fmt.Errorf("gaussrange: mutation log gap: at epoch %d, next record is epoch %d", cur, rec.Epoch)
 		}
-		vecs := make([]vecmat.Vector, len(rec.inserts))
-		for i, p := range rec.inserts {
+		vecs := make([]vecmat.Vector, len(rec.Inserts))
+		for i, p := range rec.Inserts {
 			vecs[i] = vecmat.Vector(p)
 		}
 		var got uint64
-		if rec.insertIDs != nil {
-			_, got, err = db.idx.ApplyWithIDs(vecs, rec.insertIDs, rec.deletes)
+		if rec.InsertIDs != nil {
+			_, got, err = db.idx.ApplyWithIDs(vecs, rec.InsertIDs, rec.Deletes)
 		} else {
-			_, _, got, err = db.idx.Apply(vecs, rec.deletes)
+			_, _, got, err = db.idx.Apply(vecs, rec.Deletes)
 		}
 		if err != nil {
 			lg.Close()
-			return replayed, fmt.Errorf("gaussrange: replaying epoch %d: %w", rec.epoch, err)
+			return replayed, fmt.Errorf("gaussrange: replaying epoch %d: %w", rec.Epoch, err)
 		}
-		if got != rec.epoch {
+		if got != rec.Epoch {
 			lg.Close()
-			return replayed, fmt.Errorf("gaussrange: replay diverged: record epoch %d produced epoch %d (snapshot/log lineage mismatch)", rec.epoch, got)
+			return replayed, fmt.Errorf("gaussrange: replay diverged: record epoch %d produced epoch %d (snapshot/log lineage mismatch)", rec.Epoch, got)
 		}
 		replayed++
 	}

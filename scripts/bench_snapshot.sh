@@ -5,7 +5,10 @@
 #                      and tiered, incl. the tiered kernel's tier-mix counters
 #                      and tier_closure_rate)
 #   BENCH_churn.json   `prqbench churn`  — read latency under live mutations,
-#                      sweeping write fraction and both rebuild strategies
+#                      sweeping write fraction and both rebuild strategies,
+#                      plus the group-commit ingest section (sync vs grouped
+#                      wal insert throughput at 64 writers and the
+#                      sync/grouped/follower identity booleans)
 #   BENCH_shard.json   `prqbench shard`  — sharded scatter-gather serving:
 #                      aggregate throughput at K ∈ {1,2,4} capacity-modelled
 #                      shards, mean fan-out, answer identity and the

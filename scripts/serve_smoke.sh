@@ -3,7 +3,11 @@
 # datagen → prqserved → one query through the client → graceful SIGTERM,
 # then the sharded path: prqshard splits the same dataset into 2 shards,
 # prqserved -router scatters over them, and the routed answer must be
-# byte-identical to the direct single-node answer.
+# byte-identical to the direct single-node answer. A final replication step
+# boots a leader with a group-commit wal and a read-only follower tailing
+# it: an insert on the leader must become readable on the follower at ≥ the
+# published epoch with id-identical query answers, and the follower must
+# refuse mutations.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -112,6 +116,77 @@ fi
 echo "serve-smoke: routed answer matches direct answer: $(cat "$tmp/direct.ids")"
 
 echo "serve-smoke: draining shard cluster with SIGTERM"
+for p in "${pids[@]}"; do
+    kill -TERM "$p" 2>/dev/null || true
+done
+for p in "${pids[@]}"; do
+    wait "$p" 2>/dev/null || true
+done
+pids=()
+
+echo "serve-smoke: starting a leader with a group-commit wal"
+"$tmp/bin/prqserved" -csv "$tmp/points.csv" -wal "$tmp/wal" -commit-window 2ms \
+    -addr 127.0.0.1:0 -addr-file "$tmp/leader.addr" &
+pids+=($!)
+wait_addr "$tmp/leader.addr" "${pids[-1]}"
+leader_addr="$(cat "$tmp/leader.addr")"
+
+echo "serve-smoke: inserting two points on the leader"
+curl -sfS -X POST "http://$leader_addr/v1/points" \
+    -d '{"points":[[500,500],[501,501]]}' > "$tmp/insert.json"
+grep -q '"ids"' "$tmp/insert.json"
+epoch="$(grep -o '"epoch":[0-9]*' "$tmp/insert.json" | head -1 | cut -d: -f2)"
+[ -n "$epoch" ] || { echo "serve-smoke: insert response has no epoch" >&2; exit 1; }
+echo "serve-smoke: leader published epoch $epoch"
+
+echo "serve-smoke: starting a follower tailing the wal"
+# The follower bootstraps from the same CSV the leader loaded — the wal only
+# carries history after that base state.
+"$tmp/bin/prqserved" -csv "$tmp/points.csv" -follow "$tmp/wal" -follow-interval 10ms \
+    -addr 127.0.0.1:0 -addr-file "$tmp/follower.addr" &
+pids+=($!)
+wait_addr "$tmp/follower.addr" "${pids[-1]}"
+follower_addr="$(cat "$tmp/follower.addr")"
+
+echo "serve-smoke: waiting for the follower to reach epoch $epoch"
+caught_up=""
+for _ in $(seq 1 100); do
+    curl -sfS "http://$follower_addr/healthz" > "$tmp/fhealth.json" || true
+    fepoch="$(grep -o '"epoch":[0-9]*' "$tmp/fhealth.json" | head -1 | cut -d: -f2)"
+    if [ -n "$fepoch" ] && [ "$fepoch" -ge "$epoch" ]; then
+        caught_up=1
+        break
+    fi
+    sleep 0.1
+done
+[ -n "$caught_up" ] || { echo "serve-smoke: follower never reached epoch $epoch: $(cat "$tmp/fhealth.json")" >&2; exit 1; }
+grep -q '"read_only":true' "$tmp/fhealth.json" || { echo "serve-smoke: follower health does not report read_only" >&2; exit 1; }
+
+echo "serve-smoke: diffing leader and follower answers"
+"$tmp/bin/prqquery" -server "http://$leader_addr" -json \
+    -center 500,500 -cov "70,34.6;34.6,30" -delta 25 -theta 0.01 \
+    > "$tmp/leader.json"
+"$tmp/bin/prqquery" -server "http://$follower_addr" -json \
+    -center 500,500 -cov "70,34.6;34.6,30" -delta 25 -theta 0.01 \
+    > "$tmp/follower.json"
+grep -o '"ids":\[[0-9,]*\]' "$tmp/leader.json" > "$tmp/leader.ids"
+grep -o '"ids":\[[0-9,]*\]' "$tmp/follower.json" > "$tmp/follower.ids"
+grep -q '[0-9]' "$tmp/leader.ids" || { echo "serve-smoke: leader answer empty — diff proves nothing" >&2; exit 1; }
+if ! diff "$tmp/leader.ids" "$tmp/follower.ids"; then
+    echo "serve-smoke: follower answer differs from leader answer" >&2
+    exit 1
+fi
+echo "serve-smoke: follower answer matches leader answer at epoch >= $epoch"
+
+echo "serve-smoke: checking the follower refuses mutations"
+code="$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$follower_addr/v1/points" \
+    -d '{"points":[[1,1]]}')"
+if [ "$code" != "403" ]; then
+    echo "serve-smoke: follower answered $code to an insert, want 403" >&2
+    exit 1
+fi
+
+echo "serve-smoke: draining leader and follower with SIGTERM"
 for p in "${pids[@]}"; do
     kill -TERM "$p" 2>/dev/null || true
 done

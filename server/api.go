@@ -16,7 +16,10 @@
 //
 // Every query response carries the storage epoch its answer was computed
 // against; mutation responses carry the epoch they published, so a client
-// can await read-your-writes by comparing the two.
+// can await read-your-writes by comparing the two. A follower read replica
+// (Config.ReadOnly + Config.Follower) refuses mutations with 403 and stamps
+// replica_epoch on its query responses — the same comparison then gives
+// read-your-writes against a leader write.
 //
 // The server admits at most Config.MaxInflight requests into query execution
 // at once (a semaphore guards Phase-3 work, the dominant cost); requests
@@ -234,6 +237,12 @@ type QueryResponse struct {
 	Epoch   uint64       `json:"epoch"`
 	Stats   QueryStats   `json:"stats"`
 	Routing *RoutingInfo `json:"routing,omitempty"`
+	// ReplicaEpoch is set only by follower read replicas: the storage epoch
+	// the follower had replayed to when it answered. A client that wrote at
+	// epoch E on the leader has read-your-writes on this follower once
+	// ReplicaEpoch ≥ E (Epoch carries the same pinned value; the dedicated
+	// field makes the replica provenance explicit on the wire).
+	ReplicaEpoch uint64 `json:"replica_epoch,omitempty"`
 }
 
 // RoutingInfo reports how a shard router assembled a response: how far the
@@ -350,6 +359,13 @@ type Health struct {
 	Dim    int    `json:"dim"`
 	Epoch  uint64 `json:"epoch"`
 	MaxID  int64  `json:"max_id"`
+	// ReadOnly marks a follower read replica (mutations are refused with 403).
+	ReadOnly bool `json:"read_only,omitempty"`
+	// ReplicaEpoch is the follower's replayed epoch (followers only).
+	ReplicaEpoch uint64 `json:"replica_epoch,omitempty"`
+	// ReplicaError is the follower's sticky replication error, if any: the
+	// node still serves reads at ReplicaEpoch but is no longer advancing.
+	ReplicaError string `json:"replica_error,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx reply.
@@ -504,6 +520,46 @@ type EndpointStats struct {
 	Latency  Histogram `json:"latency"`
 }
 
+// WALStatsz reports the attached group-commit write pipeline's counters
+// (leaders with -wal only).
+type WALStatsz struct {
+	Synchronous bool `json:"synchronous,omitempty"`
+	// Commit window configuration.
+	CommitWindowMS float64 `json:"commit_window_ms"`
+	CommitBytes    int64   `json:"commit_bytes"`
+	// Group-commit activity: flushed groups (≤ one fsync each), submissions
+	// they carried, the largest group, and submissions accumulating now.
+	Groups      uint64 `json:"groups"`
+	Submissions uint64 `json:"submissions"`
+	MaxGroup    int    `json:"max_group"`
+	Pending     int    `json:"pending"`
+	// Why commit windows closed.
+	WindowTimer uint64 `json:"window_timer"`
+	WindowBytes uint64 `json:"window_bytes"`
+	WindowDrain uint64 `json:"window_drain"`
+	// Mean per-submission latency split: time queued waiting for the window
+	// vs. time inside the flush (stage+append+fsync+publish).
+	QueueMeanUS float64 `json:"queue_mean_us"`
+	FlushMeanUS float64 `json:"flush_mean_us"`
+	// Segment store counters.
+	Segments       int    `json:"segments"`
+	SealedSegments int    `json:"sealed_segments"`
+	Records        uint64 `json:"records"`
+	AppendedBytes  int64  `json:"appended_bytes"`
+	Fsyncs         uint64 `json:"fsyncs"`
+	LastEpoch      uint64 `json:"last_epoch"`
+}
+
+// ReplicaStatsz reports a follower's replication counters (followers only).
+type ReplicaStatsz struct {
+	Epoch            uint64 `json:"epoch"`
+	Applied          uint64 `json:"applied"`
+	Skipped          uint64 `json:"skipped,omitempty"`
+	SegmentsVerified int    `json:"segments_verified"`
+	Polls            uint64 `json:"polls"`
+	Error            string `json:"error,omitempty"`
+}
+
 // StatsSnapshot answers GET /statsz.
 type StatsSnapshot struct {
 	UptimeSeconds float64                  `json:"uptime_seconds"`
@@ -514,6 +570,10 @@ type StatsSnapshot struct {
 	Admission     AdmissionStats           `json:"admission"`
 	Queries       QueryTotals              `json:"queries"`
 	Endpoints     map[string]EndpointStats `json:"endpoints"`
+	// WAL is present on leaders running the group-commit pipeline.
+	WAL *WALStatsz `json:"wal,omitempty"`
+	// Replica is present on follower read replicas.
+	Replica *ReplicaStatsz `json:"replica,omitempty"`
 }
 
 // EndpointNames returns the snapshot's endpoint keys, sorted.

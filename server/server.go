@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"gaussrange"
+	"gaussrange/replica"
 )
 
 const statusTooManyRequests = http.StatusTooManyRequests
@@ -53,6 +54,15 @@ type Config struct {
 	// once for the whole group. Off by default: coalesced queries execute
 	// under the server's default timeout rather than their own timeout_ms.
 	Coalesce bool
+
+	// ReadOnly refuses every mutation endpoint with 403 — the mode follower
+	// read replicas serve in (writes must go to the leader).
+	ReadOnly bool
+
+	// Follower, when non-nil, marks this server a read replica fed by the
+	// given log tailer: query responses carry replica_epoch, /healthz and
+	// /statsz report replication state. Usually paired with ReadOnly.
+	Follower *replica.Follower
 }
 
 // Server serves a gaussrange.DB over HTTP. Create one with New and mount
@@ -118,7 +128,7 @@ func (s *Server) Stats() StatsSnapshot {
 	if hits+misses > 0 {
 		rate = float64(hits) / float64(hits+misses)
 	}
-	return StatsSnapshot{
+	snap := StatsSnapshot{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Points:        s.db.Len(),
 		Dim:           s.db.Dim(),
@@ -128,6 +138,63 @@ func (s *Server) Stats() StatsSnapshot {
 		Queries:       s.met.queryTotals(),
 		Endpoints:     s.met.endpointSnapshots(),
 	}
+	if w, ok := s.db.WALStats(); ok {
+		ws := &WALStatsz{
+			Synchronous:    w.Synchronous,
+			CommitWindowMS: float64(w.Batcher.MaxDelay) / 1e6,
+			CommitBytes:    w.Batcher.MaxBytes,
+			Groups:         w.Batcher.Groups,
+			Submissions:    w.Batcher.Submissions,
+			MaxGroup:       w.Batcher.MaxGroup,
+			Pending:        w.Batcher.Pending,
+			WindowTimer:    w.Batcher.WindowClosedBy.Timer,
+			WindowBytes:    w.Batcher.WindowClosedBy.Bytes,
+			WindowDrain:    w.Batcher.WindowClosedBy.Drain,
+			Segments:       w.Store.Segments,
+			SealedSegments: int(w.Store.SealedSegments),
+			Records:        w.Store.Records,
+			AppendedBytes:  int64(w.Store.AppendedBytes),
+			Fsyncs:         w.Store.Fsyncs,
+			LastEpoch:      w.Store.LastEpoch,
+		}
+		if n := w.Batcher.Submissions; n > 0 {
+			ws.QueueMeanUS = float64(w.Batcher.QueueNanos) / float64(n) / 1e3
+			ws.FlushMeanUS = float64(w.Batcher.FlushNanos) / float64(n) / 1e3
+		}
+		snap.WAL = ws
+	}
+	if s.cfg.Follower != nil {
+		r := s.cfg.Follower.Stats()
+		snap.Replica = &ReplicaStatsz{
+			Epoch:            r.Epoch,
+			Applied:          r.Applied,
+			Skipped:          r.Skipped,
+			SegmentsVerified: r.SegmentsVerified,
+			Polls:            r.Polls,
+			Error:            r.Err,
+		}
+	}
+	return snap
+}
+
+// respond converts a query result to its wire form, stamping replica
+// provenance when this server is a follower.
+func (s *Server) respond(res *gaussrange.Result) QueryResponse {
+	r := ResponseFromResult(res)
+	if s.cfg.Follower != nil {
+		r.ReplicaEpoch = res.Epoch
+	}
+	return r
+}
+
+// refuseReadOnly rejects a mutation on a read-only replica with 403.
+func (s *Server) refuseReadOnly(w http.ResponseWriter, status *int) bool {
+	if !s.cfg.ReadOnly {
+		return false
+	}
+	*status = http.StatusForbidden
+	writeError(w, *status, "read-only replica: mutations must go to the leader")
+	return true
 }
 
 // queryContext derives the execution context for one request: the request's
@@ -228,7 +295,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.met.addQuery(res.Stats, len(res.IDs))
-	writeJSON(w, status, ResponseFromResult(res))
+	writeJSON(w, status, s.respond(res))
 }
 
 // handleQueryCoalesced routes one /v1/query through the coalescer. The
@@ -251,7 +318,7 @@ func (s *Server) handleQueryCoalesced(w http.ResponseWriter, r *http.Request, re
 		return
 	}
 	s.met.addQuery(res.Stats, len(res.IDs))
-	writeJSON(w, *status, ResponseFromResult(res))
+	writeJSON(w, *status, s.respond(res))
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -304,7 +371,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	resp := BatchResponse{Results: make([]QueryResponse, len(results))}
 	for i, res := range results {
 		s.met.addQuery(res.Stats, len(res.IDs))
-		resp.Results[i] = ResponseFromResult(res)
+		resp.Results[i] = s.respond(res)
 	}
 	writeJSON(w, status, resp)
 }
@@ -392,6 +459,9 @@ func (s *Server) handlePoints(w http.ResponseWriter, r *http.Request) {
 // one epoch. Mutations go through admission like queries — an overlay
 // rebuild can cost O(n), so overload sheds writes too.
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request, status *int) {
+	if s.refuseReadOnly(w, status) {
+		return
+	}
 	var req InsertPointsRequest
 	if err := decodeBody(w, r, &req); err != nil {
 		*status = http.StatusBadRequest
@@ -441,6 +511,9 @@ func (s *Server) handlePointByID(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "use DELETE /v1/points/{id}")
 		return
 	}
+	if s.refuseReadOnly(w, &status) {
+		return
+	}
 	id, err := strconv.ParseInt(strings.TrimPrefix(r.URL.Path, "/v1/points/"), 10, 64)
 	if err != nil {
 		status = http.StatusBadRequest
@@ -463,7 +536,13 @@ func (s *Server) handlePointByID(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, Health{Status: "ok", Points: s.db.Len(), Dim: s.db.Dim(), Epoch: s.db.Epoch(), MaxID: s.db.MaxID()})
+	h := Health{Status: "ok", Points: s.db.Len(), Dim: s.db.Dim(), Epoch: s.db.Epoch(), MaxID: s.db.MaxID(), ReadOnly: s.cfg.ReadOnly}
+	if s.cfg.Follower != nil {
+		st := s.cfg.Follower.Stats()
+		h.ReplicaEpoch = st.Epoch
+		h.ReplicaError = st.Err
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
