@@ -24,11 +24,13 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# fuzz-smoke runs the R*-tree structural fuzzer briefly — enough to catch
-# invariant regressions in insert/delete/rebuild without a dedicated fuzz
-# farm.
+# fuzz-smoke runs the R*-tree fuzzers briefly — enough to catch invariant
+# regressions in insert/delete/rebuild and packed-vs-pointer search parity
+# without a dedicated fuzz farm. `go test` accepts only one -fuzz target per
+# invocation, so the 10s budget is split across the two fuzzers.
 fuzz-smoke:
-	$(GO) test ./internal/rtree -run '^$$' -fuzz FuzzTreeOps -fuzztime 10s
+	$(GO) test ./internal/rtree -run '^$$' -fuzz FuzzTreeOps -fuzztime 5s
+	$(GO) test ./internal/rtree -run '^$$' -fuzz FuzzPackedSearch -fuzztime 5s
 
 # verify is the pre-merge gate: formatting, static analysis, and the
 # race-enabled test suite (the storage engine, plan cache, worker pools,
@@ -38,8 +40,8 @@ verify: fmt-check vet race
 
 # bench-snapshot regenerates the committed benchmark artifacts:
 # BENCH_phase3.json (Phase-3 kernel comparison), BENCH_churn.json (read
-# latency under live mutations) and BENCH_shard.json (sharded scatter-gather
-# serving).
+# latency under live mutations), BENCH_shard.json (sharded scatter-gather
+# serving) and BENCH_phase1.json (packed+fused front half vs pointer tree).
 bench-snapshot:
 	GO="$(GO)" ./scripts/bench_snapshot.sh
 
@@ -63,7 +65,11 @@ bench-snapshot:
 # synchronous per-batch-fsync insert rate at 64 concurrent writers in the
 # same run, and a deterministic mutation sequence must stay byte-identical
 # (epochs and answers) across synchronous commit, grouped commit, and
-# follower replay of the grouped log.
+# follower replay of the grouped log. The fourth run gates the packed+fused
+# Phase-1/2 front half on the committed BENCH_phase1.json: the fused arm's
+# answer ids and per-phase counters must stay identical to the pointer
+# baseline's, and its front-half (IndexTime+FilterTime) speedup over the
+# pointer arm must stay >=2x in the same run.
 BENCH_COMPARE_QUERIES ?= 8
 BENCH_COMPARE_SAMPLES ?= 50000
 SHARD_COMPARE_QUERIES ?= 1200
@@ -76,6 +82,7 @@ bench-compare:
 		-workers $(SHARD_COMPARE_WORKERS) -seed 1 \
 		-compare BENCH_shard.json shard
 	$(GO) run ./cmd/prqbench -seed 1 -compare BENCH_churn.json churn
+	$(GO) run ./cmd/prqbench -seed 1 -compare BENCH_phase1.json phase1
 
 # serve-smoke boots the full network stack once: generate a dataset, start
 # prqserved, answer one query through the Go client (prqquery -server), and

@@ -35,6 +35,13 @@
 //	           and the router's scatter overhead; -json writes the report
 //	           (committed as BENCH_shard.json) and -compare gates a fresh
 //	           run against it (not in "all")
+//	phase1   — packed flat-index front half: the Table-I workload (2-D road
+//	           data, γ=1, δ=25, θ=0.01) under the pointer-tree Phase-1/2 path
+//	           vs the packed+fused kernel, reporting front-half time per
+//	           query, the speedup, node/recheck counters, and identity of
+//	           answer ids and per-phase prune counts; -json writes the report
+//	           (committed as BENCH_phase1.json) and -compare gates a fresh
+//	           run against it (≥2× fused speedup + identity; not in "all")
 //	churn    — mixed read/write experiment: -workers goroutines run -queries
 //	           operations against one live DB per cell, sweeping the write
 //	           fraction (0–20%) and both overlay-rebuild strategies, and
@@ -55,10 +62,13 @@
 //	-samples N     MC samples per object (default 100000)
 //	-workers N     worker goroutines for the batch experiment (default NumCPU)
 //	-queries N     queries per batch for the batch experiment (default 64)
-//	-json PATH     write the phase3/churn report as JSON to PATH
-//	-compare PATH  phase3/shard/churn: gate a fresh run against the committed
-//	               baseline report at PATH (phase3: samples_touched regression;
-//	               churn: group-commit ingest speedup + replay identity)
+//	-json PATH     write the phase1/phase3/churn report as JSON to PATH
+//	-compare PATH  phase1/phase3/shard/churn: gate a fresh run against the
+//	               committed baseline report at PATH (phase1: fused speedup +
+//	               identity; phase3: samples_touched regression; churn:
+//	               group-commit ingest speedup + replay identity)
+//	-cpuprofile PATH  write a pprof CPU profile of the selected experiment
+//	-memprofile PATH  write a pprof heap profile at exit
 package main
 
 import (
@@ -67,6 +77,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -76,6 +87,12 @@ import (
 )
 
 func main() {
+	os.Exit(benchMain())
+}
+
+// benchMain is main with an exit code instead of os.Exit calls, so the
+// profiling defers (-cpuprofile/-memprofile) always flush before exit.
+func benchMain() int {
 	seed := flag.Uint64("seed", 1, "dataset and query-center seed")
 	trials := flag.Int("trials", 0, "query centers per cell (0 = paper defaults)")
 	evalName := flag.String("eval", "exact", `evaluator: "mc" (paper) or "exact"`)
@@ -83,16 +100,49 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines for the batch experiment")
 	queries := flag.Int("queries", 64, "queries per batch for the batch experiment")
 	svg := flag.String("svg", "", "write the region figure (fig13/15/16) as SVG to this path")
-	jsonPath := flag.String("json", "", "write the phase3/churn report as JSON to this path")
-	comparePath := flag.String("compare", "", "phase3 only: compare against a baseline BENCH_phase3.json and fail on >10% samples_touched regression")
+	jsonPath := flag.String("json", "", "write the phase1/phase3/churn report as JSON to this path")
+	comparePath := flag.String("compare", "", "phase1/phase3/shard/churn: compare a fresh run against the committed baseline report at this path")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment to this path")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this path")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: prqbench [flags] table1|table2|table3|fig13|fig14|fig15|fig16|fig17|sweep|iostats|catalog|batch|serve|shard|phase3|churn|all\n")
+		fmt.Fprintf(os.Stderr, "usage: prqbench [flags] table1|table2|table3|fig13|fig14|fig15|fig16|fig17|sweep|iostats|catalog|batch|serve|shard|phase1|phase3|churn|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	if flag.NArg() != 1 {
 		flag.Usage()
-		os.Exit(2)
+		return 2
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prqbench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "prqbench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "prqbench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "prqbench: -memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	var kind experiments.EvaluatorKind
@@ -103,56 +153,34 @@ func main() {
 		kind = experiments.EvalExact
 	default:
 		fmt.Fprintf(os.Stderr, "prqbench: unknown evaluator %q\n", *evalName)
-		os.Exit(2)
+		return 2
 	}
 	cfg := experiments.Config{Seed: *seed, Trials: *trials, Samples: *samples, Evaluator: kind}
 
-	if *svg != "" {
-		if err := writeSVG(flag.Arg(0), *svg); err != nil {
-			fmt.Fprintf(os.Stderr, "prqbench: %v\n", err)
-			os.Exit(1)
-		}
-		return
+	var err error
+	switch {
+	case *svg != "":
+		err = writeSVG(flag.Arg(0), *svg)
+	case strings.EqualFold(flag.Arg(0), "batch"):
+		err = runBatch(cfg, *workers, *queries)
+	case strings.EqualFold(flag.Arg(0), "phase1"):
+		err = runPhase1(cfg, *queries, *jsonPath, *comparePath)
+	case strings.EqualFold(flag.Arg(0), "phase3"):
+		err = runPhase3(cfg, *queries, *jsonPath, *comparePath)
+	case strings.EqualFold(flag.Arg(0), "churn"):
+		err = runChurn(cfg, *workers, *queries, *jsonPath, *comparePath)
+	case strings.EqualFold(flag.Arg(0), "shard"):
+		err = runShard(cfg, *workers, *queries, *jsonPath, *comparePath)
+	case strings.EqualFold(flag.Arg(0), "serve"):
+		err = runServe(cfg, *workers, *queries)
+	default:
+		err = run(flag.Arg(0), cfg)
 	}
-	if strings.EqualFold(flag.Arg(0), "batch") {
-		if err := runBatch(cfg, *workers, *queries); err != nil {
-			fmt.Fprintf(os.Stderr, "prqbench: %v\n", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if strings.EqualFold(flag.Arg(0), "phase3") {
-		if err := runPhase3(cfg, *queries, *jsonPath, *comparePath); err != nil {
-			fmt.Fprintf(os.Stderr, "prqbench: %v\n", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if strings.EqualFold(flag.Arg(0), "churn") {
-		if err := runChurn(cfg, *workers, *queries, *jsonPath, *comparePath); err != nil {
-			fmt.Fprintf(os.Stderr, "prqbench: %v\n", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if strings.EqualFold(flag.Arg(0), "shard") {
-		if err := runShard(cfg, *workers, *queries, *jsonPath, *comparePath); err != nil {
-			fmt.Fprintf(os.Stderr, "prqbench: %v\n", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if strings.EqualFold(flag.Arg(0), "serve") {
-		if err := runServe(cfg, *workers, *queries); err != nil {
-			fmt.Fprintf(os.Stderr, "prqbench: %v\n", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if err := run(flag.Arg(0), cfg); err != nil {
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "prqbench: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // runBatch measures batched query throughput through the public API: the

@@ -1,0 +1,253 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"gaussrange"
+	"gaussrange/internal/data"
+	"gaussrange/internal/experiments"
+)
+
+// phase1ArmResult is one front-half implementation's measurement: the summed
+// Phase-1 + Phase-2 time over every timed query, with the packed kernel's
+// certificate counters.
+type phase1ArmResult struct {
+	Arm             string `json:"arm"` // "pointer" or "packed-fused"
+	FrontNS         int64  `json:"front_ns"`
+	FrontNSPerQuery int64  `json:"front_ns_per_query"`
+	NodesRead       int    `json:"nodes_read"`
+	NodesReadPacked int    `json:"nodes_read_packed"`
+	F32Rechecks     int    `json:"f32_rechecks"`
+	Retrieved       int    `json:"retrieved"`
+	PrunedFringe    int    `json:"pruned_fringe"`
+	PrunedOR        int    `json:"pruned_or"`
+	PrunedBF        int    `json:"pruned_bf"`
+	AcceptedBF      int    `json:"accepted_bf"`
+	Answers         int    `json:"answers"`
+}
+
+// phase1Report is the JSON document written by -json and committed as
+// BENCH_phase1.json.
+type phase1Report struct {
+	Dataset string  `json:"dataset"`
+	Points  int     `json:"points"`
+	Queries int     `json:"queries"`
+	Passes  int     `json:"passes"`
+	Gamma   float64 `json:"gamma"`
+	Delta   float64 `json:"delta"`
+	Theta   float64 `json:"theta"`
+	Seed    uint64  `json:"seed"`
+	// IDsIdentical reports the two arms returned byte-identical answer id
+	// sequences for every query; CountsIdentical extends that to the
+	// per-query Retrieved and per-phase prune/accept counters.
+	IDsIdentical    bool `json:"ids_identical"`
+	CountsIdentical bool `json:"counts_identical"`
+	// Speedup is pointer front-half time over packed-fused front-half time.
+	Speedup float64           `json:"speedup_front_half"`
+	Arms    []phase1ArmResult `json:"arms"`
+}
+
+// phase1Counts is one query's front-half counter tuple, compared across arms.
+type phase1Counts struct {
+	retrieved, fringe, or, bf, acc int
+}
+
+// runPhase1 measures the packed+fused Phase-1/2 kernel against the
+// pointer-tree baseline on the paper's Table-I workload (Long Beach roads,
+// γ=1, δ=25, θ=0.01). Both arms answer the identical query set with the exact
+// Phase-3 evaluator; the report gates on front-half (IndexTime+FilterTime)
+// speedup and identity of answer ids and per-phase counters.
+func runPhase1(cfg experiments.Config, queries int, jsonPath, comparePath string) error {
+	if queries < 1 {
+		return fmt.Errorf("-queries must be at least 1, got %d", queries)
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	points := data.LongBeach(seed)
+	raw := make([][]float64, len(points))
+	for i, p := range points {
+		raw[i] = p
+	}
+
+	const (
+		gamma = 1.0
+		delta = 25.0
+		theta = 0.01
+	)
+	sigma := experiments.PaperSigmaBase().Scale(gamma)
+	covRows := [][]float64{
+		{sigma.At(0, 0), sigma.At(0, 1)},
+		{sigma.At(1, 0), sigma.At(1, 1)},
+	}
+	specs := make([]gaussrange.QuerySpec, queries)
+	for i := range specs {
+		c := points[(i*7919)%len(points)]
+		specs[i] = gaussrange.QuerySpec{
+			Center: []float64{c[0], c[1]},
+			Cov:    covRows,
+			Delta:  delta,
+			Theta:  theta,
+		}
+	}
+	// Several timed passes amortize timer and scheduler noise on the small
+	// query counts bench-compare runs with.
+	passes := 1
+	if queries*passes < 256 {
+		passes = (255 + queries) / queries
+	}
+
+	report := phase1Report{
+		Dataset: "longbeach",
+		Points:  len(raw),
+		Queries: queries,
+		Passes:  passes,
+		Gamma:   gamma,
+		Delta:   delta,
+		Theta:   theta,
+		Seed:    seed,
+	}
+
+	type armRun struct {
+		res    phase1ArmResult
+		ids    [][]int64
+		counts []phase1Counts
+	}
+	runArm := func(arm string, opts ...gaussrange.Option) (*armRun, error) {
+		db, err := gaussrange.Load(raw, opts...)
+		if err != nil {
+			return nil, err
+		}
+		ctx := context.Background()
+		out := &armRun{res: phase1ArmResult{Arm: arm}}
+		// Warmup pass: compiles the plan into the cache and faults the index
+		// into cache, so the timed passes measure steady-state serving.
+		for _, spec := range specs {
+			if _, err := db.QueryCtx(ctx, spec); err != nil {
+				return nil, err
+			}
+		}
+		for pass := 0; pass < passes; pass++ {
+			for _, spec := range specs {
+				res, err := db.QueryCtx(ctx, spec)
+				if err != nil {
+					return nil, err
+				}
+				st := res.Stats
+				out.res.FrontNS += (st.IndexTime + st.FilterTime).Nanoseconds()
+				out.res.NodesRead += st.NodesRead
+				out.res.NodesReadPacked += st.NodesReadPacked
+				out.res.F32Rechecks += st.F32Rechecks
+				out.res.Retrieved += st.Retrieved
+				out.res.PrunedFringe += st.PrunedFringe
+				out.res.PrunedOR += st.PrunedOR
+				out.res.PrunedBF += st.PrunedBF
+				out.res.AcceptedBF += st.AcceptedBF
+				if pass == 0 {
+					out.res.Answers += len(res.IDs)
+					out.ids = append(out.ids, res.IDs)
+					out.counts = append(out.counts, phase1Counts{
+						retrieved: st.Retrieved, fringe: st.PrunedFringe,
+						or: st.PrunedOR, bf: st.PrunedBF, acc: st.AcceptedBF,
+					})
+				}
+			}
+		}
+		out.res.FrontNSPerQuery = out.res.FrontNS / int64(queries*passes)
+		return out, nil
+	}
+
+	pointer, err := runArm("pointer", gaussrange.WithPointerPhase1())
+	if err != nil {
+		return err
+	}
+	fused, err := runArm("packed-fused")
+	if err != nil {
+		return err
+	}
+
+	report.IDsIdentical = idsEqual(pointer.ids, fused.ids)
+	report.CountsIdentical = len(pointer.counts) == len(fused.counts)
+	if report.CountsIdentical {
+		for i := range pointer.counts {
+			if pointer.counts[i] != fused.counts[i] {
+				report.CountsIdentical = false
+				break
+			}
+		}
+	}
+	if fused.res.FrontNS > 0 {
+		report.Speedup = float64(pointer.res.FrontNS) / float64(fused.res.FrontNS)
+	}
+	report.Arms = []phase1ArmResult{pointer.res, fused.res}
+
+	fmt.Printf("phase-1/2 front half (%d points, %d queries × %d passes, γ=%g, δ=%g, θ=%g)\n",
+		len(raw), queries, passes, gamma, delta, theta)
+	for _, arm := range report.Arms {
+		fmt.Printf("  %-13s: %8.1f µs/query  (nodes %d, packed %d, f32 rechecks %d, retrieved %d, answers %d)\n",
+			arm.Arm, float64(arm.FrontNSPerQuery)/1e3, arm.NodesRead, arm.NodesReadPacked,
+			arm.F32Rechecks, arm.Retrieved, arm.Answers)
+	}
+	fmt.Printf("  speedup      : %.2fx front-half (pointer / packed-fused)\n", report.Speedup)
+	fmt.Printf("  identity     : ids=%v counts=%v\n", report.IDsIdentical, report.CountsIdentical)
+	if !report.IDsIdentical {
+		for i := range pointer.ids {
+			if !idSliceEqual(pointer.ids[i], fused.ids[i]) {
+				fmt.Printf("  first divergence: query %d differs by ids %v\n",
+					i, symmetricDiff(pointer.ids[i], fused.ids[i]))
+				break
+			}
+		}
+	}
+
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(jsonPath, buf, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	if comparePath != "" {
+		return comparePhase1(&report, comparePath)
+	}
+	return nil
+}
+
+// comparePhase1 gates a fresh phase1 run: answer-id and counter identity
+// between the arms is non-negotiable, and the packed+fused front half must
+// stay at least 2× faster than the pointer path. The ratio is same-run, so
+// the gate holds on slow CI machines as well as the committed snapshot; the
+// baseline report documents the recorded speedup for reference.
+func comparePhase1(report *phase1Report, baselinePath string) error {
+	if !report.IDsIdentical {
+		return fmt.Errorf("packed-fused answers differ from the pointer path — identity broken, not a perf question")
+	}
+	if !report.CountsIdentical {
+		return fmt.Errorf("packed-fused per-phase counters differ from the pointer path — identity broken, not a perf question")
+	}
+	buf, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base phase1Report
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	if !base.IDsIdentical || !base.CountsIdentical {
+		return fmt.Errorf("baseline %s recorded an identity failure — refusing to gate against it", baselinePath)
+	}
+	fmt.Printf("bench-compare: packed-fused front half %.2fx faster than pointer (baseline %.2fx, floor 2.00x)\n",
+		report.Speedup, base.Speedup)
+	if report.Speedup < 2.0 {
+		return fmt.Errorf("front-half speedup regression: %.2fx vs pointer, floor 2.00x", report.Speedup)
+	}
+	return nil
+}

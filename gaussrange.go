@@ -78,6 +78,7 @@ type options struct {
 	planCacheSize int
 	phase3Kernel  Phase3Kernel
 	rebuild       RebuildStrategy
+	pointerPhase1 bool
 }
 
 // Option configures Open and Load.
@@ -200,6 +201,17 @@ func WithPhase3Kernel(k Phase3Kernel) Option {
 			return fmt.Errorf("gaussrange: unknown Phase-3 kernel %d", int(k))
 		}
 		o.phase3Kernel = k
+		return nil
+	}
+}
+
+// WithPointerPhase1 disables the packed flat-index Phase-1/2 kernel and runs
+// the original pointer-tree search plus the second-pass filter loop. Answers
+// and per-phase prune counts are identical either way; this is the baseline
+// arm for benchmarks (prqbench phase1) and identity tests.
+func WithPointerPhase1() Option {
+	return func(o *options) error {
+		o.pointerPhase1 = true
 		return nil
 	}
 }
@@ -513,10 +525,19 @@ type Stats struct {
 	PrunedBF     int           // removed beyond the α∥ bound
 	AcceptedBF   int           // accepted within the α⊥ bound (no integration)
 	Integrations int           // candidates that needed probability computation
-	NodesRead    int           // R*-tree nodes visited
+	NodesRead    int           // base-index nodes visited (either representation)
 	IndexTime    time.Duration // Phase 1
 	FilterTime   time.Duration // Phase 2
 	ProbTime     time.Duration // Phase 3
+	// Packed front-half accounting: NodesReadPacked is how many of the
+	// NodesRead visits were served by the cache-linear packed mirror (0 when
+	// the pointer-tree front half ran), OverlayScanned how many overlay
+	// inserts the Phase-1 merge examined, and F32Rechecks how many index
+	// entries straddled the float32 certificate bands and were rechecked in
+	// float64.
+	NodesReadPacked int
+	OverlayScanned  int
+	F32Rechecks     int
 	// SamplesDrawn and SamplesTouched account for the shared-sample Phase-3
 	// kernel (WithPhase3Kernel): Drawn is the plan's cloud size, Touched is
 	// the number of samples distance-tested across the query's candidates.
@@ -572,6 +593,9 @@ func (s *Stats) Add(other Stats) {
 	s.AcceptedBF += other.AcceptedBF
 	s.Integrations += other.Integrations
 	s.NodesRead += other.NodesRead
+	s.NodesReadPacked += other.NodesReadPacked
+	s.OverlayScanned += other.OverlayScanned
+	s.F32Rechecks += other.F32Rechecks
 	s.IndexTime += other.IndexTime
 	s.FilterTime += other.FilterTime
 	s.ProbTime += other.ProbTime
@@ -975,7 +999,8 @@ func (db *DB) compileEngine() (*core.Engine, error) {
 	defer db.compileMu.Unlock()
 	if db.compileEng == nil {
 		eng, err := core.NewEngine(db.idx, core.NewExactEvaluator(),
-			core.Options{UseCatalogs: db.options.useCatalogs, Phase3: db.phase3Options()})
+			core.Options{UseCatalogs: db.options.useCatalogs, Phase3: db.phase3Options(),
+				PointerPhase1: db.options.pointerPhase1})
 		if err != nil {
 			return nil, err
 		}
@@ -1027,7 +1052,8 @@ func (db *DB) engine() (*core.Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return core.NewEngine(db.idx, eval, core.Options{UseCatalogs: db.options.useCatalogs})
+	return core.NewEngine(db.idx, eval, core.Options{UseCatalogs: db.options.useCatalogs,
+		PointerPhase1: db.options.pointerPhase1})
 }
 
 func convertResult(res *core.Result) *Result {
@@ -1042,6 +1068,9 @@ func convertResult(res *core.Result) *Result {
 			AcceptedBF:      res.Stats.AcceptedBF,
 			Integrations:    res.Stats.Integrations,
 			NodesRead:       res.Stats.NodesRead,
+			NodesReadPacked: res.Stats.NodesReadPacked,
+			OverlayScanned:  res.Stats.OverlayScanned,
+			F32Rechecks:     res.Stats.F32Rechecks,
 			IndexTime:       res.Stats.PhaseDurations[0],
 			FilterTime:      res.Stats.PhaseDurations[1],
 			ProbTime:        res.Stats.PhaseDurations[2],

@@ -54,6 +54,11 @@ type Options struct {
 	// per-candidate evaluation. With a shared kernel, Compile draws one
 	// mean-free sample cloud per plan and execution bypasses the evaluator.
 	Phase3 Phase3Options
+	// PointerPhase1 disables the packed flat-index Phase-1/2 kernel and runs
+	// the original pointer-tree search plus the per-candidate filter loop.
+	// Answers and per-phase prune counts are identical either way; this
+	// exists as the baseline arm for benchmarks and identity tests.
+	PointerPhase1 bool
 }
 
 // Engine compiles and executes probabilistic range queries against an Index.
@@ -133,7 +138,15 @@ type PhaseStats struct {
 	AcceptedBF   int // Phase 2: accepted outright by the α⊥ bound
 	Integrations int // Phase 3: candidates requiring probability computation
 	Answers      int // final result size
-	NodesRead    int // R-tree nodes visited during Phase 1
+	NodesRead    int // base-index nodes visited during Phase 1 (either representation)
+	// Packed front-half accounting: NodesReadPacked is how many of the
+	// NodesRead visits were served by the cache-linear packed mirror (0 on
+	// the pointer-tree path), OverlayScanned how many overlay inserts the
+	// Phase-1 merge examined, and F32Rechecks how many entries straddled the
+	// float32 certificate bands and needed an exact float64 recheck.
+	NodesReadPacked int
+	OverlayScanned  int
+	F32Rechecks     int
 	// Epoch is the storage epoch the query pinned for all three phases: the
 	// whole answer is consistent with exactly this published snapshot.
 	Epoch uint64

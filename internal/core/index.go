@@ -88,7 +88,7 @@ func NewIndex(points []vecmat.Vector, dim int, opts ...rtree.Option) (*Index, er
 		stored[i] = p.Clone()
 	}
 	ix := &Index{dim: dim, opts: opts}
-	ix.cur.Store(&Snapshot{tree: tree, points: stored, live: len(stored), dim: dim, epoch: 1})
+	ix.cur.Store(&Snapshot{tree: tree, packed: rtree.Pack(tree), points: stored, live: len(stored), dim: dim, epoch: 1})
 	return ix, nil
 }
 
@@ -100,7 +100,7 @@ func NewDynamicIndex(dim int, opts ...rtree.Option) (*Index, error) {
 		return nil, err
 	}
 	ix := &Index{dim: dim, opts: opts}
-	ix.cur.Store(&Snapshot{tree: tree, dim: dim, epoch: 1})
+	ix.cur.Store(&Snapshot{tree: tree, packed: rtree.Pack(tree), dim: dim, epoch: 1})
 	return ix, nil
 }
 
@@ -132,7 +132,7 @@ func RestoreIndex(points []vecmat.Vector, epoch uint64, dim int, opts ...rtree.O
 		return nil, err
 	}
 	ix := &Index{dim: dim, opts: opts}
-	ix.cur.Store(&Snapshot{tree: tree, points: stored, live: len(livePts), dim: dim, epoch: epoch})
+	ix.cur.Store(&Snapshot{tree: tree, packed: rtree.Pack(tree), points: stored, live: len(livePts), dim: dim, epoch: epoch})
 	return ix, nil
 }
 
@@ -313,6 +313,7 @@ func (ix *Index) Stage(inserts []vecmat.Vector, insertIDs []int64, deletes []int
 
 	next := &Snapshot{
 		tree:   cur.tree,
+		packed: cur.packed, // valid as long as the tree is shared
 		points: cur.points,
 		mem:    cur.mem,
 		dead:   cur.dead,
@@ -439,6 +440,7 @@ func (ix *Index) rebuildSnapshot(next *Snapshot) error {
 	}
 
 	next.tree = tree
+	next.packed = rtree.Pack(tree)
 	next.points = points
 	next.mem = nil
 	next.dead = nil

@@ -9,6 +9,7 @@ import (
 	"gaussrange/internal/gauss"
 	"gaussrange/internal/geom"
 	"gaussrange/internal/mc"
+	"gaussrange/internal/rtree"
 	"gaussrange/internal/vecmat"
 )
 
@@ -241,12 +242,78 @@ func (p *Plan) baseStats() PhaseStats {
 	return st
 }
 
+// phase2State carries the per-execution Phase-2 scratch and output slices so
+// the pointer and fused front halves share one filter implementation.
+type phase2State struct {
+	st            *PhaseStats
+	accepted      []int64
+	needEval      []int64
+	scratch, yBuf vecmat.Vector
+	qCenter       vecmat.Vector
+	auSq, alSq    float64
+}
+
+func (p *Plan) newPhase2State(st *PhaseStats, dim int) *phase2State {
+	return &phase2State{
+		st:       st,
+		accepted: make([]int64, 0),
+		needEval: make([]int64, 0),
+		scratch:  make(vecmat.Vector, dim),
+		yBuf:     make(vecmat.Vector, dim),
+		qCenter:  p.dist.Mean(),
+		auSq:     p.geo.alphaUpper * p.geo.alphaUpper,
+		alSq:     p.geo.alphaLower * p.geo.alphaLower,
+	}
+}
+
+// filterOne streams one candidate through the compiled fringe →
+// oblique-region → BF α∥/α⊥ chain, updating prune counters and routing the
+// survivor to accepted (α⊥) or needEval. The decision depends only on o's
+// float64 values, which are bit-identical whether o comes from the snapshot's
+// id-indexed slice or the packed leaf block (both are clones of the same
+// inserted point), so both front halves produce identical id sequences.
+func (p *Plan) filterOne(s *phase2State, id int64, o vecmat.Vector) {
+	if p.fringe != nil && !p.fringe.Contains(o) {
+		s.st.PrunedFringe++
+		return
+	}
+	if p.orBound != nil {
+		p.dist.TransformToEigen(o, s.scratch, s.yBuf)
+		for i := range s.yBuf {
+			if math.Abs(s.yBuf[i]) > p.orBound[i] {
+				s.st.PrunedOR++
+				return
+			}
+		}
+	}
+	if p.strat.Has(StrategyBF) {
+		d2 := o.Dist2(s.qCenter)
+		if d2 > s.auSq {
+			s.st.PrunedBF++
+			return
+		}
+		if p.geo.alphaLower > 0 && d2 <= s.alSq {
+			s.st.AcceptedBF++
+			s.accepted = append(s.accepted, id)
+			return
+		}
+	}
+	s.needEval = append(s.needEval, id)
+}
+
 // filterPhases pins the index's current snapshot and executes Phases 1 and
 // 2 against it using the compiled geometry, returning the pinned snapshot
 // (which every later phase must resolve ids against, so a concurrent
 // mutation can never produce a torn answer), the statistics so far, the
 // directly-accepted ids (BF α⊥), and the candidates requiring probability
 // computation.
+//
+// The default front half is fused: the packed mirror's leaf scan streams
+// point blocks straight through the Phase-2 filters with no materialized
+// candidate slice and no id→point lookups, then the overlay is merged
+// exactly as the pointer path does. Options.PointerPhase1 selects the
+// original two-pass pointer-tree implementation; both produce identical ids,
+// id order, and per-phase prune counts.
 func (p *Plan) filterPhases(ctx context.Context) (*Snapshot, PhaseStats, []int64, []int64, error) {
 	snap := p.engine.idx.Current()
 	st := p.baseStats()
@@ -257,7 +324,15 @@ func (p *Plan) filterPhases(ctx context.Context) (*Snapshot, PhaseStats, []int64
 	if err := ctx.Err(); err != nil {
 		return snap, st, nil, nil, err
 	}
+	if p.engine.opts.PointerPhase1 || snap.packed == nil {
+		return p.filterPhasesPointer(snap, st)
+	}
+	return p.filterPhasesFused(snap, st)
+}
 
+// filterPhasesPointer is the baseline front half: Phase 1 materializes the
+// candidate ids via the pointer tree, Phase 2 filters them in a second pass.
+func (p *Plan) filterPhasesPointer(snap *Snapshot, st PhaseStats) (*Snapshot, PhaseStats, []int64, []int64, error) {
 	// ---- Phase 1: index-based search -------------------------------------
 	t0 := time.Now()
 	nodesBefore := snap.tree.NodesRead()
@@ -267,57 +342,61 @@ func (p *Plan) filterPhases(ctx context.Context) (*Snapshot, PhaseStats, []int64
 	}
 	st.Retrieved = len(candidates)
 	st.NodesRead = snap.tree.NodesRead() - nodesBefore
+	st.OverlayScanned = len(snap.mem)
 	st.PhaseDurations[0] = time.Since(t0)
 
 	// ---- Phase 2: filtering ----------------------------------------------
 	t1 := time.Now()
-	dim := snap.dim
-	qCenter := p.dist.Mean()
-	scratch := make(vecmat.Vector, dim)
-	yBuf := make(vecmat.Vector, dim)
-
-	accepted := make([]int64, 0)
-	needEval := make([]int64, 0, len(candidates))
-	auSq := p.geo.alphaUpper * p.geo.alphaUpper
-	alSq := p.geo.alphaLower * p.geo.alphaLower
-
+	s := p.newPhase2State(&st, snap.dim)
+	s.needEval = make([]int64, 0, len(candidates))
 	for _, id := range candidates {
-		o := snap.point(id)
-
-		if p.fringe != nil && !p.fringe.Contains(o) {
-			st.PrunedFringe++
-			continue
-		}
-		if p.orBound != nil {
-			p.dist.TransformToEigen(o, scratch, yBuf)
-			pruned := false
-			for i := range yBuf {
-				if math.Abs(yBuf[i]) > p.orBound[i] {
-					pruned = true
-					break
-				}
-			}
-			if pruned {
-				st.PrunedOR++
-				continue
-			}
-		}
-		if p.strat.Has(StrategyBF) {
-			d2 := o.Dist2(qCenter)
-			if d2 > auSq {
-				st.PrunedBF++
-				continue
-			}
-			if p.geo.alphaLower > 0 && d2 <= alSq {
-				st.AcceptedBF++
-				accepted = append(accepted, id)
-				continue
-			}
-		}
-		needEval = append(needEval, id)
+		p.filterOne(s, id, snap.point(id))
 	}
 	st.PhaseDurations[1] = time.Since(t1)
-	return snap, st, accepted, needEval, nil
+	return snap, st, s.accepted, s.needEval, nil
+}
+
+// filterPhasesFused is the packed front half: one pass over the cache-linear
+// mirror runs the float32-certified rect test and the Phase-2 filter chain
+// per leaf block (PhaseDurations[0]), then the overlay inserts are merged
+// through the same filters (PhaseDurations[1]). Candidate order — base DFS
+// order minus tombstones, then overlay ascending — matches the pointer path
+// exactly, which the per-candidate evaluator forks in ExecuteWith rely on.
+func (p *Plan) filterPhasesFused(snap *Snapshot, st PhaseStats) (*Snapshot, PhaseStats, []int64, []int64, error) {
+	t0 := time.Now()
+	s := p.newPhase2State(&st, snap.dim)
+	var pst rtree.SearchStats
+	err := snap.packed.SearchRect(p.searchBox, func(id int64, pt []float64) bool {
+		if _, gone := snap.dead[id]; gone {
+			return true
+		}
+		st.Retrieved++
+		p.filterOne(s, id, vecmat.Vector(pt))
+		return true
+	}, &pst)
+	if err != nil {
+		return snap, st, nil, nil, err
+	}
+	st.NodesRead = int(pst.Nodes)
+	st.NodesReadPacked = int(pst.Nodes)
+	st.F32Rechecks = int(pst.F32Rechecks)
+	st.PhaseDurations[0] = time.Since(t0)
+
+	t1 := time.Now()
+	for _, id := range snap.mem {
+		st.OverlayScanned++
+		if _, gone := snap.dead[id]; gone {
+			continue
+		}
+		o := snap.points[id]
+		if !p.searchBox.Contains(o) {
+			continue
+		}
+		st.Retrieved++
+		p.filterOne(s, id, o)
+	}
+	st.PhaseDurations[1] = time.Since(t1)
+	return snap, st, s.accepted, s.needEval, nil
 }
 
 // Execute runs the compiled plan serially with the engine's evaluator.

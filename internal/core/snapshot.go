@@ -24,6 +24,7 @@ import (
 // rebuild; ids are never reused.
 type Snapshot struct {
 	tree   *rtree.Tree
+	packed *rtree.Packed   // cache-linear mirror of tree, built when tree is built
 	points []vecmat.Vector // id-indexed; nil = deleted before the base tree was built
 	mem    []int64         // ids inserted after the base tree was built (ascending)
 	dead   map[int64]struct{}
@@ -74,6 +75,13 @@ func (s *Snapshot) point(id int64) vecmat.Vector { return s.points[id] }
 // Tree exposes the snapshot's base R*-tree for diagnostics. It does not see
 // the overlay; use the Snapshot search methods for exact answers.
 func (s *Snapshot) Tree() *rtree.Tree { return s.tree }
+
+// Packed exposes the cache-linear mirror of the base tree. The base tree is
+// never mutated after the snapshot is built (mutations land in the overlay
+// and the tree is only replaced wholesale at fold time), so the mirror is
+// valid for the snapshot's entire lifetime and shared across epochs that
+// share the tree.
+func (s *Snapshot) Packed() *rtree.Packed { return s.packed }
 
 // OverlaySize reports the overlay's pending inserts and tombstones — the
 // extra per-query work this epoch pays until the next rebuild.

@@ -36,7 +36,10 @@ func RunIOStats(cfg Config, points []vecmat.Vector) (*IOStatsResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	engine, err := core.NewEngine(ix, core.NewExactEvaluator(), core.Options{})
+	// The simulated buffer pool instruments the pointer tree, so this
+	// experiment pins the pointer-tree Phase 1 (the packed front half never
+	// touches the paged structure being modelled).
+	engine, err := core.NewEngine(ix, core.NewExactEvaluator(), core.Options{PointerPhase1: true})
 	if err != nil {
 		return nil, err
 	}

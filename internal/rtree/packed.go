@@ -1,0 +1,172 @@
+package rtree
+
+import "math"
+
+// Packed is an immutable, cache-linear mirror of a Tree, built once per base
+// snapshot at STR-load/overlay-fold time. The pointer tree stores one heap
+// node per page with a slice of entries; Packed stores every node's bounds in
+// level-order contiguous structure-of-arrays form, so a search walks flat
+// arrays instead of chasing pointers:
+//
+//   - per-axis Lo/Hi float64 bounds for every entry, plus a round-to-nearest
+//     float32 mirror of both and a per-axis worst-case rounding error — the
+//     certificate that lets searches decide most entries 8-wide in float32
+//     and recheck only the straddling band in float64 (see packed_search.go);
+//   - child node indices as int32 (internal entries occupy the array prefix,
+//     because level order places all leaves last);
+//   - leaf ids as int64 and leaf Lo corners in one flat []float64 block — for
+//     point data (degenerate rects) this is the point itself, letting the
+//     engine stream Phase-2 filters over leaf blocks without id→point
+//     lookups.
+//
+// A Packed never mutates and carries no counters, so any number of searches
+// may share it; per-search accounting is returned to the caller instead of
+// accumulated in the structure.
+type Packed struct {
+	dim       int
+	size      int   // leaf entries (== Tree.Len of the packed tree)
+	height    int   // tree height (recursion depth bound for scratch buffers)
+	firstLeaf int32 // node index of the first leaf; all nodes ≥ it are leaves
+	leafBase  int32 // entry index of the first leaf entry
+	maxSpan   int   // widest node entry span (classification buffer size)
+
+	// start[i] .. start[i+1] is node i's entry span; len(start) = nodes+1.
+	start []int32
+
+	// Per-axis entry bounds: lo[a][e], hi[a][e] are the exact float64 bounds
+	// of entry e on axis a; lo32/hi32 are their round-to-nearest float32
+	// mirrors and errs[a] bounds |float64(float32(v)) − v| over every value
+	// stored on axis a.
+	lo, hi     [][]float64
+	lo32, hi32 [][]float32
+	errs       []float64
+
+	// child[e] is the packed node index of internal entry e (e < leafBase).
+	child []int32
+	// ids[e-leafBase] is the data id of leaf entry e.
+	ids []int64
+	// pts holds leaf Lo corners: entry e's block is
+	// pts[(e-leafBase)*dim : (e-leafBase+1)*dim].
+	pts []float64
+	// pointData reports that every leaf rect is degenerate (Lo == Hi), i.e.
+	// pts holds the actual indexed points.
+	pointData bool
+}
+
+// Pack builds the packed mirror of t. The tree must not mutate concurrently;
+// snapshots call this once on a freshly built base tree.
+func Pack(t *Tree) *Packed {
+	dim := t.dim
+
+	// Level-order (BFS) node enumeration. The tree is height-balanced, so BFS
+	// order groups nodes by level and all leaves form a contiguous tail.
+	nodes := []*node{t.root}
+	for i := 0; i < len(nodes); i++ {
+		n := nodes[i]
+		if n.isLeaf() {
+			continue
+		}
+		for j := range n.entries {
+			nodes = append(nodes, n.entries[j].child)
+		}
+	}
+
+	p := &Packed{dim: dim, size: t.size, height: t.height, firstLeaf: int32(len(nodes)), pointData: true}
+	total, leafTotal := 0, 0
+	for i, n := range nodes {
+		if n.isLeaf() && int32(i) < p.firstLeaf {
+			p.firstLeaf = int32(i)
+		}
+		total += len(n.entries)
+		if n.isLeaf() {
+			leafTotal += len(n.entries)
+		}
+		if len(n.entries) > p.maxSpan {
+			p.maxSpan = len(n.entries)
+		}
+	}
+
+	p.start = make([]int32, len(nodes)+1)
+	p.lo = make([][]float64, dim)
+	p.hi = make([][]float64, dim)
+	p.lo32 = make([][]float32, dim)
+	p.hi32 = make([][]float32, dim)
+	for a := 0; a < dim; a++ {
+		p.lo[a] = make([]float64, total)
+		p.hi[a] = make([]float64, total)
+		p.lo32[a] = make([]float32, total)
+		p.hi32[a] = make([]float32, total)
+	}
+	p.errs = make([]float64, dim)
+	p.child = make([]int32, 0, total-leafTotal)
+	p.ids = make([]int64, 0, leafTotal)
+	p.pts = make([]float64, 0, leafTotal*dim)
+
+	// Children were appended to the BFS queue in exactly the order parents
+	// enumerate their entries, so internal entries' child indices are simply
+	// sequential from 1.
+	nextChild := int32(1)
+	e := int32(0)
+	for i, n := range nodes {
+		p.start[i] = e
+		leaf := n.isLeaf()
+		for j := range n.entries {
+			ent := &n.entries[j]
+			for a := 0; a < dim; a++ {
+				lo, hi := ent.Rect.Lo[a], ent.Rect.Hi[a]
+				p.lo[a][e], p.hi[a][e] = lo, hi
+				lo32, hi32 := float32(lo), float32(hi)
+				p.lo32[a][e], p.hi32[a][e] = lo32, hi32
+				if d := math.Abs(float64(lo32) - lo); d > p.errs[a] {
+					p.errs[a] = d
+				}
+				if d := math.Abs(float64(hi32) - hi); d > p.errs[a] {
+					p.errs[a] = d
+				}
+			}
+			if leaf {
+				p.ids = append(p.ids, ent.ID)
+				p.pts = append(p.pts, ent.Rect.Lo...)
+				if p.pointData {
+					for a := 0; a < dim; a++ {
+						if ent.Rect.Lo[a] != ent.Rect.Hi[a] {
+							p.pointData = false
+							break
+						}
+					}
+				}
+			} else {
+				p.child = append(p.child, nextChild)
+				nextChild++
+			}
+			e++
+		}
+	}
+	p.start[len(nodes)] = e
+	p.leafBase = p.start[p.firstLeaf]
+	return p
+}
+
+// Dim returns the dimensionality of packed rectangles.
+func (p *Packed) Dim() int { return p.dim }
+
+// Len returns the number of packed data entries.
+func (p *Packed) Len() int { return p.size }
+
+// NumNodes returns how many tree nodes the mirror packs.
+func (p *Packed) NumNodes() int { return len(p.start) - 1 }
+
+// PointData reports whether every leaf entry is a degenerate (point)
+// rectangle, i.e. the flat leaf block holds the indexed points themselves.
+func (p *Packed) PointData() bool { return p.pointData }
+
+// Bytes returns the mirror's approximate memory footprint, for build-cost
+// accounting in experiments.
+func (p *Packed) Bytes() int {
+	total := len(p.start) * 4
+	for a := 0; a < p.dim; a++ {
+		total += len(p.lo[a])*8*2 + len(p.lo32[a])*4*2
+	}
+	total += len(p.child)*4 + len(p.ids)*8 + len(p.pts)*8 + len(p.errs)*8
+	return total
+}

@@ -1,0 +1,150 @@
+package rtree
+
+import (
+	"math"
+	"testing"
+
+	"gaussrange/internal/geom"
+	"gaussrange/internal/vecmat"
+)
+
+// FuzzPackedSearch builds a tree from a byte-encoded mutation history (the
+// same encoding as FuzzTreeOps, plus a dimension selector), packs it, and
+// checks rect and sphere search parity — ids, order, and node-visit counts —
+// between the packed mirror and the pointer tree, with the probe rect also
+// decoded from the input so the fuzzer can steer it onto entry boundaries.
+func FuzzPackedSearch(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	f.Add([]byte{2, 255, 254, 0, 0, 0, 128, 7, 7, 7, 9, 9})
+	f.Add([]byte{3, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) == 0 {
+			return
+		}
+		dims := []int{2, 3, 5, 9}
+		dim := dims[int(ops[0])%len(dims)]
+		ops = ops[1:]
+		if len(ops) > 512 {
+			ops = ops[:512]
+		}
+		tr, err := New(dim, WithPageSize(256))
+		if err != nil {
+			t.Fatal(err)
+		}
+		type stored struct {
+			p  vecmat.Vector
+			id int64
+		}
+		var live []stored
+		nextID := int64(0)
+		coord := func(b byte, axis int) float64 {
+			// Spread magnitudes so the float32 mirror loses bits.
+			v := float64(b)
+			switch axis % 3 {
+			case 1:
+				v *= 1e5
+			case 2:
+				v = v/255 + 1.0/3.0
+			}
+			return v
+		}
+		for i := 0; i+dim < len(ops); i += dim + 1 {
+			op := ops[i]
+			if op%3 != 0 && len(live) > 0 {
+				idx := int(op) % len(live)
+				if _, err := tr.DeletePoint(live[idx].p, live[idx].id); err != nil {
+					t.Fatal(err)
+				}
+				live[idx] = live[len(live)-1]
+				live = live[:len(live)-1]
+				continue
+			}
+			p := make(vecmat.Vector, dim)
+			for a := 0; a < dim; a++ {
+				p[a] = coord(ops[i+1+a], a)
+			}
+			if err := tr.InsertPoint(p, nextID); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, stored{p: p, id: nextID})
+			nextID++
+		}
+
+		p := Pack(tr)
+		if p.Len() != tr.Len() {
+			t.Fatalf("packed %d entries, tree %d", p.Len(), tr.Len())
+		}
+
+		// Probe rect decoded from the trailing bytes (fallback: whole space).
+		lo := make(vecmat.Vector, dim)
+		hi := make(vecmat.Vector, dim)
+		for a := 0; a < dim; a++ {
+			lo[a], hi[a] = -1e7, 1e8
+			if len(ops) >= 2*(a+1) {
+				x := coord(ops[len(ops)-2*a-1], a)
+				y := coord(ops[len(ops)-2*a-2], a)
+				lo[a], hi[a] = math.Min(x, y), math.Max(x, y)
+			}
+		}
+		q, err := geom.NewRect(lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		nodesBefore := tr.NodesRead()
+		want, err := tr.CollectRect(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantNodes := tr.NodesRead() - nodesBefore
+		var st SearchStats
+		got, err := p.CollectRect(q, &st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("rect: packed %d ids, pointer %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("rect: id order diverges at %d: packed %d pointer %d", i, got[i], want[i])
+			}
+		}
+		if int(st.Nodes) != wantNodes {
+			t.Fatalf("rect: packed visited %d nodes, pointer %d", st.Nodes, wantNodes)
+		}
+
+		if len(live) > 0 {
+			center := live[int(ops[0])%len(live)].p
+			radius := float64(ops[len(ops)-1]) * 1e3
+			nodesBefore = tr.NodesRead()
+			var wantS []int64
+			if err := tr.SearchSphere(center, radius, func(_ geom.Rect, id int64) bool {
+				wantS = append(wantS, id)
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			wantNodes = tr.NodesRead() - nodesBefore
+			var stS SearchStats
+			var gotS []int64
+			if err := p.SearchSphere(center, radius, func(id int64, _ []float64) bool {
+				gotS = append(gotS, id)
+				return true
+			}, &stS); err != nil {
+				t.Fatal(err)
+			}
+			if len(gotS) != len(wantS) {
+				t.Fatalf("sphere: packed %d ids, pointer %d", len(gotS), len(wantS))
+			}
+			for i := range gotS {
+				if gotS[i] != wantS[i] {
+					t.Fatalf("sphere: id order diverges at %d", i)
+				}
+			}
+			if int(stS.Nodes) != wantNodes {
+				t.Fatalf("sphere: packed visited %d nodes, pointer %d", stS.Nodes, wantNodes)
+			}
+		}
+	})
+}

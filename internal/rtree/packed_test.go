@@ -1,0 +1,303 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gaussrange/internal/geom"
+	"gaussrange/internal/vecmat"
+)
+
+// randPoints draws n points with coordinates spanning several magnitudes so
+// the float32 mirror actually loses bits and the recheck band is exercised.
+func packedRandPoints(rng *rand.Rand, n, dim int) []vecmat.Vector {
+	pts := make([]vecmat.Vector, n)
+	for i := range pts {
+		p := make(vecmat.Vector, dim)
+		for a := range p {
+			switch rng.Intn(4) {
+			case 0:
+				p[a] = rng.Float64() * 100
+			case 1:
+				p[a] = rng.NormFloat64() * 1e6
+			case 2:
+				p[a] = rng.Float64()*2e-3 - 1e-3
+			default:
+				// Many duplicates of a value with a long mantissa: forces
+				// entries exactly on the query boundary.
+				p[a] = 33.333333333333336
+			}
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func packedRandRect(rng *rand.Rand, dim int) geom.Rect {
+	lo := make(vecmat.Vector, dim)
+	hi := make(vecmat.Vector, dim)
+	for a := 0; a < dim; a++ {
+		c := rng.NormFloat64() * 1e4
+		w := math.Abs(rng.NormFloat64()) * 5e5
+		lo[a], hi[a] = c-w, c+w
+	}
+	r, err := geom.NewRect(lo, hi)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// buildVariants returns trees built every way a base snapshot can come to
+// exist: STR bulk load, incremental R* insertion, post-delete shape, and a
+// clone of a mutated tree.
+func buildVariants(t *testing.T, rng *rand.Rand, pts []vecmat.Vector, dim int) map[string]*Tree {
+	t.Helper()
+	ids := make([]int64, len(pts))
+	for i := range ids {
+		ids[i] = int64(i)
+	}
+	bulk, err := BulkLoadPoints(pts, ids, dim, WithPageSize(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := New(dim, WithPageSize(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		if err := ins.InsertPoint(p, ids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	del := bulk.Clone()
+	for i := 0; i < len(pts)/3; i++ {
+		j := rng.Intn(len(pts))
+		if _, err := del.DeletePoint(pts[j], ids[j]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cloned := del.Clone()
+	if err := cloned.InsertPoint(pts[0], int64(len(pts))); err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*Tree{"bulk": bulk, "insert": ins, "deleted": del, "cloned": cloned}
+}
+
+// comparePackedRect runs one rect query against both representations and
+// fails unless ids (including order), visit counts, and point payloads agree.
+func comparePackedRect(t *testing.T, tr *Tree, p *Packed, q geom.Rect) {
+	t.Helper()
+	nodesBefore := tr.NodesRead()
+	want, err := tr.CollectRect(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNodes := tr.NodesRead() - nodesBefore
+
+	var st SearchStats
+	var got []int64
+	err = p.SearchRect(q, func(id int64, pt []float64) bool {
+		got = append(got, id)
+		return true
+	}, &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("rect: packed %d ids, pointer %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("rect: id order diverges at %d: packed %d pointer %d", i, got[i], want[i])
+		}
+	}
+	if int(st.Nodes) != wantNodes {
+		t.Fatalf("rect: packed visited %d nodes, pointer %d", st.Nodes, wantNodes)
+	}
+}
+
+func comparePackedSphere(t *testing.T, tr *Tree, p *Packed, center vecmat.Vector, radius float64) {
+	t.Helper()
+	nodesBefore := tr.NodesRead()
+	var want []int64
+	if err := tr.SearchSphere(center, radius, func(_ geom.Rect, id int64) bool {
+		want = append(want, id)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	wantNodes := tr.NodesRead() - nodesBefore
+
+	var st SearchStats
+	var got []int64
+	err := p.SearchSphere(center, radius, func(id int64, _ []float64) bool {
+		got = append(got, id)
+		return true
+	}, &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("sphere: packed %d ids, pointer %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("sphere: id order diverges at %d: packed %d pointer %d", i, got[i], want[i])
+		}
+	}
+	if int(st.Nodes) != wantNodes {
+		t.Fatalf("sphere: packed visited %d nodes, pointer %d", st.Nodes, wantNodes)
+	}
+}
+
+// TestPackedSearchParity is the core identity property: on random trees of
+// several dimensionalities and construction histories, packed rect and sphere
+// searches return byte-identical id sequences and visit counts to the pointer
+// tree.
+func TestPackedSearchParity(t *testing.T) {
+	for _, dim := range []int{2, 3, 5, 9} {
+		rng := rand.New(rand.NewSource(int64(1000 + dim)))
+		pts := packedRandPoints(rng, 600, dim)
+		for name, tr := range buildVariants(t, rng, pts, dim) {
+			p := Pack(tr)
+			if p.Len() != tr.Len() {
+				t.Fatalf("d=%d %s: packed %d entries, tree %d", dim, name, p.Len(), tr.Len())
+			}
+			if !p.PointData() {
+				t.Fatalf("d=%d %s: point tree not detected as point data", dim, name)
+			}
+			for trial := 0; trial < 24; trial++ {
+				q := packedRandRect(rng, dim)
+				comparePackedRect(t, tr, p, q)
+				center := pts[rng.Intn(len(pts))]
+				comparePackedSphere(t, tr, p, center, math.Abs(rng.NormFloat64())*1e5)
+			}
+			// Degenerate probes: empty rect far away, rect covering all.
+			far := make(vecmat.Vector, dim)
+			for a := range far {
+				far[a] = 1e12
+			}
+			fr, _ := geom.NewRect(far, far)
+			comparePackedRect(t, tr, p, fr)
+			lo, hi := make(vecmat.Vector, dim), make(vecmat.Vector, dim)
+			for a := range lo {
+				lo[a], hi[a] = -1e12, 1e12
+			}
+			all, _ := geom.NewRect(lo, hi)
+			comparePackedRect(t, tr, p, all)
+			comparePackedSphere(t, tr, p, pts[0], 0)
+		}
+	}
+}
+
+// TestPackedBoundaryProbes pins the recheck band: queries whose edges fall
+// exactly on stored coordinates (where float32 rounding straddles the
+// boundary) must still match the float64 pointer decisions exactly.
+func TestPackedBoundaryProbes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dim := 3
+	pts := packedRandPoints(rng, 400, dim)
+	ids := make([]int64, len(pts))
+	for i := range ids {
+		ids[i] = int64(i)
+	}
+	tr, err := BulkLoadPoints(pts, ids, dim, WithPageSize(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Pack(tr)
+	var rechecks int64
+	for trial := 0; trial < 200; trial++ {
+		// Query rect with one corner exactly at a stored point.
+		anchor := pts[rng.Intn(len(pts))]
+		lo := make(vecmat.Vector, dim)
+		hi := make(vecmat.Vector, dim)
+		for a := 0; a < dim; a++ {
+			lo[a] = anchor[a]
+			hi[a] = anchor[a] + math.Abs(rng.NormFloat64())*1e4
+		}
+		q, err := geom.NewRect(lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comparePackedRect(t, tr, p, q)
+		var st SearchStats
+		if _, err := p.CollectRect(q, &st); err != nil {
+			t.Fatal(err)
+		}
+		rechecks += st.F32Rechecks
+	}
+	if rechecks == 0 {
+		t.Fatal("boundary probes never triggered a float64 recheck; certificate band untested")
+	}
+}
+
+// TestPackedEmptyAndTiny covers the root-only shapes.
+func TestPackedEmptyAndTiny(t *testing.T) {
+	tr, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Pack(tr)
+	if p.Len() != 0 || p.NumNodes() != 1 {
+		t.Fatalf("empty pack: len %d nodes %d", p.Len(), p.NumNodes())
+	}
+	q, _ := geom.NewRect(vecmat.Vector{-1, -1}, vecmat.Vector{1, 1})
+	ids, err := p.CollectRect(q, nil)
+	if err != nil || len(ids) != 0 {
+		t.Fatalf("empty pack search: ids %v err %v", ids, err)
+	}
+	if err := tr.InsertPoint(vecmat.Vector{0.5, 0.5}, 42); err != nil {
+		t.Fatal(err)
+	}
+	p = Pack(tr)
+	ids, err = p.CollectRect(q, nil)
+	if err != nil || len(ids) != 1 || ids[0] != 42 {
+		t.Fatalf("single-entry pack search: ids %v err %v", ids, err)
+	}
+	comparePackedSphere(t, tr, p, vecmat.Vector{0, 0}, 1)
+}
+
+// TestPackedPointBitIdentity checks the flat point block holds bit-identical
+// float64 coordinates, the property the fused Phase-2 filters rely on.
+func TestPackedPointBitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	dim := 5
+	pts := packedRandPoints(rng, 300, dim)
+	ids := make([]int64, len(pts))
+	for i := range ids {
+		ids[i] = int64(i)
+	}
+	tr, err := BulkLoadPoints(pts, ids, dim, WithPageSize(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Pack(tr)
+	lo, hi := make(vecmat.Vector, dim), make(vecmat.Vector, dim)
+	for a := range lo {
+		lo[a], hi[a] = -1e18, 1e18
+	}
+	q, err := geom.NewRect(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	err = p.SearchRect(q, func(id int64, pt []float64) bool {
+		want := pts[id]
+		for a := 0; a < dim; a++ {
+			if math.Float64bits(pt[a]) != math.Float64bits(want[a]) {
+				t.Fatalf("id %d axis %d: packed %x pointer %x", id, a, math.Float64bits(pt[a]), math.Float64bits(want[a]))
+			}
+		}
+		seen++
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != len(pts) {
+		t.Fatalf("full-box scan saw %d of %d points", seen, len(pts))
+	}
+}

@@ -226,3 +226,122 @@ func TestStrategyIdentityAcrossReplay(t *testing.T) {
 		}
 	}
 }
+
+// TestStrategyIdentityAfterFold runs the six-strategy identity matrix against
+// a snapshot that has just crossed the overlay-fold threshold, where the
+// packed base view is freshly rebuilt from the folded tree. The fused
+// packed-kernel front half (the default) and the pointer-tree arm
+// (WithPointerPhase1) answer from the same mutation lineage — seed data plus
+// a replayed log — so any divergence in ids or probabilities is a packed
+// certificate or fusion bug, not workload noise.
+func TestStrategyIdentityAfterFold(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	seed := gridPoints(400, 5) // live=400 → fold threshold 128
+	logPath := filepath.Join(t.TempDir(), "fold.grlg")
+
+	db1, err := Load(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db1.AttachMutationLog(logPath); err != nil {
+		t.Fatal(err)
+	}
+	// 13 batches of 8 inserts + 2 deletes put 130 entries in the overlay;
+	// the threshold at this size is 128, so the 13th Apply folds the overlay
+	// into a fresh base tree (and a fresh packed mirror).
+	batches := 0
+	for b := 0; b < 13; b++ {
+		var ins [][]float64
+		for i := 0; i < 8; i++ {
+			ins = append(ins, []float64{40 + rng.Float64()*20, 40 + rng.Float64()*20})
+		}
+		dels := []int64{int64(rng.Intn(len(seed)))}
+		dels = append(dels, int64(rng.Intn(len(seed))))
+		if _, _, _, err := db1.Apply(ins, dels); err != nil {
+			t.Fatal(err)
+		}
+		batches++
+	}
+	if err := db1.SyncLog(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db1.DetachMutationLog(); err != nil {
+		t.Fatal(err)
+	}
+
+	spec := func(strategy string) QuerySpec {
+		return QuerySpec{
+			Center:   []float64{50, 50},
+			Cov:      paperCov(4),
+			Delta:    25,
+			Theta:    0.01,
+			Strategy: strategy,
+		}
+	}
+	// Prove the snapshot really is post-fold and served by the packed
+	// kernel: no overlay left to scan, and the mirror was read.
+	probe, err := db1.QueryCtx(context.Background(), spec("ALL"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probe.Stats.OverlayScanned != 0 {
+		t.Fatalf("overlay not folded: %d overlay entries scanned", probe.Stats.OverlayScanned)
+	}
+	if probe.Stats.NodesReadPacked == 0 {
+		t.Fatal("post-fold query did not use the packed mirror")
+	}
+
+	// Pointer arm: same seed, same mutation lineage via log replay.
+	db2, err := Load(seed, WithPointerPhase1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := db2.AttachMutationLog(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.DetachMutationLog()
+	if replayed != batches {
+		t.Fatalf("replayed %d batches, want %d", replayed, batches)
+	}
+	if db2.Epoch() != db1.Epoch() {
+		t.Fatalf("pointer-arm epoch %d, want %d", db2.Epoch(), db1.Epoch())
+	}
+
+	for _, s := range liveStrategies {
+		res1, err := db1.QueryCtx(context.Background(), spec(s))
+		if err != nil {
+			t.Fatalf("strategy %s (fused): %v", s, err)
+		}
+		if len(res1.IDs) == 0 {
+			t.Fatalf("strategy %s: empty answer makes the identity check vacuous", s)
+		}
+		res2, err := db2.QueryCtx(context.Background(), spec(s))
+		if err != nil {
+			t.Fatalf("strategy %s (pointer): %v", s, err)
+		}
+		if res2.Stats.NodesReadPacked != 0 {
+			t.Fatalf("strategy %s: pointer arm read %d packed nodes", s, res2.Stats.NodesReadPacked)
+		}
+		m1, err := db1.QueryMatches(spec(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, err := db2.QueryMatches(spec(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fused := fmt.Sprintf("%v|%v", res1.IDs, m1)
+		pointer := fmt.Sprintf("%v|%v", res2.IDs, m2)
+		if fused != pointer {
+			t.Fatalf("strategy %s: fused and pointer answers diverged post-fold\nfused:   %s\npointer: %s", s, fused, pointer)
+		}
+		if res1.Stats.Retrieved != res2.Stats.Retrieved ||
+			res1.Stats.PrunedFringe != res2.Stats.PrunedFringe ||
+			res1.Stats.PrunedOR != res2.Stats.PrunedOR ||
+			res1.Stats.PrunedBF != res2.Stats.PrunedBF ||
+			res1.Stats.AcceptedBF != res2.Stats.AcceptedBF {
+			t.Fatalf("strategy %s: per-phase counters diverged post-fold\nfused:   %+v\npointer: %+v", s, res1.Stats, res2.Stats)
+		}
+	}
+}

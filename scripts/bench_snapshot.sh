@@ -13,6 +13,10 @@
 #                      aggregate throughput at K ∈ {1,2,4} capacity-modelled
 #                      shards, mean fan-out, answer identity and the
 #                      router's scatter overhead
+#   BENCH_phase1.json  `prqbench phase1` — packed+fused Phase-1/2 front half
+#                      vs the pointer tree: per-query front-half time,
+#                      certificate counters (f32 rechecks), answer and
+#                      counter identity, and the front-half speedup
 # Pass an output path as $1 to redirect the phase3 artifact (legacy usage);
 # the churn artifact always lands next to it as BENCH_churn.json.
 #
@@ -25,6 +29,7 @@
 #   WORKERS    concurrent workers for churn (default: 8)
 #   SHARD_QUERIES  queries per shard-count cell (default: 1200)
 #   SHARD_WORKERS  concurrent clients driving the router (default: 64)
+#   PHASE1_QUERIES queries per front-half arm for phase1 (default: 64)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -36,9 +41,11 @@ CHURN_OPS="${CHURN_OPS:-6000}"
 WORKERS="${WORKERS:-8}"
 SHARD_QUERIES="${SHARD_QUERIES:-1200}"
 SHARD_WORKERS="${SHARD_WORKERS:-64}"
+PHASE1_QUERIES="${PHASE1_QUERIES:-64}"
 OUT="${1:-BENCH_phase3.json}"
 CHURN_OUT="$(dirname "$OUT")/BENCH_churn.json"
 SHARD_OUT="$(dirname "$OUT")/BENCH_shard.json"
+PHASE1_OUT="$(dirname "$OUT")/BENCH_phase1.json"
 
 echo "bench-snapshot: running prqbench phase3 (queries=$QUERIES samples=$SAMPLES seed=$SEED)"
 "$GO" run ./cmd/prqbench -queries "$QUERIES" -samples "$SAMPLES" -seed "$SEED" \
@@ -57,3 +64,9 @@ echo "bench-snapshot: running prqbench shard (queries=$SHARD_QUERIES workers=$SH
     -json "$SHARD_OUT" shard
 
 echo "bench-snapshot: wrote $SHARD_OUT"
+
+echo "bench-snapshot: running prqbench phase1 (queries=$PHASE1_QUERIES seed=$SEED)"
+"$GO" run ./cmd/prqbench -queries "$PHASE1_QUERIES" -seed "$SEED" \
+    -json "$PHASE1_OUT" phase1
+
+echo "bench-snapshot: wrote $PHASE1_OUT"

@@ -93,6 +93,13 @@ type QueryStats struct {
 	IndexNS      int64 `json:"index_ns"`
 	FilterNS     int64 `json:"filter_ns"`
 	ProbNS       int64 `json:"prob_ns"`
+	// Packed front-half accounting: node visits served by the cache-linear
+	// packed mirror (0 when the pointer-tree front half ran), overlay inserts
+	// examined by the Phase-1 merge, and float32-certificate straddles
+	// rechecked in float64.
+	NodesReadPacked int `json:"nodes_read_packed,omitempty"`
+	OverlayScanned  int `json:"overlay_scanned,omitempty"`
+	F32Rechecks     int `json:"f32_rechecks,omitempty"`
 	// SamplesDrawn/SamplesTouched report the shared-sample Phase-3 kernel's
 	// work (0 under the per-candidate kernel).
 	SamplesDrawn   int `json:"samples_drawn,omitempty"`
@@ -128,6 +135,9 @@ func (s *QueryStats) Add(o QueryStats) {
 	s.AcceptedBF += o.AcceptedBF
 	s.Integrations += o.Integrations
 	s.NodesRead += o.NodesRead
+	s.NodesReadPacked += o.NodesReadPacked
+	s.OverlayScanned += o.OverlayScanned
+	s.F32Rechecks += o.F32Rechecks
 	s.IndexNS += o.IndexNS
 	s.FilterNS += o.FilterNS
 	s.ProbNS += o.ProbNS
@@ -180,6 +190,9 @@ func StatsFromResult(st gaussrange.Stats) QueryStats {
 		AcceptedBF:      st.AcceptedBF,
 		Integrations:    st.Integrations,
 		NodesRead:       st.NodesRead,
+		NodesReadPacked: st.NodesReadPacked,
+		OverlayScanned:  st.OverlayScanned,
+		F32Rechecks:     st.F32Rechecks,
 		IndexNS:         st.IndexTime.Nanoseconds(),
 		FilterNS:        st.FilterTime.Nanoseconds(),
 		ProbNS:          st.ProbTime.Nanoseconds(),
@@ -209,6 +222,9 @@ func (s QueryStats) Stats() gaussrange.Stats {
 		AcceptedBF:      s.AcceptedBF,
 		Integrations:    s.Integrations,
 		NodesRead:       s.NodesRead,
+		NodesReadPacked: s.NodesReadPacked,
+		OverlayScanned:  s.OverlayScanned,
+		F32Rechecks:     s.F32Rechecks,
 		IndexTime:       time.Duration(s.IndexNS),
 		FilterTime:      time.Duration(s.FilterNS),
 		ProbTime:        time.Duration(s.ProbNS),
@@ -400,9 +416,14 @@ type QueryTotals struct {
 	AcceptedBF   uint64 `json:"accepted_bf"`
 	Integrations uint64 `json:"integrations"`
 	NodesRead    uint64 `json:"nodes_read"`
-	IndexNS      int64  `json:"index_ns"`
-	FilterNS     int64  `json:"filter_ns"`
-	ProbNS       int64  `json:"prob_ns"`
+	// Packed front-half totals: mirror visits, overlay merge scans, and
+	// float32-certificate rechecks across all queries.
+	NodesReadPacked uint64 `json:"nodes_read_packed"`
+	OverlayScanned  uint64 `json:"overlay_scanned"`
+	F32Rechecks     uint64 `json:"f32_rechecks"`
+	IndexNS         int64  `json:"index_ns"`
+	FilterNS        int64  `json:"filter_ns"`
+	ProbNS          int64  `json:"prob_ns"`
 	// Shared-sample Phase-3 kernel totals: samples drawn into plan clouds
 	// (counted once per query) vs. samples actually distance-tested.
 	SamplesDrawn   uint64 `json:"samples_drawn"`
@@ -439,6 +460,9 @@ func (t *QueryTotals) Add(o QueryTotals) {
 	t.AcceptedBF += o.AcceptedBF
 	t.Integrations += o.Integrations
 	t.NodesRead += o.NodesRead
+	t.NodesReadPacked += o.NodesReadPacked
+	t.OverlayScanned += o.OverlayScanned
+	t.F32Rechecks += o.F32Rechecks
 	t.IndexNS += o.IndexNS
 	t.FilterNS += o.FilterNS
 	t.ProbNS += o.ProbNS

@@ -133,6 +133,9 @@ func (m *metrics) queryTotals() QueryTotals {
 		AcceptedBF:       uint64(st.AcceptedBF),
 		Integrations:     uint64(st.Integrations),
 		NodesRead:        uint64(st.NodesRead),
+		NodesReadPacked:  uint64(st.NodesReadPacked),
+		OverlayScanned:   uint64(st.OverlayScanned),
+		F32Rechecks:      uint64(st.F32Rechecks),
 		IndexNS:          st.IndexTime.Nanoseconds(),
 		FilterNS:         st.FilterTime.Nanoseconds(),
 		ProbNS:           st.ProbTime.Nanoseconds(),
